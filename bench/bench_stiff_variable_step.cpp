@@ -1,0 +1,121 @@
+// CLAIM-STIFF (paper §2 + phase 2): multi-domain systems "usually lead to
+// stiff nonlinear models that exhibit time constants whose values differ by
+// several orders of magnitude. This property imposes strong numerical
+// constraints"; phase 2 therefore requires "simulation using variable time
+// steps".
+//
+// A two-time-constant linear system (fast tau_f, slow tau_s = ratio*tau_f)
+// integrated to 5*tau_s three ways:
+//   fixed_fine    - fixed step resolving the fast mode (accurate, slow)
+//   fixed_coarse  - fixed step sized for the slow mode (fast, misses the
+//                   fast transient)
+//   variable      - LTE-controlled steps (small during the fast transient,
+//                   growing afterwards)
+// Counters: steps taken and max relative error against the analytic sum of
+// exponentials.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "solver/equation_system.hpp"
+#include "solver/linear_dae.hpp"
+#include "solver/nonlinear_dae.hpp"
+
+namespace solver = sca::solver;
+
+namespace {
+
+constexpr double k_tau_fast = 1e-7;
+
+solver::equation_system stiff_system(double ratio) {
+    // Two decoupled decays solved together; x0 = [1, 1].
+    solver::equation_system sys;
+    const std::size_t xf = sys.add_unknown("fast");
+    const std::size_t xs = sys.add_unknown("slow");
+    sys.add_a(xf, xf, 1.0 / k_tau_fast);
+    sys.add_b(xf, xf, 1.0);
+    sys.add_a(xs, xs, 1.0 / (k_tau_fast * ratio));
+    sys.add_b(xs, xs, 1.0);
+    return sys;
+}
+
+double max_rel_error(const std::vector<double>& x, double t, double ratio) {
+    const double ef = std::exp(-t / k_tau_fast);
+    const double es = std::exp(-t / (k_tau_fast * ratio));
+    return std::max(std::abs(x[0] - ef), std::abs(x[1] - es) / std::max(es, 1e-12));
+}
+
+void fixed_fine(benchmark::State& state) {
+    const double ratio = static_cast<double>(state.range(0));
+    const double t_end = 5.0 * k_tau_fast * ratio;
+    const double h = k_tau_fast / 5.0;
+    double err = 0.0;
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        auto sys = stiff_system(ratio);
+        solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, h);
+        s.set_initial_state({1.0, 1.0}, 0.0);
+        s.advance_to(t_end);
+        err = max_rel_error(s.x(), s.time(), ratio);
+        steps = s.solve_count();
+    }
+    state.counters["steps"] = static_cast<double>(steps);
+    state.counters["max_rel_err"] = err;
+}
+
+void fixed_coarse(benchmark::State& state) {
+    const double ratio = static_cast<double>(state.range(0));
+    const double t_end = 5.0 * k_tau_fast * ratio;
+    const double h = k_tau_fast * ratio / 100.0;  // sized for the slow mode
+    double err_at_fast_scale = 0.0;
+    std::uint64_t steps = 0;
+    for (auto _ : state) {
+        auto sys = stiff_system(ratio);
+        solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, h);
+        s.set_initial_state({1.0, 1.0}, 0.0);
+        // Error probed right after the fast transient: the coarse grid has
+        // completely skipped it (fast state should be ~0 after 10 tau_f but
+        // BE with h >> tau_f still reports a finite remnant of step 1).
+        s.step();
+        err_at_fast_scale = std::abs(s.x()[0] - std::exp(-s.time() / k_tau_fast));
+        s.advance_to(t_end);
+        steps = s.solve_count();
+        benchmark::DoNotOptimize(s.x());
+    }
+    state.counters["steps"] = static_cast<double>(steps);
+    state.counters["fast_transient_err"] = err_at_fast_scale;
+}
+
+void variable_step(benchmark::State& state) {
+    const double ratio = static_cast<double>(state.range(0));
+    const double t_end = 5.0 * k_tau_fast * ratio;
+    double err = 0.0;
+    std::uint64_t steps = 0;
+    std::uint64_t rejected = 0;
+    for (auto _ : state) {
+        auto sys = stiff_system(ratio);
+        solver::nonlinear_options opt;
+        opt.h_init = k_tau_fast / 10.0;
+        opt.h_min = k_tau_fast / 1e4;
+        opt.h_max = t_end / 50.0;
+        opt.lte_reltol = 1e-4;
+        opt.lte_abstol = 1e-10;
+        solver::nonlinear_dae_solver s(sys, opt);
+        s.set_initial_state({1.0, 1.0}, 0.0);
+        s.advance_to(t_end);
+        err = max_rel_error(s.x(), s.time(), ratio);
+        steps = s.steps_accepted();
+        rejected = s.steps_rejected();
+    }
+    state.counters["steps"] = static_cast<double>(steps);
+    state.counters["rejected"] = static_cast<double>(rejected);
+    state.counters["max_rel_err"] = err;
+}
+
+}  // namespace
+
+BENCHMARK(fixed_fine)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(fixed_coarse)->Arg(1000)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+BENCHMARK(variable_step)->Arg(1000)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// RATE-MULTI (paper §3): SDF graphs "have the nice property that a finite
+// static scheduling can always be found" — and computing that schedule is a
+// one-time elaboration cost, after which multirate execution is as cheap as
+// single-rate.
+//
+// Benchmarks: elaboration (schedule construction) cost for deep chains, and
+// steady-state throughput of multirate versus rate-1 pipelines moving the
+// same token volume.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "lib/filters.hpp"
+#include "tdf/cluster.hpp"
+#include "tdf/schedule.hpp"
+
+namespace de = sca::de;
+namespace tdf = sca::tdf;
+namespace lib = sca::lib;
+using namespace bench_util;
+
+namespace {
+
+constexpr de::time k_step = de::time::from_fs(1'000'000'000);  // 1 us
+
+void schedule_elaboration(benchmark::State& state) {
+    const auto n_stages = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        sca::core::simulation sim;
+        sine_src src("src", 1.0, 10e3, k_step);
+        std::vector<std::unique_ptr<gain_stage>> stages;
+        std::vector<std::unique_ptr<tdf::signal<double>>> wires;
+        wires.push_back(std::make_unique<tdf::signal<double>>("w0"));
+        src.out.bind(*wires.back());
+        for (std::size_t i = 0; i < n_stages; ++i) {
+            stages.push_back(std::make_unique<gain_stage>(
+                de::module_name(("g" + std::to_string(i)).c_str()), 1.0));
+            // Alternate 1:2 and 2:1 rates: non-trivial repetition vector.
+            if (i % 2 == 0) {
+                stages.back()->out.set_rate(2);
+            } else {
+                stages.back()->in.set_rate(2);
+            }
+            stages.back()->in.bind(*wires.back());
+            wires.push_back(
+                std::make_unique<tdf::signal<double>>("w" + std::to_string(i + 1)));
+            stages.back()->out.bind(*wires.back());
+        }
+        null_sink sink("sink");
+        sink.in.bind(*wires.back());
+        sim.elaborate();  // the measured operation
+        benchmark::DoNotOptimize(sim.now());
+    }
+}
+
+void monorate_throughput(benchmark::State& state) {
+    for (auto _ : state) {
+        sca::core::simulation sim;
+        sine_src src("src", 1.0, 10e3, k_step);
+        gain_stage g1("g1", 1.0), g2("g2", 1.0);
+        null_sink sink("sink");
+        tdf::signal<double> s1("s1"), s2("s2"), s3("s3");
+        src.out.bind(s1);
+        g1.in.bind(s1);
+        g1.out.bind(s2);
+        g2.in.bind(s2);
+        g2.out.bind(s3);
+        sink.in.bind(s3);
+        sim.run_seconds(20e-3);
+        benchmark::DoNotOptimize(sink.last);
+    }
+    state.counters["tokens_per_sec"] = benchmark::Counter(
+        20e-3 / k_step.to_seconds(), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void multirate_throughput(benchmark::State& state) {
+    // Interpolate 1:4, process, decimate 4:1 — 4x the internal token volume.
+    for (auto _ : state) {
+        sca::core::simulation sim;
+        sine_src src("src", 1.0, 10e3, k_step);
+        lib::interpolator up("up", 4);
+        gain_stage g("g", 1.0);
+        lib::decimator down("down", 4);
+        null_sink sink("sink");
+        tdf::signal<double> s1("s1"), s2("s2"), s3("s3"), s4("s4");
+        src.out.bind(s1);
+        up.in.bind(s1);
+        up.out.bind(s2);
+        g.in.bind(s2);
+        g.out.bind(s3);
+        down.in.bind(s3);
+        down.out.bind(s4);
+        sink.in.bind(s4);
+        sim.run_seconds(20e-3);
+        benchmark::DoNotOptimize(sink.last);
+    }
+    state.counters["tokens_per_sec"] = benchmark::Counter(
+        4.0 * 20e-3 / k_step.to_seconds(), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void repetition_vector_cost(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<tdf::rate_edge> edges;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        edges.push_back({i, i + 1, static_cast<unsigned>(i % 3) + 1,
+                         static_cast<unsigned>((i + 1) % 3) + 1});
+    }
+    for (auto _ : state) {
+        auto reps = tdf::repetition_vector(n, edges);
+        benchmark::DoNotOptimize(reps);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(schedule_elaboration)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(monorate_throughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(multirate_throughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(repetition_vector_cost)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Shared model-building helpers for the benchmark suite.
+#ifndef SCA_BENCH_UTIL_HPP
+#define SCA_BENCH_UTIL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "tdf/module.hpp"
+#include "tdf/port.hpp"
+
+namespace bench_util {
+
+namespace de = sca::de;
+namespace tdf = sca::tdf;
+namespace eln = sca::eln;
+
+/// TDF sine source with configurable timestep.
+struct sine_src : tdf::module {
+    tdf::out<double> out;
+    double amp, freq;
+    de::time ts;
+    sine_src(const de::module_name& nm, double a, double f, de::time step)
+        : tdf::module(nm), out("out"), amp(a), freq(f), ts(step) {}
+    void set_attributes() override { set_timestep(ts); }
+    void processing() override {
+        out.write(amp * std::sin(2.0 * 3.141592653589793 * freq *
+                                 tdf_time().to_seconds()));
+    }
+};
+
+/// TDF sink that only consumes (keeps the cluster busy end to end).
+struct null_sink : tdf::module {
+    tdf::in<double> in;
+    double last = 0.0;
+    explicit null_sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override {
+        for (unsigned k = 0; k < in.rate(); ++k) last = in.read(k);
+    }
+};
+
+/// TDF gain stage.
+struct gain_stage : tdf::module {
+    tdf::in<double> in;
+    tdf::out<double> out;
+    double k;
+    gain_stage(const de::module_name& nm, double gain)
+        : tdf::module(nm), in("in"), out("out"), k(gain) {}
+    void processing() override { out.write(k * in.read()); }
+};
+
+/// Owning bundle for an RC ladder network: source -> N sections -> load.
+struct rc_ladder {
+    std::unique_ptr<eln::network> net;
+    std::vector<std::unique_ptr<eln::component>> parts;
+    eln::node out_node;
+
+    rc_ladder(std::size_t sections, de::time step, double r = 100.0, double c = 1e-9) {
+        net = std::make_unique<eln::network>(de::module_name("ladder"));
+        net->set_timestep(step);
+        auto gnd = net->ground();
+        auto prev = net->create_node("n0");
+        parts.push_back(std::make_unique<eln::vsource>(
+            "vs", *net, prev, gnd, eln::waveform::sine(1.0, 10e3)));
+        for (std::size_t i = 0; i < sections; ++i) {
+            auto node = net->create_node("n" + std::to_string(i + 1));
+            parts.push_back(std::make_unique<eln::resistor>(
+                "r" + std::to_string(i), *net, prev, node, r));
+            parts.push_back(std::make_unique<eln::capacitor>(
+                "c" + std::to_string(i), *net, node, gnd, c));
+            prev = node;
+        }
+        out_node = prev;
+    }
+};
+
+}  // namespace bench_util
+
+#endif  // SCA_BENCH_UTIL_HPP

@@ -1,0 +1,154 @@
+// Figure 1 of the paper: the ADSL subscriber line interface and codec
+// filter, as an executable multi-MoC specification.
+//
+//   tone "DSP" (TDF)  ->  line driver (LSF: Butterworth + gain)
+//                     ->  subscriber line + hybrid (ELN network)
+//                     ->  sigma-delta prefi (TDF) -> sinc3 pofi (TDF)
+//                     ->  DSP receive FIR (TDF)
+//   software controller (DE) watches line activity and gates the receive
+//   path — the "Control / software controller" block of the figure.
+//
+// The example prints per-MoC statistics and the end-to-end signal quality.
+#include <cstdio>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "eln/converter.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "lib/converters.hpp"
+#include "lib/filters.hpp"
+#include "lib/oscillator.hpp"
+#include "lib/sigma_delta.hpp"
+#include "lsf/ltf.hpp"
+#include "lsf/node.hpp"
+#include "lsf/primitives.hpp"
+#include "lsf/view.hpp"
+#include "util/measure.hpp"
+
+namespace de = sca::de;
+namespace tdf = sca::tdf;
+namespace eln = sca::eln;
+namespace lsf = sca::lsf;
+namespace lib = sca::lib;
+using namespace sca::de::literals;
+
+namespace {
+
+struct rx_recorder : tdf::module {
+    tdf::in<double> in;
+    std::vector<double> samples;
+    explicit rx_recorder(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override { samples.push_back(in.read()); }
+};
+
+struct bool_sink : tdf::module {
+    tdf::in<bool> in;
+    explicit bool_sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override { (void)in.read(); }
+};
+
+}  // namespace
+
+int main() {
+    sca::core::simulation sim;
+    const de::time codec_step(0.5, de::time_unit::us);  // 2 MHz modulator rate
+
+    // --- transmit "DSP": upstream tone (stands in for the DMT symbol stream).
+    lib::sine_source tone("tone", 0.5, 10e3);
+    tone.set_timestep(codec_step);
+
+    // --- line driver: 3rd-order Butterworth + high-voltage gain (LSF).
+    lsf::system driver("driver");
+    auto u = driver.create_signal("u");
+    auto filtered = driver.create_signal("filtered");
+    auto boosted = driver.create_signal("boosted");
+    lsf::from_tdf drv_in("drv_in", driver, u);
+    const auto tf = lsf::filters::butterworth_lowpass(3, 150e3);
+    lsf::ltf_nd drv_filter("drv_filter", driver, u, filtered, tf.num, tf.den);
+    lsf::gain drv_gain("drv_gain", driver, filtered, boosted, 1.2);
+    lsf::to_tdf drv_out("drv_out", driver, boosted);
+
+    // --- subscriber line: source impedance, line RC, termination (ELN).
+    eln::network line("line");
+    auto gnd = line.ground();
+    auto tx = line.create_node("tx");
+    auto mid = line.create_node("mid");
+    auto rx = line.create_node("rx");
+    eln::tdf_vsource drv_src("drv_src", line, tx, gnd);
+    eln::resistor r_s("r_s", line, tx, mid, 100.0);
+    eln::capacitor c_line("c_line", line, mid, gnd, 10e-9);
+    eln::resistor r_line("r_line", line, mid, rx, 100.0);
+    eln::resistor r_term("r_term", line, rx, gnd, 100.0);
+    eln::tdf_vsink rx_probe("rx_probe", line, rx, gnd);
+
+    // --- receive codec: sigma-delta prefi + sinc3 pofi + DSP FIR (TDF).
+    lib::sigma_delta_modulator prefi("prefi", 2, 1.0);
+    lib::sinc3_decimator pofi("pofi", 32);  // -> 62.5 kHz
+    lib::fir rx_fir("rx_fir", lib::fir::design_lowpass(63, 0.4));
+    rx_recorder rx_out("rx_out");
+
+    // --- software controller (DE): link activity detector.
+    lib::comparator level("level", 0.05, 0.02);
+    de::signal<bool> line_active("line_active", false);
+    level.enable_de_output(line_active);
+    int link_events = 0;
+    auto& controller = sim.context().register_method("controller", [&] {
+        ++link_events;
+    });
+    controller.dont_initialize();
+    controller.make_sensitive(line_active.value_changed_event());
+
+    // --- wiring.
+    tdf::signal<double> w_tone("w_tone"), w_drv("w_drv"), w_rx("w_rx"), w_mod("w_mod"),
+        w_dec("w_dec"), w_fir("w_fir");
+    tdf::signal<bool> w_act("w_act");
+    tone.out.bind(w_tone);
+    drv_in.inp.bind(w_tone);
+    drv_out.outp.bind(w_drv);
+    drv_src.inp.bind(w_drv);
+    rx_probe.outp.bind(w_rx);
+    prefi.in.bind(w_rx);
+    prefi.out.bind(w_mod);
+    pofi.in.bind(w_mod);
+    pofi.out.bind(w_dec);
+    rx_fir.in.bind(w_dec);
+    rx_fir.out.bind(w_fir);
+    rx_out.in.bind(w_fir);
+    level.in.bind(w_rx);
+    level.out.bind(w_act);
+    bool_sink bs("bs");
+    bs.in.bind(w_act);
+
+    const double sim_seconds = 20e-3;
+    sim.run(de::time::from_seconds(sim_seconds));
+
+    // --- report.
+    std::vector<double> tail(rx_out.samples.end() - 512, rx_out.samples.end());
+    const double fs_out = 2e6 / 32.0;
+    const double sinad = sca::util::sinad_db(tail, fs_out);
+    double amp = 0.0;
+    for (double v : tail) amp = std::max(amp, std::abs(v));
+
+    std::printf("ADSL subscriber line interface (paper Figure 1), %.0f ms simulated\n",
+                sim_seconds * 1e3);
+    std::printf("  MoC inventory:\n");
+    std::printf("    TDF  modulator activations : %llu (2 MHz)\n",
+                static_cast<unsigned long long>(prefi.activation_count()));
+    std::printf("    TDF  decimator activations : %llu (62.5 kHz)\n",
+                static_cast<unsigned long long>(pofi.activation_count()));
+    std::printf("    LSF  driver solver steps   : %llu\n",
+                static_cast<unsigned long long>(driver.activation_count()));
+    std::printf("    ELN  line solver steps     : %llu (factored %llu time(s))\n",
+                static_cast<unsigned long long>(line.activation_count()),
+                static_cast<unsigned long long>(line.factorizations()));
+    std::printf("    DE   controller events     : %d\n", link_events);
+    std::printf("  receive path quality:\n");
+    std::printf("    recovered 10 kHz amplitude : %.3f (expect ~0.18: tone 0.5 x\n"
+                "                                 driver 1.2 x line divider 1/3 x\n"
+                "                                 line C shunt x sinc3 droop 0.88)\n",
+                amp);
+    std::printf("    SINAD through the codec    : %.1f dB\n", sinad);
+    return 0;
+}

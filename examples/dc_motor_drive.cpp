@@ -1,0 +1,106 @@
+// Phase-3 automotive scenario: a DC motor drive spanning three disciplines
+// in one conservative network (electrical armature, rotational mechanics,
+// thermal winding model) with a software speed controller in the DE world —
+// the paper's "virtual prototype including software-in-the-loop" pattern.
+#include <cstdio>
+
+#include "core/simulation.hpp"
+#include "core/transient.hpp"
+#include "eln/converter.hpp"
+#include "eln/multidomain.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+
+namespace de = sca::de;
+namespace eln = sca::eln;
+using namespace sca::de::literals;
+
+int main() {
+    sca::core::simulation sim;
+
+    // --- plant: motor + load + thermal model -------------------------------
+    eln::network plant("plant");
+    plant.set_timestep(200.0, de::time_unit::us);
+    auto gnd = plant.ground();
+    auto rgnd = plant.ground(eln::nature::mechanical_rotational);
+    auto tamb = plant.ground(eln::nature::thermal);
+    auto varm = plant.create_node("varm");
+    auto shaft = plant.create_node("shaft", eln::nature::mechanical_rotational);
+    auto tj = plant.create_node("tj", eln::nature::thermal);
+
+    // Armature supply controlled from the DE side (the "power stage").
+    de::signal<double> v_cmd("v_cmd", 0.0);
+    eln::de_vsource supply("supply", plant, varm, gnd);
+    supply.inp.bind(v_cmd);
+
+    const double kt = 0.08;  // N*m/A and V*s/rad
+    eln::dc_motor motor("motor", plant, varm, gnd, shaft, 0.8, 2e-3, kt);
+    eln::inertia rotor("rotor", plant, shaft, 0.004);
+    eln::rotational_damper friction("friction", plant, shaft, rgnd, 5e-4);
+    // Load torque step at t = 4 s (someone grabs the shaft).
+    eln::torque_source load("load", plant, shaft, rgnd,
+                            eln::waveform::pulse(0.0, 0.3, 4.0, 1e-3, 1e-3, 100.0, 200.0));
+
+    // Winding heats with I^2 R; modeled as thermal RC fed by a heat source
+    // whose value the controller updates from the measured current.
+    de::signal<double> p_loss("p_loss", 0.0);
+    struct de_heat : eln::component {
+        de::in<double> inp;
+        eln::node p, n;
+        std::size_t sp = 0, sn = 0;
+        de_heat(const std::string& nm, eln::network& net, eln::node p_, eln::node n_)
+            : component(nm, net), inp("inp"), p(p_), n(n_) {}
+        void stamp(eln::network& net) override {
+            sp = net.add_input(eln::network::row_of(p));
+            sn = net.add_input(eln::network::row_of(n));
+        }
+        void read_tdf_inputs(eln::network& net) override {
+            net.set_input(sp, -inp.read());
+            net.set_input(sn, inp.read());
+        }
+    } heater("heater", plant, tamb, tj);
+    heater.inp.bind(p_loss);
+    eln::thermal_resistance rth("rth", plant, tj, tamb, 3.0);
+    eln::thermal_capacitance cth("cth", plant, tj, 25.0);
+
+    // --- software controller (DE): PI speed loop at 1 kHz ------------------
+    const double w_target = 100.0;  // rad/s
+    double integral = 0.0;
+    auto& ctl = sim.context().register_method("speed_ctl", [&] {
+        const double w = plant.voltage(shaft);
+        const double i_arm = plant.current(motor);
+        const double err = w_target - w;
+        integral += err * 1e-3;
+        const double v = std::min(24.0, std::max(0.0, 0.8 * err + 4.0 * integral));
+        v_cmd.write(v);
+        p_loss.write(i_arm * i_arm * 0.8);  // I^2 R into the thermal model
+        sim.context().next_trigger(1_ms);
+    });
+    (void)ctl;
+
+    sca::core::transient_recorder rec(sim, 10_ms);
+    rec.add_probe("speed", [&] { return plant.voltage(shaft); });
+    rec.add_probe("temp", [&] { return plant.voltage(tj); });
+    rec.add_probe("current", [&] { return plant.current(motor); });
+    rec.run(8_sec);
+
+    const auto speed = rec.column(0);
+    const auto temp = rec.column(1);
+    const auto current = rec.column(2);
+
+    auto at = [&](double t) {
+        return static_cast<std::size_t>(t / 10e-3);
+    };
+    std::printf("DC motor drive: electrical + rotational + thermal + software MoCs\n\n");
+    std::printf("%8s %12s %12s %12s\n", "t [s]", "w [rad/s]", "I_arm [A]", "dT [K]");
+    for (double t : {0.5, 1.0, 2.0, 3.9, 4.5, 6.0, 7.9}) {
+        const auto i = at(t);
+        std::printf("%8.1f %12.2f %12.2f %12.2f\n", t, speed[i], current[i], temp[i]);
+    }
+    std::printf("\nExpected shape: the PI loop settles the speed at %.0f rad/s, the\n"
+                "load-torque step at t=4 s produces a dip the controller recovers,\n"
+                "armature current and winding temperature rise accordingly.\n",
+                w_target);
+    return 0;
+}

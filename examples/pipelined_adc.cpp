@@ -1,0 +1,98 @@
+// Seed work [2] (Bonnerud et al.): functional-level exploration of pipelined
+// A/D converter architectures.  Sweeps per-stage gain error and comparator
+// offset, measures ENOB with and without digital correction, and prints the
+// exploration table the paper describes ("efficient exploration of pipelined
+// architectures at a more abstract level").
+#include <cstdio>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "lib/oscillator.hpp"
+#include "lib/pipeline_adc.hpp"
+#include "tdf/port.hpp"
+#include "util/measure.hpp"
+
+namespace de = sca::de;
+namespace tdf = sca::tdf;
+namespace lib = sca::lib;
+using namespace sca::de::literals;
+
+namespace {
+
+struct recorder : tdf::module {
+    tdf::in<double> in;
+    std::vector<double> samples;
+    explicit recorder(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override { samples.push_back(in.read()); }
+};
+
+struct code_sink : tdf::module {
+    tdf::in<std::int64_t> in;
+    explicit code_sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override { (void)in.read(); }
+};
+
+double run_adc(unsigned stages, double gain_error, double offset, bool correction) {
+    sca::core::simulation sim;
+    lib::sine_source src("src", 0.95, 997.0);
+    src.set_timestep(10.0, de::time_unit::us);  // 100 kS/s
+    lib::pipeline_adc adc("adc", stages, 1.0);
+    std::vector<lib::pipeline_stage_params> params(stages);
+    for (auto& p : params) {
+        p.gain_error = gain_error;
+        p.offset = offset;
+    }
+    adc.set_stage_params(params);
+    adc.set_digital_correction(correction);
+
+    recorder rec("rec");
+    code_sink codes("codes");
+    tdf::signal<double> s_in("s_in"), s_est("s_est");
+    tdf::signal<std::int64_t> s_code("s_code");
+    src.out.bind(s_in);
+    adc.in.bind(s_in);
+    adc.code.bind(s_code);
+    adc.analog_estimate.bind(s_est);
+    codes.in.bind(s_code);
+    rec.in.bind(s_est);
+
+    sim.run(82_ms);
+    std::vector<double> tail(rec.samples.end() - 8192, rec.samples.end());
+    return sca::util::enob(sca::util::sinad_db(tail, 100e3));
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Pipelined ADC architecture exploration (paper seed work [2])\n");
+    std::printf("10-bit pipeline (9 x 1.5-bit stages + flash), 100 kS/s, 997 Hz tone\n\n");
+
+    std::printf("%-34s %10s\n", "configuration", "ENOB");
+    std::printf("%-34s %10.2f\n", "ideal stages, correction on",
+                run_adc(9, 0.0, 0.0, true));
+
+    std::printf("\nper-stage residue-amplifier gain error (correction on):\n");
+    for (double ge : {0.0001, 0.001, 0.005, 0.02}) {
+        char label[64];
+        std::snprintf(label, sizeof label, "  gain error %.2f %%", ge * 100.0);
+        std::printf("%-34s %10.2f\n", label, run_adc(9, ge, 0.0, true));
+    }
+
+    std::printf("\ncomparator offset 0.1 V (vref/10):\n");
+    std::printf("%-34s %10.2f\n", "  with digital correction",
+                run_adc(9, 0.0, 0.1, true));
+    std::printf("%-34s %10.2f\n", "  without digital correction",
+                run_adc(9, 0.0, 0.1, false));
+
+    std::printf("\nresolution scaling (ideal):\n");
+    for (unsigned stages : {5U, 7U, 9U, 11U}) {
+        char label[64];
+        std::snprintf(label, sizeof label, "  %u stages (%u bits)", stages, stages + 1);
+        std::printf("%-34s %10.2f\n", label, run_adc(stages, 0.0, 0.0, true));
+    }
+
+    std::printf("\nExpected shape: ENOB tracks stages+1 for ideal pipelines, digital\n"
+                "correction absorbs offsets below vref/4, and gain error caps the\n"
+                "achievable resolution.\n");
+    return 0;
+}

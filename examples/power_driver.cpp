@@ -1,0 +1,93 @@
+// Seed work [8] (Grimm et al., AnalogSL): modeling analog power drivers in
+// C++ — a PWM-controlled buck-style half bridge with an LC output filter and
+// inductive load, driven by a DE duty-cycle controller.
+//
+// Demonstrates the phase-3 power-electronics scenario: every switching edge
+// restamps the network and refactors the system matrix; the output ripple
+// and regulation behavior are printed for a duty-cycle sweep.
+#include <cstdio>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "core/transient.hpp"
+#include "eln/converter.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "lib/pwm.hpp"
+#include "util/measure.hpp"
+
+namespace de = sca::de;
+namespace eln = sca::eln;
+namespace lib = sca::lib;
+using namespace sca::de::literals;
+
+namespace {
+
+struct buck_result {
+    double v_mean;
+    double v_ripple;
+    std::uint64_t refactorizations;
+};
+
+buck_result run_buck(double duty_value) {
+    sca::core::simulation sim;
+
+    de::signal<double> duty("duty", duty_value);
+    de::signal<bool> gate("gate", false);
+    lib::pwm pwm("pwm", 20_us);  // 50 kHz switching
+    pwm.duty.bind(duty);
+    pwm.out.bind(gate);
+
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vin = net.create_node("vin");
+    auto sw_node = net.create_node("sw");
+    auto vout = net.create_node("vout");
+    eln::vsource vs("vs", net, vin, gnd, eln::waveform::dc(24.0));
+    eln::de_rswitch hi_side("hi_side", net, vin, sw_node, 0.05, 1e6);
+    hi_side.ctrl.bind(gate);
+    // Synchronous low side modeled as the freewheeling resistor path.
+    eln::resistor freewheel("freewheel", net, sw_node, gnd, 0.5);
+    eln::inductor filter_l("filter_l", net, sw_node, vout, 100e-6);
+    eln::capacitor filter_c("filter_c", net, vout, gnd, 220e-6);
+    eln::resistor load("load", net, vout, gnd, 4.0);
+
+    // Sample co-prime with the 20 us PWM period so ripple does not alias out.
+    sca::core::transient_recorder rec(sim, 3_us);
+    rec.add_probe("vout", [&] { return net.voltage(vout); });
+    rec.run(30_ms);
+
+    const auto v = rec.column(0);
+    std::vector<double> tail(v.end() - 2000, v.end());
+    buck_result out{};
+    out.v_mean = sca::util::mean(tail);
+    double lo = tail[0], hi = tail[0];
+    for (double x : tail) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    out.v_ripple = hi - lo;
+    out.refactorizations = net.factorizations();
+    return out;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("PWM power driver (paper seed work [8], AnalogSL scenario)\n");
+    std::printf("24 V input, 50 kHz PWM, LC filter (100 uH / 220 uF), 4 ohm load\n\n");
+    std::printf("%8s %12s %12s %18s\n", "duty", "V_out mean", "ripple pk-pk",
+                "matrix refactors");
+    for (double duty : {0.2, 0.35, 0.5, 0.65, 0.8}) {
+        const auto res = run_buck(duty);
+        std::printf("%8.2f %12.3f %12.4f %18llu\n", duty, res.v_mean, res.v_ripple,
+                    static_cast<unsigned long long>(res.refactorizations));
+    }
+    std::printf("\nExpected shape: V_out tracks duty * 24 V (minus conduction losses);\n"
+                "every PWM edge forces one restamp+refactorization of the MNA system,\n"
+                "the cost the paper's phase-3 'specialized power-electronics MoC'\n"
+                "motivation targets.\n");
+    return 0;
+}

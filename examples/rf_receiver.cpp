@@ -1,0 +1,130 @@
+// Phase-2 RF/wireless scenario (paper §2): dataflow model of a receiver
+// front-end — LNA with saturation, quadrature downconversion mixer, IF
+// filter — plus the frequency-domain characterization (AC + noise) of the
+// analog channel-select filter, the analyses phase 1/2 mandate.
+#include <cstdio>
+#include <vector>
+
+#include "core/ac_analysis.hpp"
+#include "core/noise_analysis.hpp"
+#include "core/simulation.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "lib/amplifier.hpp"
+#include "lib/filters.hpp"
+#include "lib/mixer.hpp"
+#include "lib/oscillator.hpp"
+#include "tdf/port.hpp"
+#include "util/fft.hpp"
+#include "util/measure.hpp"
+
+namespace de = sca::de;
+namespace tdf = sca::tdf;
+namespace eln = sca::eln;
+namespace lib = sca::lib;
+namespace solver = sca::solver;
+using namespace sca::de::literals;
+
+namespace {
+
+struct recorder : tdf::module {
+    tdf::in<double> in;
+    std::vector<double> samples;
+    explicit recorder(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override { samples.push_back(in.read()); }
+};
+
+}  // namespace
+
+int main() {
+    // ------------------------------------------------------------ time domain
+    sca::core::simulation sim;
+    const double f_rf = 455e3;
+    const double f_lo = 445e3;  // IF = 10 kHz
+    const de::time fs_step(0.2, de::time_unit::us);  // 5 MHz dataflow rate
+
+    lib::sine_source rf_in("rf_in", 20e-3, f_rf);
+    rf_in.set_timestep(fs_step);
+    lib::amplifier lna("lna", 20.0, 1.0, -1.0);  // saturating LNA
+    lib::quadrature_oscillator lo("lo", 1.0, f_lo);
+    lib::mixer mix_i("mix_i", 2.0);
+    lib::fir if_filter("if_filter", lib::fir::design_lowpass(127, 0.005));  // 25 kHz
+    recorder if_out("if_out");
+
+    struct sink : tdf::module {
+        tdf::in<double> in;
+        explicit sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
+        void processing() override { (void)in.read(); }
+    } q_sink("q_sink");
+
+    tdf::signal<double> w_rf("w_rf"), w_lna("w_lna"), w_loi("w_loi"), w_loq("w_loq"),
+        w_mix("w_mix"), w_if("w_if");
+    rf_in.out.bind(w_rf);
+    lna.in.bind(w_rf);
+    lna.out.bind(w_lna);
+    lo.out_i.bind(w_loi);
+    lo.out_q.bind(w_loq);
+    q_sink.in.bind(w_loq);
+    mix_i.rf.bind(w_lna);
+    mix_i.lo.bind(w_loi);
+    mix_i.out.bind(w_mix);
+    if_filter.in.bind(w_mix);
+    if_filter.out.bind(w_if);
+    if_out.in.bind(w_if);
+
+    sim.run(10_ms);
+
+    std::vector<double> tail(if_out.samples.end() - 16384, if_out.samples.end());
+    const auto spec = sca::util::magnitude_spectrum(tail, 5e6);
+    double peak_mag = 0.0, peak_freq = 0.0;
+    for (const auto& bin : spec) {
+        if (bin.frequency > 1e3 && bin.frequency < 100e3 && bin.magnitude > peak_mag) {
+            peak_mag = bin.magnitude;
+            peak_freq = bin.frequency;
+        }
+    }
+
+    std::printf("RF receiver front-end (paper phase 2 scenario)\n\n");
+    std::printf("time-domain dataflow run (5 MHz rate, 10 ms):\n");
+    std::printf("  RF input     : %.0f kHz, 20 mVp\n", f_rf / 1e3);
+    std::printf("  LO           : %.0f kHz quadrature\n", f_lo / 1e3);
+    std::printf("  IF peak      : %.1f kHz (expect 10.0 kHz), magnitude %.3f\n",
+                peak_freq / 1e3, peak_mag);
+
+    // ------------------------------------------------- frequency domain (ELN)
+    // Channel-select LC bandpass characterized by AC + noise analysis.
+    sca::core::simulation sim2;
+    eln::network filt("filt");
+    filt.set_timestep(1.0, de::time_unit::us);
+    auto gnd = filt.ground();
+    auto n1 = filt.create_node("n1");
+    auto n2 = filt.create_node("n2");
+    eln::vsource src("src", filt, n1, gnd, eln::waveform::dc(0.0));
+    src.set_ac(1.0);
+    eln::resistor rs("rs", filt, n1, n2, 10e3);
+    eln::inductor l1("l1", filt, n2, gnd, 10e-3);
+    eln::capacitor c1("c1", filt, n2, gnd, 24.8e-9);  // ~10.1 kHz tank
+    sim2.elaborate();
+
+    sca::core::ac_analysis ac(filt);
+    const auto pts = ac.sweep(n2.index(), {1e3, 100e3, 61, solver::sweep::scale::logarithmic});
+    double best_mag = -1e9, best_f = 0.0;
+    for (const auto& p : pts) {
+        if (p.magnitude_db() > best_mag) {
+            best_mag = p.magnitude_db();
+            best_f = p.frequency;
+        }
+    }
+
+    sca::core::noise_analysis na(filt);
+    const auto noise = na.run(n2.index(), {100.0, 1e6, 200});
+
+    std::printf("\nfrequency-domain characterization of the IF tank (ELN view):\n");
+    std::printf("  AC peak      : %.1f kHz at %.2f dB\n", best_f / 1e3, best_mag);
+    std::printf("  output noise : %.2f uV rms (100 Hz - 1 MHz, 4kTR sources)\n",
+                noise.integrated_rms() * 1e6);
+    std::printf("\nExpected shape: IF at |f_rf - f_lo|, tank peak at the LC resonance,\n"
+                "noise dominated by the source resistor shaped by the tank.\n");
+    return 0;
+}

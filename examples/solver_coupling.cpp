@@ -1,0 +1,152 @@
+// The paper's open-architecture objective: "SystemC-AMS must support the
+// coupling with existing continuous-time simulators ... an open architecture
+// in which existing, mature, simulators or solvers may be plugged in and
+// coupled with discrete-time MoCs."
+//
+// This example integrates the same nonlinear plant (a Van der Pol
+// oscillator) two ways:
+//   1. through the plug-in boundary `solver::external_solver`, using the
+//      in-tree RK4 engine as the stand-in "existing simulator", wrapped
+//      into the dataflow world by `lib::external_ode`;
+//   2. as a reference, directly with the library's own variable-step
+//      nonlinear DAE solver on the equation interface.
+// It also shows the [6]-style frequency-domain cascade over TDF models.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/ac_analysis.hpp"
+#include "core/simulation.hpp"
+#include "lib/amplifier.hpp"
+#include "lib/external_ode.hpp"
+#include "lib/filters.hpp"
+#include "lib/oscillator.hpp"
+#include "solver/equation_system.hpp"
+#include "solver/external.hpp"
+#include "solver/nonlinear_dae.hpp"
+#include "tdf/port.hpp"
+#include "util/measure.hpp"
+
+namespace de = sca::de;
+namespace tdf = sca::tdf;
+namespace lib = sca::lib;
+namespace solver = sca::solver;
+using namespace sca::de::literals;
+
+namespace {
+
+constexpr double k_mu = 1.0;  // Van der Pol damping parameter
+
+struct recorder : tdf::module {
+    tdf::in<double> in;
+    std::vector<double> samples;
+    explicit recorder(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override { samples.push_back(in.read()); }
+};
+
+}  // namespace
+
+int main() {
+    // ---------------------------------------------------------------------
+    // 1. Foreign engine behind the coupling interface, embedded in TDF.
+    // ---------------------------------------------------------------------
+    sca::core::simulation sim;
+    auto engine = std::make_unique<solver::rk4_solver>(1e-4);
+    engine->configure(2, 1,
+                      [](double, const std::vector<double>& x,
+                         const std::vector<double>& u, std::vector<double>& dx) {
+                          dx[0] = x[1];
+                          dx[1] = k_mu * (1.0 - x[0] * x[0]) * x[1] - x[0] + u[0];
+                      });
+    engine->set_state({0.1, 0.0});
+    lib::external_ode plant("plant", std::move(engine), /*output_state=*/0);
+    plant.set_timestep(1.0, de::time_unit::ms);
+
+    lib::waveform_source zero("zero", sca::util::waveform::dc(0.0));
+    recorder rec("rec");
+    tdf::signal<double> s_u("s_u"), s_y("s_y");
+    zero.out.bind(s_u);
+    plant.in.bind(s_u);
+    plant.out.bind(s_y);
+    rec.in.bind(s_y);
+
+    sim.run(40_sec);
+
+    auto& rk = dynamic_cast<solver::rk4_solver&>(plant.engine());
+    double ext_amp = 0.0;
+    for (std::size_t i = rec.samples.size() / 2; i < rec.samples.size(); ++i) {
+        ext_amp = std::max(ext_amp, std::abs(rec.samples[i]));
+    }
+
+    // ---------------------------------------------------------------------
+    // 2. Native reference: the same oscillator on the equation interface.
+    //    x1' = x2;  x2' = mu (1 - x1^2) x2 - x1.
+    // ---------------------------------------------------------------------
+    solver::equation_system sys;
+    const std::size_t x1 = sys.add_unknown("x1");
+    const std::size_t x2 = sys.add_unknown("x2");
+    sys.add_b(x1, x1, 1.0);
+    sys.add_a(x1, x2, -1.0);
+    sys.add_b(x2, x2, 1.0);
+    sys.add_a(x2, x1, 1.0);
+    sys.add_nonlinear([x1, x2](const std::vector<double>& x, std::vector<double>& r,
+                               std::vector<solver::jacobian_entry>& j) {
+        r[x2] += -k_mu * (1.0 - x[x1] * x[x1]) * x[x2];
+        j.push_back({x2, x2, -k_mu * (1.0 - x[x1] * x[x1])});
+        j.push_back({x2, x1, 2.0 * k_mu * x[x1] * x[x2]});
+    });
+    solver::nonlinear_options opt;
+    opt.h_init = 1e-4;
+    opt.h_max = 5e-3;
+    solver::nonlinear_dae_solver native(sys, opt);
+    native.set_initial_state({0.1, 0.0}, 0.0);
+    double native_amp = 0.0;
+    for (double t = 20.0; t <= 40.0; t += 0.01) {
+        native.advance_to(t);
+        native_amp = std::max(native_amp, std::abs(native.x()[0]));
+    }
+
+    std::printf("Open solver coupling (paper: 'existing simulators may be plugged in')\n\n");
+    std::printf("Van der Pol oscillator, mu = %.1f, limit-cycle amplitude (theory ~2.0):\n",
+                k_mu);
+    std::printf("  external engine (%s via external_solver): %.3f  [%llu RHS evals]\n",
+                rk.engine_name().c_str(), ext_amp,
+                static_cast<unsigned long long>(rk.rhs_evaluations()));
+    std::printf("  native variable-step Newton solver        : %.3f  [%llu steps, %llu rejected]\n",
+                native_amp, static_cast<unsigned long long>(native.steps_accepted()),
+                static_cast<unsigned long long>(native.steps_rejected()));
+
+    // ---------------------------------------------------------------------
+    // 3. [6]-style frequency-domain cascade over TDF component models.
+    // ---------------------------------------------------------------------
+    sca::core::simulation sim2;
+    lib::amplifier ifa("ifa", 8.0);
+    ifa.set_bandwidth(20e3);
+    lib::fir post("post", lib::fir::design_lowpass(63, 0.1));
+    struct src_t : tdf::module {
+        tdf::out<double> out;
+        explicit src_t(const de::module_name& nm) : tdf::module(nm), out("out") {}
+        void set_attributes() override { set_timestep(10.0, de::time_unit::us); }
+        void processing() override { out.write(0.0); }
+    } s("s");
+    recorder r2("r2");
+    tdf::signal<double> w1("w1"), w2("w2"), w3("w3");
+    s.out.bind(w1);
+    ifa.in.bind(w1);
+    ifa.out.bind(w2);
+    post.in.bind(w2);
+    post.out.bind(w3);
+    r2.in.bind(w3);
+    sim2.elaborate();
+
+    const std::vector<const tdf::module*> chain{&ifa, &post};
+    std::printf("\nfrequency-domain cascade (amplifier pole x FIR, paper [6] style):\n");
+    std::printf("%12s %14s %14s\n", "f [kHz]", "|H| [dB]", "phase [deg]");
+    for (double f : {1e3, 5e3, 10e3, 20e3, 30e3}) {
+        const auto pt = sca::core::tdf_cascade_response(chain, {f, f, 1})[0];
+        std::printf("%12.1f %14.2f %14.1f\n", f / 1e3, pt.magnitude_db(), pt.phase_deg());
+    }
+    std::printf("\nExpected shape: both engines find the ~2.0 limit cycle; the cascade\n"
+                "rolls off with the amplifier pole (20 kHz) and the FIR cutoff (10 kHz).\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+#include "core/ac_analysis.hpp"
+
+#include "util/report.hpp"
+
+namespace sca::core {
+
+std::vector<ac_point> tdf_cascade_response(const std::vector<const tdf::module*>& chain,
+                                           const solver::sweep& sw) {
+    util::require(!chain.empty(), "tdf_cascade_response", "empty module chain");
+    for (const auto* m : chain) {
+        util::require(m != nullptr, "tdf_cascade_response", "null module in chain");
+        util::require(m->has_ac_model(), m->name(),
+                      "module has no frequency-domain model (override ac_response)");
+    }
+    std::vector<ac_point> points;
+    for (double f : sw.frequencies()) {
+        std::complex<double> h{1.0, 0.0};
+        for (const auto* m : chain) h *= m->ac_response(f);
+        points.push_back({f, h});
+    }
+    return points;
+}
+
+ac_analysis::ac_analysis(tdf::dae_module& view) : view_(&view) { view.build_now(); }
+
+ac_analysis::ac_analysis(tdf::dae_module& view, std::vector<double> dc_operating_point)
+    : view_(&view), dc_(std::move(dc_operating_point)), have_dc_(true) {
+    view.build_now();
+}
+
+std::vector<ac_point> ac_analysis::sweep(std::size_t output,
+                                         const solver::sweep& sw) const {
+    const sca::solver::ac_solver ac =
+        have_dc_ ? sca::solver::ac_solver(view_->equations(), dc_)
+                 : sca::solver::ac_solver(view_->equations());
+    std::vector<ac_point> points;
+    for (double f : sw.frequencies()) {
+        points.push_back({f, ac.solve(f)[output]});
+    }
+    return points;
+}
+
+void ac_analysis::write(const std::vector<ac_point>& points, util::trace_file& file) {
+    // The trace interface is time-major; frequency plays the role of the
+    // abscissa here.
+    static thread_local const ac_point* current = nullptr;
+    file.add_channel("magnitude_db", [] { return current->magnitude_db(); });
+    file.add_channel("phase_deg", [] { return current->phase_deg(); });
+    for (const auto& p : points) {
+        current = &p;
+        file.sample(p.frequency);
+    }
+    current = nullptr;
+}
+
+}  // namespace sca::core

@@ -1,0 +1,55 @@
+// Frequency-domain analysis driver over any continuous-time view (ELN
+// network or LSF system): small-signal AC sweeps with magnitude/phase
+// reporting (paper phase 1/2: "small-signal AC" and "frequency-domain
+// simulation").
+#ifndef SCA_CORE_AC_ANALYSIS_HPP
+#define SCA_CORE_AC_ANALYSIS_HPP
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "solver/ac.hpp"
+#include "tdf/dae_module.hpp"
+#include "util/trace.hpp"
+
+namespace sca::core {
+
+struct ac_point {
+    double frequency;
+    std::complex<double> value;
+    [[nodiscard]] double magnitude_db() const { return solver::magnitude_db(value); }
+    [[nodiscard]] double phase_deg() const { return solver::phase_deg(value); }
+};
+
+class ac_analysis {
+public:
+    /// The view's equations are assembled on construction. For nonlinear
+    /// views pass the DC operating point explicitly.
+    explicit ac_analysis(tdf::dae_module& view);
+    ac_analysis(tdf::dae_module& view, std::vector<double> dc_operating_point);
+
+    /// Sweep the response of unknown `output` (eln node.index(), lsf
+    /// signal.index(), or any branch row).
+    [[nodiscard]] std::vector<ac_point> sweep(std::size_t output,
+                                              const solver::sweep& sw) const;
+
+    /// Write a sweep as rows (frequency, magnitude_db, phase_deg).
+    static void write(const std::vector<ac_point>& points, util::trace_file& file);
+
+private:
+    tdf::dae_module* view_;
+    std::vector<double> dc_;
+    bool have_dc_ = false;
+};
+
+/// Small-signal response of a cascade of TDF modules that carry
+/// frequency-domain models (paper §4 [6]: mixed-signal frequency-domain
+/// simulation "provided frequency-domain models are added to the
+/// discrete-time components").  Throws if any module lacks a model.
+[[nodiscard]] std::vector<ac_point> tdf_cascade_response(
+    const std::vector<const tdf::module*>& chain, const solver::sweep& sw);
+
+}  // namespace sca::core
+
+#endif  // SCA_CORE_AC_ANALYSIS_HPP

@@ -1,0 +1,38 @@
+#include "core/dc_analysis.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "util/report.hpp"
+
+namespace sca::core {
+
+dc_analysis::dc_analysis(tdf::dae_module& view) : view_(&view) { view.build_now(); }
+
+std::vector<dc_analysis::entry> dc_analysis::operating_point(double t0) const {
+    const auto x = solver::dc_solve(view_->equations(), t0, options_);
+    std::vector<entry> op;
+    op.reserve(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        op.push_back({view_->equations().unknown_name(i), x[i]});
+    }
+    return op;
+}
+
+double dc_analysis::value(std::size_t unknown, double t0) const {
+    util::require(unknown < view_->equations().size(), "dc_analysis",
+                  "unknown index out of range");
+    return solver::dc_solve(view_->equations(), t0, options_)[unknown];
+}
+
+void dc_analysis::write(const std::vector<entry>& op, std::ostream& os) {
+    os << "DC operating point (" << op.size() << " unknowns)\n";
+    for (const auto& e : op) {
+        os << "  " << std::left << std::setw(24) << e.name << std::right
+           << std::setw(14) << std::setprecision(6) << std::scientific << e.value
+           << '\n';
+    }
+    os.flags(std::ios::fmtflags{});
+}
+
+}  // namespace sca::core

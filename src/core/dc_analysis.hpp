@@ -1,0 +1,44 @@
+// DC (quiescent operating point) analysis driver (paper §3: "Static analyses
+// include the computation of the DC operating point, or quiescent state").
+// Produces a named report over any continuous-time view's unknowns.
+#ifndef SCA_CORE_DC_ANALYSIS_HPP
+#define SCA_CORE_DC_ANALYSIS_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "solver/dc.hpp"
+#include "tdf/dae_module.hpp"
+
+namespace sca::core {
+
+class dc_analysis {
+public:
+    /// Assembles the view's equations on construction.
+    explicit dc_analysis(tdf::dae_module& view);
+
+    struct entry {
+        std::string name;  // unknown name, e.g. "v(out)" or "i(vs.i)"
+        double value;
+    };
+
+    /// Solve the quiescent state at time `t0` (sources evaluated there).
+    [[nodiscard]] std::vector<entry> operating_point(double t0 = 0.0) const;
+
+    /// Value of one unknown from a fresh DC solve.
+    [[nodiscard]] double value(std::size_t unknown, double t0 = 0.0) const;
+
+    /// Human-readable operating-point table.
+    static void write(const std::vector<entry>& op, std::ostream& os);
+
+    void set_options(const solver::dc_options& opt) { options_ = opt; }
+
+private:
+    tdf::dae_module* view_;
+    solver::dc_options options_;
+};
+
+}  // namespace sca::core
+
+#endif  // SCA_CORE_DC_ANALYSIS_HPP

@@ -1,0 +1,34 @@
+#include "core/noise_analysis.hpp"
+
+namespace sca::core {
+
+noise_analysis::noise_analysis(tdf::dae_module& view) : view_(&view) { view.build_now(); }
+
+noise_analysis::noise_analysis(tdf::dae_module& view, std::vector<double> dc_operating_point)
+    : view_(&view), dc_(std::move(dc_operating_point)), have_dc_(true) {
+    view.build_now();
+}
+
+solver::noise_result noise_analysis::run(std::size_t output,
+                                         const solver::sweep& sw) const {
+    if (have_dc_) {
+        return sca::solver::noise_solver(view_->equations(), dc_).analyze(output, sw);
+    }
+    return sca::solver::noise_solver(view_->equations()).analyze(output, sw);
+}
+
+void noise_analysis::write(const solver::noise_result& result, util::trace_file& file) {
+    static thread_local const solver::noise_point* current = nullptr;
+    file.add_channel("total_psd", [] { return current->total_psd; });
+    for (std::size_t s = 0; s < result.source_names.size(); ++s) {
+        file.add_channel(result.source_names[s],
+                         [s] { return current->per_source[s]; });
+    }
+    for (const auto& p : result.points) {
+        current = &p;
+        file.sample(p.frequency);
+    }
+    current = nullptr;
+}
+
+}  // namespace sca::core

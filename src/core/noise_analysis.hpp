@@ -1,0 +1,34 @@
+// Noise analysis driver over a continuous-time view (paper phase 1: "noise
+// simulation").  Thin wrapper around solver::noise_solver with reporting.
+#ifndef SCA_CORE_NOISE_ANALYSIS_HPP
+#define SCA_CORE_NOISE_ANALYSIS_HPP
+
+#include <vector>
+
+#include "solver/noise.hpp"
+#include "tdf/dae_module.hpp"
+#include "util/trace.hpp"
+
+namespace sca::core {
+
+class noise_analysis {
+public:
+    explicit noise_analysis(tdf::dae_module& view);
+    noise_analysis(tdf::dae_module& view, std::vector<double> dc_operating_point);
+
+    /// Output-referred noise PSD sweep at the given unknown.
+    [[nodiscard]] solver::noise_result run(std::size_t output,
+                                           const solver::sweep& sw) const;
+
+    /// Rows: frequency, total PSD, then one column per source.
+    static void write(const solver::noise_result& result, util::trace_file& file);
+
+private:
+    tdf::dae_module* view_;
+    std::vector<double> dc_;
+    bool have_dc_ = false;
+};
+
+}  // namespace sca::core
+
+#endif  // SCA_CORE_NOISE_ANALYSIS_HPP

@@ -1,0 +1,16 @@
+#include "core/transient.hpp"
+
+namespace sca::core {
+
+transient_recorder::transient_recorder(simulation& sim, const de::time& sample_period)
+    : sim_(&sim) {
+    sim.trace(trace_, sample_period);
+}
+
+void transient_recorder::add_probe(std::string name, std::function<double()> probe) {
+    trace_.add_channel(std::move(name), std::move(probe));
+}
+
+void transient_recorder::run(const de::time& duration) { sim_->run(duration); }
+
+}  // namespace sca::core

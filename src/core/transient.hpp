@@ -1,0 +1,39 @@
+// Transient analysis convenience: run a simulation while recording chosen
+// probes into memory, returning (t, values) arrays ready for measurement.
+#ifndef SCA_CORE_TRANSIENT_HPP
+#define SCA_CORE_TRANSIENT_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "util/trace.hpp"
+
+namespace sca::core {
+
+/// Declarative transient run: records every added probe at `sample_period`
+/// while the simulation advances by `duration`.
+class transient_recorder {
+public:
+    transient_recorder(simulation& sim, const de::time& sample_period);
+
+    void add_probe(std::string name, std::function<double()> probe);
+
+    /// Run and hand back the recorded data (times + one column per probe).
+    void run(const de::time& duration);
+
+    [[nodiscard]] const std::vector<double>& times() const { return trace_.times(); }
+    [[nodiscard]] std::vector<double> column(std::size_t i) const {
+        return trace_.column(i);
+    }
+    [[nodiscard]] const util::memory_trace& trace() const noexcept { return trace_; }
+
+private:
+    simulation* sim_;
+    util::memory_trace trace_;
+};
+
+}  // namespace sca::core
+
+#endif  // SCA_CORE_TRANSIENT_HPP

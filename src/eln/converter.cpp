@@ -1,0 +1,132 @@
+#include "eln/converter.hpp"
+
+namespace sca::eln {
+
+// --------------------------------------------------------------- tdf_vsource
+
+tdf_vsource::tdf_vsource(const std::string& name, network& net, node p, node n)
+    : component(name, net), inp("inp"), p_(p), n_(n) {
+    inp.set_owner(net);
+}
+
+void tdf_vsource::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);
+    net.add_a(network::row_of(p_), k, 1.0);
+    net.add_a(network::row_of(n_), k, -1.0);
+    net.add_a(k, network::row_of(p_), 1.0);
+    net.add_a(k, network::row_of(n_), -1.0);
+    slot_ = net.add_input(k);
+}
+
+void tdf_vsource::read_tdf_inputs(network& net) {
+    net.set_input(slot_, scale_ * inp.read());
+}
+
+// --------------------------------------------------------------- tdf_isource
+
+tdf_isource::tdf_isource(const std::string& name, network& net, node p, node n)
+    : component(name, net), inp("inp"), p_(p), n_(n) {
+    inp.set_owner(net);
+}
+
+void tdf_isource::stamp(network& net) {
+    slot_p_ = net.add_input(network::row_of(p_));
+    slot_n_ = net.add_input(network::row_of(n_));
+}
+
+void tdf_isource::read_tdf_inputs(network& net) {
+    const double i = scale_ * inp.read();
+    net.set_input(slot_p_, -i);
+    net.set_input(slot_n_, i);
+}
+
+// ----------------------------------------------------------------- tdf_vsink
+
+tdf_vsink::tdf_vsink(const std::string& name, network& net, node a, node b)
+    : component(name, net), outp("outp"), a_(a), b_(b) {
+    outp.set_owner(net);
+}
+
+void tdf_vsink::stamp(network&) {}
+
+void tdf_vsink::write_tdf_outputs(network& net) { outp.write(net.voltage(a_, b_)); }
+
+// ----------------------------------------------------------------- tdf_isink
+
+tdf_isink::tdf_isink(const std::string& name, network& net, node a, node b)
+    : component(name, net), outp("outp"), a_(a), b_(b) {
+    outp.set_owner(net);
+}
+
+void tdf_isink::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);
+    net.add_a(network::row_of(a_), k, 1.0);
+    net.add_a(network::row_of(b_), k, -1.0);
+    net.add_a(k, network::row_of(a_), 1.0);
+    net.add_a(k, network::row_of(b_), -1.0);
+}
+
+void tdf_isink::write_tdf_outputs(network& net) { outp.write(net.current(*this)); }
+
+// ---------------------------------------------------------------- de_vsource
+
+de_vsource::de_vsource(const std::string& name, network& net, node p, node n)
+    : component(name, net), inp("inp"), p_(p), n_(n) {}
+
+void de_vsource::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);
+    net.add_a(network::row_of(p_), k, 1.0);
+    net.add_a(network::row_of(n_), k, -1.0);
+    net.add_a(k, network::row_of(p_), 1.0);
+    net.add_a(k, network::row_of(n_), -1.0);
+    slot_ = net.add_input(k);
+}
+
+void de_vsource::read_tdf_inputs(network& net) { net.set_input(slot_, inp.read()); }
+
+// ---------------------------------------------------------------- de_isource
+
+de_isource::de_isource(const std::string& name, network& net, node p, node n)
+    : component(name, net), inp("inp"), p_(p), n_(n) {}
+
+void de_isource::stamp(network& net) {
+    slot_p_ = net.add_input(network::row_of(p_));
+    slot_n_ = net.add_input(network::row_of(n_));
+}
+
+void de_isource::read_tdf_inputs(network& net) {
+    const double i = inp.read();
+    net.set_input(slot_p_, -i);
+    net.set_input(slot_n_, i);
+}
+
+// ------------------------------------------------------------------ de_vsink
+
+de_vsink::de_vsink(const std::string& name, network& net, node a, node b)
+    : component(name, net), outp("outp"), a_(a), b_(b) {}
+
+void de_vsink::write_tdf_outputs(network& net) { outp.write(net.voltage(a_, b_)); }
+
+// ---------------------------------------------------------------- de_rswitch
+
+de_rswitch::de_rswitch(const std::string& name, network& net, node a, node b, double r_on,
+                       double r_off)
+    : component(name, net), ctrl("ctrl"), a_(a), b_(b), r_on_(r_on), r_off_(r_off) {
+    util::require(r_on > 0.0 && r_off > r_on, this->name(),
+                  "switch requires 0 < r_on < r_off");
+}
+
+void de_rswitch::stamp(network& net) {
+    net.stamp_conductance(a_, b_, 1.0 / (closed_ ? r_on_ : r_off_));
+}
+
+bool de_rswitch::sample_inputs() {
+    const bool v = ctrl.read();
+    if (v != closed_) {
+        closed_ = v;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace sca::eln

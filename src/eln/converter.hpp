@@ -1,0 +1,151 @@
+// Mixed-signal interface components: sources controlled from the TDF or DE
+// worlds and probes feeding network quantities back to them (paper §3:
+// conservative-law models couple to discrete-time models "by providing the
+// appropriate interface models (mixed-signal or mixed-domain interfaces)").
+#ifndef SCA_ELN_CONVERTER_HPP
+#define SCA_ELN_CONVERTER_HPP
+
+#include "eln/network.hpp"
+#include "kernel/signal.hpp"
+#include "tdf/port.hpp"
+
+namespace sca::eln {
+
+/// Voltage source whose value is the current TDF input sample.
+class tdf_vsource : public component {
+public:
+    tdf_vsource(const std::string& name, network& net, node p, node n);
+
+    /// The TDF input port; bind it to a tdf::signal<double>.
+    tdf::in<double> inp;
+
+    /// Scale factor applied to the TDF sample (default 1.0).
+    void set_scale(double scale) noexcept { scale_ = scale; }
+
+    void stamp(network& net) override;
+    void read_tdf_inputs(network& net) override;
+
+private:
+    node p_, n_;
+    double scale_ = 1.0;
+    std::size_t slot_ = 0;
+};
+
+/// Current source whose value is the current TDF input sample (p -> n).
+class tdf_isource : public component {
+public:
+    tdf_isource(const std::string& name, network& net, node p, node n);
+
+    tdf::in<double> inp;
+
+    void set_scale(double scale) noexcept { scale_ = scale; }
+
+    void stamp(network& net) override;
+    void read_tdf_inputs(network& net) override;
+
+private:
+    node p_, n_;
+    double scale_ = 1.0;
+    std::size_t slot_p_ = 0;
+    std::size_t slot_n_ = 0;
+};
+
+/// Voltage probe writing v(a) - v(b) to a TDF output each step.
+class tdf_vsink : public component {
+public:
+    tdf_vsink(const std::string& name, network& net, node a, node b);
+
+    tdf::out<double> outp;
+
+    void stamp(network& net) override;
+    void write_tdf_outputs(network& net) override;
+
+private:
+    node a_, b_;
+};
+
+/// Current probe (0 V branch) writing the branch current to a TDF output.
+class tdf_isink : public component {
+public:
+    tdf_isink(const std::string& name, network& net, node a, node b);
+
+    tdf::out<double> outp;
+
+    void stamp(network& net) override;
+    void write_tdf_outputs(network& net) override;
+
+private:
+    node a_, b_;
+};
+
+/// Voltage source controlled by a DE signal (sampled at each activation).
+class de_vsource : public component {
+public:
+    de_vsource(const std::string& name, network& net, node p, node n);
+
+    de::in<double> inp;
+
+    void stamp(network& net) override;
+    void read_tdf_inputs(network& net) override;
+
+private:
+    node p_, n_;
+    std::size_t slot_ = 0;
+};
+
+/// Current source controlled by a DE signal (sampled at each activation;
+/// current flows p -> n inside the source).
+class de_isource : public component {
+public:
+    de_isource(const std::string& name, network& net, node p, node n);
+
+    de::in<double> inp;
+
+    void stamp(network& net) override;
+    void read_tdf_inputs(network& net) override;
+
+private:
+    node p_, n_;
+    std::size_t slot_p_ = 0;
+    std::size_t slot_n_ = 0;
+};
+
+/// Voltage probe writing into a DE signal at each activation.
+class de_vsink : public component {
+public:
+    de_vsink(const std::string& name, network& net, node a, node b);
+
+    de::out<double> outp;
+
+    void stamp(network&) override {}
+    void write_tdf_outputs(network& net) override;
+
+private:
+    node a_, b_;
+};
+
+/// Switch controlled by a DE boolean signal; a state change triggers restamp
+/// and refactorization at the next network step (state is sampled at TDF
+/// activation boundaries — the synchronization quantization documented in
+/// DESIGN.md).
+class de_rswitch : public component {
+public:
+    de_rswitch(const std::string& name, network& net, node a, node b, double r_on = 1.0,
+               double r_off = 1e9);
+
+    de::in<bool> ctrl;
+
+    void stamp(network& net) override;
+    bool sample_inputs() override;
+
+    [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+private:
+    node a_, b_;
+    double r_on_, r_off_;
+    bool closed_ = false;
+};
+
+}  // namespace sca::eln
+
+#endif  // SCA_ELN_CONVERTER_HPP

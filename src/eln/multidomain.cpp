@@ -1,0 +1,214 @@
+#include "eln/multidomain.hpp"
+
+#include "util/report.hpp"
+
+namespace sca::eln {
+
+namespace {
+void stamp_waveform_flow(network& net, const node& p, const node& n, const waveform& w) {
+    // A through-quantity source (force/torque/heat flow) is the analog of a
+    // current source: inject into n, extract from p.
+    const std::size_t rp = network::row_of(p);
+    const std::size_t rn = network::row_of(n);
+    if (w.is_dc()) {
+        net.add_rhs_constant(rp, -w.dc_value());
+        net.add_rhs_constant(rn, w.dc_value());
+    } else {
+        net.add_rhs_source(rp, [w](double t) { return -w.at(t); });
+        net.add_rhs_source(rn, [w](double t) { return w.at(t); });
+    }
+}
+
+void stamp_integral_branch(network& net, component& c, const node& a, const node& b,
+                           double inverse_stiffness) {
+    // Spring/torsion-spring: through quantity F with dF/dt = k*(v_a - v_b),
+    // the exact analog of an inductor with L = 1/k.
+    const std::size_t k = net.branch_row(c, "f");
+    net.add_a(network::row_of(a), k, 1.0);
+    net.add_a(network::row_of(b), k, -1.0);
+    net.add_a(k, network::row_of(a), 1.0);
+    net.add_a(k, network::row_of(b), -1.0);
+    net.add_b(k, k, -inverse_stiffness);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------- mass
+
+mass::mass(const std::string& name, network& net, node n, double kilograms)
+    : component(name, net), n_(n), m_(kilograms) {
+    network::check_nature(n, nature::mechanical_translational, this->name());
+    util::require(kilograms > 0.0, this->name(), "mass must be positive");
+}
+
+void mass::stamp(network& net) {
+    net.stamp_capacitance(n_, net.ground(nature::mechanical_translational), m_);
+}
+
+// -------------------------------------------------------------------- damper
+
+damper::damper(const std::string& name, network& net, node a, node b, double n_s_per_m)
+    : component(name, net), a_(a), b_(b), d_(n_s_per_m) {
+    network::check_nature(a, nature::mechanical_translational, this->name());
+    network::check_nature(b, nature::mechanical_translational, this->name());
+    util::require(n_s_per_m > 0.0, this->name(), "damping must be positive");
+}
+
+void damper::stamp(network& net) { net.stamp_conductance(a_, b_, d_); }
+
+// -------------------------------------------------------------------- spring
+
+spring::spring(const std::string& name, network& net, node a, node b, double n_per_m)
+    : component(name, net), a_(a), b_(b), k_(n_per_m) {
+    network::check_nature(a, nature::mechanical_translational, this->name());
+    network::check_nature(b, nature::mechanical_translational, this->name());
+    util::require(n_per_m > 0.0, this->name(), "stiffness must be positive");
+}
+
+void spring::stamp(network& net) { stamp_integral_branch(net, *this, a_, b_, 1.0 / k_); }
+
+// -------------------------------------------------------------- force_source
+
+force_source::force_source(const std::string& name, network& net, node p, node n,
+                           waveform w)
+    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
+    network::check_nature(p, nature::mechanical_translational, this->name());
+    network::check_nature(n, nature::mechanical_translational, this->name());
+}
+
+void force_source::stamp(network& net) { stamp_waveform_flow(net, p_, n_, wave_); }
+
+// ------------------------------------------------------------ position_probe
+
+position_probe::position_probe(const std::string& name, network& net, node n)
+    : component(name, net), outp("outp"), n_(n) {
+    network::check_nature(n, nature::mechanical_translational, this->name());
+    outp.set_owner(net);
+}
+
+void position_probe::stamp(network& net) {
+    row_ = net.branch_row(*this, "x");
+    // dx/dt - v = 0
+    net.add_b(row_, row_, 1.0);
+    net.add_a(row_, network::row_of(n_), -1.0);
+}
+
+void position_probe::write_tdf_outputs(network& net) {
+    outp.write(net.state()[row_]);
+}
+
+// ------------------------------------------------------------------- inertia
+
+inertia::inertia(const std::string& name, network& net, node n, double kg_m2)
+    : component(name, net), n_(n), j_(kg_m2) {
+    network::check_nature(n, nature::mechanical_rotational, this->name());
+    util::require(kg_m2 > 0.0, this->name(), "inertia must be positive");
+}
+
+void inertia::stamp(network& net) {
+    net.stamp_capacitance(n_, net.ground(nature::mechanical_rotational), j_);
+}
+
+// --------------------------------------------------------- rotational_damper
+
+rotational_damper::rotational_damper(const std::string& name, network& net, node a, node b,
+                                     double n_m_s_per_rad)
+    : component(name, net), a_(a), b_(b), d_(n_m_s_per_rad) {
+    network::check_nature(a, nature::mechanical_rotational, this->name());
+    network::check_nature(b, nature::mechanical_rotational, this->name());
+    util::require(n_m_s_per_rad > 0.0, this->name(), "damping must be positive");
+}
+
+void rotational_damper::stamp(network& net) { net.stamp_conductance(a_, b_, d_); }
+
+// ------------------------------------------------------------ torsion_spring
+
+torsion_spring::torsion_spring(const std::string& name, network& net, node a, node b,
+                               double n_m_per_rad)
+    : component(name, net), a_(a), b_(b), k_(n_m_per_rad) {
+    network::check_nature(a, nature::mechanical_rotational, this->name());
+    network::check_nature(b, nature::mechanical_rotational, this->name());
+    util::require(n_m_per_rad > 0.0, this->name(), "stiffness must be positive");
+}
+
+void torsion_spring::stamp(network& net) {
+    stamp_integral_branch(net, *this, a_, b_, 1.0 / k_);
+}
+
+// ------------------------------------------------------------- torque_source
+
+torque_source::torque_source(const std::string& name, network& net, node p, node n,
+                             waveform w)
+    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
+    network::check_nature(p, nature::mechanical_rotational, this->name());
+    network::check_nature(n, nature::mechanical_rotational, this->name());
+}
+
+void torque_source::stamp(network& net) { stamp_waveform_flow(net, p_, n_, wave_); }
+
+// ------------------------------------------------------- thermal_capacitance
+
+thermal_capacitance::thermal_capacitance(const std::string& name, network& net, node n,
+                                         double j_per_k)
+    : component(name, net), n_(n), c_(j_per_k) {
+    network::check_nature(n, nature::thermal, this->name());
+    util::require(j_per_k > 0.0, this->name(), "heat capacity must be positive");
+}
+
+void thermal_capacitance::stamp(network& net) {
+    net.stamp_capacitance(n_, net.ground(nature::thermal), c_);
+}
+
+// -------------------------------------------------------- thermal_resistance
+
+thermal_resistance::thermal_resistance(const std::string& name, network& net, node a,
+                                       node b, double k_per_w)
+    : component(name, net), a_(a), b_(b), r_(k_per_w) {
+    network::check_nature(a, nature::thermal, this->name());
+    network::check_nature(b, nature::thermal, this->name());
+    util::require(k_per_w > 0.0, this->name(), "thermal resistance must be positive");
+}
+
+void thermal_resistance::stamp(network& net) { net.stamp_conductance(a_, b_, 1.0 / r_); }
+
+// --------------------------------------------------------------- heat_source
+
+heat_source::heat_source(const std::string& name, network& net, node p, node n, waveform w)
+    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
+    network::check_nature(p, nature::thermal, this->name());
+    network::check_nature(n, nature::thermal, this->name());
+}
+
+void heat_source::stamp(network& net) { stamp_waveform_flow(net, p_, n_, wave_); }
+
+// ------------------------------------------------------------------ dc_motor
+
+dc_motor::dc_motor(const std::string& name, network& net, node elec_p, node elec_n,
+                   node shaft, double resistance, double inductance, double k_torque)
+    : component(name, net), ep_(elec_p), en_(elec_n), shaft_(shaft), r_(resistance),
+      l_(inductance), k_(k_torque) {
+    network::check_nature(elec_p, nature::electrical, this->name());
+    network::check_nature(elec_n, nature::electrical, this->name());
+    network::check_nature(shaft, nature::mechanical_rotational, this->name());
+    util::require(resistance > 0.0 && inductance > 0.0 && k_torque > 0.0, this->name(),
+                  "motor parameters must be positive");
+}
+
+void dc_motor::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);  // armature current
+    const std::size_t rp = network::row_of(ep_);
+    const std::size_t rn = network::row_of(en_);
+    const std::size_t rw = network::row_of(shaft_);
+    // Electrical KCL.
+    net.add_a(rp, k, 1.0);
+    net.add_a(rn, k, -1.0);
+    // Armature branch: v_p - v_n - R i - L di/dt - K w = 0.
+    net.add_a(k, rp, 1.0);
+    net.add_a(k, rn, -1.0);
+    net.add_a(k, k, -r_);
+    net.add_b(k, k, -l_);
+    net.add_a(k, rw, -k_);
+    // Electromagnetic torque K*i injected into the shaft node.
+    net.add_a(rw, k, -k_);
+}
+
+}  // namespace sca::eln

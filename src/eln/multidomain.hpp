@@ -1,0 +1,193 @@
+// Multi-domain conservative components (paper phase 3: "Support of
+// conservative-law models ... enrichment of the mixed-signal library with
+// conservative-law mixed-domain models").
+//
+// Mechanical and thermal elements map onto the same MNA core through the
+// classical force-current (mobility) analogy:
+//
+//   domain        across          through        C-like     R-like    L-like
+//   mech. trans.  velocity m/s    force N        mass       damper    spring
+//   mech. rot.    ang.vel rad/s   torque N*m     inertia    damper    spring
+//   thermal       temperature K   heat flow W    heat cap.  R_th      (none)
+//
+// Nature checking rejects cross-domain connections except through explicit
+// transducers (dc_motor couples the electrical and rotational disciplines).
+#ifndef SCA_ELN_MULTIDOMAIN_HPP
+#define SCA_ELN_MULTIDOMAIN_HPP
+
+#include "eln/network.hpp"
+#include "eln/sources.hpp"
+#include "tdf/port.hpp"
+
+namespace sca::eln {
+
+// ------------------------------------------------------ translational domain
+
+/// Point mass: F = m * dv/dt against the inertial reference (ground).
+class mass : public component {
+public:
+    mass(const std::string& name, network& net, node n, double kilograms);
+    void stamp(network& net) override;
+
+private:
+    node n_;
+    double m_;
+};
+
+/// Viscous damper between two velocity nodes: F = d * (v_a - v_b).
+class damper : public component {
+public:
+    damper(const std::string& name, network& net, node a, node b, double n_s_per_m);
+    void stamp(network& net) override;
+
+private:
+    node a_, b_;
+    double d_;
+};
+
+/// Ideal spring: F = k * integral(v_a - v_b) dt (owns a force unknown).
+class spring : public component {
+public:
+    spring(const std::string& name, network& net, node a, node b, double n_per_m);
+    void stamp(network& net) override;
+
+private:
+    node a_, b_;
+    double k_;
+};
+
+/// External force applied between two velocity nodes (p -> n).
+class force_source : public component {
+public:
+    force_source(const std::string& name, network& net, node p, node n, waveform w);
+    void stamp(network& net) override;
+
+private:
+    node p_, n_;
+    waveform wave_;
+};
+
+/// Position probe: integrates a node's velocity into an extra unknown and
+/// exposes it as a TDF output sample stream.
+class position_probe : public component {
+public:
+    position_probe(const std::string& name, network& net, node n);
+
+    tdf::out<double> outp;
+
+    void stamp(network& net) override;
+    void write_tdf_outputs(network& net) override;
+
+    /// Position unknown index (for direct probing / AC analysis).
+    [[nodiscard]] std::size_t position_row() const noexcept { return row_; }
+
+private:
+    node n_;
+    std::size_t row_ = 0;
+};
+
+// --------------------------------------------------------- rotational domain
+
+/// Rotational inertia: T = J * dw/dt against the reference frame.
+class inertia : public component {
+public:
+    inertia(const std::string& name, network& net, node n, double kg_m2);
+    void stamp(network& net) override;
+
+private:
+    node n_;
+    double j_;
+};
+
+/// Rotational damper (friction): T = d * (w_a - w_b).
+class rotational_damper : public component {
+public:
+    rotational_damper(const std::string& name, network& net, node a, node b,
+                      double n_m_s_per_rad);
+    void stamp(network& net) override;
+
+private:
+    node a_, b_;
+    double d_;
+};
+
+/// Torsion spring: T = k * integral(w_a - w_b) dt.
+class torsion_spring : public component {
+public:
+    torsion_spring(const std::string& name, network& net, node a, node b,
+                   double n_m_per_rad);
+    void stamp(network& net) override;
+
+private:
+    node a_, b_;
+    double k_;
+};
+
+/// External torque source (p -> n).
+class torque_source : public component {
+public:
+    torque_source(const std::string& name, network& net, node p, node n, waveform w);
+    void stamp(network& net) override;
+
+private:
+    node p_, n_;
+    waveform wave_;
+};
+
+// ------------------------------------------------------------ thermal domain
+
+/// Thermal capacitance: P = C * dT/dt against ambient (thermal ground).
+class thermal_capacitance : public component {
+public:
+    thermal_capacitance(const std::string& name, network& net, node n, double j_per_k);
+    void stamp(network& net) override;
+
+private:
+    node n_;
+    double c_;
+};
+
+/// Thermal resistance: P = (T_a - T_b) / R_th.
+class thermal_resistance : public component {
+public:
+    thermal_resistance(const std::string& name, network& net, node a, node b,
+                       double k_per_w);
+    void stamp(network& net) override;
+
+private:
+    node a_, b_;
+    double r_;
+};
+
+/// Heat flow source (dissipation injected into a thermal node).
+class heat_source : public component {
+public:
+    heat_source(const std::string& name, network& net, node p, node n, waveform w);
+    void stamp(network& net) override;
+
+private:
+    node p_, n_;
+    waveform wave_;
+};
+
+// ------------------------------------------------------------ electro-mech --
+
+/// Permanent-magnet DC motor: couples the electrical armature circuit with a
+/// rotational shaft node.  v = R i + L di/dt + K w,  T = K i.
+class dc_motor : public component {
+public:
+    dc_motor(const std::string& name, network& net, node elec_p, node elec_n, node shaft,
+             double resistance, double inductance, double k_torque);
+
+    void stamp(network& net) override;
+
+    /// Armature current unknown (probe via network::current(*this)).
+
+private:
+    node ep_, en_, shaft_;
+    double r_, l_, k_;
+};
+
+}  // namespace sca::eln
+
+#endif  // SCA_ELN_MULTIDOMAIN_HPP

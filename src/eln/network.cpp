@@ -1,0 +1,141 @@
+#include "eln/network.hpp"
+
+#include "util/report.hpp"
+
+namespace sca::eln {
+
+component::component(std::string name, network& net)
+    : de::object(std::move(name)), net_(&net) {
+    net.register_component(*this);
+}
+
+node network::create_node(const std::string& name, nature k) {
+    const std::size_t index = raw_system().add_unknown("v(" + name + ")");
+    nodes_.push_back({name, k});
+    return node(this, index, k, /*ground=*/false);
+}
+
+node network::ground(nature k) { return node(this, 0, k, /*ground=*/true); }
+
+double network::voltage(const node& n) const {
+    if (n.is_ground()) return 0.0;
+    // Before the first solver step (e.g. a tracer sampling at t=0 ahead of
+    // the cluster) the across values are the zero quiescent defaults.
+    if (n.index() >= state().size()) return 0.0;
+    return state()[n.index()];
+}
+
+double network::voltage(const node& a, const node& b) const {
+    return voltage(a) - voltage(b);
+}
+
+double network::current(const component& c) const {
+    const std::size_t row = find_branch(c);
+    util::require(row != ground_row, name(),
+                  "component " + c.name() + " has no branch current unknown");
+    if (row >= state().size()) return 0.0;
+    return state()[row];
+}
+
+std::size_t network::branch_row(const component& c, const std::string& suffix) {
+    const auto key = std::make_pair(&c, suffix);
+    auto it = branch_rows_.find(key);
+    if (it != branch_rows_.end()) return it->second;
+    const std::size_t row =
+        raw_system().add_unknown("i(" + c.name() + "." + suffix + ")");
+    branch_rows_.emplace(key, row);
+    return row;
+}
+
+std::size_t network::find_branch(const component& c) const {
+    for (const auto& [key, row] : branch_rows_) {
+        if (key.first == &c) return row;
+    }
+    return ground_row;
+}
+
+void network::add_a(std::size_t r, std::size_t c, double v) {
+    if (r == ground_row || c == ground_row) return;
+    raw_system().add_a(r, c, v);
+}
+
+void network::add_b(std::size_t r, std::size_t c, double v) {
+    if (r == ground_row || c == ground_row) return;
+    raw_system().add_b(r, c, v);
+}
+
+void network::stamp_conductance(const node& a, const node& b, double g) {
+    const std::size_t ra = row_of(a);
+    const std::size_t rb = row_of(b);
+    add_a(ra, ra, g);
+    add_a(ra, rb, -g);
+    add_a(rb, ra, -g);
+    add_a(rb, rb, g);
+}
+
+void network::stamp_capacitance(const node& a, const node& b, double c) {
+    const std::size_t ra = row_of(a);
+    const std::size_t rb = row_of(b);
+    add_b(ra, ra, c);
+    add_b(ra, rb, -c);
+    add_b(rb, ra, -c);
+    add_b(rb, rb, c);
+}
+
+void network::add_rhs_constant(std::size_t r, double v) {
+    if (r == ground_row) return;
+    raw_system().add_rhs_constant(r, v);
+}
+
+void network::add_rhs_source(std::size_t r, std::function<double(double)> fn) {
+    if (r == ground_row) return;
+    raw_system().add_rhs_source(r, std::move(fn));
+}
+
+std::size_t network::add_input(std::size_t r) {
+    if (r == ground_row) return std::numeric_limits<std::size_t>::max();
+    return raw_system().add_input(r);
+}
+
+void network::set_input(std::size_t slot, double v) {
+    if (slot == std::numeric_limits<std::size_t>::max()) return;
+    raw_system().set_input(slot, v);
+}
+
+void network::add_ac_source(std::size_t r, std::complex<double> amplitude) {
+    if (r == ground_row) return;
+    raw_system().add_ac_source(r, amplitude);
+}
+
+void network::add_noise_between(const node& a, const node& b,
+                                std::function<double(double)> psd, std::string name) {
+    std::vector<std::pair<std::size_t, double>> injections;
+    if (!a.is_ground()) injections.emplace_back(a.index(), -1.0);
+    if (!b.is_ground()) injections.emplace_back(b.index(), 1.0);
+    if (injections.empty()) return;
+    raw_system().add_noise_source(std::move(injections), std::move(psd), std::move(name));
+}
+
+void network::check_nature(const node& n, nature expected, const std::string& who) {
+    util::require(n.valid(), who, "terminal is not connected to a node");
+    util::require(n.kind() == expected, who,
+                  std::string("terminal nature mismatch: expected ") +
+                      nature_name(expected) + ", got " + nature_name(n.kind()));
+}
+
+void network::build_equations() {
+    for (component* c : components_) c->stamp(*this);
+}
+
+void network::read_inputs() {
+    for (component* c : components_) {
+        c->read_tdf_inputs(*this);
+        if (c->sample_inputs()) request_restamp();
+    }
+}
+
+void network::write_outputs() {
+    for (component* c : components_) c->write_tdf_outputs(*this);
+}
+
+}  // namespace sca::eln

@@ -1,0 +1,139 @@
+// The conservative-law network view (paper §3: "SystemC-AMS must support the
+// description and the simulation of continuous-time systems as
+// conservative-law models").
+//
+// A network is a TDF module embedding a linear (or nonlinear) DAE assembled
+// by Modified Nodal Analysis: one KCL row per non-ground node, one branch
+// row per voltage-defined element (sources, inductors, transformers).  The
+// network advances one TDF timestep per activation and exchanges samples
+// with the dataflow world through converter components.
+#ifndef SCA_ELN_NETWORK_HPP
+#define SCA_ELN_NETWORK_HPP
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eln/node.hpp"
+#include "tdf/dae_module.hpp"
+
+namespace sca::eln {
+
+class network;
+
+/// Base class of all network components. Components register themselves at
+/// construction and stamp their equations when the network (re)builds.
+class component : public de::object {
+public:
+    [[nodiscard]] const char* kind() const noexcept override { return "eln_component"; }
+
+    /// Contribute stamps to the network's equation system.
+    virtual void stamp(network& net) = 0;
+
+    /// Sample event-driven control inputs; return true if the stamps changed
+    /// (forces a restamp + refactor before the next step).
+    virtual bool sample_inputs() { return false; }
+
+    /// Exchange samples with TDF ports (called around each solver step).
+    virtual void read_tdf_inputs(network&) {}
+    virtual void write_tdf_outputs(network&) {}
+
+protected:
+    component(std::string name, network& net);
+
+    network* net_;
+};
+
+/// Marker for "no row" (ground) in stamping helpers.
+inline constexpr std::size_t ground_row = std::numeric_limits<std::size_t>::max();
+
+class network : public tdf::dae_module {
+public:
+    explicit network(const de::module_name& nm) : tdf::dae_module(nm) {}
+
+    [[nodiscard]] const char* kind() const noexcept override { return "eln_network"; }
+
+    // --- topology -------------------------------------------------------------
+    /// Create a named node of the given nature.
+    [[nodiscard]] node create_node(const std::string& name,
+                                   nature k = nature::electrical);
+
+    /// Reference node of a nature (0 V / 0 m/s / ambient).
+    [[nodiscard]] node ground(nature k = nature::electrical);
+
+    void register_component(component& c) { components_.push_back(&c); }
+
+    /// Temperature used by noise models (kelvin).
+    void set_temperature(double kelvin) { temperature_ = kelvin; }
+    [[nodiscard]] double temperature() const noexcept { return temperature_; }
+
+    // --- probes (valid once simulation started) -------------------------------
+    /// Across value of a node (voltage, velocity, temperature...).
+    [[nodiscard]] double voltage(const node& n) const;
+    /// Across difference between two nodes.
+    [[nodiscard]] double voltage(const node& a, const node& b) const;
+    /// Branch current of a component that owns a branch unknown.
+    [[nodiscard]] double current(const component& c) const;
+
+    // --- stamping interface (used by components) -------------------------------
+    /// Row/column index of a node's KCL equation (ground_row for ground).
+    [[nodiscard]] static std::size_t row_of(const node& n) noexcept {
+        return n.is_ground() ? ground_row : n.index();
+    }
+
+    /// Stable branch unknown for a component (allocated on first request).
+    std::size_t branch_row(const component& c, const std::string& suffix = "i");
+    /// Branch row if the component has one; ground_row otherwise.
+    [[nodiscard]] std::size_t find_branch(const component& c) const;
+
+    /// Ground-aware stamps into A / B.
+    void add_a(std::size_t r, std::size_t c, double v);
+    void add_b(std::size_t r, std::size_t c, double v);
+    /// Conductance / capacitance two-terminal patterns.
+    void stamp_conductance(const node& a, const node& b, double g);
+    void stamp_capacitance(const node& a, const node& b, double c);
+
+    /// Ground-aware RHS contributions.
+    void add_rhs_constant(std::size_t r, double v);
+    void add_rhs_source(std::size_t r, std::function<double(double)> fn);
+    /// Ground-aware externally driven slot; returns slot id (or SIZE_MAX for
+    /// ground rows, which set_input ignores).
+    std::size_t add_input(std::size_t r);
+    void set_input(std::size_t slot, double v);
+
+    /// AC stimulus / noise registration (ground-aware helpers).
+    void add_ac_source(std::size_t r, std::complex<double> amplitude);
+    void add_noise_between(const node& a, const node& b, std::function<double(double)> psd,
+                           std::string name);
+
+    /// Component-visible restamp request (switches, variable elements).
+    void component_restamp() { request_restamp(); }
+
+    [[nodiscard]] const std::vector<component*>& components() const noexcept {
+        return components_;
+    }
+
+    /// Check that a terminal has the expected nature.
+    static void check_nature(const node& n, nature expected, const std::string& who);
+
+protected:
+    void build_equations() override;
+    void read_inputs() override;
+    void write_outputs() override;
+
+private:
+    struct node_info {
+        std::string name;
+        nature kind;
+    };
+
+    std::vector<node_info> nodes_;
+    std::vector<component*> components_;
+    std::map<std::pair<const component*, std::string>, std::size_t> branch_rows_;
+    double temperature_ = 300.0;
+};
+
+}  // namespace sca::eln
+
+#endif  // SCA_ELN_NETWORK_HPP

@@ -1,0 +1,19 @@
+#include "eln/node.hpp"
+
+namespace sca::eln {
+
+const char* nature_name(nature n) noexcept {
+    switch (n) {
+        case nature::electrical:
+            return "electrical";
+        case nature::mechanical_translational:
+            return "mechanical_translational";
+        case nature::mechanical_rotational:
+            return "mechanical_rotational";
+        case nature::thermal:
+            return "thermal";
+    }
+    return "unknown";
+}
+
+}  // namespace sca::eln

@@ -1,0 +1,56 @@
+// Conservative nodes and natures.
+//
+// A node carries an across quantity (voltage, velocity, angular velocity,
+// temperature) and sums through quantities (current, force, torque, heat
+// flow) to zero — Kirchhoff-style conservation generalized to multiple
+// disciplines (paper §2: power electronics and automotive "share the
+// distinguished requirement to design multi-domain ... systems").
+#ifndef SCA_ELN_NODE_HPP
+#define SCA_ELN_NODE_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace sca::eln {
+
+class network;
+
+/// Physical discipline of a node. Components check that their terminals
+/// have the nature they expect, so a resistor cannot end up on a shaft.
+enum class nature {
+    electrical,                // across: V,     through: A
+    mechanical_translational,  // across: m/s,   through: N
+    mechanical_rotational,     // across: rad/s, through: N*m
+    thermal,                   // across: K,     through: W
+};
+
+[[nodiscard]] const char* nature_name(nature n) noexcept;
+
+/// Value handle to a network node. Ground nodes (reference of each nature)
+/// have no unknown; their across value is identically zero.
+class node {
+public:
+    node() = default;  // invalid handle
+
+    [[nodiscard]] bool valid() const noexcept { return net_ != nullptr; }
+    [[nodiscard]] bool is_ground() const noexcept { return ground_; }
+
+    /// Index of the across unknown; only for non-ground nodes.
+    [[nodiscard]] std::size_t index() const noexcept { return index_; }
+    [[nodiscard]] nature kind() const noexcept { return nature_; }
+    [[nodiscard]] network* net() const noexcept { return net_; }
+
+private:
+    friend class network;
+    node(network* net, std::size_t index, nature k, bool ground)
+        : net_(net), index_(index), nature_(k), ground_(ground) {}
+
+    network* net_ = nullptr;
+    std::size_t index_ = 0;
+    nature nature_ = nature::electrical;
+    bool ground_ = false;
+};
+
+}  // namespace sca::eln
+
+#endif  // SCA_ELN_NODE_HPP

@@ -1,0 +1,226 @@
+#include "eln/nonlinear.hpp"
+
+#include <cmath>
+
+#include "util/report.hpp"
+
+namespace sca::eln {
+
+namespace {
+
+constexpr double k_thermal_voltage = 0.025852;  // kT/q at 300 K
+
+/// Fetch the value of an unknown from the iterate (0 for ground).
+double value_of(const std::vector<double>& x, std::size_t row) {
+    return row == ground_row ? 0.0 : x[row];
+}
+
+/// Scatter a current contribution I flowing out of row_p into row_n.
+void add_current(std::vector<double>& residual, std::size_t rp, std::size_t rn, double i) {
+    if (rp != ground_row) residual[rp] += i;
+    if (rn != ground_row) residual[rn] -= i;
+}
+
+/// Scatter a conductance di/dv between the (p,n) current and (cp,cn) control.
+void add_transconductance(std::vector<solver::jacobian_entry>& jac, std::size_t rp,
+                          std::size_t rn, std::size_t rcp, std::size_t rcn, double g) {
+    if (rp != ground_row && rcp != ground_row) jac.push_back({rp, rcp, g});
+    if (rp != ground_row && rcn != ground_row) jac.push_back({rp, rcn, -g});
+    if (rn != ground_row && rcp != ground_row) jac.push_back({rn, rcp, -g});
+    if (rn != ground_row && rcn != ground_row) jac.push_back({rn, rcn, g});
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- diode
+
+diode::diode(const std::string& name, network& net, node anode, node cathode,
+             double saturation_current, double emission_coefficient)
+    : component(name, net), a_(anode), c_(cathode), is_(saturation_current),
+      n_(emission_coefficient) {
+    util::require(saturation_current > 0.0, this->name(),
+                  "saturation current must be positive");
+    util::require(emission_coefficient > 0.0, this->name(),
+                  "emission coefficient must be positive");
+}
+
+void diode::stamp(network& net) {
+    const std::size_t ra = network::row_of(a_);
+    const std::size_t rc = network::row_of(c_);
+    const double is = is_;
+    const double nvt = n_ * k_thermal_voltage;
+    // Exponential limiting: above v_crit the exponential is continued
+    // linearly, keeping Newton iterates finite.
+    const double v_crit = 40.0 * nvt;
+    net.equations().add_nonlinear(
+        [ra, rc, is, nvt, v_crit](const std::vector<double>& x,
+                                  std::vector<double>& residual,
+                                  std::vector<solver::jacobian_entry>& jac) {
+            const double vd = value_of(x, ra) - value_of(x, rc);
+            double i = 0.0;
+            double g = 0.0;
+            if (vd <= v_crit) {
+                const double e = std::exp(vd / nvt);
+                i = is * (e - 1.0);
+                g = is * e / nvt;
+            } else {
+                const double e = std::exp(v_crit / nvt);
+                g = is * e / nvt;
+                i = is * (e - 1.0) + g * (vd - v_crit);
+            }
+            add_current(residual, ra, rc, i);
+            add_transconductance(jac, ra, rc, ra, rc, g);
+        });
+}
+
+// ----------------------------------------------------------------- MOS common
+
+namespace {
+
+struct mos_eval {
+    double id;     // drain current for vds >= 0
+    double gm;     // d id / d vgs
+    double gds;    // d id / d vds
+};
+
+mos_eval square_law(double vgs, double vds, double k, double vth, double lambda) {
+    mos_eval e{0.0, 0.0, 0.0};
+    const double vov = vgs - vth;
+    if (vov <= 0.0) {
+        // Subthreshold: tiny conductance keeps the Jacobian nonsingular.
+        e.gds = 1e-12;
+        e.id = 1e-12 * vds;
+        return e;
+    }
+    if (vds < vov) {  // triode
+        e.id = k * (vov * vds - 0.5 * vds * vds) * (1.0 + lambda * vds);
+        e.gm = k * vds * (1.0 + lambda * vds);
+        e.gds = k * (vov - vds) * (1.0 + lambda * vds) +
+                k * (vov * vds - 0.5 * vds * vds) * lambda;
+    } else {  // saturation
+        e.id = 0.5 * k * vov * vov * (1.0 + lambda * vds);
+        e.gm = k * vov * (1.0 + lambda * vds);
+        e.gds = 0.5 * k * vov * vov * lambda;
+    }
+    e.gds += 1e-12;
+    return e;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------- nmos
+
+nmos::nmos(const std::string& name, network& net, node drain, node gate, node source,
+           double k, double vth, double lambda)
+    : component(name, net), d_(drain), g_(gate), s_(source), k_(k), vth_(vth),
+      lambda_(lambda) {}
+
+void nmos::stamp(network& net) {
+    const std::size_t rd = network::row_of(d_);
+    const std::size_t rg = network::row_of(g_);
+    const std::size_t rs = network::row_of(s_);
+    const double k = k_, vth = vth_, lambda = lambda_;
+    net.equations().add_nonlinear(
+        [rd, rg, rs, k, vth, lambda](const std::vector<double>& x,
+                                     std::vector<double>& residual,
+                                     std::vector<solver::jacobian_entry>& jac) {
+            double vgs = value_of(x, rg) - value_of(x, rs);
+            double vds = value_of(x, rd) - value_of(x, rs);
+            bool reversed = false;
+            std::size_t eff_d = rd, eff_s = rs;
+            if (vds < 0.0) {  // symmetric device: swap drain and source
+                reversed = true;
+                std::swap(eff_d, eff_s);
+                vgs = value_of(x, rg) - value_of(x, eff_s);
+                vds = -vds;
+            }
+            const mos_eval e = square_law(vgs, vds, k, vth, lambda);
+            const double id = reversed ? -e.id : e.id;
+            add_current(residual, rd, rs, id);
+            // id depends on v_g, v_effd, v_effs:
+            //   d id/d v_g = gm, d id/d v_d = gds, d id/d v_s = -(gm+gds)
+            const double sign = reversed ? -1.0 : 1.0;
+            auto add = [&](std::size_t col, double g) {
+                if (col == ground_row || g == 0.0) return;
+                if (rd != ground_row) jac.push_back({rd, col, sign * g});
+                if (rs != ground_row) jac.push_back({rs, col, -sign * g});
+            };
+            add(rg, e.gm);
+            add(eff_d, e.gds);
+            add(eff_s, -(e.gm + e.gds));
+        });
+}
+
+// ---------------------------------------------------------------------- pmos
+
+pmos::pmos(const std::string& name, network& net, node drain, node gate, node source,
+           double k, double vth, double lambda)
+    : component(name, net), d_(drain), g_(gate), s_(source), k_(k), vth_(vth),
+      lambda_(lambda) {}
+
+void pmos::stamp(network& net) {
+    const std::size_t rd = network::row_of(d_);
+    const std::size_t rg = network::row_of(g_);
+    const std::size_t rs = network::row_of(s_);
+    const double k = k_, vth = vth_, lambda = lambda_;
+    // PMOS = NMOS with all node voltages negated: evaluate with vsg/vsd.
+    net.equations().add_nonlinear(
+        [rd, rg, rs, k, vth, lambda](const std::vector<double>& x,
+                                     std::vector<double>& residual,
+                                     std::vector<solver::jacobian_entry>& jac) {
+            double vsg = value_of(x, rs) - value_of(x, rg);
+            double vsd = value_of(x, rs) - value_of(x, rd);
+            bool reversed = false;
+            std::size_t eff_d = rd, eff_s = rs;
+            if (vsd < 0.0) {
+                reversed = true;
+                std::swap(eff_d, eff_s);
+                vsg = value_of(x, eff_s) - value_of(x, rg);
+                vsd = -vsd;
+            }
+            const mos_eval e = square_law(vsg, vsd, k, vth, lambda);
+            // Current flows source -> drain (out of rs into rd KCL-wise).
+            const double id = reversed ? -e.id : e.id;
+            add_current(residual, rs, rd, id);
+            const double sign = reversed ? -1.0 : 1.0;
+            auto add = [&](std::size_t col, double g) {
+                if (col == ground_row || g == 0.0) return;
+                if (rs != ground_row) jac.push_back({rs, col, sign * g});
+                if (rd != ground_row) jac.push_back({rd, col, -sign * g});
+            };
+            // vsg = v_effs - v_g, vsd = v_effs - v_effd
+            add(eff_s, e.gm + e.gds);
+            add(rg, -e.gm);
+            add(eff_d, -e.gds);
+        });
+}
+
+// ------------------------------------------------------------ nonlinear_vccs
+
+nonlinear_vccs::nonlinear_vccs(const std::string& name, network& net, node cp, node cn,
+                               node p, node n, std::function<double(double)> f,
+                               std::function<double(double)> dfdv)
+    : component(name, net), cp_(cp), cn_(cn), p_(p), n_(n), f_(std::move(f)),
+      dfdv_(std::move(dfdv)) {
+    util::require(static_cast<bool>(f_) && static_cast<bool>(dfdv_), this->name(),
+                  "model functions must not be null");
+}
+
+void nonlinear_vccs::stamp(network& net) {
+    const std::size_t rp = network::row_of(p_);
+    const std::size_t rn = network::row_of(n_);
+    const std::size_t rcp = network::row_of(cp_);
+    const std::size_t rcn = network::row_of(cn_);
+    auto f = f_;
+    auto dfdv = dfdv_;
+    net.equations().add_nonlinear(
+        [rp, rn, rcp, rcn, f, dfdv](const std::vector<double>& x,
+                                    std::vector<double>& residual,
+                                    std::vector<solver::jacobian_entry>& jac) {
+            const double vc = value_of(x, rcp) - value_of(x, rcn);
+            add_current(residual, rp, rn, f(vc));
+            add_transconductance(jac, rp, rn, rcp, rcn, dfdv(vc));
+        });
+}
+
+}  // namespace sca::eln

@@ -1,0 +1,74 @@
+// Nonlinear network elements (paper phase 2: "support of non linear DAEs and
+// their simulation using variable time steps", "formulation of implicit
+// equations").  Adding any of these to a network switches the embedded solver
+// to the variable-step Newton engine automatically.
+#ifndef SCA_ELN_NONLINEAR_HPP
+#define SCA_ELN_NONLINEAR_HPP
+
+#include <functional>
+
+#include "eln/network.hpp"
+
+namespace sca::eln {
+
+/// Shockley diode with exponential limiting for Newton robustness.
+class diode : public component {
+public:
+    diode(const std::string& name, network& net, node anode, node cathode,
+          double saturation_current = 1e-14, double emission_coefficient = 1.0);
+
+    void stamp(network& net) override;
+
+private:
+    node a_, c_;
+    double is_;
+    double n_;
+};
+
+/// Square-law NMOS transistor (level-1 style, continuous across regions).
+class nmos : public component {
+public:
+    /// `k` is the transconductance parameter (A/V^2), `vth` the threshold,
+    /// `lambda` the channel-length modulation.
+    nmos(const std::string& name, network& net, node drain, node gate, node source,
+         double k = 2e-3, double vth = 0.7, double lambda = 0.01);
+
+    void stamp(network& net) override;
+
+private:
+    node d_, g_, s_;
+    double k_, vth_, lambda_;
+};
+
+/// Square-law PMOS transistor (parameters given as positive quantities).
+class pmos : public component {
+public:
+    pmos(const std::string& name, network& net, node drain, node gate, node source,
+         double k = 1e-3, double vth = 0.7, double lambda = 0.01);
+
+    void stamp(network& net) override;
+
+private:
+    node d_, g_, s_;
+    double k_, vth_, lambda_;
+};
+
+/// General nonlinear voltage-controlled current source:
+/// i(p->n) = f(v(cp) - v(cn)); the derivative is supplied by the model.
+/// Useful for saturating amplifier characteristics and custom devices.
+class nonlinear_vccs : public component {
+public:
+    nonlinear_vccs(const std::string& name, network& net, node cp, node cn, node p, node n,
+                   std::function<double(double)> f, std::function<double(double)> dfdv);
+
+    void stamp(network& net) override;
+
+private:
+    node cp_, cn_, p_, n_;
+    std::function<double(double)> f_;
+    std::function<double(double)> dfdv_;
+};
+
+}  // namespace sca::eln
+
+#endif  // SCA_ELN_NONLINEAR_HPP

@@ -1,0 +1,264 @@
+#include "eln/primitives.hpp"
+
+#include "solver/noise.hpp"
+#include "util/report.hpp"
+
+namespace sca::eln {
+
+namespace {
+/// Stamp a branch current unknown: KCL contributions of a current flowing
+/// from `a` through the element to `b`.
+void stamp_branch_kcl(network& net, std::size_t k, const node& a, const node& b) {
+    net.add_a(network::row_of(a), k, 1.0);
+    net.add_a(network::row_of(b), k, -1.0);
+}
+}  // namespace
+
+// ------------------------------------------------------------------ resistor
+
+resistor::resistor(const std::string& name, network& net, node a, node b, double ohms)
+    : component(name, net), a_(a), b_(b), ohms_(ohms) {
+    network::check_nature(a, nature::electrical, this->name());
+    network::check_nature(b, nature::electrical, this->name());
+    util::require(ohms > 0.0, this->name(), "resistance must be positive");
+}
+
+void resistor::stamp(network& net) {
+    net.stamp_conductance(a_, b_, 1.0 / ohms_);
+    if (noisy_) {
+        const double r = ohms_;
+        const double temp = net.temperature();
+        net.add_noise_between(a_, b_,
+                              [r, temp](double) {
+                                  return 4.0 * solver::k_boltzmann * temp / r;
+                              },
+                              name());
+    }
+}
+
+void resistor::set_value(double ohms) {
+    util::require(ohms > 0.0, name(), "resistance must be positive");
+    if (ohms != ohms_) {
+        ohms_ = ohms;
+        net_->component_restamp();
+    }
+}
+
+// ----------------------------------------------------------------- capacitor
+
+capacitor::capacitor(const std::string& name, network& net, node a, node b, double farads)
+    : component(name, net), a_(a), b_(b), farads_(farads) {
+    network::check_nature(a, nature::electrical, this->name());
+    network::check_nature(b, nature::electrical, this->name());
+    util::require(farads > 0.0, this->name(), "capacitance must be positive");
+}
+
+void capacitor::stamp(network& net) { net.stamp_capacitance(a_, b_, farads_); }
+
+void capacitor::set_value(double farads) {
+    util::require(farads > 0.0, name(), "capacitance must be positive");
+    if (farads != farads_) {
+        farads_ = farads;
+        net_->component_restamp();
+    }
+}
+
+// ------------------------------------------------------------------ inductor
+
+inductor::inductor(const std::string& name, network& net, node a, node b, double henries)
+    : component(name, net), a_(a), b_(b), henries_(henries) {
+    network::check_nature(a, nature::electrical, this->name());
+    network::check_nature(b, nature::electrical, this->name());
+    util::require(henries > 0.0, this->name(), "inductance must be positive");
+}
+
+void inductor::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);
+    stamp_branch_kcl(net, k, a_, b_);
+    // v_a - v_b - L di/dt = 0
+    net.add_a(k, network::row_of(a_), 1.0);
+    net.add_a(k, network::row_of(b_), -1.0);
+    net.add_b(k, k, -henries_);
+}
+
+void inductor::set_value(double henries) {
+    util::require(henries > 0.0, name(), "inductance must be positive");
+    if (henries != henries_) {
+        henries_ = henries;
+        net_->component_restamp();
+    }
+}
+
+// ---------------------------------------------------------------------- vcvs
+
+vcvs::vcvs(const std::string& name, network& net, node cp, node cn, node p, node n,
+           double gain)
+    : component(name, net), cp_(cp), cn_(cn), p_(p), n_(n), gain_(gain) {}
+
+void vcvs::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);
+    stamp_branch_kcl(net, k, p_, n_);
+    // v_p - v_n - gain * (v_cp - v_cn) = 0
+    net.add_a(k, network::row_of(p_), 1.0);
+    net.add_a(k, network::row_of(n_), -1.0);
+    net.add_a(k, network::row_of(cp_), -gain_);
+    net.add_a(k, network::row_of(cn_), gain_);
+}
+
+void vcvs::set_gain(double gain) {
+    if (gain != gain_) {
+        gain_ = gain;
+        net_->component_restamp();
+    }
+}
+
+// ---------------------------------------------------------------------- vccs
+
+vccs::vccs(const std::string& name, network& net, node cp, node cn, node p, node n,
+           double gm)
+    : component(name, net), cp_(cp), cn_(cn), p_(p), n_(n), gm_(gm) {}
+
+void vccs::stamp(network& net) {
+    // Current gm * v(cp,cn) flows from p through the source to n.
+    net.add_a(network::row_of(p_), network::row_of(cp_), gm_);
+    net.add_a(network::row_of(p_), network::row_of(cn_), -gm_);
+    net.add_a(network::row_of(n_), network::row_of(cp_), -gm_);
+    net.add_a(network::row_of(n_), network::row_of(cn_), gm_);
+}
+
+void vccs::set_gm(double gm) {
+    if (gm != gm_) {
+        gm_ = gm;
+        net_->component_restamp();
+    }
+}
+
+// ---------------------------------------------------------------------- ccvs
+
+ccvs::ccvs(const std::string& name, network& net, const component& control, node p, node n,
+           double rm)
+    : component(name, net), control_(&control), p_(p), n_(n), rm_(rm) {}
+
+void ccvs::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);
+    const std::size_t j = net.branch_row(*control_);
+    stamp_branch_kcl(net, k, p_, n_);
+    // v_p - v_n - rm * i_j = 0
+    net.add_a(k, network::row_of(p_), 1.0);
+    net.add_a(k, network::row_of(n_), -1.0);
+    net.add_a(k, j, -rm_);
+}
+
+// ---------------------------------------------------------------------- cccs
+
+cccs::cccs(const std::string& name, network& net, const component& control, node p, node n,
+           double beta)
+    : component(name, net), control_(&control), p_(p), n_(n), beta_(beta) {}
+
+void cccs::stamp(network& net) {
+    const std::size_t j = net.branch_row(*control_);
+    // Current beta * i_j flows from p through the source to n.
+    net.add_a(network::row_of(p_), j, beta_);
+    net.add_a(network::row_of(n_), j, -beta_);
+}
+
+// --------------------------------------------------------- ideal transformer
+
+ideal_transformer::ideal_transformer(const std::string& name, network& net, node p1,
+                                     node n1, node p2, node n2, double ratio)
+    : component(name, net), p1_(p1), n1_(n1), p2_(p2), n2_(n2), ratio_(ratio) {
+    util::require(ratio != 0.0, this->name(), "transformer ratio must be nonzero");
+}
+
+void ideal_transformer::stamp(network& net) {
+    // One branch unknown: primary current i1; secondary current = -ratio*i1.
+    const std::size_t k = net.branch_row(*this);
+    net.add_a(network::row_of(p1_), k, 1.0);
+    net.add_a(network::row_of(n1_), k, -1.0);
+    net.add_a(network::row_of(p2_), k, -ratio_);
+    net.add_a(network::row_of(n2_), k, ratio_);
+    // v1 = ratio * v2:  v_p1 - v_n1 - ratio (v_p2 - v_n2) = 0
+    net.add_a(k, network::row_of(p1_), 1.0);
+    net.add_a(k, network::row_of(n1_), -1.0);
+    net.add_a(k, network::row_of(p2_), -ratio_);
+    net.add_a(k, network::row_of(n2_), ratio_);
+}
+
+// ------------------------------------------------------------------- rswitch
+
+rswitch::rswitch(const std::string& name, network& net, node a, node b, double r_on,
+                 double r_off, bool closed)
+    : component(name, net), a_(a), b_(b), r_on_(r_on), r_off_(r_off), closed_(closed) {
+    util::require(r_on > 0.0 && r_off > r_on, this->name(),
+                  "switch requires 0 < r_on < r_off");
+}
+
+void rswitch::stamp(network& net) {
+    net.stamp_conductance(a_, b_, 1.0 / (closed_ ? r_on_ : r_off_));
+}
+
+void rswitch::set_state(bool closed) {
+    if (closed != closed_) {
+        closed_ = closed;
+        net_->component_restamp();
+    }
+}
+
+// --------------------------------------------------------------- ideal_opamp
+
+ideal_opamp::ideal_opamp(const std::string& name, network& net, node inp, node inn,
+                         node out)
+    : component(name, net), inp_(inp), inn_(inn), out_(out) {
+    network::check_nature(inp, nature::electrical, this->name());
+    network::check_nature(inn, nature::electrical, this->name());
+    network::check_nature(out, nature::electrical, this->name());
+}
+
+void ideal_opamp::stamp(network& net) {
+    // Nullor stamp: one unknown (the output current), one constraint row
+    // (virtual short between the inputs). The inputs draw no current.
+    const std::size_t k = net.branch_row(*this, "iout");
+    net.add_a(network::row_of(out_), k, 1.0);
+    net.add_a(k, network::row_of(inp_), 1.0);
+    net.add_a(k, network::row_of(inn_), -1.0);
+}
+
+// ------------------------------------------------------------------- gyrator
+
+gyrator::gyrator(const std::string& name, network& net, node p1, node n1, node p2,
+                 node n2, double g)
+    : component(name, net), p1_(p1), n1_(n1), p2_(p2), n2_(n2), g_(g) {
+    util::require(g != 0.0, this->name(), "gyration conductance must be nonzero");
+}
+
+void gyrator::stamp(network& net) {
+    // i(port1) = g * v(port2): a VCCS from port 2 voltage into port 1 ...
+    const std::size_t rp1 = network::row_of(p1_);
+    const std::size_t rn1 = network::row_of(n1_);
+    const std::size_t rp2 = network::row_of(p2_);
+    const std::size_t rn2 = network::row_of(n2_);
+    net.add_a(rp1, rp2, g_);
+    net.add_a(rp1, rn2, -g_);
+    net.add_a(rn1, rp2, -g_);
+    net.add_a(rn1, rn2, g_);
+    // ... and i(port2) = -g * v(port1).
+    net.add_a(rp2, rp1, -g_);
+    net.add_a(rp2, rn1, g_);
+    net.add_a(rn2, rp1, g_);
+    net.add_a(rn2, rn1, -g_);
+}
+
+// ------------------------------------------------------------------- ammeter
+
+ammeter::ammeter(const std::string& name, network& net, node a, node b)
+    : component(name, net), a_(a), b_(b) {}
+
+void ammeter::stamp(network& net) {
+    const std::size_t k = net.branch_row(*this);
+    stamp_branch_kcl(net, k, a_, b_);
+    // 0 V across:  v_a - v_b = 0
+    net.add_a(k, network::row_of(a_), 1.0);
+    net.add_a(k, network::row_of(b_), -1.0);
+}
+
+}  // namespace sca::eln

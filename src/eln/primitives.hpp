@@ -1,0 +1,186 @@
+// Linear network primitives (paper phase 1: "Linear network elements
+// (electrical element library: R, L, C, sources)") plus the controlled
+// sources and the ideal transformer needed for macromodeling (§3:
+// "conservative systems may be modeled at system-level as linear network
+// macromodels based on simple electrical R, L, C, and controled source
+// primitives").
+#ifndef SCA_ELN_PRIMITIVES_HPP
+#define SCA_ELN_PRIMITIVES_HPP
+
+#include "eln/network.hpp"
+
+namespace sca::eln {
+
+/// Resistor with thermal noise (4kT/R current PSD).
+class resistor : public component {
+public:
+    resistor(const std::string& name, network& net, node a, node b, double ohms);
+
+    void stamp(network& net) override;
+
+    /// Change the resistance; triggers a restamp before the next step.
+    void set_value(double ohms);
+    [[nodiscard]] double value() const noexcept { return ohms_; }
+
+    /// Exclude this resistor from noise analysis (ideal element).
+    void set_noisy(bool noisy) noexcept { noisy_ = noisy; }
+
+private:
+    node a_, b_;
+    double ohms_;
+    bool noisy_ = true;
+};
+
+/// Capacitor; optional initial voltage taken into account by the DC solve
+/// through a momentary equivalent source is not needed: the pseudo-transient
+/// DC leaves isolated capacitor nodes at 0; use an initial-condition source
+/// if a different start is required.
+class capacitor : public component {
+public:
+    capacitor(const std::string& name, network& net, node a, node b, double farads);
+
+    void stamp(network& net) override;
+    void set_value(double farads);
+    [[nodiscard]] double value() const noexcept { return farads_; }
+
+private:
+    node a_, b_;
+    double farads_;
+};
+
+/// Inductor (owns a branch current unknown).
+class inductor : public component {
+public:
+    inductor(const std::string& name, network& net, node a, node b, double henries);
+
+    void stamp(network& net) override;
+    void set_value(double henries);
+    [[nodiscard]] double value() const noexcept { return henries_; }
+
+private:
+    node a_, b_;
+    double henries_;
+};
+
+/// Voltage-controlled voltage source: v(p,n) = gain * v(cp,cn).
+class vcvs : public component {
+public:
+    vcvs(const std::string& name, network& net, node cp, node cn, node p, node n,
+         double gain);
+    void stamp(network& net) override;
+    void set_gain(double gain);
+
+private:
+    node cp_, cn_, p_, n_;
+    double gain_;
+};
+
+/// Voltage-controlled current source: i(p->n) = gm * v(cp,cn).
+class vccs : public component {
+public:
+    vccs(const std::string& name, network& net, node cp, node cn, node p, node n,
+         double gm);
+    void stamp(network& net) override;
+    void set_gm(double gm);
+
+private:
+    node cp_, cn_, p_, n_;
+    double gm_;
+};
+
+/// Current-controlled voltage source: v(p,n) = rm * i(control branch).
+class ccvs : public component {
+public:
+    ccvs(const std::string& name, network& net, const component& control, node p, node n,
+         double rm);
+    void stamp(network& net) override;
+
+private:
+    const component* control_;
+    node p_, n_;
+    double rm_;
+};
+
+/// Current-controlled current source: i(p->n) = beta * i(control branch).
+class cccs : public component {
+public:
+    cccs(const std::string& name, network& net, const component& control, node p, node n,
+         double beta);
+    void stamp(network& net) override;
+
+private:
+    const component* control_;
+    node p_, n_;
+    double beta_;
+};
+
+/// Ideal transformer with ratio = v1/v2.
+class ideal_transformer : public component {
+public:
+    ideal_transformer(const std::string& name, network& net, node p1, node n1, node p2,
+                      node n2, double ratio);
+    void stamp(network& net) override;
+
+private:
+    node p1_, n1_, p2_, n2_;
+    double ratio_;
+};
+
+/// Resistive switch: r_on when closed, r_off when open. State changes force
+/// a restamp + refactor (the only event that breaks factorization reuse in a
+/// linear network).
+class rswitch : public component {
+public:
+    rswitch(const std::string& name, network& net, node a, node b, double r_on = 1.0,
+            double r_off = 1e9, bool closed = false);
+
+    void stamp(network& net) override;
+
+    void set_state(bool closed);
+    [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+private:
+    node a_, b_;
+    double r_on_, r_off_;
+    bool closed_;
+};
+
+/// Ideal operational amplifier (nullor): forces v(inp) = v(inn) and supplies
+/// whatever output current the constraint requires.  The classic MNA opamp
+/// stamp used for system-level active-filter macromodels.
+class ideal_opamp : public component {
+public:
+    ideal_opamp(const std::string& name, network& net, node inp, node inn, node out);
+    void stamp(network& net) override;
+
+private:
+    node inp_, inn_, out_;
+};
+
+/// Gyrator: i1 = g * v2, i2 = -g * v1 (port 1 = p1/n1, port 2 = p2/n2).
+/// Turns a capacitor into a simulated inductor — the standard trick for
+/// integrated filter macromodels.
+class gyrator : public component {
+public:
+    gyrator(const std::string& name, network& net, node p1, node n1, node p2, node n2,
+            double g);
+    void stamp(network& net) override;
+
+private:
+    node p1_, n1_, p2_, n2_;
+    double g_;
+};
+
+/// Zero-volt source used as a current probe (owns a branch unknown).
+class ammeter : public component {
+public:
+    ammeter(const std::string& name, network& net, node a, node b);
+    void stamp(network& net) override;
+
+private:
+    node a_, b_;
+};
+
+}  // namespace sca::eln
+
+#endif  // SCA_ELN_PRIMITIVES_HPP

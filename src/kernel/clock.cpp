@@ -1,0 +1,41 @@
+#include "kernel/clock.hpp"
+
+#include <cmath>
+
+#include "util/report.hpp"
+
+namespace sca::de {
+
+clock::clock(const module_name& nm, const time& period, double duty, const time& start,
+             bool start_high)
+    : module(nm),
+      sig_("sig"),
+      period_(period),
+      start_(start),
+      start_high_(start_high) {
+    util::require(period > time::zero(), name(), "clock period must be positive");
+    util::require(duty > 0.0 && duty < 1.0, name(), "duty cycle must be in (0, 1)");
+    high_time_ = time::from_fs(
+        static_cast<std::int64_t>(std::llround(static_cast<double>(period.value_fs()) * duty)));
+    low_time_ = period_ - high_time_;
+    util::require(high_time_ > time::zero() && low_time_ > time::zero(), name(),
+                  "duty cycle leaves a zero-length phase at this period");
+    value_ = !start_high_;
+    sig_.initialize(value_);
+    declare_method("tick", [this] { tick(); });
+}
+
+void clock::tick() {
+    if (first_) {
+        first_ = false;
+        if (start_ > time::zero()) {
+            next_trigger(start_);
+            return;
+        }
+    }
+    value_ = !value_;
+    sig_.write(value_);
+    next_trigger(value_ ? high_time_ : low_time_);
+}
+
+}  // namespace sca::de

@@ -1,0 +1,42 @@
+// A periodic boolean clock built on a signal<bool> plus one method process.
+#ifndef SCA_KERNEL_CLOCK_HPP
+#define SCA_KERNEL_CLOCK_HPP
+
+#include <string>
+
+#include "kernel/module.hpp"
+#include "kernel/signal.hpp"
+#include "kernel/time.hpp"
+
+namespace sca::de {
+
+/// Clock generator. The boolean signal is exposed through `sig()` and can be
+/// bound to in<bool> ports; `posedge_event()` is the usual trigger.
+class clock final : public module {
+public:
+    /// `period` must be positive; `duty` in (0,1); first edge at `start`.
+    clock(const module_name& nm, const time& period, double duty = 0.5,
+          const time& start = time::zero(), bool start_high = true);
+
+    [[nodiscard]] signal<bool>& sig() noexcept { return sig_; }
+    [[nodiscard]] event& posedge_event() { return sig_.posedge_event(); }
+    [[nodiscard]] event& negedge_event() { return sig_.negedge_event(); }
+    [[nodiscard]] bool read() const noexcept { return sig_.read(); }
+    [[nodiscard]] const time& period() const noexcept { return period_; }
+
+private:
+    void tick();
+
+    signal<bool> sig_;
+    time period_;
+    time high_time_;
+    time low_time_;
+    time start_;
+    bool start_high_;
+    bool value_ = false;
+    bool first_ = true;
+};
+
+}  // namespace sca::de
+
+#endif  // SCA_KERNEL_CLOCK_HPP

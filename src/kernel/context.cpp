@@ -1,0 +1,135 @@
+#include "kernel/context.hpp"
+
+#include <algorithm>
+
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/object.hpp"
+#include "kernel/process.hpp"
+#include "kernel/signal.hpp"
+#include "util/report.hpp"
+
+namespace sca::de {
+
+namespace {
+thread_local simulation_context* g_current = nullptr;
+}
+
+simulation_context::simulation_context() {
+    previous_current_ = g_current;
+    g_current = this;
+}
+
+simulation_context::~simulation_context() {
+    if (g_current == this) g_current = previous_current_;
+}
+
+simulation_context& simulation_context::current() {
+    util::require(g_current != nullptr, "simulation_context",
+                  "no current context; create a simulation_context first");
+    return *g_current;
+}
+
+bool simulation_context::has_current() noexcept { return g_current != nullptr; }
+
+void simulation_context::make_current() noexcept { g_current = this; }
+
+void simulation_context::register_object(object& obj) { objects_.push_back(&obj); }
+
+void simulation_context::unregister_object(object& obj) {
+    objects_.erase(std::remove(objects_.begin(), objects_.end(), &obj), objects_.end());
+}
+
+object* simulation_context::construction_parent() const noexcept {
+    return construction_stack_.empty() ? nullptr : construction_stack_.back();
+}
+
+void simulation_context::push_construction_parent(object& obj) {
+    construction_stack_.push_back(&obj);
+}
+
+void simulation_context::pop_construction_parent() {
+    if (!construction_stack_.empty()) construction_stack_.pop_back();
+}
+
+object* simulation_context::find_object(const std::string& full_name) const noexcept {
+    for (object* o : objects_) {
+        if (o->name() == full_name) return o;
+    }
+    return nullptr;
+}
+
+method_process& simulation_context::register_method(std::string name,
+                                                    std::function<void()> body) {
+    processes_.push_back(
+        std::make_unique<method_process>(std::move(name), std::move(body), *this));
+    return *processes_.back();
+}
+
+void simulation_context::next_trigger(event& e) {
+    util::require(running_ != nullptr, "simulation_context",
+                  "next_trigger outside of a method process");
+    running_->next_trigger(e);
+}
+
+void simulation_context::next_trigger(const time& delay) {
+    util::require(running_ != nullptr, "simulation_context",
+                  "next_trigger outside of a method process");
+    running_->next_trigger(delay);
+}
+
+void simulation_context::add_elaboration_hook(std::function<void()> hook) {
+    elaboration_hooks_.push_back(std::move(hook));
+}
+
+void simulation_context::elaborate() {
+    if (elaborated_) return;
+    util::require(construction_stack_.empty(), "simulation_context",
+                  "elaborate called during module construction");
+    // 1. Resolve port bindings (chains may be followed in any order).
+    for (object* o : objects_) {
+        if (auto* p = dynamic_cast<port_base*>(o)) p->resolve();
+    }
+    // 2. Structural callbacks.
+    for (object* o : objects_) {
+        if (auto* m = dynamic_cast<module*>(o)) m->end_of_elaboration();
+    }
+    // 3. Domain hooks (e.g. TDF cluster discovery and scheduling).
+    for (const auto& hook : elaboration_hooks_) hook();
+    elaborated_ = true;
+}
+
+void simulation_context::run(const time& duration) {
+    elaborate();
+    scheduler_.run(scheduler_.now() + duration);
+}
+
+void simulation_context::run_to_completion() {
+    elaborate();
+    while (!scheduler_.idle()) {
+        const time next = scheduler_.next_event_time();
+        if (next == time::max()) {
+            // Only delta activity remains; one bounded run drains it.
+            scheduler_.run(scheduler_.now());
+            break;
+        }
+        scheduler_.run(next);
+    }
+}
+
+// ------------------------------------------------------------ module_name --
+
+module_name::module_name(const char* name) : name_(name) {
+    stack_depth_at_ctor_ = simulation_context::current().construction_depth();
+}
+
+module_name::module_name(const std::string& name) : name_(name) {
+    stack_depth_at_ctor_ = simulation_context::current().construction_depth();
+}
+
+module_name::~module_name() {
+    auto& ctx = simulation_context::current();
+    while (ctx.construction_depth() > stack_depth_at_ctor_) ctx.pop_construction_parent();
+}
+
+}  // namespace sca::de

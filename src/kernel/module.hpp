@@ -1,0 +1,77 @@
+// Module base class: the structural unit of a model.
+//
+// Usage follows the SystemC idiom without macros:
+//
+//   struct lowpass : sca::de::module {
+//       sca::de::in<double> x;
+//       sca::de::out<double> y;
+//       explicit lowpass(const sca::de::module_name& nm)
+//           : module(nm), x("x"), y("y") {
+//           declare_method("step", [this] { y.write(0.5 * x.read()); })
+//               .sensitive(x);
+//       }
+//   };
+#ifndef SCA_KERNEL_MODULE_HPP
+#define SCA_KERNEL_MODULE_HPP
+
+#include <functional>
+#include <string>
+
+#include "kernel/context.hpp"
+#include "kernel/object.hpp"
+#include "kernel/process.hpp"
+
+namespace sca::de {
+
+class port_base;
+
+/// Fluent helper returned by module::declare_method for sensitivity setup.
+class method_handle {
+public:
+    explicit method_handle(method_process& p) : process_(&p) {}
+
+    /// Sensitize to an event.
+    method_handle& sensitive(event& e) {
+        process_->make_sensitive(e);
+        return *this;
+    }
+
+    /// Sensitize to a port's value-changed event (resolved at elaboration).
+    method_handle& sensitive(port_base& p);
+
+    method_handle& dont_initialize() {
+        process_->dont_initialize();
+        return *this;
+    }
+
+    [[nodiscard]] method_process& process() noexcept { return *process_; }
+
+private:
+    method_process* process_;
+};
+
+class module : public object {
+public:
+    [[nodiscard]] const char* kind() const noexcept override { return "module"; }
+
+    /// Called once after port binding, before simulation starts.
+    virtual void end_of_elaboration() {}
+
+protected:
+    explicit module(const module_name& nm);
+    ~module() override;
+
+    /// Register a method process owned by this module.
+    method_handle declare_method(const std::string& name, std::function<void()> body);
+
+    /// One-shot dynamic trigger for the currently running method.
+    void next_trigger(event& e) { context().next_trigger(e); }
+    void next_trigger(const time& delay) { context().next_trigger(delay); }
+
+    /// Current simulation time.
+    [[nodiscard]] const time& now() const noexcept { return context().now(); }
+};
+
+}  // namespace sca::de
+
+#endif  // SCA_KERNEL_MODULE_HPP

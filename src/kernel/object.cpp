@@ -1,0 +1,30 @@
+#include "kernel/object.hpp"
+
+#include <algorithm>
+
+#include "kernel/context.hpp"
+#include "util/report.hpp"
+
+namespace sca::de {
+
+object::object(std::string basename) : basename_(std::move(basename)) {
+    context_ = &simulation_context::current();
+    parent_ = context_->construction_parent();
+    if (parent_ != nullptr) {
+        parent_->children_.push_back(this);
+        full_name_ = parent_->full_name_ + "." + basename_;
+    } else {
+        full_name_ = basename_;
+    }
+    context_->register_object(*this);
+}
+
+object::~object() {
+    if (parent_ != nullptr) {
+        auto& siblings = parent_->children_;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), this), siblings.end());
+    }
+    context_->unregister_object(*this);
+}
+
+}  // namespace sca::de

@@ -1,0 +1,52 @@
+// Named object hierarchy, the backbone of module/port/signal naming.
+//
+// Every kernel entity is an `object` with a hierarchical name of the form
+// "top.sub.block.port".  The hierarchy is established at construction time
+// through the simulation context's construction stack (see context.hpp).
+#ifndef SCA_KERNEL_OBJECT_HPP
+#define SCA_KERNEL_OBJECT_HPP
+
+#include <string>
+#include <vector>
+
+namespace sca::de {
+
+class simulation_context;
+
+/// Base of all named simulation entities. Non-copyable; lifetime is managed
+/// by the user model (objects are typically data members of modules).
+class object {
+public:
+    object(const object&) = delete;
+    object& operator=(const object&) = delete;
+    virtual ~object();
+
+    /// Leaf name ("port") and full hierarchical name ("top.block.port").
+    [[nodiscard]] const std::string& basename() const noexcept { return basename_; }
+    [[nodiscard]] const std::string& name() const noexcept { return full_name_; }
+
+    [[nodiscard]] object* parent() const noexcept { return parent_; }
+    [[nodiscard]] const std::vector<object*>& children() const noexcept { return children_; }
+
+    /// Context this object was created in.
+    [[nodiscard]] simulation_context& context() const noexcept { return *context_; }
+
+    /// Kind string for diagnostics ("module", "signal", ...).
+    [[nodiscard]] virtual const char* kind() const noexcept { return "object"; }
+
+protected:
+    /// Registers with the current simulation context and attaches to the
+    /// object on top of the construction stack (if any).
+    explicit object(std::string basename);
+
+private:
+    std::string basename_;
+    std::string full_name_;
+    object* parent_ = nullptr;
+    std::vector<object*> children_;
+    simulation_context* context_ = nullptr;
+};
+
+}  // namespace sca::de
+
+#endif  // SCA_KERNEL_OBJECT_HPP

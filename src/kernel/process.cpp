@@ -1,0 +1,85 @@
+#include "kernel/process.hpp"
+
+#include <utility>
+
+#include "kernel/context.hpp"
+#include "util/report.hpp"
+
+namespace sca::de {
+
+method_process::method_process(std::string name, std::function<void()> body,
+                               simulation_context& ctx)
+    : name_(std::move(name)), body_(std::move(body)), context_(&ctx) {
+    util::require(static_cast<bool>(body_), name_, "method body must not be null");
+    context_->sched().register_process(*this);
+}
+
+method_process::~method_process() {
+    for (event* e : static_sensitivity_) e->remove_static_subscriber(*this);
+    clear_dynamic_subscriptions();
+    context_->sched().unregister_process(*this);
+}
+
+void method_process::make_sensitive(event& e) {
+    static_sensitivity_.push_back(&e);
+    e.add_static_subscriber(*this);
+}
+
+void method_process::execute() {
+    method_process* previous = context_->running_process();
+    context_->set_running_process(this);
+    trigger_requested_ = false;
+    ++activations_;
+    body_();
+    context_->set_running_process(previous);
+    // If the body did not request a dynamic trigger, static sensitivity
+    // applies again (any previous dynamic wait was consumed by this run).
+    if (!trigger_requested_) {
+        dynamic_waiting_ = false;
+    }
+}
+
+void method_process::next_trigger(event& e) {
+    clear_dynamic_subscriptions();
+    e.add_dynamic_subscriber(*this);
+    dynamic_events_.push_back(&e);
+    dynamic_waiting_ = true;
+    trigger_requested_ = true;
+}
+
+void method_process::next_trigger(const time& delay) {
+    clear_dynamic_subscriptions();
+    if (!timeout_event_) timeout_event_ = std::make_unique<event>(name_ + ".timeout");
+    timeout_event_->notify(delay);
+    timeout_event_->add_dynamic_subscriber(*this);
+    dynamic_events_.push_back(timeout_event_.get());
+    dynamic_waiting_ = true;
+    trigger_requested_ = true;
+}
+
+void method_process::next_trigger(const time& delay, event& e) {
+    clear_dynamic_subscriptions();
+    if (!timeout_event_) timeout_event_ = std::make_unique<event>(name_ + ".timeout");
+    timeout_event_->notify(delay);
+    timeout_event_->add_dynamic_subscriber(*this);
+    dynamic_events_.push_back(timeout_event_.get());
+    e.add_dynamic_subscriber(*this);
+    dynamic_events_.push_back(&e);
+    dynamic_waiting_ = true;
+    trigger_requested_ = true;
+}
+
+void method_process::dynamic_trigger_fired() {
+    // One of the dynamic events fired; withdraw from all the others so this
+    // activation is one-shot.
+    clear_dynamic_subscriptions();
+    dynamic_waiting_ = false;
+}
+
+void method_process::clear_dynamic_subscriptions() {
+    for (event* e : dynamic_events_) e->remove_dynamic_subscriber(*this);
+    dynamic_events_.clear();
+    if (timeout_event_) timeout_event_->cancel();
+}
+
+}  // namespace sca::de

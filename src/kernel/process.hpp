@@ -1,0 +1,79 @@
+// Method processes: the kernel's unit of concurrent behavior.
+//
+// A method process is a callback executed to completion on every activation
+// (the SC_METHOD style).  Activation comes from its static sensitivity list
+// or from a one-shot dynamic trigger requested with next_trigger(); a dynamic
+// trigger overrides static sensitivity for exactly one activation, matching
+// SystemC semantics.
+#ifndef SCA_KERNEL_PROCESS_HPP
+#define SCA_KERNEL_PROCESS_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/event.hpp"
+#include "kernel/time.hpp"
+
+namespace sca::de {
+
+class simulation_context;
+
+class method_process {
+public:
+    method_process(std::string name, std::function<void()> body, simulation_context& ctx);
+    ~method_process();
+
+    method_process(const method_process&) = delete;
+    method_process& operator=(const method_process&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    /// Add an event to the static sensitivity list.
+    void make_sensitive(event& e);
+
+    /// Suppress the initial activation at simulation start.
+    void dont_initialize() noexcept { dont_initialize_ = true; }
+    [[nodiscard]] bool initialize() const noexcept { return !dont_initialize_; }
+
+    /// Execute the body once (scheduler only). Sets the running-process
+    /// context so next_trigger() calls inside the body land here.
+    void execute();
+
+    /// One-shot dynamic triggers (normally called via context::next_trigger).
+    void next_trigger(event& e);
+    void next_trigger(const time& delay);
+    void next_trigger(const time& delay, event& e);  // timeout or event
+
+    [[nodiscard]] bool dynamically_waiting() const noexcept { return dynamic_waiting_; }
+
+    /// Clear dynamic wait state when a dynamic trigger fires.
+    void dynamic_trigger_fired();
+
+    /// Scheduler bookkeeping: avoid double-queueing in one evaluation phase.
+    [[nodiscard]] bool queued() const noexcept { return queued_; }
+    void set_queued(bool q) noexcept { queued_ = q; }
+
+    /// Number of completed activations (diagnostics, benches).
+    [[nodiscard]] std::uint64_t activation_count() const noexcept { return activations_; }
+
+private:
+    void clear_dynamic_subscriptions();
+
+    std::string name_;
+    std::function<void()> body_;
+    simulation_context* context_;
+    std::vector<event*> static_sensitivity_;
+    std::unique_ptr<event> timeout_event_;  // lazily created for timed triggers
+    std::vector<event*> dynamic_events_;    // events we are dynamically waiting on
+    bool dynamic_waiting_ = false;
+    bool trigger_requested_ = false;  // next_trigger called during current execute()
+    bool dont_initialize_ = false;
+    bool queued_ = false;
+    std::uint64_t activations_ = 0;
+};
+
+}  // namespace sca::de
+
+#endif  // SCA_KERNEL_PROCESS_HPP

@@ -1,0 +1,115 @@
+#include "kernel/scheduler.hpp"
+
+#include <algorithm>
+
+#include "kernel/event.hpp"
+#include "kernel/process.hpp"
+#include "kernel/signal.hpp"
+#include "util/report.hpp"
+
+namespace sca::de {
+
+void scheduler::make_runnable(method_process& p) {
+    if (p.queued()) return;
+    p.set_queued(true);
+    runnable_.push_back(&p);
+}
+
+void scheduler::queue_delta_event(event& e) { delta_events_.push_back(&e); }
+
+void scheduler::queue_timed_event(event& e, const time& at) {
+    util::require(at >= now_, "scheduler", "timed notification in the past");
+    timed_queue_.emplace(at, timed_entry{&e, e.generation()});
+}
+
+void scheduler::request_update(signal_base& s) { update_queue_.push_back(&s); }
+
+void scheduler::register_process(method_process& p) { all_processes_.push_back(&p); }
+
+void scheduler::unregister_process(method_process& p) {
+    all_processes_.erase(std::remove(all_processes_.begin(), all_processes_.end(), &p),
+                         all_processes_.end());
+    runnable_.erase(std::remove(runnable_.begin(), runnable_.end(), &p), runnable_.end());
+}
+
+bool scheduler::idle() const noexcept {
+    return runnable_.empty() && delta_events_.empty() && update_queue_.empty() &&
+           timed_queue_.empty();
+}
+
+time scheduler::next_event_time() const noexcept {
+    if (timed_queue_.empty()) return time::max();
+    return timed_queue_.begin()->first;
+}
+
+void scheduler::initialization_phase() {
+    // All method processes run once at time zero unless dont_initialize().
+    for (method_process* p : all_processes_) {
+        if (p->initialize()) make_runnable(*p);
+    }
+    initialized_ = true;
+}
+
+void scheduler::evaluate_update_loop() {
+    while (!runnable_.empty() || !update_queue_.empty() || !delta_events_.empty()) {
+        // Evaluation phase: run every runnable process. Processes made
+        // runnable during this phase (immediate notification) run in the
+        // same phase.
+        while (!runnable_.empty()) {
+            method_process* p = runnable_.back();
+            runnable_.pop_back();
+            p->set_queued(false);
+            p->execute();
+        }
+        // Update phase: apply deferred signal writes.
+        auto updates = std::move(update_queue_);
+        update_queue_.clear();
+        for (signal_base* s : updates) s->update();
+        // Delta notification phase.
+        auto deltas = std::move(delta_events_);
+        delta_events_.clear();
+        bool any = false;
+        for (event* e : deltas) {
+            if (e->pending()) {
+                e->trigger();
+                any = true;
+            }
+        }
+        if (any || !runnable_.empty()) ++delta_count_;
+    }
+}
+
+time scheduler::run(const time& end) {
+    if (!initialized_) {
+        initialization_phase();
+        evaluate_update_loop();
+    }
+    while (!timed_queue_.empty()) {
+        const time next = timed_queue_.begin()->first;
+        if (next > end) break;
+        now_ = next;
+        // Pop and trigger every valid notification at this time point.
+        while (!timed_queue_.empty() && timed_queue_.begin()->first == now_) {
+            const timed_entry entry = timed_queue_.begin()->second;
+            timed_queue_.erase(timed_queue_.begin());
+            if (entry.generation == entry.ev->generation() && entry.ev->pending()) {
+                entry.ev->trigger();
+            }
+        }
+        evaluate_update_loop();
+    }
+    if (now_ < end) now_ = end;
+    return now_;
+}
+
+void scheduler::reset() {
+    now_ = time::zero();
+    delta_count_ = 0;
+    initialized_ = false;
+    runnable_.clear();
+    delta_events_.clear();
+    update_queue_.clear();
+    timed_queue_.clear();
+}
+
+}  // namespace sca::de

@@ -1,0 +1,74 @@
+// The discrete-event scheduler: evaluate / update / delta-notify cycles and
+// timed-event advance, following the SystemC simulation semantics the paper
+// builds on (§3 "SystemC-AMS must be an extension of the SystemC language").
+#ifndef SCA_KERNEL_SCHEDULER_HPP
+#define SCA_KERNEL_SCHEDULER_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kernel/time.hpp"
+
+namespace sca::de {
+
+class event;
+class method_process;
+class signal_base;
+
+class scheduler {
+public:
+    scheduler() = default;
+    scheduler(const scheduler&) = delete;
+    scheduler& operator=(const scheduler&) = delete;
+
+    [[nodiscard]] const time& now() const noexcept { return now_; }
+    [[nodiscard]] std::uint64_t delta_count() const noexcept { return delta_count_; }
+
+    // --- called by events / signals / processes ----------------------------
+    void make_runnable(method_process& p);
+    void queue_delta_event(event& e);
+    void queue_timed_event(event& e, const time& at);
+    void request_update(signal_base& s);
+
+    /// Register a process for the initialization phase.
+    void register_process(method_process& p);
+    void unregister_process(method_process& p);
+
+    // --- simulation control -------------------------------------------------
+    /// Run initialization then advance until `end` (inclusive) or until no
+    /// activity remains. Returns the time reached.
+    time run(const time& end);
+
+    /// True when no timed events, delta events, or runnables remain.
+    [[nodiscard]] bool idle() const noexcept;
+
+    /// Time of the next pending timed event (time::max() if none).
+    [[nodiscard]] time next_event_time() const noexcept;
+
+    void reset();
+
+private:
+    void initialization_phase();
+    /// One evaluate/update/delta sequence; returns true if any process ran.
+    void evaluate_update_loop();
+
+    time now_;
+    std::uint64_t delta_count_ = 0;
+    bool initialized_ = false;
+
+    std::vector<method_process*> all_processes_;
+    std::vector<method_process*> runnable_;
+    std::vector<event*> delta_events_;
+    std::vector<signal_base*> update_queue_;
+
+    struct timed_entry {
+        event* ev;
+        std::uint64_t generation;
+    };
+    std::multimap<time, timed_entry> timed_queue_;
+};
+
+}  // namespace sca::de
+
+#endif  // SCA_KERNEL_SCHEDULER_HPP

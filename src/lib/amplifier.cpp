@@ -1,0 +1,38 @@
+#include "lib/amplifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+amplifier::amplifier(const de::module_name& nm, double gain, double v_max, double v_min)
+    : tdf::module(nm), in("in"), out("out"), gain_(gain), v_max_(v_max), v_min_(v_min) {
+    util::require(v_max > v_min, name(), "saturation limits must satisfy v_max > v_min");
+}
+
+void amplifier::initialize() {
+    if (bandwidth_hz_ > 0.0) {
+        // Discrete one-pole equivalent of a continuous pole at bandwidth_hz_,
+        // exact step response match at the TDF rate.
+        const double h = timestep().to_seconds();
+        alpha_ = 1.0 - std::exp(-2.0 * std::numbers::pi * bandwidth_hz_ * h);
+    } else {
+        alpha_ = 1.0;
+    }
+}
+
+std::complex<double> amplifier::ac_response(double f) const {
+    if (bandwidth_hz_ <= 0.0) return {gain_, 0.0};
+    return gain_ / std::complex<double>(1.0, f / bandwidth_hz_);
+}
+
+void amplifier::processing() {
+    const double target = gain_ * (in.read() + offset_);
+    pole_state_ += alpha_ * (target - pole_state_);
+    out.write(std::clamp(pole_state_, v_min_, v_max_));
+}
+
+}  // namespace sca::lib

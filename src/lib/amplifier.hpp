@@ -1,0 +1,47 @@
+// Behavioral amplifier (paper phase 2: "more complex functional (signal-flow)
+// models, e.g. amplifiers").  Gain, optional single-pole bandwidth limit,
+// and supply-rail saturation; saturation makes it a nonlinearity test
+// vehicle for distortion measurements.
+#ifndef SCA_LIB_AMPLIFIER_HPP
+#define SCA_LIB_AMPLIFIER_HPP
+
+#include <complex>
+
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+class amplifier : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    amplifier(const de::module_name& nm, double gain, double v_max = 1e12,
+              double v_min = -1e12);
+
+    /// Single-pole bandwidth limit (Hz); 0 disables it.
+    void set_bandwidth(double hz) { bandwidth_hz_ = hz; }
+    /// Input-referred offset voltage.
+    void set_offset(double v) { offset_ = v; }
+
+    void set_attributes() override {}
+    void initialize() override;
+    void processing() override;
+
+    /// Linearized small-signal model: gain with a single pole at the
+    /// configured bandwidth (saturation ignored, as usual for AC).
+    [[nodiscard]] bool has_ac_model() const override { return true; }
+    [[nodiscard]] std::complex<double> ac_response(double f) const override;
+
+private:
+    double gain_;
+    double v_max_, v_min_;
+    double bandwidth_hz_ = 0.0;
+    double offset_ = 0.0;
+    double pole_state_ = 0.0;
+    double alpha_ = 1.0;  // one-pole smoothing coefficient
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_AMPLIFIER_HPP

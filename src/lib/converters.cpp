@@ -1,0 +1,96 @@
+#include "lib/converters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+// --------------------------------------------------------------- sample_hold
+
+sample_hold::sample_hold(const de::module_name& nm, unsigned hold_factor)
+    : tdf::module(nm), in("in"), out("out"), hold_factor_(hold_factor) {
+    util::require(hold_factor >= 1, name(), "hold factor must be >= 1");
+}
+
+void sample_hold::set_attributes() { out.set_rate(hold_factor_); }
+
+void sample_hold::processing() {
+    held_ = in.read();
+    for (unsigned k = 0; k < hold_factor_; ++k) out.write(held_, k);
+}
+
+// ---------------------------------------------------------------- comparator
+
+comparator::comparator(const de::module_name& nm, double threshold, double hysteresis)
+    : tdf::module(nm), in("in"), out("out"), de_out("de_out"), threshold_(threshold),
+      hysteresis_(hysteresis) {
+    util::require(hysteresis >= 0.0, name(), "hysteresis must be non-negative");
+    de_out.set_optional();
+}
+
+void comparator::processing() {
+    const double x = in.read();
+    if (state_) {
+        if (x < threshold_ - hysteresis_ / 2.0) state_ = false;
+    } else {
+        if (x > threshold_ + hysteresis_ / 2.0) state_ = true;
+    }
+    out.write(state_);
+    if (de_enabled_) de_out.write(state_);
+}
+
+// ----------------------------------------------------------------------- adc
+
+adc::adc(const de::module_name& nm, unsigned bits, double vref)
+    : tdf::module(nm), in("in"), code("code"), quantized("quantized"), bits_(bits),
+      vref_(vref) {
+    util::require(bits >= 1 && bits <= 62, name(), "bits must be in [1, 62]");
+    util::require(vref > 0.0, name(), "vref must be positive");
+    lsb_ = 2.0 * vref / std::pow(2.0, static_cast<double>(bits));
+    max_code_ = (std::int64_t{1} << (bits - 1)) - 1;
+    min_code_ = -(std::int64_t{1} << (bits - 1));
+}
+
+void adc::processing() {
+    const double x = in.read();
+    auto q = static_cast<std::int64_t>(std::floor(x / lsb_));
+    q = std::clamp(q, min_code_, max_code_);
+    code.write(q);
+    quantized.write((static_cast<double>(q) + 0.5) * lsb_);
+}
+
+// ----------------------------------------------------------------------- dac
+
+dac::dac(const de::module_name& nm, unsigned bits, double vref)
+    : tdf::module(nm), code("code"), out("out"), bits_(bits), vref_(vref) {
+    util::require(bits >= 1 && bits <= 62, name(), "bits must be in [1, 62]");
+    util::require(vref > 0.0, name(), "vref must be positive");
+    lsb_ = 2.0 * vref / std::pow(2.0, static_cast<double>(bits));
+    bit_weight_.resize(bits);
+    for (unsigned b = 0; b < bits; ++b) {
+        bit_weight_[b] = lsb_ * std::pow(2.0, static_cast<double>(b));
+    }
+}
+
+void dac::set_bit_errors(std::vector<double> rel_errors) {
+    util::require(rel_errors.size() == bits_, name(), "one error per bit required");
+    for (unsigned b = 0; b < bits_; ++b) {
+        bit_weight_[b] = lsb_ * std::pow(2.0, static_cast<double>(b)) * (1.0 + rel_errors[b]);
+    }
+}
+
+void dac::processing() {
+    // Offset-binary decode of the signed code.
+    const std::int64_t offset = std::int64_t{1} << (bits_ - 1);
+    std::int64_t u = code.read() + offset;
+    u = std::clamp<std::int64_t>(u, 0, (std::int64_t{1} << bits_) - 1);
+    double v = -vref_;
+    for (unsigned b = 0; b < bits_; ++b) {
+        if ((u >> b) & 1) v += bit_weight_[b];
+    }
+    out.write(v + 0.5 * lsb_);
+}
+
+}  // namespace sca::lib

@@ -1,0 +1,30 @@
+#include "lib/external_ode.hpp"
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+external_ode::external_ode(const de::module_name& nm,
+                           std::unique_ptr<solver::external_solver> engine,
+                           std::size_t output_state)
+    : tdf::module(nm), in("in"), out("out"), engine_(std::move(engine)),
+      output_state_(output_state) {
+    util::require(engine_ != nullptr, name(), "null external solver");
+}
+
+void external_ode::processing() {
+    const double h = timestep().to_seconds();
+    const double t = tdf_time().to_seconds();
+    if (first_) {
+        first_ = false;
+        // First activation publishes the initial state; stepping starts at
+        // the second sample, mirroring the embedded DAE modules.
+    } else {
+        engine_->advance(t - h, h, {in.read()});
+    }
+    const auto& x = engine_->state();
+    util::require(output_state_ < x.size(), name(), "output state index out of range");
+    out.write(x[output_state_]);
+}
+
+}  // namespace sca::lib

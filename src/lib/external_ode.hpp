@@ -1,0 +1,38 @@
+// TDF wrapper around an external continuous-time engine — the executable
+// demonstration of the paper's open solver-coupling objective (§3 "coupling
+// with existing continuous-time simulators").  The wrapped engine (the
+// in-tree RK4 stand-in, or any user-provided external_solver) advances the
+// foreign model one TDF step per activation with zero-order-hold inputs.
+#ifndef SCA_LIB_EXTERNAL_ODE_HPP
+#define SCA_LIB_EXTERNAL_ODE_HPP
+
+#include <memory>
+
+#include "solver/external.hpp"
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+class external_ode : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    /// The wrapped engine must already be configured; `output_state` selects
+    /// which state variable drives the TDF output.
+    external_ode(const de::module_name& nm, std::unique_ptr<solver::external_solver> engine,
+                 std::size_t output_state = 0);
+
+    void processing() override;
+
+    [[nodiscard]] solver::external_solver& engine() noexcept { return *engine_; }
+
+private:
+    std::unique_ptr<solver::external_solver> engine_;
+    std::size_t output_state_;
+    bool first_ = true;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_EXTERNAL_ODE_HPP

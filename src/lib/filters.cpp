@@ -1,0 +1,147 @@
+#include "lib/filters.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+// ----------------------------------------------------------------------- fir
+
+fir::fir(const de::module_name& nm, std::vector<double> taps)
+    : tdf::module(nm), in("in"), out("out"), taps_(std::move(taps)) {
+    util::require(!taps_.empty(), name(), "FIR needs at least one tap");
+    delay_.assign(taps_.size(), 0.0);
+}
+
+void fir::processing() {
+    delay_[pos_] = in.read();
+    double acc = 0.0;
+    std::size_t j = pos_;
+    for (double tap : taps_) {
+        acc += tap * delay_[j];
+        j = (j == 0) ? delay_.size() - 1 : j - 1;
+    }
+    pos_ = (pos_ + 1) % delay_.size();
+    out.write(acc);
+}
+
+std::complex<double> fir::ac_response(double f) const {
+    // H(e^{jwT}) with T the resolved port timestep.
+    const double t = timestep().to_seconds();
+    util::require(t > 0.0, name(), "ac_response before elaboration");
+    std::complex<double> h = 0.0;
+    for (std::size_t k = 0; k < taps_.size(); ++k) {
+        const double phi = -2.0 * std::numbers::pi * f * t * static_cast<double>(k);
+        h += taps_[k] * std::complex<double>(std::cos(phi), std::sin(phi));
+    }
+    return h;
+}
+
+std::vector<double> fir::design_lowpass(std::size_t n_taps, double fc_norm) {
+    util::require(n_taps >= 3, "fir::design_lowpass", "need at least 3 taps");
+    util::require(fc_norm > 0.0 && fc_norm < 0.5, "fir::design_lowpass",
+                  "cutoff must be in (0, 0.5) of the sample rate");
+    std::vector<double> taps(n_taps);
+    const double m = static_cast<double>(n_taps - 1);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n_taps; ++i) {
+        const double x = static_cast<double>(i) - m / 2.0;
+        const double sinc = x == 0.0 ? 2.0 * fc_norm
+                                     : std::sin(2.0 * std::numbers::pi * fc_norm * x) /
+                                           (std::numbers::pi * x);
+        const double hamming =
+            0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * static_cast<double>(i) / m);
+        taps[i] = sinc * hamming;
+        sum += taps[i];
+    }
+    for (double& t : taps) t /= sum;  // unity DC gain
+    return taps;
+}
+
+// ------------------------------------------------------------------ bilinear
+
+biquad_coefficients bilinear(const std::vector<double>& num, const std::vector<double>& den,
+                             double fs) {
+    util::require(fs > 0.0, "bilinear", "sample rate must be positive");
+    util::require(num.size() <= 3 && den.size() <= 3 && !den.empty(), "bilinear",
+                  "analog sections of degree <= 2 only");
+    const double k = 2.0 * fs;  // s <- k (1 - z^-1) / (1 + z^-1)
+    auto c = [&](const std::vector<double>& p, std::size_t i) {
+        return i < p.size() ? p[i] : 0.0;
+    };
+    // Substitute and collect powers of z^-1:
+    //   p0 + p1 s + p2 s^2  ->  (p0 (1+z)^2 + p1 k (1-z)(1+z) + p2 k^2 (1-z)^2) / (1+z)^2
+    const double n0 = c(num, 0) + c(num, 1) * k + c(num, 2) * k * k;
+    const double n1 = 2.0 * c(num, 0) - 2.0 * c(num, 2) * k * k;
+    const double n2 = c(num, 0) - c(num, 1) * k + c(num, 2) * k * k;
+    const double d0 = c(den, 0) + c(den, 1) * k + c(den, 2) * k * k;
+    const double d1 = 2.0 * c(den, 0) - 2.0 * c(den, 2) * k * k;
+    const double d2 = c(den, 0) - c(den, 1) * k + c(den, 2) * k * k;
+    util::require(d0 != 0.0, "bilinear", "degenerate denominator after transform");
+    return {n0 / d0, n1 / d0, n2 / d0, d1 / d0, d2 / d0};
+}
+
+// -------------------------------------------------------------------- biquad
+
+biquad::biquad(const de::module_name& nm, biquad_coefficients c)
+    : tdf::module(nm), in("in"), out("out"), c_(c) {}
+
+std::complex<double> biquad::ac_response(double f) const {
+    const double t = timestep().to_seconds();
+    util::require(t > 0.0, name(), "ac_response before elaboration");
+    const double w = 2.0 * std::numbers::pi * f * t;
+    const std::complex<double> z1(std::cos(-w), std::sin(-w));
+    const std::complex<double> z2 = z1 * z1;
+    return (c_.b0 + c_.b1 * z1 + c_.b2 * z2) / (1.0 + c_.a1 * z1 + c_.a2 * z2);
+}
+
+void biquad::processing() {
+    const double x = in.read();
+    const double y = c_.b0 * x + c_.b1 * x1_ + c_.b2 * x2_ - c_.a1 * y1_ - c_.a2 * y2_;
+    x2_ = x1_;
+    x1_ = x;
+    y2_ = y1_;
+    y1_ = y;
+    out.write(y);
+}
+
+// ----------------------------------------------------------------- decimator
+
+decimator::decimator(const de::module_name& nm, unsigned factor, bool average)
+    : tdf::module(nm), in("in"), out("out"), factor_(factor), average_(average) {
+    util::require(factor >= 1, name(), "decimation factor must be >= 1");
+}
+
+void decimator::set_attributes() { in.set_rate(factor_); }
+
+void decimator::processing() {
+    if (average_) {
+        double acc = 0.0;
+        for (unsigned k = 0; k < factor_; ++k) acc += in.read(k);
+        out.write(acc / factor_);
+    } else {
+        out.write(in.read(factor_ - 1));
+    }
+}
+
+// -------------------------------------------------------------- interpolator
+
+interpolator::interpolator(const de::module_name& nm, unsigned factor)
+    : tdf::module(nm), in("in"), out("out"), factor_(factor) {
+    util::require(factor >= 1, name(), "interpolation factor must be >= 1");
+}
+
+void interpolator::set_attributes() { out.set_rate(factor_); }
+
+void interpolator::processing() {
+    const double x = in.read();
+    for (unsigned k = 0; k < factor_; ++k) {
+        const double u = static_cast<double>(k + 1) / static_cast<double>(factor_);
+        out.write(previous_ + u * (x - previous_), k);
+    }
+    previous_ = x;
+}
+
+}  // namespace sca::lib

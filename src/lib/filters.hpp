@@ -1,0 +1,107 @@
+// Discrete-time filters for the dataflow world: FIR, biquad IIR (with
+// bilinear-transform design from analog prototypes), and the multirate
+// decimator/interpolator blocks the codec scenarios need (paper §2: signal
+// processing applications "executing operations such as (de)coding,
+// compressing, or filtering data streams with fixed sampling rates").
+#ifndef SCA_LIB_FILTERS_HPP
+#define SCA_LIB_FILTERS_HPP
+
+#include <complex>
+#include <deque>
+#include <vector>
+
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+/// Direct-form FIR filter.
+class fir : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    fir(const de::module_name& nm, std::vector<double> taps);
+
+    void processing() override;
+
+    /// z-domain frequency response at the module's resolved sample rate.
+    [[nodiscard]] bool has_ac_model() const override { return true; }
+    [[nodiscard]] std::complex<double> ac_response(double f) const override;
+
+    [[nodiscard]] const std::vector<double>& taps() const noexcept { return taps_; }
+
+    /// Windowed-sinc lowpass design: cutoff as a fraction of the sample rate
+    /// (0 < fc < 0.5), Hamming window.
+    static std::vector<double> design_lowpass(std::size_t n_taps, double fc_norm);
+
+private:
+    std::vector<double> taps_;
+    std::vector<double> delay_;
+    std::size_t pos_ = 0;
+};
+
+/// z-domain biquad section: y = (b0 x + b1 x1 + b2 x2) - a1 y1 - a2 y2.
+struct biquad_coefficients {
+    double b0, b1, b2;
+    double a1, a2;
+};
+
+/// Bilinear transform of an analog biquad num/den (ascending s powers,
+/// degree <= 2) at sample rate fs.
+[[nodiscard]] biquad_coefficients bilinear(const std::vector<double>& num,
+                                           const std::vector<double>& den, double fs);
+
+class biquad : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    biquad(const de::module_name& nm, biquad_coefficients c);
+
+    void processing() override;
+
+    [[nodiscard]] bool has_ac_model() const override { return true; }
+    [[nodiscard]] std::complex<double> ac_response(double f) const override;
+
+private:
+    biquad_coefficients c_;
+    double x1_ = 0.0, x2_ = 0.0, y1_ = 0.0, y2_ = 0.0;
+};
+
+/// Rate decimator: consumes `factor` samples, produces their average (or the
+/// last sample when `average` is false).
+class decimator : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    decimator(const de::module_name& nm, unsigned factor, bool average = true);
+
+    void set_attributes() override;
+    void processing() override;
+
+private:
+    unsigned factor_;
+    bool average_;
+};
+
+/// Rate interpolator: consumes one sample, produces `factor` linearly
+/// interpolated samples.
+class interpolator : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    interpolator(const de::module_name& nm, unsigned factor);
+
+    void set_attributes() override;
+    void processing() override;
+
+private:
+    unsigned factor_;
+    double previous_ = 0.0;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_FILTERS_HPP

@@ -1,0 +1,14 @@
+#include "lib/mixer.hpp"
+
+namespace sca::lib {
+
+mixer::mixer(const de::module_name& nm, double conversion_gain)
+    : tdf::module(nm), rf("rf"), lo("lo"), out("out"), gain_(conversion_gain) {}
+
+void mixer::processing() {
+    const double vrf = rf.read();
+    const double vlo = lo.read();
+    out.write(gain_ * vrf * vlo + rf_feedthrough_ * vrf + lo_feedthrough_ * vlo);
+}
+
+}  // namespace sca::lib

@@ -1,0 +1,35 @@
+// RF building blocks: multiplying mixer with optional conversion gain and
+// feed-through terms (paper §2: RF transceiver design at system level "is
+// usually done using dataflow models to improve simulation efficiency").
+#ifndef SCA_LIB_MIXER_HPP
+#define SCA_LIB_MIXER_HPP
+
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+class mixer : public tdf::module {
+public:
+    tdf::in<double> rf;
+    tdf::in<double> lo;
+    tdf::out<double> out;
+
+    explicit mixer(const de::module_name& nm, double conversion_gain = 1.0);
+
+    /// RF and LO feed-through fractions model port isolation limits.
+    void set_feedthrough(double rf_ft, double lo_ft) {
+        rf_feedthrough_ = rf_ft;
+        lo_feedthrough_ = lo_ft;
+    }
+
+    void processing() override;
+
+private:
+    double gain_;
+    double rf_feedthrough_ = 0.0;
+    double lo_feedthrough_ = 0.0;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_MIXER_HPP

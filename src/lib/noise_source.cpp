@@ -1,0 +1,23 @@
+#include "lib/noise_source.hpp"
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+gaussian_noise_source::gaussian_noise_source(const de::module_name& nm, double rms,
+                                             unsigned seed)
+    : tdf::module(nm), out("out"), rng_(seed), dist_(0.0, rms) {
+    util::require(rms >= 0.0, name(), "rms must be non-negative");
+}
+
+void gaussian_noise_source::processing() { out.write(dist_(rng_)); }
+
+uniform_noise_source::uniform_noise_source(const de::module_name& nm, double amplitude,
+                                           unsigned seed)
+    : tdf::module(nm), out("out"), rng_(seed), dist_(-amplitude, amplitude) {
+    util::require(amplitude >= 0.0, name(), "amplitude must be non-negative");
+}
+
+void uniform_noise_source::processing() { out.write(dist_(rng_)); }
+
+}  // namespace sca::lib

@@ -1,0 +1,43 @@
+// Stochastic TDF sources: Gaussian white noise and uniform dither, for
+// time-domain noise studies complementary to the small-signal noise solver.
+#ifndef SCA_LIB_NOISE_SOURCE_HPP
+#define SCA_LIB_NOISE_SOURCE_HPP
+
+#include <random>
+
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+/// Gaussian white-noise source with the given RMS value; with a fixed seed
+/// runs are reproducible.
+class gaussian_noise_source : public tdf::module {
+public:
+    tdf::out<double> out;
+
+    gaussian_noise_source(const de::module_name& nm, double rms, unsigned seed = 1);
+
+    void processing() override;
+
+private:
+    std::mt19937 rng_;
+    std::normal_distribution<double> dist_;
+};
+
+/// Uniform dither in [-amplitude, +amplitude].
+class uniform_noise_source : public tdf::module {
+public:
+    tdf::out<double> out;
+
+    uniform_noise_source(const de::module_name& nm, double amplitude, unsigned seed = 1);
+
+    void processing() override;
+
+private:
+    std::mt19937 rng_;
+    std::uniform_real_distribution<double> dist_;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_NOISE_SOURCE_HPP

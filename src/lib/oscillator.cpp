@@ -1,0 +1,36 @@
+#include "lib/oscillator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sca::lib {
+
+sine_source::sine_source(const de::module_name& nm, double amplitude, double frequency,
+                         double phase_rad, double offset)
+    : tdf::module(nm), out("out"), amplitude_(amplitude), frequency_(frequency),
+      phase_(phase_rad), offset_(offset) {}
+
+void sine_source::processing() {
+    const double t = tdf_time().to_seconds();
+    out.write(offset_ +
+              amplitude_ * std::sin(2.0 * std::numbers::pi * frequency_ * t + phase_));
+}
+
+quadrature_oscillator::quadrature_oscillator(const de::module_name& nm, double amplitude,
+                                             double frequency)
+    : tdf::module(nm), out_i("out_i"), out_q("out_q"), amplitude_(amplitude),
+      frequency_(frequency) {}
+
+void quadrature_oscillator::processing() {
+    const double t = tdf_time().to_seconds();
+    const double w = 2.0 * std::numbers::pi * frequency_ * t;
+    out_i.write(amplitude_ * std::cos(w));
+    out_q.write(amplitude_ * std::sin(w));
+}
+
+waveform_source::waveform_source(const de::module_name& nm, util::waveform w)
+    : tdf::module(nm), out("out"), wave_(std::move(w)) {}
+
+void waveform_source::processing() { out.write(wave_.at(tdf_time().to_seconds())); }
+
+}  // namespace sca::lib

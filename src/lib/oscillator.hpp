@@ -1,0 +1,54 @@
+// Signal generators for the dataflow world: sine source, quadrature local
+// oscillator, and a generic waveform source driven by util::waveform.
+#ifndef SCA_LIB_OSCILLATOR_HPP
+#define SCA_LIB_OSCILLATOR_HPP
+
+#include "tdf/module.hpp"
+#include "util/waveform.hpp"
+
+namespace sca::lib {
+
+/// Sine source with optional phase-noise-like random phase walk.
+class sine_source : public tdf::module {
+public:
+    tdf::out<double> out;
+
+    sine_source(const de::module_name& nm, double amplitude, double frequency,
+                double phase_rad = 0.0, double offset = 0.0);
+
+    void processing() override;
+
+private:
+    double amplitude_, frequency_, phase_, offset_;
+};
+
+/// Quadrature oscillator producing I (cos) and Q (sin) outputs.
+class quadrature_oscillator : public tdf::module {
+public:
+    tdf::out<double> out_i;
+    tdf::out<double> out_q;
+
+    quadrature_oscillator(const de::module_name& nm, double amplitude, double frequency);
+
+    void processing() override;
+
+private:
+    double amplitude_, frequency_;
+};
+
+/// Arbitrary waveform source.
+class waveform_source : public tdf::module {
+public:
+    tdf::out<double> out;
+
+    waveform_source(const de::module_name& nm, util::waveform w);
+
+    void processing() override;
+
+private:
+    util::waveform wave_;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_OSCILLATOR_HPP

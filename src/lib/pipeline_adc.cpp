@@ -1,0 +1,67 @@
+#include "lib/pipeline_adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+pipeline_adc::pipeline_adc(const de::module_name& nm, unsigned stages, double vref)
+    : tdf::module(nm), in("in"), code("code"), analog_estimate("analog_estimate"),
+      stages_(stages), vref_(vref) {
+    util::require(stages >= 1 && stages <= 20, name(), "stages must be in [1, 20]");
+    util::require(vref > 0.0, name(), "vref must be positive");
+    params_.assign(stages, {});
+}
+
+void pipeline_adc::set_stage_params(std::vector<pipeline_stage_params> params) {
+    util::require(params.size() == stages_, name(), "one parameter set per stage required");
+    params_ = std::move(params);
+}
+
+void pipeline_adc::processing() {
+    double residue = std::clamp(in.read(), -vref_, vref_);
+    // With digital correction: 1.5-bit stages (decisions at +/- vref/4, codes
+    // d in {-1, 0, +1}); the inter-stage redundancy absorbs comparator
+    // offsets up to vref/4.  Without correction: plain binary stages
+    // (decision at 0, d in {-1, +1}) whose residue leaves the valid range as
+    // soon as a comparator decides wrongly — the failure mode the redundancy
+    // exists to fix ([2]).
+    std::vector<int> d(stages_);
+    for (unsigned s = 0; s < stages_; ++s) {
+        const double v = residue + params_[s].offset;
+        int ds = 0;
+        if (correction_) {
+            ds = v > vref_ / 4.0 ? 1 : (v < -vref_ / 4.0 ? -1 : 0);
+        } else {
+            ds = v >= 0.0 ? 1 : -1;
+        }
+        d[s] = ds;
+        const double gain = 2.0 * (1.0 + params_[s].gain_error);
+        residue = gain * residue - static_cast<double>(ds) * vref_ *
+                                      (1.0 + params_[s].gain_error);
+        residue = std::clamp(residue, -2.0 * vref_, 2.0 * vref_);
+    }
+    // Final 1-bit flash.
+    const int last = residue >= 0.0 ? 1 : -1;
+
+    // Recombination: code = sum d_s * 2^(stages - s) + last.
+    std::int64_t out_code = 0;
+    for (unsigned s = 0; s < stages_; ++s) {
+        const std::int64_t weight = std::int64_t{1}
+                                    << static_cast<std::int64_t>(stages_ - s);
+        out_code += static_cast<std::int64_t>(d[s]) * weight;
+    }
+    out_code += last;
+
+    const std::int64_t max_code = (std::int64_t{1} << (stages_ + 1)) - 1;
+    out_code = std::clamp<std::int64_t>(out_code, -max_code - 1, max_code);
+    code.write(out_code);
+    // Reconstruction with an ideal backend: LSB = vref / 2^stages ... the
+    // code spans [-2^(stages+1), 2^(stages+1)-1] over [-vref, vref).
+    analog_estimate.write(static_cast<double>(out_code) * vref_ /
+                          std::pow(2.0, static_cast<double>(stages_ + 1)));
+}
+
+}  // namespace sca::lib

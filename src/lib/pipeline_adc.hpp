@@ -1,0 +1,54 @@
+// Pipelined A/D converter with per-stage errors and digital correction —
+// the seed-work scenario of Bonnerud et al. [2] (paper §4): functional-level
+// exploration of pipelined architectures with accuracy comparable to a
+// numerical reference.
+//
+// Each 1.5-bit stage resolves a coarse code and produces an amplified
+// residue; redundancy plus digital correction absorbs comparator offsets.
+// Per-stage gain error and offset model the analog impairments whose effect
+// the digital noise cancellation in [2] explores.
+#ifndef SCA_LIB_PIPELINE_ADC_HPP
+#define SCA_LIB_PIPELINE_ADC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+struct pipeline_stage_params {
+    double gain_error = 0.0;   // relative error of the x2 residue amplifier
+    double offset = 0.0;       // comparator offset (volts)
+};
+
+class pipeline_adc : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<std::int64_t> code;
+    tdf::out<double> analog_estimate;  // reconstructed value (ideal backend DAC)
+
+    /// `stages` 1.5-bit stages + final 1-bit flash => stages+1 output bits.
+    pipeline_adc(const de::module_name& nm, unsigned stages, double vref);
+
+    /// Inject per-stage impairments (defaults are ideal).
+    void set_stage_params(std::vector<pipeline_stage_params> params);
+
+    /// Disable the redundancy-based digital correction (raw binary
+    /// recombination) to demonstrate why correction matters.
+    void set_digital_correction(bool on) noexcept { correction_ = on; }
+
+    void processing() override;
+
+    [[nodiscard]] unsigned bits() const noexcept { return stages_ + 1; }
+
+private:
+    unsigned stages_;
+    double vref_;
+    bool correction_ = true;
+    std::vector<pipeline_stage_params> params_;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_PIPELINE_ADC_HPP

@@ -1,0 +1,53 @@
+// Phase-locked loop (paper phase 2: RF/wireless building blocks).
+//
+// A compact behavioral PLL in one TDF module: multiplying phase detector,
+// one-pole loop filter, PI control, and a voltage-controlled oscillator.
+// Keeping the loop internal avoids inserting cluster-schedule delays into
+// the feedback path, which would distort the loop dynamics.
+#ifndef SCA_LIB_PLL_HPP
+#define SCA_LIB_PLL_HPP
+
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+class pll : public tdf::module {
+public:
+    tdf::in<double> ref;      // reference input (around f0)
+    tdf::out<double> out;     // VCO output
+    tdf::out<double> control;  // loop control voltage (for lock detection)
+
+    /// `f0` free-running VCO frequency, `kv` VCO gain (Hz/V),
+    /// `loop_bw` loop-filter bandwidth (Hz).
+    pll(const de::module_name& nm, double f0, double kv, double loop_bw);
+
+    /// PI controller gains (defaults give a well-damped lock for
+    /// loop_bw ~ f0/100).
+    void set_pi_gains(double kp, double ki) {
+        kp_ = kp;
+        ki_ = ki;
+    }
+
+    void initialize() override;
+    void processing() override;
+
+    /// Instantaneous VCO frequency (valid during simulation).
+    [[nodiscard]] double vco_frequency() const noexcept { return f_now_; }
+
+private:
+    double f0_;
+    double kv_;
+    double loop_bw_;
+    double kp_ = 4.0;
+    double ki_ = 4000.0;
+    double h_ = 0.0;        // resolved timestep
+    double alpha_ = 1.0;    // loop-filter smoothing coefficient
+    double phase_ = 0.0;    // VCO phase
+    double lf_state_ = 0.0;  // loop-filter state
+    double integ_ = 0.0;     // PI integrator
+    double f_now_ = 0.0;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_PLL_HPP

@@ -1,0 +1,42 @@
+#include "lib/pwm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+pwm::pwm(const de::module_name& nm, const de::time& period)
+    : de::module(nm), duty("duty"), out("out"), period_(period) {
+    util::require(period > de::time::zero(), name(), "PWM period must be positive");
+    declare_method("step", [this] { step(); });
+}
+
+void pwm::step() {
+    if (!phase_high_) {
+        // Start of a period: sample the duty command.
+        const double d = std::clamp(duty.read(), 0.0, 1.0);
+        current_high_ = de::time::from_fs(static_cast<std::int64_t>(
+            std::llround(static_cast<double>(period_.value_fs()) * d)));
+        if (current_high_ > de::time::zero()) {
+            out.write(true);
+            phase_high_ = true;
+            if (current_high_ < period_) {
+                next_trigger(current_high_);
+            } else {  // 100% duty: stay high a whole period
+                phase_high_ = false;
+                next_trigger(period_);
+            }
+        } else {  // 0% duty
+            out.write(false);
+            next_trigger(period_);
+        }
+    } else {
+        out.write(false);
+        phase_high_ = false;
+        next_trigger(period_ - current_high_);
+    }
+}
+
+}  // namespace sca::lib

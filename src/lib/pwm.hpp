@@ -1,0 +1,32 @@
+// Event-driven PWM generator (paper §4 [8]: power drivers with PWM control
+// from the discrete world).  Pure DE module: two timed self-triggers per
+// period, duty updated from a DE signal at each period boundary.
+#ifndef SCA_LIB_PWM_HPP
+#define SCA_LIB_PWM_HPP
+
+#include "kernel/module.hpp"
+#include "kernel/signal.hpp"
+
+namespace sca::lib {
+
+class pwm : public de::module {
+public:
+    /// Duty command in [0,1]; sampled at each period start.
+    de::in<double> duty;
+    de::out<bool> out;
+
+    pwm(const de::module_name& nm, const de::time& period);
+
+    [[nodiscard]] const de::time& period() const noexcept { return period_; }
+
+private:
+    void step();
+
+    de::time period_;
+    bool phase_high_ = false;
+    de::time current_high_;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_PWM_HPP

@@ -1,0 +1,71 @@
+#include "lib/sigma_delta.hpp"
+
+#include <algorithm>
+
+#include "util/report.hpp"
+
+namespace sca::lib {
+
+sigma_delta_modulator::sigma_delta_modulator(const de::module_name& nm, unsigned order,
+                                             double vref)
+    : tdf::module(nm), in("in"), out("out"), order_(order), vref_(vref) {
+    util::require(order == 1 || order == 2, name(), "order must be 1 or 2");
+    util::require(vref > 0.0, name(), "vref must be positive");
+}
+
+void sigma_delta_modulator::processing() {
+    const double x = in.read();
+    double quantizer_in = 0.0;
+    if (order_ == 1) {
+        int1_ += x - (int1_ >= 0.0 ? vref_ : -vref_);
+        quantizer_in = int1_;
+    } else {
+        // Classic 2nd-order loop: two integrators, feedback into both.
+        const double fb = int2_ >= 0.0 ? vref_ : -vref_;
+        int1_ += x - fb;
+        int2_ += int1_ - fb;
+        quantizer_in = int2_;
+    }
+    out.write(quantizer_in >= 0.0 ? vref_ : -vref_);
+}
+
+sinc3_decimator::sinc3_decimator(const de::module_name& nm, unsigned osr)
+    : tdf::module(nm), in("in"), out("out"), osr_(osr) {
+    util::require(osr >= 2, name(), "oversampling ratio must be >= 2");
+    window_.assign(3UL * osr, 0.0);
+}
+
+void sinc3_decimator::set_attributes() { in.set_rate(osr_); }
+
+void sinc3_decimator::processing() {
+    // Shift the 3*OSR window by OSR new samples, then apply the triangular^2
+    // (sinc^3) weighting.
+    const std::size_t n = window_.size();
+    for (std::size_t i = 0; i + osr_ < n; ++i) window_[i] = window_[i + osr_];
+    for (unsigned k = 0; k < osr_; ++k) window_[n - osr_ + k] = in.read(k);
+
+    // sinc^3 kernel = triple convolution of a length-OSR boxcar.
+    double acc = 0.0;
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Triangle-of-triangle weight via closed form: w(i) grows, plateaus,
+        // and falls symmetrically; compute by counting boxcar overlaps.
+        const auto m = static_cast<long>(osr_);
+        const long x = static_cast<long>(i);
+        long w = 0;
+        // Number of (a,b) pairs with a+b+c = x, 0 <= a,b,c < m.
+        const long lo = std::max(0L, x - 2 * (m - 1));
+        const long hi = std::min(static_cast<long>(m - 1), x);
+        for (long a = lo; a <= hi; ++a) {
+            const long rem = x - a;
+            const long bmin = std::max(0L, rem - (m - 1));
+            const long bmax = std::min(m - 1, rem);
+            if (bmax >= bmin) w += bmax - bmin + 1;
+        }
+        acc += static_cast<double>(w) * window_[i];
+        norm += static_cast<double>(w);
+    }
+    out.write(acc / norm);
+}
+
+}  // namespace sca::lib

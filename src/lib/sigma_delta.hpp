@@ -1,0 +1,52 @@
+// Discrete-time sigma-delta modulators and the matching sinc decimation
+// filter (the "sigma-delta prefi/pofi" blocks of the paper's Figure 1 ADSL
+// codec).  First- and second-order single-bit modulators with the classic
+// noise-shaping behavior, testable via the SNR-vs-OSR sweep.
+#ifndef SCA_LIB_SIGMA_DELTA_HPP
+#define SCA_LIB_SIGMA_DELTA_HPP
+
+#include <vector>
+
+#include "tdf/module.hpp"
+
+namespace sca::lib {
+
+/// Single-bit sigma-delta modulator (order 1 or 2); output is +/- vref.
+class sigma_delta_modulator : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    sigma_delta_modulator(const de::module_name& nm, unsigned order = 2,
+                          double vref = 1.0);
+
+    void processing() override;
+
+private:
+    unsigned order_;
+    double vref_;
+    double int1_ = 0.0;
+    double int2_ = 0.0;
+};
+
+/// Third-order sinc (CIC-style) decimator matched to a sigma-delta stream:
+/// consumes `osr` samples per output sample.
+class sinc3_decimator : public tdf::module {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    sinc3_decimator(const de::module_name& nm, unsigned osr);
+
+    void set_attributes() override;
+    void processing() override;
+
+private:
+    unsigned osr_;
+    // Two cascaded moving-average stages applied per output sample.
+    std::vector<double> window_;
+};
+
+}  // namespace sca::lib
+
+#endif  // SCA_LIB_SIGMA_DELTA_HPP

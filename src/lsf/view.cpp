@@ -1,0 +1,55 @@
+#include "lsf/view.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "lsf/ltf.hpp"
+#include "util/report.hpp"
+
+namespace sca::lsf::filters {
+
+std::vector<std::complex<double>> butterworth_poles(std::size_t order, double cutoff_hz) {
+    util::require(order >= 1, "butterworth_poles", "order must be >= 1");
+    util::require(cutoff_hz > 0.0, "butterworth_poles", "cutoff must be positive");
+    const double w0 = 2.0 * std::numbers::pi * cutoff_hz;
+    std::vector<std::complex<double>> poles;
+    poles.reserve(order);
+    for (std::size_t k = 0; k < order; ++k) {
+        const double theta = std::numbers::pi *
+                             (2.0 * static_cast<double>(k) + 1.0 +
+                              static_cast<double>(order)) /
+                             (2.0 * static_cast<double>(order));
+        poles.emplace_back(w0 * std::cos(theta), w0 * std::sin(theta));
+    }
+    return poles;
+}
+
+tf_coefficients butterworth_lowpass(std::size_t order, double cutoff_hz) {
+    const auto poles = butterworth_poles(order, cutoff_hz);
+    tf_coefficients tf;
+    tf.den = poly_from_roots(poles);
+    tf.num = {tf.den[0]};  // unity DC gain
+    return tf;
+}
+
+tf_coefficients first_order_lowpass(double cutoff_hz) {
+    util::require(cutoff_hz > 0.0, "first_order_lowpass", "cutoff must be positive");
+    const double w0 = 2.0 * std::numbers::pi * cutoff_hz;
+    return {{1.0}, {1.0, 1.0 / w0}};
+}
+
+tf_coefficients bandpass_biquad(double center_hz, double q) {
+    util::require(center_hz > 0.0 && q > 0.0, "bandpass_biquad",
+                  "center frequency and Q must be positive");
+    const double w0 = 2.0 * std::numbers::pi * center_hz;
+    return {{0.0, w0 / q}, {w0 * w0, w0 / q, 1.0}};
+}
+
+tf_coefficients highpass_biquad(double cutoff_hz, double q) {
+    util::require(cutoff_hz > 0.0 && q > 0.0, "highpass_biquad",
+                  "cutoff frequency and Q must be positive");
+    const double w0 = 2.0 * std::numbers::pi * cutoff_hz;
+    return {{0.0, 0.0, 1.0}, {w0 * w0, w0 / q, 1.0}};
+}
+
+}  // namespace sca::lsf::filters

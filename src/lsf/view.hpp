@@ -1,0 +1,36 @@
+// Filter-design helpers for the signal-flow view: standard analog prototypes
+// expressed as zero/pole sets, ready for ltf_zp/ltf_nd realization.  Used by
+// the codec/DSP examples and the frequency-domain benches.
+#ifndef SCA_LSF_VIEW_HPP
+#define SCA_LSF_VIEW_HPP
+
+#include <complex>
+#include <vector>
+
+namespace sca::lsf::filters {
+
+/// Butterworth lowpass poles for the given order and -3dB cutoff (Hz).
+[[nodiscard]] std::vector<std::complex<double>> butterworth_poles(std::size_t order,
+                                                                  double cutoff_hz);
+
+/// num/den coefficients (ascending powers of s) of a Butterworth lowpass
+/// with unity DC gain.
+struct tf_coefficients {
+    std::vector<double> num;
+    std::vector<double> den;
+};
+[[nodiscard]] tf_coefficients butterworth_lowpass(std::size_t order, double cutoff_hz);
+
+/// First-order lowpass: H(s) = 1 / (1 + s/w0).
+[[nodiscard]] tf_coefficients first_order_lowpass(double cutoff_hz);
+
+/// Second-order bandpass: H(s) = (s w0/Q) / (s^2 + s w0/Q + w0^2),
+/// unity gain at the center frequency.
+[[nodiscard]] tf_coefficients bandpass_biquad(double center_hz, double q);
+
+/// Second-order highpass: H(s) = s^2 / (s^2 + s w0/Q + w0^2).
+[[nodiscard]] tf_coefficients highpass_biquad(double cutoff_hz, double q);
+
+}  // namespace sca::lsf::filters
+
+#endif  // SCA_LSF_VIEW_HPP

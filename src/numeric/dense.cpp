@@ -1,0 +1,11 @@
+#include "numeric/dense.hpp"
+
+namespace sca::num {
+
+// Explicit instantiations keep the common cases out of every translation unit.
+template class dense_matrix<double>;
+template class dense_matrix<std::complex<double>>;
+template class dense_lu<double>;
+template class dense_lu<std::complex<double>>;
+
+}  // namespace sca::num

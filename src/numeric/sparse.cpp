@@ -1,0 +1,10 @@
+#include "numeric/sparse.hpp"
+
+namespace sca::num {
+
+template class sparse_matrix<double>;
+template class sparse_matrix<std::complex<double>>;
+template class sparse_lu<double>;
+template class sparse_lu<std::complex<double>>;
+
+}  // namespace sca::num

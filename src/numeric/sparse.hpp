@@ -1,0 +1,295 @@
+// Sparse linear algebra for MNA systems: triplet assembly with duplicate
+// summing, compressed row storage, and a fill-in-aware sparse LU with
+// threshold partial pivoting.  MNA matrices from ladder/mesh networks are
+// extremely sparse; factor-once/solve-many with sparse storage is what makes
+// the fixed-timestep linear solver cheap per step (paper §3, [6]).
+#ifndef SCA_NUMERIC_SPARSE_HPP
+#define SCA_NUMERIC_SPARSE_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.hpp"
+#include "util/report.hpp"
+
+namespace sca::num {
+
+/// Sparse square matrix assembled from (row, col, value) triplets.
+/// Duplicate entries are summed, matching the "stamping" style of MNA.
+template <typename T>
+class sparse_matrix {
+public:
+    sparse_matrix() = default;
+    explicit sparse_matrix(std::size_t n) { resize(n); }
+
+    /// Grow to `n` unknowns, preserving existing entries (MNA views allocate
+    /// branch unknowns lazily while stamping). Shrinking is not supported.
+    void resize(std::size_t n) {
+        util::require(n >= n_, "sparse_matrix", "resize cannot shrink the matrix");
+        n_ = n;
+        rows_idx_.resize(n);
+        rows_val_.resize(n);
+    }
+
+    void clear() {
+        rows_idx_.assign(n_, {});
+        rows_val_.assign(n_, {});
+        nnz_ = 0;
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    [[nodiscard]] std::size_t nonzeros() const noexcept { return nnz_; }
+
+    /// Add `value` at (r, c); sums with any existing entry (MNA stamp).
+    void add(std::size_t r, std::size_t c, T value) {
+        util::require(r < n_ && c < n_, "sparse_matrix", "index out of range");
+        auto& idx = rows_idx_[r];
+        auto& val = rows_val_[r];
+        const auto it = std::lower_bound(idx.begin(), idx.end(), c);
+        if (it != idx.end() && *it == c) {
+            val[static_cast<std::size_t>(it - idx.begin())] += value;
+        } else {
+            const auto pos = static_cast<std::size_t>(it - idx.begin());
+            idx.insert(it, c);
+            val.insert(val.begin() + static_cast<std::ptrdiff_t>(pos), value);
+            ++nnz_;
+        }
+    }
+
+    [[nodiscard]] T get(std::size_t r, std::size_t c) const {
+        util::require(r < n_ && c < n_, "sparse_matrix", "index out of range");
+        if (rows_idx_.size() != n_) return T{};
+        const auto& idx = rows_idx_[r];
+        const auto it = std::lower_bound(idx.begin(), idx.end(), c);
+        if (it != idx.end() && *it == c) {
+            return rows_val_[r][static_cast<std::size_t>(it - idx.begin())];
+        }
+        return T{};
+    }
+
+    /// y = this * x
+    [[nodiscard]] std::vector<T> multiply(const std::vector<T>& x) const {
+        util::require(x.size() == n_, "sparse_matrix", "multiply: dimension mismatch");
+        std::vector<T> y(n_, T{});
+        for (std::size_t r = 0; r < rows_idx_.size(); ++r) {
+            T acc{};
+            const auto& idx = rows_idx_[r];
+            const auto& val = rows_val_[r];
+            for (std::size_t k = 0; k < idx.size(); ++k) acc += val[k] * x[idx[k]];
+            y[r] = acc;
+        }
+        return y;
+    }
+
+    /// Dense copy (tests, small systems, ablation benches).
+    [[nodiscard]] dense_matrix<T> to_dense() const {
+        dense_matrix<T> d(n_, n_);
+        for (std::size_t r = 0; r < rows_idx_.size(); ++r) {
+            for (std::size_t k = 0; k < rows_idx_[r].size(); ++k) {
+                d(r, rows_idx_[r][k]) = rows_val_[r][k];
+            }
+        }
+        return d;
+    }
+
+    /// this = this * alpha + other * beta (pattern union).
+    void add_scaled(const sparse_matrix<T>& other, T beta) {
+        util::require(other.size() == n_, "sparse_matrix", "add_scaled: size mismatch");
+        for (std::size_t r = 0; r < other.rows_idx_.size(); ++r) {
+            for (std::size_t k = 0; k < other.rows_idx_[r].size(); ++k) {
+                add(r, other.rows_idx_[r][k], beta * other.rows_val_[r][k]);
+            }
+        }
+    }
+
+    /// Row access for the factorization (index array, value array).
+    [[nodiscard]] const std::vector<std::size_t>& row_indices(std::size_t r) const {
+        return rows_idx_[r];
+    }
+    [[nodiscard]] const std::vector<T>& row_values(std::size_t r) const { return rows_val_[r]; }
+
+private:
+    std::size_t n_ = 0;
+    std::size_t nnz_ = 0;
+    std::vector<std::vector<std::size_t>> rows_idx_;
+    std::vector<std::vector<T>> rows_val_;
+};
+
+/// Sparse LU with threshold partial pivoting (right-looking, row-based
+/// Gaussian elimination on sorted sparse rows).  Fill-in is created as
+/// needed; for the banded matrices MNA produces from ladders and meshes the
+/// fill stays near the band.
+template <typename T>
+class sparse_lu {
+public:
+    sparse_lu() = default;
+    explicit sparse_lu(const sparse_matrix<T>& a, double pivot_threshold = 0.1) {
+        factor(a, pivot_threshold);
+    }
+
+    void factor(const sparse_matrix<T>& a, double pivot_threshold = 0.1) {
+        n_ = a.size();
+        util::require(pivot_threshold > 0.0 && pivot_threshold <= 1.0, "sparse_lu",
+                      "pivot threshold must be in (0, 1]");
+        // Working copy of the rows.
+        rows_idx_.assign(n_, {});
+        rows_val_.assign(n_, {});
+        for (std::size_t r = 0; r < n_; ++r) {
+            rows_idx_[r] = a.row_indices(r);
+            rows_val_[r] = a.row_values(r);
+        }
+        perm_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+        lower_idx_.assign(n_, {});
+        lower_val_.assign(n_, {});
+
+        std::vector<T> work(n_, T{});          // scatter buffer for row updates
+        std::vector<std::size_t> work_touched;  // columns touched in `work`
+
+        for (std::size_t k = 0; k < n_; ++k) {
+            // --- pivot selection: largest |a_ik| among rows i >= k, but accept
+            // the diagonal row when it is within `pivot_threshold` of the best
+            // (keeps permutations, and therefore fill, low).
+            std::size_t pivot = n_;
+            double best = 0.0;
+            double diag_mag = 0.0;
+            for (std::size_t r = k; r < n_; ++r) {
+                const T v = entry(r, k);
+                const double mag = pivot_magnitude(v);
+                if (r == k) diag_mag = mag;
+                if (mag > best) {
+                    best = mag;
+                    pivot = r;
+                }
+            }
+            util::require(best > 0.0, "sparse_lu", "matrix is singular");
+            if (diag_mag >= pivot_threshold * best) pivot = k;
+            if (pivot != k) {
+                std::swap(rows_idx_[k], rows_idx_[pivot]);
+                std::swap(rows_val_[k], rows_val_[pivot]);
+                std::swap(perm_[k], perm_[pivot]);
+                // The already-accumulated L multipliers travel with the row.
+                std::swap(lower_idx_[k], lower_idx_[pivot]);
+                std::swap(lower_val_[k], lower_val_[pivot]);
+            }
+
+            const T pivot_value = entry(k, k);
+            const T inv_piv = T(1) / pivot_value;
+
+            // --- eliminate column k from all rows below.
+            for (std::size_t r = k + 1; r < n_; ++r) {
+                const T a_rk = entry(r, k);
+                if (a_rk == T{}) continue;
+                const T mult = a_rk * inv_piv;
+                lower_idx_[r].push_back(k);
+                lower_val_[r].push_back(mult);
+
+                // row_r -= mult * row_k  (columns > k), via scatter/gather.
+                work_touched.clear();
+                const auto& ridx = rows_idx_[r];
+                const auto& rval = rows_val_[r];
+                for (std::size_t j = 0; j < ridx.size(); ++j) {
+                    if (ridx[j] > k) {
+                        work[ridx[j]] = rval[j];
+                        work_touched.push_back(ridx[j]);
+                    }
+                }
+                const auto& kidx = rows_idx_[k];
+                const auto& kval = rows_val_[k];
+                for (std::size_t j = 0; j < kidx.size(); ++j) {
+                    if (kidx[j] <= k) continue;
+                    if (work[kidx[j]] == T{} &&
+                        std::find(work_touched.begin(), work_touched.end(), kidx[j]) ==
+                            work_touched.end()) {
+                        work_touched.push_back(kidx[j]);
+                    }
+                    work[kidx[j]] -= mult * kval[j];
+                }
+                std::sort(work_touched.begin(), work_touched.end());
+                auto& new_idx = rows_idx_[r];
+                auto& new_val = rows_val_[r];
+                new_idx.clear();
+                new_val.clear();
+                for (std::size_t c : work_touched) {
+                    if (work[c] != T{}) {
+                        new_idx.push_back(c);
+                        new_val.push_back(work[c]);
+                    }
+                    work[c] = T{};
+                }
+            }
+        }
+        factored_ = true;
+    }
+
+    [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+        util::require(factored_, "sparse_lu", "solve before factor");
+        util::require(b.size() == n_, "sparse_lu", "solve: dimension mismatch");
+        std::vector<T> x(n_);
+        // Forward: L y = P b  (L has unit diagonal, stored per-row).
+        for (std::size_t i = 0; i < n_; ++i) {
+            T acc = b[perm_[i]];
+            const auto& lidx = lower_idx_[i];
+            const auto& lval = lower_val_[i];
+            for (std::size_t j = 0; j < lidx.size(); ++j) acc -= lval[j] * x[lidx[j]];
+            x[i] = acc;
+        }
+        // Backward: U x = y. Row i of U holds columns >= i.
+        for (std::size_t ii = n_; ii-- > 0;) {
+            T acc = x[ii];
+            T diag{};
+            const auto& uidx = rows_idx_[ii];
+            const auto& uval = rows_val_[ii];
+            for (std::size_t j = 0; j < uidx.size(); ++j) {
+                if (uidx[j] == ii) {
+                    diag = uval[j];
+                } else if (uidx[j] > ii) {
+                    acc -= uval[j] * x[uidx[j]];
+                }
+            }
+            x[ii] = acc / diag;
+        }
+        return x;
+    }
+
+    [[nodiscard]] bool factored() const noexcept { return factored_; }
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+    /// Number of stored entries in L + U (fill-in diagnostic).
+    [[nodiscard]] std::size_t factor_nonzeros() const {
+        std::size_t nnz = 0;
+        for (const auto& r : rows_idx_) nnz += r.size();
+        for (const auto& r : lower_idx_) nnz += r.size();
+        return nnz;
+    }
+
+private:
+    [[nodiscard]] T entry(std::size_t r, std::size_t c) const {
+        const auto& idx = rows_idx_[r];
+        const auto it = std::lower_bound(idx.begin(), idx.end(), c);
+        if (it != idx.end() && *it == c) {
+            return rows_val_[r][static_cast<std::size_t>(it - idx.begin())];
+        }
+        return T{};
+    }
+
+    std::size_t n_ = 0;
+    bool factored_ = false;
+    std::vector<std::size_t> perm_;
+    std::vector<std::vector<std::size_t>> rows_idx_;  // becomes U after factor
+    std::vector<std::vector<T>> rows_val_;
+    std::vector<std::vector<std::size_t>> lower_idx_;  // L multipliers per row
+    std::vector<std::vector<T>> lower_val_;
+};
+
+using sparse_matrix_d = sparse_matrix<double>;
+using sparse_matrix_z = sparse_matrix<std::complex<double>>;
+using sparse_lu_d = sparse_lu<double>;
+using sparse_lu_z = sparse_lu<std::complex<double>>;
+
+}  // namespace sca::num
+
+#endif  // SCA_NUMERIC_SPARSE_HPP

@@ -1,0 +1,97 @@
+#include "solver/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/sparse.hpp"
+#include "util/report.hpp"
+
+namespace sca::solver {
+
+std::vector<double> sweep::frequencies() const {
+    util::require(points >= 1, "sweep", "at least one point required");
+    util::require(f_start > 0.0 || kind == scale::linear, "sweep",
+                  "logarithmic sweep requires a positive start frequency");
+    std::vector<double> fs;
+    fs.reserve(points);
+    if (points == 1) {
+        fs.push_back(f_start);
+        return fs;
+    }
+    for (std::size_t i = 0; i < points; ++i) {
+        const double u = static_cast<double>(i) / static_cast<double>(points - 1);
+        if (kind == scale::logarithmic) {
+            fs.push_back(f_start * std::pow(f_stop / f_start, u));
+        } else {
+            fs.push_back(f_start + (f_stop - f_start) * u);
+        }
+    }
+    return fs;
+}
+
+namespace {
+num::sparse_matrix_d linearize(const equation_system& sys,
+                               const std::vector<double>* dc) {
+    num::sparse_matrix_d a(sys.size());
+    a.add_scaled(sys.a(), 1.0);
+    if (!sys.is_linear()) {
+        util::require(dc != nullptr, "ac_solver",
+                      "nonlinear system requires a DC operating point for AC analysis");
+        std::vector<double> residual(sys.size(), 0.0);
+        std::vector<jacobian_entry> jac;
+        sys.eval_nonlinear(*dc, residual, jac);
+        for (const auto& e : jac) a.add(e.row, e.col, e.value);
+    }
+    return a;
+}
+}  // namespace
+
+ac_solver::ac_solver(const equation_system& sys)
+    : sys_(&sys), a_linearized_(linearize(sys, nullptr)) {}
+
+ac_solver::ac_solver(const equation_system& sys, const std::vector<double>& dc)
+    : sys_(&sys), a_linearized_(linearize(sys, &dc)) {}
+
+std::vector<std::complex<double>> ac_solver::solve(double f) const {
+    const std::size_t n = sys_->size();
+    const double omega = 2.0 * std::numbers::pi * f;
+
+    num::sparse_matrix_z m(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto& idx = a_linearized_.row_indices(r);
+        const auto& val = a_linearized_.row_values(r);
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+            m.add(r, idx[k], std::complex<double>(val[k], 0.0));
+        }
+    }
+    const auto& b = sys_->b();
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto& idx = b.row_indices(r);
+        const auto& val = b.row_values(r);
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+            m.add(r, idx[k], std::complex<double>(0.0, omega * val[k]));
+        }
+    }
+
+    std::vector<std::complex<double>> u(n, {0.0, 0.0});
+    for (const auto& s : sys_->ac_sources()) u[s.row] += s.amplitude;
+
+    num::sparse_lu_z lu(m);
+    return lu.solve(u);
+}
+
+std::vector<std::complex<double>> ac_solver::transfer(std::size_t output,
+                                                      const sweep& sw) const {
+    util::require(output < sys_->size(), "ac_solver", "output index out of range");
+    std::vector<std::complex<double>> h;
+    for (double f : sw.frequencies()) h.push_back(solve(f)[output]);
+    return h;
+}
+
+double magnitude_db(const std::complex<double>& h) { return 20.0 * std::log10(std::abs(h)); }
+
+double phase_deg(const std::complex<double>& h) {
+    return std::arg(h) * 180.0 / std::numbers::pi;
+}
+
+}  // namespace sca::solver

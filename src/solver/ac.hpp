@@ -1,0 +1,58 @@
+// Small-signal frequency-domain (AC) analysis (paper §3: "SystemC-AMS will
+// also have to support at least small-signal linear frequency-domain
+// analysis ... the frequency-domain model can be derived from the
+// time-domain description").
+//
+// For each analysis frequency f the solver factors (A + j*2*pi*f*B) and
+// solves against the AC stimulus vector; for nonlinear systems A is first
+// augmented with the Jacobian of g at the DC operating point (linearization).
+#ifndef SCA_SOLVER_AC_HPP
+#define SCA_SOLVER_AC_HPP
+
+#include <complex>
+#include <vector>
+
+#include "solver/equation_system.hpp"
+
+namespace sca::solver {
+
+/// Frequency sweep specification.
+struct sweep {
+    enum class scale { linear, logarithmic };
+    double f_start;
+    double f_stop;
+    std::size_t points;
+    scale kind = scale::logarithmic;
+
+    /// Materialize the frequency list.
+    [[nodiscard]] std::vector<double> frequencies() const;
+};
+
+class ac_solver {
+public:
+    /// Linear systems need no operating point; nonlinear systems must pass
+    /// the DC solution to linearize around.
+    explicit ac_solver(const equation_system& sys);
+    ac_solver(const equation_system& sys, const std::vector<double>& dc_operating_point);
+
+    /// Phasor solution of all unknowns at frequency `f` (Hz).
+    [[nodiscard]] std::vector<std::complex<double>> solve(double f) const;
+
+    /// Transfer from the AC stimulus to unknown `output` over a sweep.
+    [[nodiscard]] std::vector<std::complex<double>> transfer(std::size_t output,
+                                                             const sweep& sw) const;
+
+private:
+    const equation_system* sys_;
+    num::sparse_matrix_d a_linearized_;  // A (+ dg/dx at the DC point)
+};
+
+/// Magnitude in dB (20 log10 |h|).
+[[nodiscard]] double magnitude_db(const std::complex<double>& h);
+
+/// Phase in degrees.
+[[nodiscard]] double phase_deg(const std::complex<double>& h);
+
+}  // namespace sca::solver
+
+#endif  // SCA_SOLVER_AC_HPP

@@ -1,0 +1,92 @@
+#include "solver/dc.hpp"
+
+#include <cmath>
+
+#include "numeric/sparse.hpp"
+#include "util/report.hpp"
+
+namespace sca::solver {
+
+namespace {
+
+/// Factor A, falling back to (A + B/tau) when A is singular.
+num::sparse_lu_d factor_dc_matrix(const equation_system& sys, double tau) {
+    try {
+        return num::sparse_lu_d(sys.a());
+    } catch (const util::error&) {
+        util::report_warning("dc_solve",
+                             "A is singular; using pseudo-transient regularization");
+        num::sparse_matrix_d m(sys.size());
+        m.add_scaled(sys.a(), 1.0);
+        m.add_scaled(sys.b(), 1.0 / tau);
+        return num::sparse_lu_d(m);
+    }
+}
+
+}  // namespace
+
+std::vector<double> dc_solve(const equation_system& sys, double t0, const dc_options& opt) {
+    const std::vector<double> q = sys.rhs(t0);
+    if (sys.size() == 0) return {};
+
+    if (sys.is_linear()) {
+        return factor_dc_matrix(sys, opt.pseudo_tau).solve(q);
+    }
+
+    // Damped Newton from zero: F(x) = A x + g(x) - q.
+    std::vector<double> x(sys.size(), 0.0);
+    std::vector<double> residual(sys.size());
+    std::vector<jacobian_entry> jac;
+
+    auto eval_f = [&](const std::vector<double>& xi) {
+        std::vector<double> f = sys.a().multiply(xi);
+        residual.assign(sys.size(), 0.0);
+        jac.clear();
+        sys.eval_nonlinear(xi, residual, jac);
+        for (std::size_t i = 0; i < f.size(); ++i) f[i] += residual[i] - q[i];
+        return f;
+    };
+
+    std::vector<double> f = eval_f(x);
+    double fnorm = num::norm_inf(f);
+    for (int it = 0; it < opt.max_iterations; ++it) {
+        if (fnorm < opt.abstol) return x;
+        // J = A + dg/dx (+ B/tau regularization when A was singular: safe to
+        // include always at DC since it only damps the iteration).
+        num::sparse_matrix_d j(sys.size());
+        j.add_scaled(sys.a(), 1.0);
+        for (const auto& e : jac) j.add(e.row, e.col, e.value);
+        num::sparse_lu_d jlu(j);
+        const std::vector<double> dx = jlu.solve(f);
+
+        // Damped update: halve until the residual shrinks (max 8 halvings).
+        double damping = 1.0;
+        for (int k = 0; k < 8; ++k) {
+            std::vector<double> xn = x;
+            for (std::size_t i = 0; i < xn.size(); ++i) xn[i] -= damping * dx[i];
+            std::vector<double> fn = eval_f(xn);
+            const double fn_norm = num::norm_inf(fn);
+            if (fn_norm < fnorm || fn_norm < opt.abstol) {
+                x = std::move(xn);
+                f = std::move(fn);
+                fnorm = fn_norm;
+                break;
+            }
+            damping *= 0.5;
+            if (k == 7) {  // accept the smallest step to escape plateaus
+                x = std::move(xn);
+                f = std::move(fn);
+                fnorm = fn_norm;
+            }
+        }
+        const double dx_norm = num::norm_inf(dx) * damping;
+        if (dx_norm < opt.abstol + opt.reltol * num::norm_inf(x) && fnorm < opt.reltol) {
+            return x;
+        }
+    }
+    util::report_warning("dc_solve", "Newton did not fully converge; residual norm " +
+                                         std::to_string(fnorm));
+    return x;
+}
+
+}  // namespace sca::solver

@@ -1,0 +1,37 @@
+// DC (quiescent) operating point computation — the "consistent initial
+// state" the paper requires for mixed-signal synchronization (§3: "the
+// synchronization also requires the formal definition of a consistent
+// initial (quiescent) state for the whole mixed-signal system").
+#ifndef SCA_SOLVER_DC_HPP
+#define SCA_SOLVER_DC_HPP
+
+#include <vector>
+
+#include "solver/equation_system.hpp"
+
+namespace sca::solver {
+
+struct dc_options {
+    /// Newton iteration limit for nonlinear systems.
+    int max_iterations = 100;
+    double abstol = 1e-12;
+    double reltol = 1e-9;
+    /// Pseudo-transient time constant used when A alone is singular
+    /// (e.g. floating capacitor nodes); larger = closer to true DC.
+    double pseudo_tau = 1e6;
+};
+
+/// Compute x such that A x + g(x) = q(t0).
+///
+/// Linear path: direct sparse LU of A; if A is singular (states whose DC
+/// value is fixed by initial conditions, not by the resistive network), a
+/// regularized solve of (A + B/tau) is used, which converges to the DC
+/// solution on the resistive subspace and leaves pure-integrator states at 0.
+/// Nonlinear path: damped Newton from x = 0 with the same regularization
+/// fallback.
+[[nodiscard]] std::vector<double> dc_solve(const equation_system& sys, double t0,
+                                           const dc_options& opt = {});
+
+}  // namespace sca::solver
+
+#endif  // SCA_SOLVER_DC_HPP

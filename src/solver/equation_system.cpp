@@ -1,0 +1,82 @@
+#include "solver/equation_system.hpp"
+
+#include "util/report.hpp"
+
+namespace sca::solver {
+
+std::size_t equation_system::add_unknown(std::string name) {
+    names_.push_back(std::move(name));
+    const std::size_t n = names_.size();
+    a_.resize(n);
+    b_.resize(n);
+    rhs_constant_.resize(n, 0.0);
+    return n - 1;
+}
+
+void equation_system::clear_stamps() {
+    const std::size_t n = names_.size();
+    a_.resize(n);
+    b_.resize(n);
+    a_.clear();
+    b_.clear();
+    rhs_constant_.assign(n, 0.0);
+    rhs_sources_.clear();
+    inputs_.clear();
+    nonlinear_.clear();
+    ac_sources_.clear();
+    noise_sources_.clear();
+    ++generation_;
+}
+
+void equation_system::add_rhs_constant(std::size_t row, double v) {
+    util::require(row < size(), "equation_system", "rhs row out of range");
+    rhs_constant_[row] += v;
+}
+
+void equation_system::add_rhs_source(std::size_t row, std::function<double(double)> fn) {
+    util::require(row < size(), "equation_system", "rhs row out of range");
+    util::require(static_cast<bool>(fn), "equation_system", "null rhs source");
+    rhs_sources_.push_back({row, std::move(fn)});
+}
+
+std::size_t equation_system::add_input(std::size_t row) {
+    util::require(row < size(), "equation_system", "input row out of range");
+    inputs_.push_back({row, 0.0});
+    return inputs_.size() - 1;
+}
+
+void equation_system::set_input(std::size_t slot, double v) {
+    util::require(slot < inputs_.size(), "equation_system", "input slot out of range");
+    inputs_[slot].value = v;
+}
+
+std::vector<double> equation_system::rhs(double t) const {
+    std::vector<double> q = rhs_constant_;
+    q.resize(size(), 0.0);
+    for (const auto& s : rhs_sources_) q[s.row] += s.value(t);
+    for (const auto& in : inputs_) q[in.row] += in.value;
+    return q;
+}
+
+void equation_system::eval_nonlinear(const std::vector<double>& x,
+                                     std::vector<double>& residual,
+                                     std::vector<jacobian_entry>& jacobian) const {
+    for (const auto& fn : nonlinear_) fn(x, residual, jacobian);
+}
+
+void equation_system::add_ac_source(std::size_t row, std::complex<double> amplitude) {
+    util::require(row < size(), "equation_system", "ac source row out of range");
+    ac_sources_.push_back({row, amplitude});
+}
+
+void equation_system::add_noise_source(
+    std::vector<std::pair<std::size_t, double>> injections,
+    std::function<double(double)> psd, std::string name) {
+    for (const auto& [row, weight] : injections) {
+        (void)weight;
+        util::require(row < size(), "equation_system", "noise source row out of range");
+    }
+    noise_sources_.push_back({std::move(injections), std::move(psd), std::move(name)});
+}
+
+}  // namespace sca::solver

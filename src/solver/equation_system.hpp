@@ -1,0 +1,140 @@
+// The equation interface: the solver-agnostic description layer the paper
+// mandates ("SystemC-AMS must provide appropriate views ... The interface
+// layer provides the solver with the system of equations to solve").
+//
+// A system describes
+//
+//      A x(t) + B dx/dt + g(x) = q(t)
+//
+// where A, B are sparse stamp matrices, g is an optional set of nonlinear
+// element contributions, and q(t) collects constant, time-function, and
+// externally driven (TDF input slot) sources.  Every continuous-time view
+// (ELN netlists via MNA, LSF signal-flow graphs, transfer functions,
+// state-space blocks) lowers to this form; every solver (fixed-step linear,
+// variable-step nonlinear Newton, DC, AC, noise) consumes it.
+#ifndef SCA_SOLVER_EQUATION_SYSTEM_HPP
+#define SCA_SOLVER_EQUATION_SYSTEM_HPP
+
+#include <complex>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "numeric/sparse.hpp"
+
+namespace sca::solver {
+
+/// Dense triplet used by nonlinear elements to report Jacobian entries.
+struct jacobian_entry {
+    std::size_t row;
+    std::size_t col;
+    double value;
+};
+
+/// A nonlinear element: given the current iterate x, add its contribution to
+/// the residual g(x) and its partial derivatives to the Jacobian triplets.
+using nonlinear_fn = std::function<void(const std::vector<double>& x,
+                                        std::vector<double>& residual,
+                                        std::vector<jacobian_entry>& jacobian)>;
+
+/// Time-dependent autonomous source contribution to one equation.
+struct rhs_source {
+    std::size_t row;
+    std::function<double(double t)> value;
+};
+
+/// Small-signal AC stimulus entry.
+struct ac_source {
+    std::size_t row;
+    std::complex<double> amplitude;
+};
+
+/// Noise source: weighted injections into equation rows (e.g. +1/-1 on the
+/// two KCL rows of a resistor) plus a power spectral density function.
+struct noise_source {
+    std::vector<std::pair<std::size_t, double>> injections;
+    std::function<double(double f)> psd;  // in V^2/Hz or A^2/Hz
+    std::string name;
+};
+
+class equation_system {
+public:
+    equation_system() = default;
+
+    /// Add an unknown; returns its index.
+    std::size_t add_unknown(std::string name);
+    [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+    [[nodiscard]] const std::string& unknown_name(std::size_t i) const { return names_[i]; }
+
+    /// Reset all stamps but keep the unknowns (used when a topology change,
+    /// e.g. a switch, requires restamping).
+    void clear_stamps();
+
+    // --- linear stamps -------------------------------------------------------
+    void add_a(std::size_t row, std::size_t col, double v) { a_.add(row, col, v); }
+    void add_b(std::size_t row, std::size_t col, double v) { b_.add(row, col, v); }
+
+    [[nodiscard]] const num::sparse_matrix_d& a() const noexcept { return a_; }
+    [[nodiscard]] const num::sparse_matrix_d& b() const noexcept { return b_; }
+
+    // --- right-hand side -----------------------------------------------------
+    void add_rhs_constant(std::size_t row, double v);
+    void add_rhs_source(std::size_t row, std::function<double(double)> fn);
+
+    /// Reserve an externally driven slot (e.g. a TDF-driven source value).
+    /// Returns the slot id; the owner sets it before each solver step.
+    std::size_t add_input(std::size_t row);
+    void set_input(std::size_t slot, double v);
+    [[nodiscard]] double input(std::size_t slot) const { return inputs_[slot].value; }
+
+    /// Assemble q(t) from constants, time functions, and input slots.
+    [[nodiscard]] std::vector<double> rhs(double t) const;
+
+    // --- nonlinear -----------------------------------------------------------
+    void add_nonlinear(nonlinear_fn fn) { nonlinear_.push_back(std::move(fn)); }
+    [[nodiscard]] bool is_linear() const noexcept { return nonlinear_.empty(); }
+    [[nodiscard]] const std::vector<nonlinear_fn>& nonlinear_elements() const noexcept {
+        return nonlinear_;
+    }
+
+    /// Evaluate g(x) and its Jacobian triplets at the iterate x.
+    void eval_nonlinear(const std::vector<double>& x, std::vector<double>& residual,
+                        std::vector<jacobian_entry>& jacobian) const;
+
+    // --- small-signal / noise descriptions ------------------------------------
+    void add_ac_source(std::size_t row, std::complex<double> amplitude);
+    [[nodiscard]] const std::vector<ac_source>& ac_sources() const noexcept {
+        return ac_sources_;
+    }
+
+    void add_noise_source(std::vector<std::pair<std::size_t, double>> injections,
+                          std::function<double(double)> psd, std::string name);
+    [[nodiscard]] const std::vector<noise_source>& noise_sources() const noexcept {
+        return noise_sources_;
+    }
+
+    // --- change tracking -------------------------------------------------------
+    /// Incremented by clear_stamps(); solvers compare to detect restamping.
+    [[nodiscard]] std::uint64_t stamp_generation() const noexcept { return generation_; }
+
+private:
+    struct input_slot {
+        std::size_t row;
+        double value = 0.0;
+    };
+
+    std::vector<std::string> names_;
+    num::sparse_matrix_d a_;
+    num::sparse_matrix_d b_;
+    std::vector<double> rhs_constant_;
+    std::vector<rhs_source> rhs_sources_;
+    std::vector<input_slot> inputs_;
+    std::vector<nonlinear_fn> nonlinear_;
+    std::vector<ac_source> ac_sources_;
+    std::vector<noise_source> noise_sources_;
+    std::uint64_t generation_ = 0;
+};
+
+}  // namespace sca::solver
+
+#endif  // SCA_SOLVER_EQUATION_SYSTEM_HPP

@@ -1,0 +1,58 @@
+#include "solver/external.hpp"
+
+#include <cmath>
+
+#include "util/report.hpp"
+
+namespace sca::solver {
+
+rk4_solver::rk4_solver(double max_internal_step) : max_internal_step_(max_internal_step) {}
+
+void rk4_solver::configure(std::size_t n_states, std::size_t n_inputs, ode_rhs rhs) {
+    util::require(n_states > 0, "rk4_solver", "state count must be positive");
+    util::require(static_cast<bool>(rhs), "rk4_solver", "null derivative function");
+    n_states_ = n_states;
+    n_inputs_ = n_inputs;
+    rhs_ = std::move(rhs);
+    x_.assign(n_states, 0.0);
+}
+
+void rk4_solver::set_state(const std::vector<double>& x0) {
+    util::require(x0.size() == n_states_, "rk4_solver", "state dimension mismatch");
+    x_ = x0;
+}
+
+void rk4_solver::advance(double t, double dt, const std::vector<double>& u) {
+    util::require(static_cast<bool>(rhs_), "rk4_solver", "advance before configure");
+    util::require(u.size() == n_inputs_, "rk4_solver", "input dimension mismatch");
+    util::require(dt > 0.0, "rk4_solver", "dt must be positive");
+    std::size_t substeps = 1;
+    if (max_internal_step_ > 0.0 && dt > max_internal_step_) {
+        substeps = static_cast<std::size_t>(std::ceil(dt / max_internal_step_));
+    }
+    const double h = dt / static_cast<double>(substeps);
+    double tk = t;
+    for (std::size_t k = 0; k < substeps; ++k) {
+        rk4_step(tk, h, u);
+        tk += h;
+    }
+}
+
+void rk4_solver::rk4_step(double t, double h, const std::vector<double>& u) {
+    const std::size_t n = n_states_;
+    std::vector<double> k1(n), k2(n), k3(n), k4(n), xt(n);
+
+    rhs_(t, x_, u, k1);
+    for (std::size_t i = 0; i < n; ++i) xt[i] = x_[i] + 0.5 * h * k1[i];
+    rhs_(t + 0.5 * h, xt, u, k2);
+    for (std::size_t i = 0; i < n; ++i) xt[i] = x_[i] + 0.5 * h * k2[i];
+    rhs_(t + 0.5 * h, xt, u, k3);
+    for (std::size_t i = 0; i < n; ++i) xt[i] = x_[i] + h * k3[i];
+    rhs_(t + h, xt, u, k4);
+    for (std::size_t i = 0; i < n; ++i) {
+        x_[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    rhs_evals_ += 4;
+}
+
+}  // namespace sca::solver

@@ -1,0 +1,70 @@
+// Open solver-coupling interface (paper §3: "SystemC-AMS must support the
+// coupling with existing continuous-time simulators ... an open architecture
+// in which existing, mature, simulators or solvers may be plugged in").
+//
+// `external_solver` is the plug-in boundary: any engine that can advance a
+// first-order ODE system  dx/dt = f(x, u, t)  by a step can be wrapped and
+// driven from a TDF module.  `rk4_solver` is the in-tree reference engine
+// standing in for a foreign simulator in tests and examples.
+#ifndef SCA_SOLVER_EXTERNAL_HPP
+#define SCA_SOLVER_EXTERNAL_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sca::solver {
+
+/// Right-hand side of the foreign model: dx/dt = f(t, x, u).
+using ode_rhs = std::function<void(double t, const std::vector<double>& x,
+                                   const std::vector<double>& u, std::vector<double>& dxdt)>;
+
+/// Abstract coupling interface to an external continuous-time engine.
+class external_solver {
+public:
+    virtual ~external_solver() = default;
+
+    /// Identify the engine (diagnostics).
+    [[nodiscard]] virtual std::string engine_name() const = 0;
+
+    /// Configure the problem: state count, input count, derivative function.
+    virtual void configure(std::size_t n_states, std::size_t n_inputs, ode_rhs rhs) = 0;
+
+    virtual void set_state(const std::vector<double>& x0) = 0;
+    [[nodiscard]] virtual const std::vector<double>& state() const = 0;
+
+    /// Advance from `t` to `t + dt` with inputs held at `u` (ZOH coupling,
+    /// the same contract a co-simulation backplane would provide).
+    virtual void advance(double t, double dt, const std::vector<double>& u) = 0;
+};
+
+/// Classic fixed-step 4th-order Runge-Kutta engine (with optional internal
+/// sub-stepping), used as the stand-in "existing simulator".
+class rk4_solver final : public external_solver {
+public:
+    /// `max_internal_step` bounds the internal step; an advance() over a
+    /// larger dt is split into sub-steps.
+    explicit rk4_solver(double max_internal_step = 0.0);
+
+    [[nodiscard]] std::string engine_name() const override { return "rk4"; }
+    void configure(std::size_t n_states, std::size_t n_inputs, ode_rhs rhs) override;
+    void set_state(const std::vector<double>& x0) override;
+    [[nodiscard]] const std::vector<double>& state() const override { return x_; }
+    void advance(double t, double dt, const std::vector<double>& u) override;
+
+    [[nodiscard]] std::uint64_t rhs_evaluations() const noexcept { return rhs_evals_; }
+
+private:
+    void rk4_step(double t, double h, const std::vector<double>& u);
+
+    double max_internal_step_;
+    std::size_t n_states_ = 0;
+    std::size_t n_inputs_ = 0;
+    ode_rhs rhs_;
+    std::vector<double> x_;
+    std::uint64_t rhs_evals_ = 0;
+};
+
+}  // namespace sca::solver
+
+#endif  // SCA_SOLVER_EXTERNAL_HPP

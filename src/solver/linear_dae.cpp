@@ -1,0 +1,87 @@
+#include "solver/linear_dae.hpp"
+
+#include <cmath>
+
+#include "util/report.hpp"
+
+namespace sca::solver {
+
+linear_dae_solver::linear_dae_solver(equation_system& sys, integration_method method,
+                                     double h)
+    : sys_(&sys), method_(method), h_(h) {
+    util::require(h > 0.0, "linear_dae_solver", "timestep must be positive");
+    util::require(sys.is_linear(), "linear_dae_solver",
+                  "system has nonlinear elements; use nonlinear_dae_solver");
+    x_.assign(sys.size(), 0.0);
+}
+
+void linear_dae_solver::set_initial_state(std::vector<double> x0, double t0) {
+    util::require(x0.size() == sys_->size(), "linear_dae_solver",
+                  "initial state dimension mismatch");
+    x_ = std::move(x0);
+    t_ = t0;
+    q_prev_ = sys_->rhs(t0);
+}
+
+void linear_dae_solver::set_timestep(double h) {
+    util::require(h > 0.0, "linear_dae_solver", "timestep must be positive");
+    if (h != h_) {
+        h_ = h;
+        factored_ = false;
+    }
+}
+
+void linear_dae_solver::invalidate() { factored_ = false; }
+
+void linear_dae_solver::ensure_factored(integration_method m) {
+    if (factored_ && factored_method_ == m &&
+        stamp_generation_ == sys_->stamp_generation()) {
+        return;
+    }
+    // M = c_a * A + B / h   (c_a = 1 for BE, 1/2 for trapezoidal)
+    const double ca = m == integration_method::backward_euler ? 1.0 : 0.5;
+    num::sparse_matrix_d mat(sys_->size());
+    mat.add_scaled(sys_->a(), ca);
+    mat.add_scaled(sys_->b(), 1.0 / h_);
+    if (use_dense_) {
+        dense_lu_.factor(mat.to_dense());
+    } else {
+        lu_.factor(mat);
+    }
+    ++factors_;
+    factored_ = true;
+    factored_method_ = m;
+    stamp_generation_ = sys_->stamp_generation();
+}
+
+void linear_dae_solver::step() {
+    const integration_method m =
+        be_next_ ? integration_method::backward_euler : method_;
+    be_next_ = false;
+    ensure_factored(m);
+    const double t1 = t_ + h_;
+    const std::vector<double> q1 = sys_->rhs(t1);
+    const std::vector<double> bx = sys_->b().multiply(x_);
+
+    std::vector<double> rhs(sys_->size());
+    if (m == integration_method::backward_euler) {
+        for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = q1[i] + bx[i] / h_;
+    } else {
+        const std::vector<double> ax = sys_->a().multiply(x_);
+        for (std::size_t i = 0; i < rhs.size(); ++i) {
+            rhs[i] = 0.5 * (q1[i] + q_prev_[i]) + bx[i] / h_ - 0.5 * ax[i];
+        }
+    }
+    x_ = use_dense_ ? dense_lu_.solve(rhs) : lu_.solve(rhs);
+    ++solves_;
+    t_ = t1;
+    q_prev_ = q1;
+}
+
+void linear_dae_solver::advance_to(double t_end) {
+    // Steps are counted, not accumulated in floating point, to avoid drift.
+    const auto n = static_cast<long long>(std::llround((t_end - t_) / h_));
+    for (long long i = 0; i < n; ++i) step();
+}
+
+}  // namespace sca::solver

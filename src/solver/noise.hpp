@@ -1,0 +1,54 @@
+// Small-signal noise analysis (paper phase 1: "Linear dynamic continuous-time
+// model of computation, including transient, small-signal AC and noise
+// simulation").
+//
+// Each registered noise source is injected separately; its transfer to the
+// output is obtained from one complex solve per source per frequency, and
+// the output power spectral density is the superposition of the magnitude-
+// squared contributions (noise sources are uncorrelated).
+#ifndef SCA_SOLVER_NOISE_HPP
+#define SCA_SOLVER_NOISE_HPP
+
+#include <string>
+#include <vector>
+
+#include "solver/ac.hpp"
+#include "solver/equation_system.hpp"
+
+namespace sca::solver {
+
+/// Boltzmann constant (J/K), used by resistor thermal-noise models.
+inline constexpr double k_boltzmann = 1.380649e-23;
+
+struct noise_point {
+    double frequency;
+    double total_psd;                       // output PSD in V^2/Hz
+    std::vector<double> per_source;         // contribution of each source
+};
+
+struct noise_result {
+    std::vector<std::string> source_names;
+    std::vector<noise_point> points;
+
+    /// Total integrated output noise (V rms) over the analyzed band using
+    /// trapezoidal integration of the PSD.
+    [[nodiscard]] double integrated_rms() const;
+};
+
+class noise_solver {
+public:
+    explicit noise_solver(const equation_system& sys);
+    noise_solver(const equation_system& sys, const std::vector<double>& dc_operating_point);
+
+    /// Output noise PSD at unknown `output` over the sweep.
+    [[nodiscard]] noise_result analyze(std::size_t output, const sweep& sw) const;
+
+private:
+    const equation_system* sys_;
+    std::vector<double> dc_;
+    bool have_dc_ = false;
+};
+
+}  // namespace sca::solver
+
+#endif  // SCA_SOLVER_NOISE_HPP

@@ -1,0 +1,161 @@
+#include "solver/nonlinear_dae.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numeric/sparse.hpp"
+#include "solver/dc.hpp"
+#include "util/report.hpp"
+
+namespace sca::solver {
+
+nonlinear_dae_solver::nonlinear_dae_solver(equation_system& sys, nonlinear_options opt)
+    : sys_(&sys), opt_(opt), h_(opt.h_init) {
+    util::require(opt.h_init > 0.0 && opt.h_min > 0.0 && opt.h_max >= opt.h_init,
+                  "nonlinear_dae_solver", "inconsistent step-size options");
+    x_.assign(sys.size(), 0.0);
+}
+
+void nonlinear_dae_solver::initialize(double t0) {
+    set_initial_state(dc_solve(*sys_, t0), t0);
+}
+
+void nonlinear_dae_solver::set_initial_state(std::vector<double> x0, double t0) {
+    util::require(x0.size() == sys_->size(), "nonlinear_dae_solver",
+                  "initial state dimension mismatch");
+    x_ = std::move(x0);
+    t_ = t0;
+    have_prev_ = false;
+    h_ = opt_.h_init;
+}
+
+bool nonlinear_dae_solver::try_step(double h) {
+    // Backward Euler:  (A + B/h) x1 + g(x1) = q(t1) + (B/h) x0
+    const double t1 = t_ + h;
+    const std::vector<double> q1 = sys_->rhs(t1);
+    const std::vector<double> bx0 = sys_->b().multiply(x_);
+
+    std::vector<double> rhs_fixed(sys_->size());
+    for (std::size_t i = 0; i < rhs_fixed.size(); ++i) rhs_fixed[i] = q1[i] + bx0[i] / h;
+
+    num::sparse_matrix_d m(sys_->size());
+    m.add_scaled(sys_->a(), 1.0);
+    m.add_scaled(sys_->b(), 1.0 / h);
+
+    // Newton iteration starting from the current state (or the predictor).
+    x_candidate_ = x_;
+    if (have_prev_ && h_prev_ > 0.0) {
+        const double r = h / h_prev_;
+        for (std::size_t i = 0; i < x_candidate_.size(); ++i) {
+            x_candidate_[i] = x_[i] + r * (x_[i] - x_prev_[i]);
+        }
+    }
+
+    std::vector<double> residual(sys_->size());
+    std::vector<jacobian_entry> jac;
+
+    auto eval_f = [&](const std::vector<double>& xi, bool want_jacobian) {
+        std::vector<double> f = m.multiply(xi);
+        residual.assign(sys_->size(), 0.0);
+        if (want_jacobian) jac.clear();
+        std::vector<jacobian_entry> scratch;
+        sys_->eval_nonlinear(xi, residual, want_jacobian ? jac : scratch);
+        for (std::size_t i = 0; i < f.size(); ++i) f[i] += residual[i] - rhs_fixed[i];
+        return f;
+    };
+
+    std::vector<double> f = eval_f(x_candidate_, true);
+    double fnorm = num::norm_inf(f);
+    for (int it = 0; it < opt_.newton.max_iterations; ++it) {
+        ++newton_iters_;
+        num::sparse_matrix_d j = m;
+        for (const auto& e : jac) j.add(e.row, e.col, e.value);
+        num::sparse_lu_d jlu;
+        try {
+            jlu.factor(j);
+        } catch (const util::error&) {
+            return false;  // singular Jacobian at this step size
+        }
+        ++factorizations_;
+        const std::vector<double> dx = jlu.solve(f);
+
+        double damping = 1.0;
+        bool improved = false;
+        for (int k = 0; k < 6; ++k) {
+            std::vector<double> xn = x_candidate_;
+            for (std::size_t i = 0; i < xn.size(); ++i) xn[i] -= damping * dx[i];
+            std::vector<double> fn = eval_f(xn, true);
+            const double fn_norm = num::norm_inf(fn);
+            if (fn_norm <= fnorm || fn_norm < opt_.newton.abstol) {
+                x_candidate_ = std::move(xn);
+                f = std::move(fn);
+                fnorm = fn_norm;
+                improved = true;
+                break;
+            }
+            damping *= 0.5;
+        }
+        if (!improved) return false;
+
+        const double dx_norm = num::norm_inf(dx) * damping;
+        const double x_norm = num::norm_inf(x_candidate_);
+        if (dx_norm < opt_.newton.abstol + opt_.newton.reltol * x_norm) return true;
+    }
+    return false;
+}
+
+double nonlinear_dae_solver::lte_estimate(double h) const {
+    // Error proxy: corrector minus linear predictor, halved (BE local error).
+    // Without history the predictor is the frozen state, which overestimates
+    // the error and keeps the first steps conservative.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        double pred = x_[i];
+        if (have_prev_ && h_prev_ > 0.0) {
+            pred = x_[i] + (h / h_prev_) * (x_[i] - x_prev_[i]);
+        }
+        const double err = 0.5 * std::abs(x_candidate_[i] - pred);
+        const double scale = opt_.lte_abstol + opt_.lte_reltol * std::abs(x_candidate_[i]);
+        worst = std::max(worst, err / scale);
+    }
+    return worst;
+}
+
+void nonlinear_dae_solver::advance_to(double t_end) {
+    while (t_ < t_end - 1e-18) {
+        double h = std::min(h_, t_end - t_);
+        bool accepted = false;
+        while (!accepted) {
+            if (!try_step(h)) {
+                ++rejected_;
+                h *= 0.25;
+                util::require(h >= opt_.h_min, "nonlinear_dae_solver",
+                              "Newton failed to converge at the minimum step size");
+                continue;
+            }
+            if (!opt_.adaptive) break;
+            const double err = lte_estimate(h);
+            if (err <= 1.0) {
+                accepted = true;
+                // Grow gently; the sqrt law matches the O(h^2) local error.
+                const double grow = std::clamp(0.9 / std::sqrt(std::max(err, 1e-4)), 0.3, 2.0);
+                h_ = std::clamp(h * grow, opt_.h_min, opt_.h_max);
+            } else {
+                ++rejected_;
+                h = std::max(h * std::clamp(0.9 / std::sqrt(err), 0.1, 0.5), opt_.h_min);
+                util::require(h > opt_.h_min * 1.0000001 || err <= 1.0,
+                              "nonlinear_dae_solver",
+                              "cannot meet the error tolerance at the minimum step size");
+            }
+            if (!opt_.adaptive) break;
+        }
+        x_prev_ = x_;
+        h_prev_ = h;
+        have_prev_ = true;
+        x_ = x_candidate_;
+        t_ += h;
+        ++accepted_;
+    }
+}
+
+}  // namespace sca::solver

@@ -1,0 +1,84 @@
+// Variable-timestep nonlinear DAE solver (paper phase 2: "support of non
+// linear DAEs and their simulation using variable time steps").
+//
+// Integrates  A x + B dx/dt + g(x) = q(t)  with backward Euler; each step is
+// solved by damped Newton iteration, and the step size is controlled by a
+// local-truncation-error estimate from the difference between the corrector
+// and a linear predictor.
+#ifndef SCA_SOLVER_NONLINEAR_DAE_HPP
+#define SCA_SOLVER_NONLINEAR_DAE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/equation_system.hpp"
+
+namespace sca::solver {
+
+struct newton_options {
+    int max_iterations = 50;
+    double abstol = 1e-10;
+    double reltol = 1e-7;
+};
+
+struct nonlinear_options {
+    double h_init = 1e-6;
+    double h_min = 1e-15;
+    double h_max = 1e-3;
+    /// LTE tolerance scales: error is normalized by (lte_abstol + lte_reltol*|x|).
+    double lte_abstol = 1e-6;
+    double lte_reltol = 1e-4;
+    bool adaptive = true;  // false = fixed step h_init (comparison benches)
+    newton_options newton;
+};
+
+class nonlinear_dae_solver {
+public:
+    nonlinear_dae_solver(equation_system& sys, nonlinear_options opt = {});
+
+    /// Compute the DC operating point at t0 and start from it.
+    void initialize(double t0);
+
+    /// Start from an explicit state instead of a DC solve.
+    void set_initial_state(std::vector<double> x0, double t0);
+
+    /// Integrate up to exactly t_end (the last step is shortened to hit it).
+    void advance_to(double t_end);
+
+    [[nodiscard]] const std::vector<double>& x() const noexcept { return x_; }
+    [[nodiscard]] double time() const noexcept { return t_; }
+
+    // --- statistics (reported by the stiff/variable-step benches) ----------
+    [[nodiscard]] std::uint64_t steps_accepted() const noexcept { return accepted_; }
+    [[nodiscard]] std::uint64_t steps_rejected() const noexcept { return rejected_; }
+    [[nodiscard]] std::uint64_t newton_iterations() const noexcept { return newton_iters_; }
+    [[nodiscard]] std::uint64_t factorizations() const noexcept { return factorizations_; }
+    [[nodiscard]] double current_h() const noexcept { return h_; }
+
+private:
+    /// One backward-Euler step of size h from (t_, x_). Returns the Newton
+    /// convergence flag; the candidate solution lands in x_candidate_.
+    bool try_step(double h);
+
+    /// Normalized LTE estimate of the candidate against the predictor.
+    double lte_estimate(double h) const;
+
+    equation_system* sys_;
+    nonlinear_options opt_;
+    double t_ = 0.0;
+    double h_;
+    std::vector<double> x_;
+    std::vector<double> x_prev_;  // accepted state one step back
+    double h_prev_ = 0.0;
+    std::vector<double> x_candidate_;
+    bool have_prev_ = false;
+
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t newton_iters_ = 0;
+    std::uint64_t factorizations_ = 0;
+};
+
+}  // namespace sca::solver
+
+#endif  // SCA_SOLVER_NONLINEAR_DAE_HPP

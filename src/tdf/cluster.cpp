@@ -1,0 +1,258 @@
+#include "tdf/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "tdf/module.hpp"
+#include "tdf/port.hpp"
+#include "tdf/schedule.hpp"
+#include "util/report.hpp"
+
+namespace sca::tdf {
+
+cluster::cluster(std::vector<module*> modules) : modules_(std::move(modules)) {
+    // Collect the signals touched by member ports (unique, writer required).
+    for (module* m : modules_) {
+        for (port_base* p : m->ports()) {
+            signal_base* s = p->bound_signal();
+            util::require(s != nullptr, p->name(), "TDF port is unbound");
+            if (std::find(signals_.begin(), signals_.end(), s) == signals_.end()) {
+                signals_.push_back(s);
+            }
+        }
+    }
+    for (signal_base* s : signals_) {
+        util::require(s->writer() != nullptr, s->name(), "TDF signal has no writer");
+    }
+}
+
+void cluster::compute_repetitions() {
+    std::map<module*, std::size_t> index;
+    for (std::size_t i = 0; i < modules_.size(); ++i) index[modules_[i]] = i;
+
+    std::vector<rate_edge> edges;
+    for (signal_base* s : signals_) {
+        const std::size_t from = index.at(s->writer()->owner());
+        for (port_base* r : s->readers()) {
+            edges.push_back({from, index.at(r->owner()), s->writer()->rate(), r->rate()});
+        }
+    }
+    const auto reps = repetition_vector(modules_.size(), edges);
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        modules_[i]->set_repetitions(reps[i]);
+    }
+}
+
+void cluster::resolve_timesteps() {
+    // Collect timestep anchors: module-level requests and port-level requests
+    // (a port request anchors its owner at rate * port_timestep).
+    period_ = de::time::zero();
+    std::string anchor_name;
+    auto consider = [&](const de::time& t_module, module& m, const std::string& who) {
+        const de::time tc = t_module * static_cast<std::int64_t>(m.repetitions());
+        if (period_ == de::time::zero()) {
+            period_ = tc;
+            anchor_name = who;
+        } else {
+            util::require(period_ == tc, who,
+                          "conflicting TDF timestep anchors (first anchor: " + anchor_name +
+                              " giving cluster period " + period_.to_string() + ", this one " +
+                              tc.to_string() + ")");
+        }
+    };
+    for (module* m : modules_) {
+        if (m->timestep_request() > de::time::zero()) {
+            consider(m->timestep_request(), *m, m->name());
+        }
+        for (port_base* p : m->ports()) {
+            if (p->timestep_request() > de::time::zero()) {
+                consider(p->timestep_request() * static_cast<std::int64_t>(p->rate()),
+                         *p->owner(), p->name());
+            }
+        }
+    }
+    util::require(period_ > de::time::zero(), "tdf_cluster",
+                  "no timestep anchor in TDF cluster: call set_timestep on at least "
+                  "one module or port");
+
+    for (module* m : modules_) {
+        const auto reps = static_cast<std::int64_t>(m->repetitions());
+        util::require(period_.value_fs() % reps == 0, m->name(),
+                      "cluster period is not an integer multiple of the module period "
+                      "at femtosecond resolution; choose rounder timesteps");
+        const de::time tm = de::time::from_fs(period_.value_fs() / reps);
+        m->set_resolved_timestep(tm);
+        for (port_base* p : m->ports()) {
+            p->set_resolved_timestep(
+                de::time::from_fs(tm.value_fs() / static_cast<std::int64_t>(p->rate())));
+        }
+    }
+}
+
+void cluster::build_schedule() {
+    // PASS construction (Lee/Messerschmitt): repeatedly fire any module whose
+    // input tokens are available until every module reached its repetition
+    // count. Failure to complete means the graph is deadlocked (needs delays).
+    std::map<const signal_base*, std::uint64_t> produced;   // incl. writer delay
+    std::map<const port_base*, std::uint64_t> consumed;     // per reader
+    std::map<const module*, std::uint64_t> fired;
+    std::map<const signal_base*, std::uint64_t> max_span;
+
+    for (signal_base* s : signals_) {
+        produced[s] = s->writer()->delay();
+        for (port_base* r : s->readers()) consumed[r] = 0;
+        max_span[s] = 0;
+    }
+    for (module* m : modules_) fired[m] = 0;
+
+    auto update_span = [&](signal_base* s) {
+        std::int64_t oldest = static_cast<std::int64_t>(produced[s]);
+        for (port_base* r : s->readers()) {
+            oldest = std::min(oldest, static_cast<std::int64_t>(consumed[r]) -
+                                          static_cast<std::int64_t>(r->delay()));
+        }
+        const auto span = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, static_cast<std::int64_t>(produced[s]) - oldest));
+        max_span[s] = std::max(max_span[s], span);
+    };
+    for (signal_base* s : signals_) update_span(s);
+
+    auto fireable = [&](module* m) {
+        if (fired[m] >= m->repetitions()) return false;
+        for (port_base* p : m->ports()) {
+            if (!p->is_input()) continue;
+            const signal_base* s = p->bound_signal();
+            const std::int64_t needed = static_cast<std::int64_t>(consumed[p]) +
+                                        static_cast<std::int64_t>(p->rate()) -
+                                        static_cast<std::int64_t>(p->delay());
+            if (needed > static_cast<std::int64_t>(produced.at(s))) return false;
+        }
+        return true;
+    };
+
+    schedule_.clear();
+    schedule_firing_.clear();
+    std::uint64_t total = 0;
+    for (module* m : modules_) total += m->repetitions();
+
+    while (schedule_.size() < total) {
+        bool progress = false;
+        for (module* m : modules_) {
+            if (!fireable(m)) continue;
+            schedule_.push_back(m);
+            schedule_firing_.push_back(fired[m]);
+            ++fired[m];
+            progress = true;
+            for (port_base* p : m->ports()) {
+                auto* s = const_cast<signal_base*>(p->bound_signal());
+                if (p->is_input()) {
+                    consumed[p] += p->rate();
+                } else {
+                    produced[s] += p->rate();
+                    update_span(s);
+                }
+            }
+        }
+        util::require(progress, "tdf_cluster",
+                      "dataflow deadlock: no module can fire; insert port delays to "
+                      "break the cycle");
+    }
+
+    // Ring-buffer capacities from the observed maximum live-token span.
+    for (signal_base* s : signals_) {
+        s->allocate(static_cast<std::size_t>(std::max<std::uint64_t>(max_span[s], 1)) +
+                    s->writer()->rate());
+    }
+}
+
+void cluster::size_buffers() {
+    // Reset port stream positions: writers start after their delay tokens.
+    for (signal_base* s : signals_) {
+        s->writer()->reset_position(s->writer()->delay());
+        for (port_base* r : s->readers()) r->reset_position(0);
+    }
+}
+
+void cluster::elaborate() {
+    compute_repetitions();
+    resolve_timesteps();
+    build_schedule();
+    size_buffers();
+    for (module* m : modules_) m->set_owning_cluster(*this);
+    for (module* m : modules_) m->initialize();
+}
+
+void cluster::attach(de::simulation_context& ctx) {
+    ctx_ = &ctx;
+    ctx.register_method("tdf_cluster_exec", [this] {
+        execute();
+        ctx_->next_trigger(period_);
+    });
+}
+
+void cluster::execute() {
+    const de::time t0 = ctx_ != nullptr ? ctx_->now() : de::time::zero();
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+        schedule_[i]->fire(t0, schedule_firing_[i]);
+    }
+    ++cycles_;
+}
+
+// ------------------------------------------------------------------ registry
+
+registry::registry(de::simulation_context& ctx) : ctx_(&ctx) {
+    ctx.add_elaboration_hook([this] { elaborate_clusters(); });
+}
+
+registry& registry::of(de::simulation_context& ctx) { return ctx.domain_data<registry>(); }
+
+void registry::add_module(module& m) { modules_.push_back(&m); }
+
+void registry::elaborate_clusters() {
+    if (elaborated_) return;
+    elaborated_ = true;
+
+    // Attribute settling first: modules declare rates/delays/timesteps.
+    for (module* m : modules_) m->set_attributes();
+
+    // Union-find over modules connected through TDF signals.
+    std::map<module*, std::size_t> index;
+    for (std::size_t i = 0; i < modules_.size(); ++i) index[modules_[i]] = i;
+    std::vector<std::size_t> parent(modules_.size());
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+    std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    auto unite = [&](std::size_t a, std::size_t b) { parent[find(a)] = find(b); };
+
+    for (module* m : modules_) {
+        for (port_base* p : m->ports()) {
+            util::require(p->owner() != nullptr, p->name(), "TDF port has no owner module");
+            signal_base* s = p->bound_signal();
+            util::require(s != nullptr, p->name(), "TDF port is unbound");
+            if (s->writer() != nullptr && s->writer()->owner() != nullptr) {
+                unite(index.at(m), index.at(s->writer()->owner()));
+            }
+            for (port_base* r : s->readers()) {
+                if (r->owner() != nullptr) unite(index.at(m), index.at(r->owner()));
+            }
+        }
+    }
+
+    std::map<std::size_t, std::vector<module*>> groups;
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        groups[find(i)].push_back(modules_[i]);
+    }
+    for (auto& [root, members] : groups) {
+        clusters_.push_back(std::make_unique<cluster>(std::move(members)));
+        clusters_.back()->elaborate();
+        clusters_.back()->attach(*ctx_);
+    }
+}
+
+}  // namespace sca::tdf

@@ -1,0 +1,81 @@
+// Cluster discovery, static scheduling, and DE-kernel attachment: the
+// synchronization layer between the dataflow/continuous-time world and the
+// discrete-event kernel (paper §3: "the concept of a dedicated manager, let
+// us call it the synchronization layer").
+#ifndef SCA_TDF_CLUSTER_HPP
+#define SCA_TDF_CLUSTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/context.hpp"
+#include "kernel/time.hpp"
+
+namespace sca::tdf {
+
+class module;
+class signal_base;
+
+/// A maximal set of TDF modules connected through TDF signals, executed as
+/// one statically scheduled unit from a single DE process.
+class cluster {
+public:
+    explicit cluster(std::vector<module*> modules);
+
+    /// Compute repetition vector, resolve timesteps, build the static
+    /// schedule (PASS), size the buffers, and call initialize() on modules.
+    void elaborate();
+
+    /// Register the driving DE process with the kernel.
+    void attach(de::simulation_context& ctx);
+
+    /// Execute one full cluster cycle at the current DE time.
+    void execute();
+
+    [[nodiscard]] const de::time& period() const noexcept { return period_; }
+    [[nodiscard]] const std::vector<module*>& modules() const noexcept { return modules_; }
+    [[nodiscard]] const std::vector<module*>& schedule() const noexcept { return schedule_; }
+    [[nodiscard]] std::uint64_t cycle_count() const noexcept { return cycles_; }
+
+private:
+    void compute_repetitions();
+    void resolve_timesteps();
+    void build_schedule();
+    void size_buffers();
+
+    std::vector<module*> modules_;
+    std::vector<signal_base*> signals_;
+    std::vector<module*> schedule_;
+    std::vector<std::uint64_t> schedule_firing_;  // firing index per schedule entry
+    de::time period_;
+    std::uint64_t cycles_ = 0;
+    de::simulation_context* ctx_ = nullptr;
+};
+
+/// Per-context registry of TDF modules; installs the elaboration hook that
+/// builds clusters (created lazily through simulation_context::domain_data).
+class registry {
+public:
+    explicit registry(de::simulation_context& ctx);
+
+    static registry& of(de::simulation_context& ctx);
+
+    void add_module(module& m);
+
+    [[nodiscard]] const std::vector<std::unique_ptr<cluster>>& clusters() const noexcept {
+        return clusters_;
+    }
+
+    /// Cluster discovery + scheduling; runs as an elaboration hook.
+    void elaborate_clusters();
+
+private:
+    de::simulation_context* ctx_;
+    std::vector<module*> modules_;
+    std::vector<std::unique_ptr<cluster>> clusters_;
+    bool elaborated_ = false;
+};
+
+}  // namespace sca::tdf
+
+#endif  // SCA_TDF_CLUSTER_HPP

@@ -1,0 +1,9 @@
+#include "tdf/converter.hpp"
+
+namespace sca::tdf {
+
+// Converter ports are header-only templates; this translation unit anchors
+// the component in the build and provides a place for future non-template
+// helpers.
+
+}  // namespace sca::tdf

@@ -1,0 +1,85 @@
+#include "tdf/dae_module.hpp"
+
+#include "util/report.hpp"
+
+namespace sca::tdf {
+
+namespace {
+void nonlinear_options_fixup(solver::nonlinear_options& o, double h) {
+    // The TDF timestep bounds the nonlinear solver's step: it must never
+    // overshoot a synchronization point, and a sensible default starts at
+    // the TDF step and refines from there.
+    if (o.h_max > h || o.h_max <= 0.0) o.h_max = h;
+    if (o.h_init > o.h_max) o.h_init = o.h_max;
+}
+}  // namespace
+
+solver::equation_system& dae_module::equations() {
+    build_now();
+    return sys_;
+}
+
+void dae_module::build_now() {
+    if (built_) return;
+    built_ = true;  // set first: build_equations may query equations()
+    build_equations();
+}
+
+std::vector<double> dae_module::initial_state() {
+    return solver::dc_solve(sys_, solve_time_);
+}
+
+std::uint64_t dae_module::factorizations() const noexcept {
+    if (linear_) return linear_->factor_count();
+    if (nonlinear_) return nonlinear_->factorizations();
+    return 0;
+}
+
+void dae_module::rebuild() {
+    sys_.clear_stamps();
+    build_equations();
+    restamp_requested_ = false;
+}
+
+void dae_module::processing() {
+    const double h = timestep().to_seconds();
+    util::require(h > 0.0, name(), "DAE module needs a resolved timestep");
+    solve_time_ = tdf_time().to_seconds();
+
+    build_now();
+    read_inputs();
+
+    if (first_activation_) {
+        first_activation_ = false;
+        state_ = initial_state();
+        if (sys_.is_linear()) {
+            linear_ = std::make_unique<solver::linear_dae_solver>(sys_, method_, h);
+            linear_->set_initial_state(state_, solve_time_);
+        } else {
+            nonlinear_options_fixup(nl_options_, h);
+            nonlinear_ = std::make_unique<solver::nonlinear_dae_solver>(sys_, nl_options_);
+            nonlinear_->set_initial_state(state_, solve_time_);
+        }
+        write_outputs();
+        return;
+    }
+
+    if (restamp_requested_) {
+        rebuild();
+        // stamp_generation changed: the linear solver refactors lazily; the
+        // nonlinear solver rebuilds its Jacobian every step anyway.  One BE
+        // step re-establishes algebraic consistency after the discontinuity.
+        if (linear_) linear_->force_backward_euler_next();
+    }
+
+    if (linear_) {
+        linear_->step();
+        state_ = linear_->x();
+    } else {
+        nonlinear_->advance_to(solve_time_);
+        state_ = nonlinear_->x();
+    }
+    write_outputs();
+}
+
+}  // namespace sca::tdf

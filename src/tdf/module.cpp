@@ -1,0 +1,18 @@
+#include "tdf/module.hpp"
+
+#include "tdf/cluster.hpp"
+
+namespace sca::tdf {
+
+module::module(const de::module_name& nm) : de::module(nm) {
+    registry::of(context()).add_module(*this);
+}
+
+void module::fire(const de::time& t0, std::uint64_t k) {
+    current_time_ = t0 + timestep_ * static_cast<std::int64_t>(k);
+    processing();
+    ++activations_;
+    for (port_base* p : ports_) p->advance();
+}
+
+}  // namespace sca::tdf

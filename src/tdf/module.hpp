@@ -1,0 +1,110 @@
+// TDF module base class.
+//
+//   struct scaler : sca::tdf::module {
+//       sca::tdf::in<double> x;
+//       sca::tdf::out<double> y;
+//       explicit scaler(const sca::de::module_name& nm)
+//           : module(nm), x("x"), y("y") {}
+//       void set_attributes() override { set_timestep(1.0, sca::de::time_unit::us); }
+//       void processing() override { y.write(2.0 * x.read()); }
+//   };
+//
+// Modules connected through tdf::signal form a cluster; the synchronization
+// layer derives the static schedule and drives the cluster from one DE
+// process (paper §3: "continuous behaviour encapsulated in static dataflow
+// modules", "synchronisation between discrete event and continuous time MoCs
+// using static dataflow semantics").
+#ifndef SCA_TDF_MODULE_HPP
+#define SCA_TDF_MODULE_HPP
+
+#include <complex>
+#include <cstdint>
+
+#include "kernel/module.hpp"
+#include "kernel/time.hpp"
+#include "tdf/port.hpp"
+
+namespace sca::tdf {
+
+class cluster;
+class registry;
+
+class module : public de::module {
+public:
+    [[nodiscard]] const char* kind() const noexcept override { return "tdf_module"; }
+
+    /// Set rates, delays and timesteps. Called once before scheduling.
+    virtual void set_attributes() {}
+
+    /// Called once after the schedule is known, before the first processing().
+    virtual void initialize() {}
+
+    /// The per-activation behavior.
+    virtual void processing() = 0;
+
+    /// Called when the simulation finishes (optional).
+    virtual void end_of_simulation() {}
+
+    /// Optional small-signal frequency-domain model (paper §4, [6]: the
+    /// mixed-signal system can be simulated "in the frequency domain,
+    /// provided frequency-domain models are added to the discrete-time
+    /// components").  Single-input single-output response at `f` Hz;
+    /// modules without a frequency-domain model report has_ac_model()
+    /// false and are rejected by cascade analyses.
+    [[nodiscard]] virtual bool has_ac_model() const { return false; }
+    [[nodiscard]] virtual std::complex<double> ac_response(double f) const {
+        (void)f;
+        return {1.0, 0.0};
+    }
+
+    // --- attribute helpers (valid inside set_attributes) --------------------
+    /// Anchor this module's activation period.
+    void set_timestep(const de::time& t) { timestep_request_ = t; }
+    void set_timestep(double v, de::time_unit u) { timestep_request_ = de::time(v, u); }
+
+    // --- timing queries (valid inside initialize()/processing()) -----------
+    /// Activation period of this module.
+    [[nodiscard]] const de::time& timestep() const noexcept { return timestep_; }
+    /// Time of the first sample of the current activation.
+    [[nodiscard]] const de::time& tdf_time() const noexcept { return current_time_; }
+
+    [[nodiscard]] const de::time& timestep_request() const noexcept {
+        return timestep_request_;
+    }
+
+    /// Ports declared by this module (registered automatically).
+    [[nodiscard]] const std::vector<port_base*>& ports() const noexcept { return ports_; }
+    void register_port(port_base& p) { ports_.push_back(&p); }
+
+    /// Number of activations per cluster cycle (repetition count).
+    [[nodiscard]] std::uint64_t repetitions() const noexcept { return repetitions_; }
+
+    /// Total activations so far (diagnostics, benches).
+    [[nodiscard]] std::uint64_t activation_count() const noexcept { return activations_; }
+
+    // --- cluster interface ---------------------------------------------------
+    void set_resolved_timestep(const de::time& t) noexcept { timestep_ = t; }
+    void set_repetitions(std::uint64_t r) noexcept { repetitions_ = r; }
+
+    /// Execute one firing at cycle start `t0`, firing index `k` in the cycle.
+    void fire(const de::time& t0, std::uint64_t k);
+
+    [[nodiscard]] cluster* owning_cluster() const noexcept { return cluster_; }
+    void set_owning_cluster(cluster& c) noexcept { cluster_ = &c; }
+
+protected:
+    explicit module(const de::module_name& nm);
+
+private:
+    std::vector<port_base*> ports_;
+    de::time timestep_request_;  // zero = unconstrained
+    de::time timestep_;
+    de::time current_time_;
+    std::uint64_t repetitions_ = 0;
+    std::uint64_t activations_ = 0;
+    cluster* cluster_ = nullptr;
+};
+
+}  // namespace sca::tdf
+
+#endif  // SCA_TDF_MODULE_HPP

@@ -1,0 +1,29 @@
+#include "tdf/port.hpp"
+
+#include "tdf/module.hpp"
+
+namespace sca::tdf {
+
+port_base::port_base(std::string name, bool is_input)
+    : de::object(std::move(name)), is_input_(is_input) {
+    // A port declared as a member of a tdf::module registers automatically;
+    // converter primitives (ELN/LSF) set the owner explicitly instead.
+    if (auto* m = dynamic_cast<module*>(parent())) {
+        owner_ = m;
+        m->register_port(*this);
+    }
+}
+
+void port_base::set_owner(module& m) {
+    owner_ = &m;
+    m.register_port(*this);
+}
+
+void signal_base::attach_writer(port_base& p) {
+    util::require(writer_ == nullptr, name(), "TDF signal already has a writer");
+    writer_ = &p;
+}
+
+void signal_base::attach_reader(port_base& p) { readers_.push_back(&p); }
+
+}  // namespace sca::tdf

@@ -1,0 +1,199 @@
+// Timed synchronous dataflow (TDF) ports and signals.
+//
+// A TDF port carries `rate` samples per module activation, optionally shifted
+// by `delay` initial tokens, at a fixed sample period (`timestep`).  Ports of
+// connected modules form clusters that are statically scheduled (paper §3:
+// SDF models "have the nice property that a finite static scheduling can
+// always be found").
+#ifndef SCA_TDF_PORT_HPP
+#define SCA_TDF_PORT_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/object.hpp"
+#include "kernel/time.hpp"
+#include "util/report.hpp"
+
+namespace sca::tdf {
+
+class module;
+class signal_base;
+class cluster;
+
+/// Common state of TDF input and output ports.
+class port_base : public de::object {
+public:
+    [[nodiscard]] const char* kind() const noexcept override { return "tdf_port"; }
+
+    /// Samples transported per module activation (>= 1).
+    void set_rate(unsigned rate) {
+        util::require(rate >= 1, name(), "rate must be >= 1");
+        rate_ = rate;
+    }
+    [[nodiscard]] unsigned rate() const noexcept { return rate_; }
+
+    /// Initial tokens inserted on this port (shifts the stream).
+    void set_delay(unsigned delay) noexcept { delay_ = delay; }
+    [[nodiscard]] unsigned delay() const noexcept { return delay_; }
+
+    /// Anchor the sample period of this port (propagated to the cluster).
+    void set_timestep(const de::time& t) { timestep_request_ = t; }
+    void set_timestep(double value, de::time_unit unit) {
+        timestep_request_ = de::time(value, unit);
+    }
+    [[nodiscard]] const de::time& timestep_request() const noexcept {
+        return timestep_request_;
+    }
+
+    /// Resolved sample period; valid after cluster elaboration.
+    [[nodiscard]] const de::time& timestep() const noexcept { return timestep_; }
+    void set_resolved_timestep(const de::time& t) noexcept { timestep_ = t; }
+
+    /// Module this port belongs to (normally the enclosing tdf::module).
+    [[nodiscard]] module* owner() const noexcept { return owner_; }
+    /// Attach to a module explicitly (used by ELN/LSF converter primitives
+    /// whose ports belong to the embedding network module).
+    void set_owner(module& m);
+
+    [[nodiscard]] signal_base* bound_signal() const noexcept { return signal_; }
+    [[nodiscard]] bool is_input() const noexcept { return is_input_; }
+
+    /// Absolute stream position (tokens handled so far, including delay).
+    [[nodiscard]] std::uint64_t position() const noexcept { return position_; }
+    void advance() noexcept { position_ += rate_; }
+    void reset_position(std::uint64_t p) noexcept { position_ = p; }
+
+protected:
+    port_base(std::string name, bool is_input);
+
+    signal_base* signal_ = nullptr;
+    module* owner_ = nullptr;
+    unsigned rate_ = 1;
+    unsigned delay_ = 0;
+    bool is_input_;
+    de::time timestep_request_;  // zero = unconstrained
+    de::time timestep_;
+    std::uint64_t position_ = 0;
+};
+
+/// Untyped TDF signal: one writer, any number of readers.
+class signal_base : public de::object {
+public:
+    [[nodiscard]] const char* kind() const noexcept override { return "tdf_signal"; }
+
+    [[nodiscard]] port_base* writer() const noexcept { return writer_; }
+    [[nodiscard]] const std::vector<port_base*>& readers() const noexcept { return readers_; }
+
+    void attach_writer(port_base& p);
+    void attach_reader(port_base& p);
+
+    /// Ring-buffer allocation; called by the cluster after scheduling.
+    virtual void allocate(std::size_t capacity) = 0;
+
+protected:
+    explicit signal_base(std::string name) : de::object(std::move(name)) {}
+
+    port_base* writer_ = nullptr;
+    std::vector<port_base*> readers_;
+};
+
+/// Typed TDF signal holding the token ring buffer.
+template <typename T>
+class signal : public signal_base {
+public:
+    explicit signal(std::string name = "tdf_signal") : signal_base(std::move(name)) {}
+
+    void allocate(std::size_t capacity) override {
+        util::require(capacity > 0, name(), "zero buffer capacity");
+        buffer_.assign(capacity, initial_);
+    }
+
+    /// Value used for tokens before the start of the stream (delay tokens).
+    /// Intended to be called from module initialize(), i.e. after buffer
+    /// allocation but before any token is produced: the prefill is refreshed.
+    void set_initial_value(const T& v) {
+        initial_ = v;
+        std::fill(buffer_.begin(), buffer_.end(), v);
+        last_value_ = v;
+    }
+
+    /// Token by absolute stream index; negative indices yield the initial
+    /// value. Returned by value: tokens are small, and std::vector<bool>
+    /// has no stable element references.
+    [[nodiscard]] T read_token(std::int64_t index) const {
+        if (index < 0) return initial_;
+        return buffer_[static_cast<std::size_t>(index) % buffer_.size()];
+    }
+
+    void write_token(std::uint64_t index, const T& v) {
+        buffer_[index % buffer_.size()] = v;
+        last_value_ = v;
+    }
+
+    /// Most recently written token (tracing probe).
+    [[nodiscard]] const T& last_value() const noexcept { return last_value_; }
+
+private:
+    std::vector<T> buffer_{T{}};
+    T initial_{};
+    T last_value_{};
+};
+
+/// TDF input port.
+template <typename T>
+class in : public port_base {
+public:
+    explicit in(std::string name = "in") : port_base(std::move(name), /*is_input=*/true) {}
+
+    void bind(signal<T>& s) {
+        signal_ = &s;
+        s.attach_reader(*this);
+    }
+    void operator()(signal<T>& s) { bind(s); }
+
+    /// Sample `k` (0 <= k < rate) of the current activation.
+    [[nodiscard]] T read(unsigned k = 0) const {
+        const auto* s = static_cast<const signal<T>*>(signal_);
+        util::require(s != nullptr, name(), "read of unbound TDF port");
+        util::require(k < rate_, name(), "sample index exceeds port rate");
+        return s->read_token(static_cast<std::int64_t>(position_ + k) -
+                             static_cast<std::int64_t>(delay_));
+    }
+
+private:
+};
+
+/// TDF output port.
+template <typename T>
+class out : public port_base {
+public:
+    explicit out(std::string name = "out") : port_base(std::move(name), /*is_input=*/false) {}
+
+    void bind(signal<T>& s) {
+        signal_ = &s;
+        s.attach_writer(*this);
+    }
+    void operator()(signal<T>& s) { bind(s); }
+
+    /// Write sample `k` (0 <= k < rate) of the current activation.
+    void write(const T& v, unsigned k = 0) {
+        auto* s = static_cast<signal<T>*>(signal_);
+        util::require(s != nullptr, name(), "write to unbound TDF port");
+        util::require(k < rate_, name(), "sample index exceeds port rate");
+        s->write_token(position_ + k, v);
+    }
+
+    /// Set the value of the `delay()` initial tokens.
+    void set_initial_value(const T& v) {
+        auto* s = static_cast<signal<T>*>(signal_);
+        util::require(s != nullptr, name(), "initial value on unbound TDF port");
+        s->set_initial_value(v);
+    }
+};
+
+}  // namespace sca::tdf
+
+#endif  // SCA_TDF_PORT_HPP

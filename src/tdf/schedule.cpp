@@ -1,0 +1,95 @@
+#include "tdf/schedule.hpp"
+
+#include <numeric>
+
+#include "util/report.hpp"
+
+namespace sca::tdf {
+
+namespace {
+
+/// Exact rational with int64 numerator/denominator, kept reduced.
+struct rational {
+    std::int64_t num = 0;
+    std::int64_t den = 1;
+
+    static rational make(std::int64_t n, std::int64_t d) {
+        const std::int64_t g = std::gcd(n, d);
+        if (g != 0) {
+            n /= g;
+            d /= g;
+        }
+        if (d < 0) {
+            n = -n;
+            d = -d;
+        }
+        return {n, d};
+    }
+
+    [[nodiscard]] rational times(std::int64_t n, std::int64_t d) const {
+        return make(num * n, den * d);
+    }
+
+    bool operator==(const rational&) const = default;
+};
+
+}  // namespace
+
+std::vector<std::uint64_t> repetition_vector(std::size_t n,
+                                             const std::vector<rate_edge>& edges) {
+    // Adjacency with rate ratio: rep[to] = rep[from] * out_rate / in_rate.
+    struct link {
+        std::size_t other;
+        std::int64_t num;  // multiply by num/den going from `this` to `other`
+        std::int64_t den;
+    };
+    std::vector<std::vector<link>> adj(n);
+    for (const auto& e : edges) {
+        util::require(e.from < n && e.to < n, "repetition_vector", "edge index out of range");
+        util::require(e.out_rate > 0 && e.in_rate > 0, "repetition_vector",
+                      "rates must be positive");
+        adj[e.from].push_back({e.to, e.out_rate, e.in_rate});
+        adj[e.to].push_back({e.from, e.in_rate, e.out_rate});
+    }
+
+    std::vector<rational> rep(n, rational{0, 1});
+    std::vector<std::size_t> stack;
+    for (std::size_t start = 0; start < n; ++start) {
+        if (rep[start].num != 0) continue;
+        rep[start] = rational{1, 1};
+        stack.push_back(start);
+        while (!stack.empty()) {
+            const std::size_t u = stack.back();
+            stack.pop_back();
+            for (const auto& l : adj[u]) {
+                const rational expected = rep[u].times(l.num, l.den);
+                if (rep[l.other].num == 0) {
+                    rep[l.other] = expected;
+                    stack.push_back(l.other);
+                } else {
+                    util::require(rep[l.other] == expected, "repetition_vector",
+                                  "inconsistent dataflow rates: no finite static "
+                                  "schedule exists for this graph");
+                }
+            }
+        }
+    }
+
+    // Scale to the minimal integer vector: multiply by lcm of denominators,
+    // then divide by the gcd of the numerators.
+    std::int64_t den_lcm = 1;
+    for (const auto& r : rep) den_lcm = std::lcm(den_lcm, r.den);
+    std::vector<std::uint64_t> result(n);
+    std::int64_t num_gcd = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::int64_t v = rep[i].num * (den_lcm / rep[i].den);
+        result[i] = static_cast<std::uint64_t>(v);
+        num_gcd = std::gcd(num_gcd, v);
+    }
+    if (num_gcd > 1) {
+        for (auto& v : result) v /= static_cast<std::uint64_t>(num_gcd);
+    }
+    return result;
+}
+
+}  // namespace sca::tdf

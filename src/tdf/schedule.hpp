@@ -1,0 +1,29 @@
+// Repetition-vector computation for synchronous dataflow graphs.
+//
+// Solves the balance equations rep[from] * out_rate == rep[to] * in_rate for
+// every edge, returning the minimal positive integer solution, and reports
+// rate inconsistencies (graphs with no finite static schedule).
+#ifndef SCA_TDF_SCHEDULE_HPP
+#define SCA_TDF_SCHEDULE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace sca::tdf {
+
+struct rate_edge {
+    std::size_t from;        // producing module index
+    std::size_t to;          // consuming module index
+    unsigned out_rate;       // tokens produced per firing of `from`
+    unsigned in_rate;        // tokens consumed per firing of `to`
+};
+
+/// Minimal repetition vector for `n` modules under the balance equations of
+/// `edges`. Modules not touched by any edge get repetition 1.
+/// Throws sca::util::error for inconsistent rates.
+[[nodiscard]] std::vector<std::uint64_t> repetition_vector(std::size_t n,
+                                                           const std::vector<rate_edge>& edges);
+
+}  // namespace sca::tdf
+
+#endif  // SCA_TDF_SCHEDULE_HPP

@@ -1,0 +1,87 @@
+#include "util/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/report.hpp"
+
+namespace sca::util {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1U;
+    return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+    const std::size_t n = data.size();
+    require(n > 0 && (n & (n - 1)) == 0, "fft", "size must be a power of two");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1U;
+        for (; j & bit; bit >>= 1U) j ^= bit;
+        j ^= bit;
+        if (i < j) std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1U) {
+        const double angle = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::complex<double> u = data[i + k];
+                const std::complex<double> v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        for (auto& x : data) x /= static_cast<double>(n);
+    }
+}
+
+std::vector<std::complex<double>> fft_real(const std::vector<double>& signal) {
+    std::vector<std::complex<double>> data(next_pow2(signal.size()));
+    for (std::size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+    fft(data);
+    return data;
+}
+
+std::vector<spectrum_bin> magnitude_spectrum(const std::vector<double>& signal, double fs,
+                                             bool hann) {
+    require(fs > 0.0, "magnitude_spectrum", "sample rate must be positive");
+    require(!signal.empty(), "magnitude_spectrum", "empty signal");
+
+    const std::size_t n = next_pow2(signal.size());
+    std::vector<std::complex<double>> data(n);
+    double coherent_gain = 1.0;
+    if (hann) {
+        coherent_gain = 0.5;
+        for (std::size_t i = 0; i < signal.size(); ++i) {
+            const double w =
+                0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                      static_cast<double>(signal.size() - 1)));
+            data[i] = signal[i] * w;
+        }
+    } else {
+        for (std::size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+    }
+    fft(data);
+
+    std::vector<spectrum_bin> bins;
+    bins.reserve(n / 2 + 1);
+    const double scale = 2.0 / (static_cast<double>(signal.size()) * coherent_gain);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+        const double f = fs * static_cast<double>(k) / static_cast<double>(n);
+        double mag = std::abs(data[k]) * scale;
+        if (k == 0 || k == n / 2) mag *= 0.5;  // DC and Nyquist bins are not doubled.
+        bins.push_back({f, mag});
+    }
+    return bins;
+}
+
+}  // namespace sca::util

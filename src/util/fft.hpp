@@ -1,0 +1,35 @@
+// Radix-2 FFT and spectral helpers used by the frequency-domain benches and
+// by the measurement utilities (SNR, THD).
+#ifndef SCA_UTIL_FFT_HPP
+#define SCA_UTIL_FFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace sca::util {
+
+/// In-place radix-2 decimation-in-time FFT. `data.size()` must be a power of
+/// two. `inverse` selects the inverse transform (scaled by 1/N).
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+/// The input is zero-padded to the next power of two.
+[[nodiscard]] std::vector<std::complex<double>> fft_real(const std::vector<double>& signal);
+
+/// Single-sided magnitude spectrum of a real signal sampled at `fs` Hz.
+/// Returns (frequency, magnitude) pairs for bins 0..N/2. A Hann window is
+/// applied when `hann` is true (magnitudes are corrected for coherent gain).
+struct spectrum_bin {
+    double frequency;
+    double magnitude;
+};
+[[nodiscard]] std::vector<spectrum_bin> magnitude_spectrum(const std::vector<double>& signal,
+                                                           double fs, bool hann = true);
+
+/// Next power of two >= n (and >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+}  // namespace sca::util
+
+#endif  // SCA_UTIL_FFT_HPP

@@ -1,0 +1,122 @@
+#include "util/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/fft.hpp"
+#include "util/report.hpp"
+
+namespace sca::util {
+
+double rms(const std::vector<double>& x) {
+    require(!x.empty(), "rms", "empty sequence");
+    double acc = 0.0;
+    for (double v : x) acc += v * v;
+    return std::sqrt(acc / static_cast<double>(x.size()));
+}
+
+double mean(const std::vector<double>& x) {
+    require(!x.empty(), "mean", "empty sequence");
+    return std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(x.size());
+}
+
+double max_abs_error(const std::vector<double>& a, const std::vector<double>& b) {
+    require(a.size() == b.size(), "max_abs_error", "size mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+double rms_error(const std::vector<double>& a, const std::vector<double>& b) {
+    require(a.size() == b.size() && !a.empty(), "rms_error", "size mismatch or empty");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+namespace {
+struct power_split {
+    double signal = 0.0;
+    double rest = 0.0;
+    std::size_t fundamental_bin = 0;
+};
+
+power_split split_power(const std::vector<double>& samples, double fs, std::size_t skirt) {
+    const auto bins = magnitude_spectrum(samples, fs, /*hann=*/true);
+    require(bins.size() > 2, "sinad", "signal too short");
+
+    std::size_t peak = 1;
+    for (std::size_t k = 2; k + 1 < bins.size(); ++k) {
+        if (bins[k].magnitude > bins[peak].magnitude) peak = k;
+    }
+    power_split out;
+    out.fundamental_bin = peak;
+    const std::size_t dc_guard = std::min<std::size_t>(skirt, bins.size() - 1);
+    for (std::size_t k = 1; k < bins.size(); ++k) {
+        const double p = bins[k].magnitude * bins[k].magnitude;
+        const bool in_signal = k + skirt >= peak && k <= peak + skirt;
+        const bool in_dc = k <= dc_guard;
+        if (in_signal) {
+            out.signal += p;
+        } else if (!in_dc) {
+            out.rest += p;
+        }
+    }
+    return out;
+}
+}  // namespace
+
+double sinad_db(const std::vector<double>& samples, double fs, std::size_t skirt) {
+    const auto split = split_power(samples, fs, skirt);
+    if (split.rest <= 0.0) return 200.0;  // numerically noiseless
+    return 10.0 * std::log10(split.signal / split.rest);
+}
+
+double enob(double sinad_db_value) { return (sinad_db_value - 1.76) / 6.02; }
+
+double thd_db(const std::vector<double>& samples, double fs, std::size_t n_harmonics,
+              std::size_t skirt) {
+    const auto bins = magnitude_spectrum(samples, fs, /*hann=*/true);
+    const auto split = split_power(samples, fs, skirt);
+    const std::size_t f0 = split.fundamental_bin;
+
+    double harm_power = 0.0;
+    for (std::size_t h = 2; h <= n_harmonics + 1; ++h) {
+        const std::size_t center = f0 * h;
+        if (center >= bins.size()) break;
+        const std::size_t lo = center > skirt ? center - skirt : 1;
+        const std::size_t hi = std::min(center + skirt, bins.size() - 1);
+        double peak = 0.0;
+        for (std::size_t k = lo; k <= hi; ++k) peak = std::max(peak, bins[k].magnitude);
+        harm_power += peak * peak;
+    }
+    if (harm_power <= 0.0) return -200.0;
+    return 10.0 * std::log10(harm_power / split.signal);
+}
+
+double first_rising_crossing(const std::vector<double>& t, const std::vector<double>& x,
+                             double level) {
+    require(t.size() == x.size(), "first_rising_crossing", "size mismatch");
+    for (std::size_t i = 1; i < x.size(); ++i) {
+        if (x[i - 1] < level && x[i] >= level) {
+            const double frac = (level - x[i - 1]) / (x[i] - x[i - 1]);
+            return t[i - 1] + frac * (t[i] - t[i - 1]);
+        }
+    }
+    return -1.0;
+}
+
+bool settled(const std::vector<double>& x, double target, double tolerance, double fraction) {
+    require(!x.empty() && fraction > 0.0 && fraction <= 1.0, "settled", "bad arguments");
+    const auto start = static_cast<std::size_t>(static_cast<double>(x.size()) * (1.0 - fraction));
+    for (std::size_t i = start; i < x.size(); ++i) {
+        if (std::abs(x[i] - target) > tolerance) return false;
+    }
+    return true;
+}
+
+}  // namespace sca::util

@@ -1,0 +1,51 @@
+// Waveform measurement helpers: SNR/SINAD/THD/ENOB on sampled data, rise
+// times, settling detection, and simple statistics.  Used by tests and by the
+// benches that reproduce the paper's application scenarios.
+#ifndef SCA_UTIL_MEASURE_HPP
+#define SCA_UTIL_MEASURE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace sca::util {
+
+/// Root-mean-square value of a sequence.
+[[nodiscard]] double rms(const std::vector<double>& x);
+
+/// Arithmetic mean.
+[[nodiscard]] double mean(const std::vector<double>& x);
+
+/// Maximum absolute difference between two equally long sequences.
+[[nodiscard]] double max_abs_error(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Root-mean-square difference between two equally long sequences.
+[[nodiscard]] double rms_error(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Signal-to-noise-and-distortion ratio (dB) of a sampled sine.
+///
+/// The signal bin is the largest non-DC bin of the windowed spectrum; `skirt`
+/// bins on each side of it are attributed to the signal (spectral leakage).
+/// Everything else except DC is noise+distortion.
+[[nodiscard]] double sinad_db(const std::vector<double>& samples, double fs,
+                              std::size_t skirt = 8);
+
+/// Effective number of bits from a SINAD value: (sinad - 1.76) / 6.02.
+[[nodiscard]] double enob(double sinad_db_value);
+
+/// Total harmonic distortion (dB, negative) using `n_harmonics` harmonics of
+/// the detected fundamental.
+[[nodiscard]] double thd_db(const std::vector<double>& samples, double fs,
+                            std::size_t n_harmonics = 5, std::size_t skirt = 8);
+
+/// First time the waveform crosses `level` with positive slope; -1 if never.
+[[nodiscard]] double first_rising_crossing(const std::vector<double>& t,
+                                           const std::vector<double>& x, double level);
+
+/// True when the tail of the waveform (last `fraction` of samples) stays
+/// within +/- tolerance of `target`.
+[[nodiscard]] bool settled(const std::vector<double>& x, double target, double tolerance,
+                           double fraction = 0.1);
+
+}  // namespace sca::util
+
+#endif  // SCA_UTIL_MEASURE_HPP

@@ -1,0 +1,46 @@
+#include "util/report.hpp"
+
+#include <iostream>
+
+namespace sca::util {
+
+namespace {
+std::vector<std::string>& warning_store() {
+    static std::vector<std::string> store;
+    return store;
+}
+std::vector<std::string>& info_store() {
+    static std::vector<std::string> store;
+    return store;
+}
+bool& echo_flag() {
+    static bool echo = false;
+    return echo;
+}
+}  // namespace
+
+void report_fatal(std::string_view context, std::string_view what) {
+    throw error(context, what);
+}
+
+void report_warning(std::string_view context, std::string_view what) {
+    std::string msg = std::string(context) + ": " + std::string(what);
+    if (echo_flag()) std::cerr << "[sca warning] " << msg << '\n';
+    warning_store().push_back(std::move(msg));
+}
+
+void report_info(std::string_view context, std::string_view what) {
+    info_store().push_back(std::string(context) + ": " + std::string(what));
+}
+
+const std::vector<std::string>& warnings() { return warning_store(); }
+const std::vector<std::string>& infos() { return info_store(); }
+
+void clear_reports() {
+    warning_store().clear();
+    info_store().clear();
+}
+
+void set_echo_warnings(bool on) { echo_flag() = on; }
+
+}  // namespace sca::util

@@ -1,0 +1,116 @@
+#include "util/trace.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/report.hpp"
+
+namespace sca::util {
+
+void trace_file::add_channel(std::string name, std::function<double()> probe) {
+    require(!header_written_, "trace_file", "cannot add channels after sampling started");
+    require(static_cast<bool>(probe), "trace_file", "null probe for channel " + name);
+    channels_.push_back({std::move(name), std::move(probe)});
+}
+
+void trace_file::sample(double t) {
+    if (!header_written_) {
+        write_header();
+        header_written_ = true;
+    }
+    std::vector<double> values;
+    values.reserve(channels_.size());
+    for (const auto& ch : channels_) values.push_back(ch.probe());
+    write_row(t, values);
+}
+
+// ---------------------------------------------------------------- tabular --
+
+tabular_trace_file::tabular_trace_file(const std::string& path) : out_(path) {
+    require(out_.good(), "tabular_trace_file", "cannot open " + path);
+}
+
+tabular_trace_file::~tabular_trace_file() { close(); }
+
+void tabular_trace_file::close() {
+    if (out_.is_open()) out_.close();
+}
+
+void tabular_trace_file::write_header() {
+    out_ << "%time";
+    for (const auto& ch : channels_) out_ << ' ' << ch.name;
+    out_ << '\n';
+}
+
+void tabular_trace_file::write_row(double t, const std::vector<double>& values) {
+    out_ << t;
+    for (double v : values) out_ << ' ' << v;
+    out_ << '\n';
+}
+
+// -------------------------------------------------------------------- vcd --
+
+namespace {
+std::string vcd_identifier(std::size_t index) {
+    // Printable identifier characters per the VCD grammar: '!' .. '~'.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+}  // namespace
+
+vcd_trace_file::vcd_trace_file(const std::string& path, double time_resolution)
+    : out_(path), resolution_(time_resolution) {
+    require(out_.good(), "vcd_trace_file", "cannot open " + path);
+    require(time_resolution > 0.0, "vcd_trace_file", "time resolution must be positive");
+}
+
+vcd_trace_file::~vcd_trace_file() { close(); }
+
+void vcd_trace_file::close() {
+    if (out_.is_open()) out_.close();
+}
+
+void vcd_trace_file::write_header() {
+    out_ << "$timescale 1 ps $end\n$scope module sca $end\n";
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        out_ << "$var real 64 " << vcd_identifier(i) << ' ' << channels_[i].name << " $end\n";
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    last_.assign(channels_.size(), std::nan(""));
+}
+
+void vcd_trace_file::write_row(double t, const std::vector<double>& values) {
+    const auto stamp = static_cast<long long>(std::llround(t / resolution_));
+    bool stamp_emitted = false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] == last_[i]) continue;
+        if (!stamp_emitted && stamp != last_stamp_) {
+            out_ << '#' << stamp << '\n';
+            last_stamp_ = stamp;
+            stamp_emitted = true;
+        }
+        out_ << 'r' << values[i] << ' ' << vcd_identifier(i) << '\n';
+        last_[i] = values[i];
+    }
+}
+
+// ----------------------------------------------------------------- memory --
+
+std::vector<double> memory_trace::column(std::size_t c) const {
+    require(c < channel_count(), "memory_trace", "column index out of range");
+    std::vector<double> col;
+    col.reserve(rows_.size());
+    for (const auto& row : rows_) col.push_back(row[c]);
+    return col;
+}
+
+void memory_trace::write_row(double t, const std::vector<double>& values) {
+    times_.push_back(t);
+    rows_.push_back(values);
+}
+
+}  // namespace sca::util

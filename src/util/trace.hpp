@@ -1,0 +1,106 @@
+// Waveform tracing: tabular (whitespace-separated columns) and VCD output.
+//
+// Any simulation object that can produce a double per time point can register
+// itself with a trace_file through the `traceable` interface.  The analysis
+// drivers (core/) call `sample(t)` at every accepted time point.
+#ifndef SCA_UTIL_TRACE_HPP
+#define SCA_UTIL_TRACE_HPP
+
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sca::util {
+
+/// A named scalar quantity that can be sampled at a time point.
+struct trace_channel {
+    std::string name;
+    std::function<double()> probe;
+};
+
+/// Base class for trace sinks. Channels are added before the first sample.
+class trace_file {
+public:
+    virtual ~trace_file() = default;
+
+    trace_file(const trace_file&) = delete;
+    trace_file& operator=(const trace_file&) = delete;
+
+    /// Register a named probe; must happen before the first sample().
+    void add_channel(std::string name, std::function<double()> probe);
+
+    /// Record the current value of every channel at time `t` (seconds).
+    void sample(double t);
+
+    /// Flush and close the underlying file. Idempotent.
+    virtual void close() = 0;
+
+    [[nodiscard]] std::size_t channel_count() const noexcept { return channels_.size(); }
+
+protected:
+    trace_file() = default;
+
+    virtual void write_header() = 0;
+    virtual void write_row(double t, const std::vector<double>& values) = 0;
+
+    std::vector<trace_channel> channels_;
+    bool header_written_ = false;
+};
+
+/// Tabular trace: one row per sample, first column is time.
+class tabular_trace_file final : public trace_file {
+public:
+    explicit tabular_trace_file(const std::string& path);
+    ~tabular_trace_file() override;
+    void close() override;
+
+private:
+    void write_header() override;
+    void write_row(double t, const std::vector<double>& values) override;
+
+    std::ofstream out_;
+};
+
+/// Value-change-dump trace with real-valued variables.
+class vcd_trace_file final : public trace_file {
+public:
+    /// `time_resolution` is the VCD timescale in seconds (default 1 ps).
+    explicit vcd_trace_file(const std::string& path, double time_resolution = 1e-12);
+    ~vcd_trace_file() override;
+    void close() override;
+
+private:
+    void write_header() override;
+    void write_row(double t, const std::vector<double>& values) override;
+
+    std::ofstream out_;
+    double resolution_;
+    std::vector<double> last_;
+    long long last_stamp_ = -1;
+};
+
+/// In-memory trace for tests and measurements: stores (t, values) rows.
+class memory_trace final : public trace_file {
+public:
+    memory_trace() = default;
+    void close() override {}
+
+    [[nodiscard]] const std::vector<double>& times() const noexcept { return times_; }
+    [[nodiscard]] const std::vector<std::vector<double>>& rows() const noexcept { return rows_; }
+
+    /// Column of samples for channel index `c`.
+    [[nodiscard]] std::vector<double> column(std::size_t c) const;
+
+private:
+    void write_header() override {}
+    void write_row(double t, const std::vector<double>& values) override;
+
+    std::vector<double> times_;
+    std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace sca::util
+
+#endif  // SCA_UTIL_TRACE_HPP

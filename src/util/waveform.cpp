@@ -1,0 +1,82 @@
+#include "util/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/report.hpp"
+
+namespace sca::util {
+
+waveform waveform::dc(double value) {
+    waveform w;
+    w.dc_ = value;
+    return w;
+}
+
+waveform waveform::sine(double amplitude, double frequency, double offset, double phase_rad,
+                        double delay) {
+    require(frequency > 0.0, "waveform::sine", "frequency must be positive");
+    waveform w;
+    w.dc_ = offset;
+    w.fn_ = [=](double t) {
+        return offset +
+               amplitude * std::sin(2.0 * std::numbers::pi * frequency * (t - delay) +
+                                    phase_rad);
+    };
+    return w;
+}
+
+waveform waveform::pulse(double v1, double v2, double delay, double rise, double fall,
+                         double width, double period) {
+    require(period > 0.0, "waveform::pulse", "period must be positive");
+    require(rise + width + fall <= period, "waveform::pulse",
+            "rise + width + fall must fit in the period");
+    waveform w;
+    w.dc_ = v1;
+    w.fn_ = [=](double t) {
+        if (t < delay) return v1;
+        const double tp = std::fmod(t - delay, period);
+        if (tp < rise) {
+            return rise > 0.0 ? v1 + (v2 - v1) * tp / rise : v2;
+        }
+        if (tp < rise + width) return v2;
+        if (tp < rise + width + fall) {
+            return fall > 0.0 ? v2 + (v1 - v2) * (tp - rise - width) / fall : v1;
+        }
+        return v1;
+    };
+    return w;
+}
+
+waveform waveform::pwl(std::vector<std::pair<double, double>> points) {
+    require(!points.empty(), "waveform::pwl", "at least one point required");
+    require(std::is_sorted(points.begin(), points.end(),
+                           [](const auto& a, const auto& b) { return a.first < b.first; }),
+            "waveform::pwl", "points must be sorted by time");
+    waveform w;
+    w.dc_ = points.front().second;
+    w.fn_ = [pts = std::move(points)](double t) {
+        if (t <= pts.front().first) return pts.front().second;
+        if (t >= pts.back().first) return pts.back().second;
+        for (std::size_t i = 1; i < pts.size(); ++i) {
+            if (t <= pts[i].first) {
+                const double u =
+                    (t - pts[i - 1].first) / (pts[i].first - pts[i - 1].first);
+                return pts[i - 1].second + u * (pts[i].second - pts[i - 1].second);
+            }
+        }
+        return pts.back().second;
+    };
+    return w;
+}
+
+waveform waveform::custom(std::function<double(double)> fn) {
+    require(static_cast<bool>(fn), "waveform::custom", "null function");
+    waveform w;
+    w.dc_ = fn(0.0);
+    w.fn_ = std::move(fn);
+    return w;
+}
+
+}  // namespace sca::util

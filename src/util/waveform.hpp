@@ -1,0 +1,42 @@
+// Time-domain waveform descriptions shared by all source primitives
+// (electrical/mechanical/thermal sources, signal-flow sources, TDF stimuli).
+#ifndef SCA_UTIL_WAVEFORM_HPP
+#define SCA_UTIL_WAVEFORM_HPP
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sca::util {
+
+class waveform {
+public:
+    /// Constant value.
+    static waveform dc(double value);
+
+    /// offset + amplitude * sin(2*pi*freq*(t - delay) + phase).
+    static waveform sine(double amplitude, double frequency, double offset = 0.0,
+                         double phase_rad = 0.0, double delay = 0.0);
+
+    /// SPICE-style pulse: v1 -> v2 with delay/rise/fall/width/period.
+    static waveform pulse(double v1, double v2, double delay, double rise, double fall,
+                          double width, double period);
+
+    /// Piecewise linear through (t, v) points (constant before/after).
+    static waveform pwl(std::vector<std::pair<double, double>> points);
+
+    /// Arbitrary function of time.
+    static waveform custom(std::function<double(double)> fn);
+
+    [[nodiscard]] double at(double t) const { return fn_ ? fn_(t) : dc_; }
+    [[nodiscard]] bool is_dc() const noexcept { return !fn_; }
+    [[nodiscard]] double dc_value() const noexcept { return dc_; }
+
+private:
+    double dc_ = 0.0;
+    std::function<double(double)> fn_;  // empty = pure DC
+};
+
+}  // namespace sca::util
+
+#endif  // SCA_UTIL_WAVEFORM_HPP

@@ -1,0 +1,269 @@
+// Frequency-domain tests: AC magnitude/phase against closed forms, AC of
+// linearized nonlinear circuits, and noise analysis against kT/C and 4kTR.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/ac_analysis.hpp"
+#include "core/noise_analysis.hpp"
+#include "core/simulation.hpp"
+#include "eln/network.hpp"
+#include "eln/nonlinear.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "lsf/ltf.hpp"
+#include "lsf/node.hpp"
+#include "lsf/primitives.hpp"
+#include "solver/noise.hpp"
+
+namespace de = sca::de;
+namespace eln = sca::eln;
+namespace lsf = sca::lsf;
+namespace core = sca::core;
+namespace solver = sca::solver;
+using namespace sca::de::literals;
+
+TEST(sweep, logarithmic_and_linear_grids) {
+    const solver::sweep log_sw{10.0, 1000.0, 3, solver::sweep::scale::logarithmic};
+    const auto fl = log_sw.frequencies();
+    ASSERT_EQ(fl.size(), 3U);
+    EXPECT_NEAR(fl[0], 10.0, 1e-9);
+    EXPECT_NEAR(fl[1], 100.0, 1e-6);
+    EXPECT_NEAR(fl[2], 1000.0, 1e-6);
+
+    const solver::sweep lin_sw{0.0, 10.0, 6, solver::sweep::scale::linear};
+    const auto fn = lin_sw.frequencies();
+    EXPECT_NEAR(fn[1], 2.0, 1e-12);
+}
+
+namespace {
+
+struct rc_fixture {
+    core::simulation sim;
+    eln::network net;
+    eln::node vout;
+    double r = 1000.0;
+    double c = 159.15494309e-9;  // fc ~ 1 kHz
+
+    rc_fixture() : net("net"), vout() {
+        net.set_timestep(1.0, de::time_unit::us);
+        auto gnd = net.ground();
+        auto vin = net.create_node("vin");
+        vout = net.create_node("vout");
+        auto* vs = new eln::vsource("vs", net, vin, gnd, eln::waveform::dc(0.0));
+        vs->set_ac(1.0);
+        new eln::resistor("r", net, vin, vout, r);
+        new eln::capacitor("c", net, vout, gnd, c);
+        sim.elaborate();
+    }
+};
+
+}  // namespace
+
+TEST(ac, rc_lowpass_magnitude_and_phase) {
+    rc_fixture f;
+    core::ac_analysis ac(f.net);
+    const double fc = 1.0 / (2.0 * std::numbers::pi * f.r * f.c);
+
+    const auto pts = ac.sweep(f.vout.index(),
+                              {fc, fc, 1, solver::sweep::scale::logarithmic});
+    EXPECT_NEAR(pts[0].magnitude_db(), -3.0103, 0.01);
+    EXPECT_NEAR(pts[0].phase_deg(), -45.0, 0.1);
+}
+
+TEST(ac, rc_lowpass_rolloff_20db_per_decade) {
+    rc_fixture f;
+    core::ac_analysis ac(f.net);
+    const auto pts = ac.sweep(f.vout.index(),
+                              {10e3, 100e3, 2, solver::sweep::scale::logarithmic});
+    EXPECT_NEAR(pts[0].magnitude_db() - pts[1].magnitude_db(), 20.0, 0.2);
+}
+
+TEST(ac, rl_divider_transfer) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto n1 = net.create_node("n1");
+    auto n2 = net.create_node("n2");
+    const double r = 50.0, l = 1e-3;
+    eln::vsource vs("vs", net, n1, gnd, eln::waveform::dc(0.0));
+    vs.set_ac(1.0);
+    eln::resistor res("r", net, n1, n2, r);
+    eln::inductor ind("l", net, n2, gnd, l);
+    sim.elaborate();
+    core::ac_analysis ac(net);
+    const double f0 = 20e3;
+    const auto pts =
+        ac.sweep(n2.index(), {f0, f0, 1, solver::sweep::scale::logarithmic});
+    // RL divider: |H| = wL / sqrt(R^2 + (wL)^2).
+    const double wl = 2.0 * std::numbers::pi * f0 * l;
+    const double expected = wl / std::sqrt(r * r + wl * wl);
+    EXPECT_NEAR(std::abs(pts[0].value), expected, 1e-6);
+}
+
+TEST(ac, rlc_bandpass_peaks_at_resonance) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto n1 = net.create_node("n1");
+    auto n2 = net.create_node("n2");
+    const double r = 1000.0, l = 10e-3, c = 2.533e-9;  // f0 ~ 31.6 kHz
+    eln::vsource vs("vs", net, n1, gnd, eln::waveform::dc(0.0));
+    vs.set_ac(1.0);
+    eln::resistor res("r", net, n1, n2, r);
+    eln::inductor ind("l", net, n2, gnd, l);
+    eln::capacitor cap("c", net, n2, gnd, c);
+    sim.elaborate();
+    core::ac_analysis ac(net);
+    const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(l * c));
+    const auto at = [&](double f) {
+        return std::abs(
+            ac.sweep(n2.index(), {f, f, 1, solver::sweep::scale::logarithmic})[0].value);
+    };
+    // Parallel LC from n2: impedance peaks at f0, so |v(n2)| is maximal.
+    EXPECT_NEAR(at(f0), 1.0, 1e-3);  // tank open-circuits: full input appears
+    EXPECT_LT(at(f0 / 10.0), 0.2);
+    EXPECT_LT(at(f0 * 10.0), 0.2);
+}
+
+TEST(ac, lsf_ltf_matches_ideal_response) {
+    core::simulation sim;
+    lsf::system sys("sys");
+    sys.set_timestep(1.0, de::time_unit::us);
+    auto u = sys.create_signal("u");
+    auto y = sys.create_signal("y");
+    lsf::source src("src", sys, u, lsf::waveform::dc(0.0));
+    src.set_ac(1.0);
+    const std::vector<double> num{1.0};
+    const std::vector<double> den{1.0, 1.0 / (2.0 * std::numbers::pi * 5e3),
+                                  1.0 / std::pow(2.0 * std::numbers::pi * 5e3, 2)};
+    lsf::ltf_nd f("f", sys, u, y, num, den);
+    sim.elaborate();
+
+    core::ac_analysis ac(sys);
+    for (double freq : {100.0, 1e3, 5e3, 20e3}) {
+        const auto pts =
+            ac.sweep(y.index(), {freq, freq, 1, solver::sweep::scale::logarithmic});
+        const auto ideal = f.ideal_response(freq);
+        EXPECT_NEAR(std::abs(pts[0].value), std::abs(ideal), 1e-9) << freq;
+        EXPECT_NEAR(std::arg(pts[0].value), std::arg(ideal), 1e-9) << freq;
+    }
+}
+
+TEST(ac, nonlinear_diode_linearized_at_dc) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vin = net.create_node("vin");
+    auto vd = net.create_node("vd");
+    eln::vsource vs("vs", net, vin, gnd, eln::waveform::dc(5.0));
+    vs.set_ac(1.0);
+    const double r = 10e3;
+    eln::resistor res("r", net, vin, vd, r);
+    eln::diode d("d", net, vd, gnd);
+
+    sim.run(2_us);  // DC operating point established by the first activation
+    const auto dc = net.state();
+    const double id = (5.0 - dc[vd.index()]) / r;
+    const double rd = 0.025852 / id;  // small-signal diode resistance
+
+    core::ac_analysis ac(net, dc);
+    const auto pts =
+        ac.sweep(vd.index(), {1e3, 1e3, 1, solver::sweep::scale::logarithmic});
+    EXPECT_NEAR(std::abs(pts[0].value), rd / (r + rd), 1e-4);
+}
+
+// ------------------------------------------------------------------- noise
+
+TEST(noise, resistor_psd_is_4ktr_at_low_frequency) {
+    rc_fixture f;
+    core::noise_analysis na(f.net);
+    const auto result =
+        na.run(f.vout.index(), {1.0, 1.0, 1, solver::sweep::scale::logarithmic});
+    const double expected = 4.0 * solver::k_boltzmann * 300.0 * f.r;
+    ASSERT_EQ(result.points.size(), 1U);
+    EXPECT_NEAR(result.points[0].total_psd / expected, 1.0, 1e-3);
+}
+
+TEST(noise, integrated_rc_noise_approaches_kt_over_c) {
+    rc_fixture f;
+    core::noise_analysis na(f.net);
+    // Integrate well past the pole: kT/C is the closed form for the total.
+    const auto result = na.run(
+        f.vout.index(), {1.0, 100e6, 400, solver::sweep::scale::logarithmic});
+    const double expected = std::sqrt(solver::k_boltzmann * 300.0 / f.c);
+    EXPECT_NEAR(result.integrated_rms() / expected, 1.0, 0.05);
+}
+
+TEST(noise, parallel_resistors_reduce_output_noise) {
+    auto run_divider = [](double r2) {
+        core::simulation sim;
+        eln::network net("net");
+        net.set_timestep(1.0, de::time_unit::us);
+        auto gnd = net.ground();
+        auto n = net.create_node("n");
+        new eln::resistor("r1", net, n, gnd, 1000.0);
+        new eln::resistor("r2", net, n, gnd, r2);
+        sim.elaborate();
+        core::noise_analysis na(net);
+        const auto res = na.run(n.index(), {1.0, 1.0, 1});
+        return res.points[0].total_psd;
+    };
+    // Output PSD = 4kT * (R1 || R2): smaller parallel resistance, less noise.
+    const double psd_small = run_divider(100.0);
+    const double psd_large = run_divider(100e3);
+    EXPECT_LT(psd_small, psd_large);
+    EXPECT_NEAR(psd_small / (4.0 * solver::k_boltzmann * 300.0 * (1000.0 * 100.0 / 1100.0)),
+                1.0, 1e-3);
+}
+
+TEST(noise, noiseless_resistor_is_excluded) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto n = net.create_node("n");
+    auto* r1 = new eln::resistor("r1", net, n, gnd, 1000.0);
+    r1->set_noisy(false);
+    new eln::resistor("r2", net, n, gnd, 1000.0);
+    sim.elaborate();
+    core::noise_analysis na(net);
+    const auto res = na.run(n.index(), {1.0, 1.0, 1});
+    ASSERT_EQ(res.source_names.size(), 1U);
+    EXPECT_EQ(res.source_names[0], "r2");
+}
+
+TEST(noise, per_source_contributions_sum_to_total) {
+    rc_fixture f;
+    core::noise_analysis na(f.net);
+    const auto res = na.run(f.vout.index(), {100.0, 10e3, 5});
+    for (const auto& pt : res.points) {
+        double sum = 0.0;
+        for (double c : pt.per_source) sum += c;
+        EXPECT_NEAR(sum, pt.total_psd, 1e-25);
+    }
+}
+
+TEST(noise, vsource_noise_psd_contributes) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto a = net.create_node("a");
+    auto b = net.create_node("b");
+    auto* vs = new eln::vsource("vs", net, a, gnd, eln::waveform::dc(0.0));
+    vs->set_noise_psd([](double) { return 1e-12; });  // 1 uV/rtHz
+    auto* r1 = new eln::resistor("r1", net, a, b, 1000.0);
+    auto* r2 = new eln::resistor("r2", net, b, gnd, 1000.0);
+    r1->set_noisy(false);
+    r2->set_noisy(false);
+    sim.elaborate();
+    core::noise_analysis na(net);
+    const auto res = na.run(b.index(), {1e3, 1e3, 1});
+    // Divider halves the amplitude: PSD scales by 1/4.
+    EXPECT_NEAR(res.points[0].total_psd, 0.25e-12, 1e-15);
+}

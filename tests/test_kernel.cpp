@@ -1,0 +1,291 @@
+// Discrete-event kernel tests: time, events, delta cycles, signals, ports,
+// processes, module hierarchy, clocks.
+#include <gtest/gtest.h>
+
+#include "kernel/clock.hpp"
+#include "kernel/context.hpp"
+#include "kernel/event.hpp"
+#include "kernel/module.hpp"
+#include "kernel/signal.hpp"
+#include "util/report.hpp"
+
+namespace de = sca::de;
+using namespace sca::de::literals;
+using de::simulation_context;
+using de::event;
+using de::module;
+using de::module_name;
+using de::in;
+using de::time_unit;
+
+TEST(de_time, unit_conversions_and_arithmetic) {
+    EXPECT_EQ(de::time(1.0, time_unit::ns).value_fs(), 1'000'000);
+    EXPECT_EQ((1_us).value_fs(), 1'000'000'000);
+    EXPECT_EQ((2_ms + 500_us).value_fs(), de::time(2.5, time_unit::ms).value_fs());
+    EXPECT_LT(1_ns, 1_us);
+    EXPECT_EQ((10_ns) / (2_ns), 5);
+    EXPECT_DOUBLE_EQ((1_ms).to_seconds(), 1e-3);
+    EXPECT_EQ((3_ns) * 4, 12_ns);
+}
+
+TEST(de_time, printing_picks_best_unit) {
+    EXPECT_EQ((5_us).to_string(), "5 us");
+    EXPECT_EQ((1500_ps).to_string(), "1500 ps");
+    EXPECT_EQ(de::time::zero().to_string(), "0 s");
+}
+
+TEST(context, requires_current_context) {
+    // No context: object construction must fail cleanly.
+    EXPECT_THROW(event e("ev"), sca::util::error);
+}
+
+namespace {
+
+/// Counts activations; sensitivity configured by each test.
+struct counter_module : module {
+    in<bool> clk_in;
+    int count = 0;
+
+    explicit counter_module(const module_name& nm) : module(nm), clk_in("clk_in") {
+        declare_method("count", [this] { ++count; }).sensitive(clk_in).dont_initialize();
+    }
+};
+
+}  // namespace
+
+TEST(scheduler, clock_drives_process) {
+    simulation_context ctx;
+    de::clock clk("clk", 10_ns);
+    counter_module mod("mod");
+    mod.clk_in.bind(clk.sig());
+    ctx.run(100_ns);
+    // Edges at 0,5,10,...: value-change events = 2 per period, 21 edges in
+    // [0,100] inclusive.
+    EXPECT_EQ(mod.count, 21);
+}
+
+TEST(scheduler, posedge_only_counting) {
+    simulation_context ctx;
+    de::clock clk("clk", 10_ns);
+    int rises = 0;
+    ctx.register_method("rise", [&rises] { ++rises; }).dont_initialize();
+    // Rebind sensitivity through the event directly.
+    auto& proc = ctx.register_method("rise2", [&rises] { ++rises; });
+    proc.dont_initialize();
+    proc.make_sensitive(clk.posedge_event());
+    ctx.run(95_ns);
+    EXPECT_EQ(rises, 10);  // posedges at 0,10,...,90
+}
+
+TEST(event, timed_notification_fires_once) {
+    simulation_context ctx;
+    event ev("ev");
+    int fired = 0;
+    auto& p = ctx.register_method("watch", [&fired] { ++fired; });
+    p.dont_initialize();
+    p.make_sensitive(ev);
+    ev.notify(5_ns);
+    ctx.run(20_ns);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(event, earlier_notification_wins) {
+    simulation_context ctx;
+    event ev("ev");
+    std::vector<double> stamps;
+    auto& p = ctx.register_method("watch", [&] { stamps.push_back(ctx.now().to_seconds()); });
+    p.dont_initialize();
+    p.make_sensitive(ev);
+    ev.notify(10_ns);
+    ev.notify(3_ns);  // earlier: replaces the 10 ns one
+    ctx.run(20_ns);
+    ASSERT_EQ(stamps.size(), 1U);
+    EXPECT_DOUBLE_EQ(stamps[0], 3e-9);
+}
+
+TEST(event, later_notification_is_discarded) {
+    simulation_context ctx;
+    event ev("ev");
+    int fired = 0;
+    auto& p = ctx.register_method("watch", [&fired] { ++fired; });
+    p.dont_initialize();
+    p.make_sensitive(ev);
+    ev.notify(3_ns);
+    ev.notify(10_ns);  // ignored: a 3 ns notification is pending
+    ctx.run(20_ns);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(event, cancel_stops_pending) {
+    simulation_context ctx;
+    event ev("ev");
+    int fired = 0;
+    auto& p = ctx.register_method("watch", [&fired] { ++fired; });
+    p.dont_initialize();
+    p.make_sensitive(ev);
+    ev.notify(5_ns);
+    ev.cancel();
+    ctx.run(20_ns);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(signal, update_semantics_are_deferred) {
+    simulation_context ctx;
+    de::signal<int> sig("sig", 1);
+    int seen_during_eval = -1;
+    auto& writer = ctx.register_method("writer", [&] {
+        sig.write(42);
+        seen_during_eval = sig.read();  // old value: update is deferred
+    });
+    (void)writer;
+    ctx.run(1_ns);
+    EXPECT_EQ(seen_during_eval, 1);
+    EXPECT_EQ(sig.read(), 42);
+}
+
+TEST(signal, value_changed_fires_only_on_change) {
+    simulation_context ctx;
+    de::signal<int> sig("sig", 7);
+    int changes = 0;
+    auto& p = ctx.register_method("watch", [&changes] { ++changes; });
+    p.dont_initialize();
+    p.make_sensitive(sig.value_changed_event());
+    auto& w = ctx.register_method("write", [&] {
+        sig.write(7);  // same value: no event
+        ctx.next_trigger(5_ns);
+    });
+    (void)w;
+    ctx.run(2_ns);
+    EXPECT_EQ(changes, 0);
+}
+
+TEST(signal, delta_cycle_counts) {
+    simulation_context ctx;
+    de::signal<int> a("a", 0);
+    de::signal<int> b("b", 0);
+    // b follows a one delta later.
+    auto& follow = ctx.register_method("follow", [&] { b.write(a.read()); });
+    follow.make_sensitive(a.value_changed_event());
+    auto& stim = ctx.register_method("stim", [&] { a.write(1); });
+    stim.dont_initialize();
+    event kick("kick");
+    stim.make_sensitive(kick);
+    kick.notify(1_ns);
+    ctx.run(2_ns);
+    EXPECT_EQ(b.read(), 1);
+}
+
+namespace {
+
+struct child_module : module {
+    de::signal<int> s;
+    explicit child_module(const module_name& nm) : module(nm), s("s") {}
+};
+
+struct parent_module : module {
+    child_module child;
+    explicit parent_module(const module_name& nm) : module(nm), child("child") {}
+};
+
+}  // namespace
+
+TEST(hierarchy, names_are_hierarchical) {
+    simulation_context ctx;
+    parent_module top("top");
+    EXPECT_EQ(top.name(), "top");
+    EXPECT_EQ(top.child.name(), "top.child");
+    EXPECT_EQ(top.child.s.name(), "top.child.s");
+    EXPECT_EQ(ctx.find_object("top.child.s"), &top.child.s);
+    EXPECT_EQ(top.child.parent(), &top);
+}
+
+TEST(hierarchy, port_to_port_binding_resolves) {
+    simulation_context ctx;
+    de::signal<double> sig("sig", 3.25);
+    in<double> outer("outer");
+    in<double> inner("inner");
+    outer.bind(sig);
+    inner.bind(outer);  // hierarchical chain
+    ctx.elaborate();
+    EXPECT_DOUBLE_EQ(inner.read(), 3.25);
+}
+
+TEST(hierarchy, unbound_port_fails_elaboration) {
+    simulation_context ctx;
+    in<double> dangling("dangling");
+    EXPECT_THROW(ctx.elaborate(), sca::util::error);
+}
+
+TEST(hierarchy, optional_port_may_stay_unbound) {
+    simulation_context ctx;
+    in<double> maybe("maybe");
+    maybe.set_optional();
+    EXPECT_NO_THROW(ctx.elaborate());
+}
+
+TEST(process, next_trigger_timeout_repeats) {
+    simulation_context ctx;
+    int ticks = 0;
+    ctx.register_method("ticker", [&] {
+        ++ticks;
+        ctx.next_trigger(10_ns);
+    });
+    ctx.run(95_ns);
+    EXPECT_EQ(ticks, 10);  // t = 0, 10, ..., 90
+}
+
+TEST(process, dynamic_trigger_overrides_static_once) {
+    simulation_context ctx;
+    de::clock clk("clk", 10_ns);
+    int count = 0;
+    bool first = true;
+    auto& p = ctx.register_method("mixed", [&] {
+        ++count;
+        if (first) {
+            first = false;
+            ctx.next_trigger(35_ns);  // skip several de::clock edges
+        }
+    });
+    p.make_sensitive(clk.posedge_event());
+    ctx.run(100_ns);
+    // Runs at t=0 (init), then 35ns (dynamic), then every posedge 40..100.
+    EXPECT_EQ(count, 2 + 7);
+}
+
+TEST(clock_gen, duty_cycle_and_start) {
+    simulation_context ctx;
+    de::clock clk("clk", 10_ns, 0.3, 5_ns, true);
+    EXPECT_FALSE(clk.read());
+    ctx.run(5_ns);
+    EXPECT_TRUE(clk.read());  // first rising edge at 5 ns
+    ctx.run(3_ns);            // 8 ns: high phase is 3 ns
+    EXPECT_FALSE(clk.read());
+    ctx.run(7_ns);  // 15 ns: next rising edge
+    EXPECT_TRUE(clk.read());
+}
+
+TEST(clock_gen, rejects_bad_parameters) {
+    simulation_context ctx;
+    EXPECT_THROW(de::clock("bad", de::time::zero()), sca::util::error);
+    EXPECT_THROW(de::clock("bad2", 10_ns, 1.5), sca::util::error);
+}
+
+TEST(scheduler, activation_counts_are_tracked) {
+    simulation_context ctx;
+    auto& p = ctx.register_method("tick", [&] { ctx.next_trigger(1_ns); });
+    ctx.run(10_ns);
+    EXPECT_EQ(p.activation_count(), 11U);
+}
+
+TEST(context, run_to_completion_drains_all_events) {
+    simulation_context ctx;
+    event ev("ev");
+    int fired = 0;
+    auto& p = ctx.register_method("watch", [&fired] { ++fired; });
+    p.dont_initialize();
+    p.make_sensitive(ev);
+    ev.notify(1_ms);
+    ctx.run_to_completion();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(ctx.now(), 1_ms);
+}

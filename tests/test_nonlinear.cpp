@@ -1,0 +1,195 @@
+// Nonlinear network tests (paper phase 2): diode, MOS devices, custom
+// nonlinearities, and the variable-timestep integration embedded in TDF.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/simulation.hpp"
+#include "core/transient.hpp"
+#include "eln/network.hpp"
+#include "eln/nonlinear.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "util/measure.hpp"
+
+namespace de = sca::de;
+namespace eln = sca::eln;
+namespace core = sca::core;
+using namespace sca::de::literals;
+
+TEST(nonlinear, diode_forward_voltage) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vin = net.create_node("vin");
+    auto vd = net.create_node("vd");
+    eln::vsource vs("vs", net, vin, gnd, eln::waveform::dc(5.0));
+    eln::resistor r("r", net, vin, vd, 1000.0);
+    eln::diode d("d", net, vd, gnd);
+
+    sim.run(5_us);
+    // ~4.3 mA through 1k: forward voltage in the usual silicon range.
+    EXPECT_GT(net.voltage(vd), 0.55);
+    EXPECT_LT(net.voltage(vd), 0.80);
+}
+
+TEST(nonlinear, diode_blocks_reverse) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vin = net.create_node("vin");
+    auto vd = net.create_node("vd");
+    eln::vsource vs("vs", net, vin, gnd, eln::waveform::dc(-5.0));
+    eln::resistor r("r", net, vin, vd, 1000.0);
+    eln::diode d("d", net, vd, gnd);
+
+    sim.run(5_us);
+    EXPECT_NEAR(net.voltage(vd), -5.0, 1e-3);  // no current: full reverse bias
+}
+
+TEST(nonlinear, half_wave_rectifier_with_filter) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(5.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vin = net.create_node("vin");
+    auto vout = net.create_node("vout");
+    eln::vsource vs("vs", net, vin, gnd, eln::waveform::sine(5.0, 1e3));
+    eln::diode d("d", net, vin, vout);
+    eln::capacitor c("c", net, vout, gnd, 10e-6);
+    eln::resistor load("load", net, vout, gnd, 10e3);
+
+    core::transient_recorder rec(sim, 10_us);
+    rec.add_probe("vout", [&] { return net.voltage(vout); });
+    rec.run(10_ms);
+
+    const auto v = rec.column(0);
+    // Peak detector: settles near the peak minus one diode drop, low ripple.
+    std::vector<double> tail(v.end() - 200, v.end());
+    const double mean_v = sca::util::mean(tail);
+    EXPECT_GT(mean_v, 3.7);
+    EXPECT_LT(mean_v, 4.7);
+    double ripple = 0.0;
+    for (double x : tail) ripple = std::max(ripple, std::abs(x - mean_v));
+    EXPECT_LT(ripple, 0.4);
+}
+
+TEST(nonlinear, nmos_saturation_current) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vg = net.create_node("vg");
+    auto vd = net.create_node("vd");
+    eln::vsource vgs("vgs", net, vg, gnd, eln::waveform::dc(1.7));
+    eln::vsource vds("vds", net, vd, gnd, eln::waveform::dc(3.0));
+    eln::nmos m("m", net, vd, vg, gnd, 2e-3, 0.7, 0.0);
+
+    sim.run(3_us);
+    // Saturation: Id = k/2 (vgs - vth)^2 = 1e-3 * 1 = 1 mA, drawn through vds.
+    EXPECT_NEAR(std::abs(net.current(vds)), 1e-3, 2e-5);
+}
+
+TEST(nonlinear, nmos_resistor_inverter_transfer) {
+    auto vout_for = [](double vin_value) {
+        core::simulation sim;
+        eln::network net("net");
+        net.set_timestep(1.0, de::time_unit::us);
+        auto gnd = net.ground();
+        auto vdd = net.create_node("vdd");
+        auto vin = net.create_node("vin");
+        auto vout = net.create_node("vout");
+        new eln::vsource("vdd_s", net, vdd, gnd, eln::waveform::dc(5.0));
+        new eln::vsource("vin_s", net, vin, gnd, eln::waveform::dc(vin_value));
+        new eln::resistor("rl", net, vdd, vout, 10e3);
+        new eln::nmos("m", net, vout, vin, gnd, 2e-3, 0.7, 0.01);
+        sim.run(3_us);
+        return net.voltage(vout);
+    };
+    EXPECT_GT(vout_for(0.0), 4.9);   // off: pulled to VDD
+    EXPECT_LT(vout_for(5.0), 0.5);   // hard on: pulled low
+    EXPECT_GT(vout_for(0.0), vout_for(1.0));  // monotonic falling
+}
+
+TEST(nonlinear, pmos_mirror_of_nmos) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vdd = net.create_node("vdd");
+    auto vg = net.create_node("vg");
+    auto vd = net.create_node("vd");
+    eln::vsource vs("vs", net, vdd, gnd, eln::waveform::dc(5.0));
+    eln::vsource vgs("vgs", net, vg, gnd, eln::waveform::dc(3.3));  // vsg = 1.7
+    eln::pmos m("m", net, vd, vg, vdd, 2e-3, 0.7, 0.0);
+    eln::resistor load("load", net, vd, gnd, 1000.0);
+
+    sim.run(3_us);
+    // Id = k/2 (vsg - vth)^2 = 1 mA into 1k: vd = 1 V.
+    EXPECT_NEAR(net.voltage(vd), 1.0, 0.02);
+}
+
+TEST(nonlinear, saturating_vccs_clips_and_distorts) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(2.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vin = net.create_node("vin");
+    auto vout = net.create_node("vout");
+    eln::vsource vs("vs", net, vin, gnd, eln::waveform::sine(2.0, 1e3));
+    // tanh transconductor: saturates at +/- 1 mA into 1k -> +/- 1 V.
+    eln::nonlinear_vccs amp("amp", net, vin, gnd, gnd, vout,
+                            [](double v) { return 1e-3 * std::tanh(v); },
+                            [](double v) {
+                                const double c = std::cosh(v);
+                                return 1e-3 / (c * c);
+                            });
+    eln::resistor load("load", net, vout, gnd, 1000.0);
+
+    core::transient_recorder rec(sim, 2_us);
+    rec.add_probe("vout", [&] { return net.voltage(vout); });
+    rec.run(8_ms);
+
+    auto v = rec.column(0);
+    std::vector<double> tail(v.end() - 2048, v.end());
+    // Strong drive into tanh: output compressed below the linear 2 V and
+    // rich in odd harmonics.
+    double vmax = 0.0;
+    for (double x : tail) vmax = std::max(vmax, std::abs(x));
+    EXPECT_LT(vmax, 1.01);
+    EXPECT_GT(vmax, 0.9);
+    EXPECT_GT(sca::util::thd_db(tail, 500e3), -25.0);  // visible distortion
+}
+
+TEST(nonlinear, variable_step_statistics_reported) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(10.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto vin = net.create_node("vin");
+    auto vout = net.create_node("vout");
+    eln::vsource vs("vs", net, vin, gnd, eln::waveform::sine(5.0, 1e3));
+    eln::diode d("d", net, vin, vout);
+    eln::capacitor c("c", net, vout, gnd, 1e-6);
+    eln::resistor load("load", net, vout, gnd, 100e3);
+
+    sim.run(2_ms);
+    EXPECT_GT(net.factorizations(), net.activation_count());  // Newton refactors
+}
+
+TEST(nonlinear, linear_network_stays_on_fast_path) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto n = net.create_node("n");
+    eln::isource is("is", net, gnd, n, eln::waveform::sine(1e-3, 10e3));
+    eln::resistor r("r", net, n, gnd, 1000.0);
+    eln::capacitor c("c", net, n, gnd, 10e-9);
+
+    sim.run(1_ms);
+    EXPECT_EQ(net.factorizations(), 1U);  // linear: one LU for the whole run
+}

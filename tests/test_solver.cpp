@@ -1,0 +1,308 @@
+// Continuous-time solver tests: linear DAE integration accuracy and
+// stability, DC operating point, nonlinear Newton, adaptive stepping, and
+// the external (RK4) engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/dc.hpp"
+#include "solver/equation_system.hpp"
+#include "solver/external.hpp"
+#include "solver/linear_dae.hpp"
+#include "solver/nonlinear_dae.hpp"
+#include "util/report.hpp"
+
+namespace solver = sca::solver;
+
+namespace {
+
+/// dx/dt = -x / tau  =>  (1/tau) x + dx/dt = 0.
+solver::equation_system decay_system(double tau) {
+    solver::equation_system sys;
+    const std::size_t x = sys.add_unknown("x");
+    sys.add_a(x, x, 1.0 / tau);
+    sys.add_b(x, x, 1.0);
+    return sys;
+}
+
+}  // namespace
+
+TEST(equation_system, rhs_combines_constants_sources_inputs) {
+    solver::equation_system sys;
+    const std::size_t r = sys.add_unknown("x");
+    sys.add_rhs_constant(r, 1.0);
+    sys.add_rhs_source(r, [](double t) { return 2.0 * t; });
+    const std::size_t slot = sys.add_input(r);
+    sys.set_input(slot, 4.0);
+    const auto q = sys.rhs(3.0);
+    EXPECT_DOUBLE_EQ(q[0], 1.0 + 6.0 + 4.0);
+}
+
+TEST(equation_system, clear_stamps_keeps_unknowns) {
+    solver::equation_system sys;
+    (void)sys.add_unknown("a");
+    sys.add_a(0, 0, 5.0);
+    const auto gen = sys.stamp_generation();
+    sys.clear_stamps();
+    EXPECT_EQ(sys.size(), 1U);
+    EXPECT_DOUBLE_EQ(sys.a().get(0, 0), 0.0);
+    EXPECT_GT(sys.stamp_generation(), gen);
+}
+
+TEST(linear_dae, backward_euler_decays_to_analytic) {
+    auto sys = decay_system(1e-3);
+    solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, 1e-6);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(1e-3);
+    EXPECT_NEAR(s.x()[0], std::exp(-1.0), 2e-3);
+}
+
+TEST(linear_dae, trapezoidal_is_second_order) {
+    // Global error should shrink ~4x when h halves.
+    auto run = [](double h) {
+        auto sys = decay_system(1e-3);
+        solver::linear_dae_solver s(sys, solver::integration_method::trapezoidal, h);
+        s.set_initial_state({1.0}, 0.0);
+        s.advance_to(1e-3);
+        return std::abs(s.x()[0] - std::exp(-1.0));
+    };
+    const double e1 = run(4e-6);
+    const double e2 = run(2e-6);
+    EXPECT_GT(e1 / e2, 3.0);
+    EXPECT_LT(e1 / e2, 5.0);
+}
+
+TEST(linear_dae, backward_euler_is_first_order) {
+    auto run = [](double h) {
+        auto sys = decay_system(1e-3);
+        solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, h);
+        s.set_initial_state({1.0}, 0.0);
+        s.advance_to(1e-3);
+        return std::abs(s.x()[0] - std::exp(-1.0));
+    };
+    const double e1 = run(4e-6);
+    const double e2 = run(2e-6);
+    EXPECT_GT(e1 / e2, 1.7);
+    EXPECT_LT(e1 / e2, 2.3);
+}
+
+TEST(linear_dae, backward_euler_stable_on_stiff_system) {
+    // Fast mode tau = 1 ns, step = 1 us >> tau: BE must remain stable.
+    auto sys = decay_system(1e-9);
+    solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, 1e-6);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(1e-4);
+    EXPECT_LT(std::abs(s.x()[0]), 1e-6);
+}
+
+TEST(linear_dae, factorization_is_reused) {
+    auto sys = decay_system(1e-3);
+    solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, 1e-6);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(1e-4);
+    EXPECT_EQ(s.factor_count(), 1U);
+    EXPECT_EQ(s.solve_count(), 100U);
+}
+
+TEST(linear_dae, restamp_triggers_refactor) {
+    auto sys = decay_system(1e-3);
+    solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, 1e-6);
+    s.set_initial_state({1.0}, 0.0);
+    s.step();
+    sys.clear_stamps();
+    sys.add_a(0, 0, 1.0 / 2e-3);
+    sys.add_b(0, 0, 1.0);
+    s.step();
+    EXPECT_EQ(s.factor_count(), 2U);
+}
+
+TEST(linear_dae, dense_and_sparse_paths_agree) {
+    auto sys = decay_system(5e-4);
+    solver::linear_dae_solver sp(sys, solver::integration_method::trapezoidal, 1e-6);
+    sp.set_initial_state({1.0}, 0.0);
+    sp.advance_to(2e-4);
+
+    auto sys2 = decay_system(5e-4);
+    solver::linear_dae_solver dn(sys2, solver::integration_method::trapezoidal, 1e-6);
+    dn.set_use_dense(true);
+    dn.set_initial_state({1.0}, 0.0);
+    dn.advance_to(2e-4);
+
+    EXPECT_NEAR(sp.x()[0], dn.x()[0], 1e-12);
+}
+
+TEST(linear_dae, forced_oscillator_tracks_input) {
+    // x' = w (y),  y' = -w x + forcing: second-order resonance integrated as
+    // a 2x2 linear DAE; checks multi-unknown assembly.
+    solver::equation_system sys;
+    const std::size_t x = sys.add_unknown("x");
+    const std::size_t y = sys.add_unknown("y");
+    const double w = 2.0 * 3.141592653589793 * 1000.0;
+    // dx/dt - w y = 0 ; dy/dt + w x = 0; start at (1, 0): circular motion.
+    sys.add_b(x, x, 1.0);
+    sys.add_a(x, y, -w);
+    sys.add_b(y, y, 1.0);
+    sys.add_a(y, x, w);
+    solver::linear_dae_solver s(sys, solver::integration_method::trapezoidal, 1e-7);
+    s.set_initial_state({1.0, 0.0}, 0.0);
+    s.advance_to(1e-3);  // one full period
+    EXPECT_NEAR(s.x()[0], 1.0, 1e-3);
+    EXPECT_NEAR(s.x()[1], 0.0, 2e-3);
+}
+
+// -------------------------------------------------------------------- DC ---
+
+TEST(dc, linear_divider) {
+    // Unknown v: (1/r1 + 1/r2) v = vs / r1  (divider collapsed to one node).
+    solver::equation_system sys;
+    const std::size_t v = sys.add_unknown("v");
+    sys.add_a(v, v, 1.0 / 1000.0 + 1.0 / 3000.0);
+    sys.add_rhs_constant(v, 2.0 / 1000.0);
+    const auto x = solver::dc_solve(sys, 0.0);
+    EXPECT_NEAR(x[0], 1.5, 1e-12);
+}
+
+TEST(dc, singular_a_uses_pseudo_transient) {
+    sca::util::clear_reports();
+    // Pure capacitor node: A = 0, B = C. DC must come out 0 with a warning.
+    solver::equation_system sys;
+    const std::size_t v = sys.add_unknown("v");
+    sys.add_b(v, v, 1e-9);
+    const auto x = solver::dc_solve(sys, 0.0);
+    EXPECT_NEAR(x[0], 0.0, 1e-9);
+    EXPECT_FALSE(sca::util::warnings().empty());
+}
+
+TEST(dc, nonlinear_diode_clamp) {
+    // g v + i_d(v) = i_in with a diode-like exponential: Newton converges to
+    // a forward voltage near 0.6-0.8 V.
+    solver::equation_system sys;
+    const std::size_t v = sys.add_unknown("v");
+    sys.add_a(v, v, 1e-3);
+    sys.add_rhs_constant(v, 10e-3);
+    sys.add_nonlinear([v](const std::vector<double>& x, std::vector<double>& r,
+                          std::vector<solver::jacobian_entry>& j) {
+        const double vt = 0.025852;
+        const double is = 1e-14;
+        const double vd = std::min(x[v], 1.5);
+        const double e = std::exp(vd / vt);
+        r[v] += is * (e - 1.0);
+        j.push_back({v, v, is * e / vt});
+    });
+    const auto x = solver::dc_solve(sys, 0.0);
+    EXPECT_GT(x[0], 0.5);
+    EXPECT_LT(x[0], 0.9);
+}
+
+// -------------------------------------------------------------- nonlinear --
+
+TEST(nonlinear_dae, matches_linear_solver_on_linear_problem) {
+    auto sys = decay_system(1e-3);
+    solver::nonlinear_options opt;
+    opt.h_init = 1e-6;
+    opt.h_max = 1e-6;
+    opt.adaptive = false;
+    solver::nonlinear_dae_solver s(sys, opt);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(1e-3);
+    EXPECT_NEAR(s.x()[0], std::exp(-1.0), 2e-3);
+}
+
+TEST(nonlinear_dae, cubic_damping_converges) {
+    // dx/dt = -x^3, x(0)=1: analytic x(t) = 1/sqrt(1+2t).
+    solver::equation_system sys;
+    const std::size_t x = sys.add_unknown("x");
+    sys.add_b(x, x, 1.0);
+    sys.add_nonlinear([x](const std::vector<double>& xi, std::vector<double>& r,
+                          std::vector<solver::jacobian_entry>& j) {
+        r[x] += xi[x] * xi[x] * xi[x];
+        j.push_back({x, x, 3.0 * xi[x] * xi[x]});
+    });
+    solver::nonlinear_options opt;
+    opt.h_init = 1e-3;
+    opt.h_max = 0.05;
+    opt.lte_reltol = 1e-5;
+    solver::nonlinear_dae_solver s(sys, opt);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(4.0);
+    EXPECT_NEAR(s.x()[0], 1.0 / std::sqrt(9.0), 1e-3);
+    EXPECT_GT(s.steps_accepted(), 10U);
+}
+
+TEST(nonlinear_dae, adaptive_uses_fewer_steps_than_fixed) {
+    auto make = [] {
+        solver::equation_system sys;
+        const std::size_t x = sys.add_unknown("x");
+        sys.add_b(x, x, 1.0);
+        sys.add_a(x, x, 1.0 / 1e-4);  // tau = 100 us decay, then flat
+        return sys;
+    };
+    auto sys_a = make();
+    solver::nonlinear_options adaptive;
+    adaptive.h_init = 1e-6;
+    adaptive.h_max = 1e-2;
+    solver::nonlinear_dae_solver sa(sys_a, adaptive);
+    sa.set_initial_state({1.0}, 0.0);
+    sa.advance_to(0.01);
+
+    auto sys_f = make();
+    solver::nonlinear_options fixed;
+    fixed.h_init = 1e-6;
+    fixed.h_max = 1e-6;
+    fixed.adaptive = false;
+    solver::nonlinear_dae_solver sf(sys_f, fixed);
+    sf.set_initial_state({1.0}, 0.0);
+    sf.advance_to(0.01);
+
+    EXPECT_LT(sa.steps_accepted() * 10, sf.steps_accepted());
+    EXPECT_NEAR(sa.x()[0], 0.0, 1e-4);
+}
+
+TEST(nonlinear_dae, reports_newton_statistics) {
+    auto sys = decay_system(1e-3);
+    solver::nonlinear_options opt;
+    opt.h_init = 1e-5;
+    solver::nonlinear_dae_solver s(sys, opt);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(1e-4);
+    EXPECT_GT(s.newton_iterations(), 0U);
+    EXPECT_GT(s.factorizations(), 0U);
+}
+
+// --------------------------------------------------------------- external --
+
+TEST(external_rk4, harmonic_oscillator_period) {
+    solver::rk4_solver rk;
+    const double w = 2.0 * 3.141592653589793;
+    rk.configure(2, 0, [w](double, const std::vector<double>& x,
+                           const std::vector<double>&, std::vector<double>& dx) {
+        dx[0] = x[1];
+        dx[1] = -w * w * x[0];
+    });
+    rk.set_state({1.0, 0.0});
+    const double dt = 1e-3;
+    for (int i = 0; i < 1000; ++i) rk.advance(i * dt, dt, {});
+    EXPECT_NEAR(rk.state()[0], 1.0, 1e-6);  // back after one period
+    EXPECT_EQ(rk.rhs_evaluations(), 4000U);
+}
+
+TEST(external_rk4, substepping_respects_max_internal_step) {
+    solver::rk4_solver rk(1e-4);
+    rk.configure(1, 1, [](double, const std::vector<double>& x,
+                          const std::vector<double>& u, std::vector<double>& dx) {
+        dx[0] = u[0] - x[0];
+    });
+    rk.set_state({0.0});
+    rk.advance(0.0, 1e-3, {1.0});  // 10 internal steps
+    EXPECT_EQ(rk.rhs_evaluations(), 40U);
+    EXPECT_NEAR(rk.state()[0], 1.0 - std::exp(-1e-3 / 1.0), 1e-6);
+}
+
+TEST(external_rk4, rejects_bad_usage) {
+    solver::rk4_solver rk;
+    EXPECT_THROW(rk.advance(0.0, 1e-3, {}), sca::util::error);
+    rk.configure(1, 0, [](double, const std::vector<double>&, const std::vector<double>&,
+                          std::vector<double>& dx) { dx[0] = 0.0; });
+    EXPECT_THROW(rk.set_state({1.0, 2.0}), sca::util::error);
+    EXPECT_THROW(rk.advance(0.0, -1.0, {}), sca::util::error);
+}
