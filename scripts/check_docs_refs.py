@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fail if README.md or docs/architecture.md reference files that don't exist.
+
+Checked reference forms:
+  - markdown links:            [text](path)        (external URLs skipped)
+  - inline code paths:         `src/tdf/cluster`   (repo-root-relative)
+
+Path conventions accepted:
+  - a path without extension may name a .hpp/.cpp pair or a directory
+  - brace groups expand:       src/kernel/{event,process}
+  - a trailing /* or /. means "the directory"
+"""
+
+import itertools
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS = [ROOT / "README.md", ROOT / "docs" / "architecture.md"]
+
+LINK_RE = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
+CODE_RE = re.compile(r"`([^`\s]+)`")
+PATH_PREFIXES = ("src/", "docs/", "tests/", "bench/", "examples/", "scripts/", ".github/")
+
+
+def expand_braces(path: str):
+    m = re.search(r"\{([^{}]*)\}", path)
+    if not m:
+        return [path]
+    head, tail = path[: m.start()], path[m.end():]
+    out = []
+    for part in m.group(1).split(","):
+        out.extend(expand_braces(head + part.strip() + tail))
+    return out
+
+
+def exists(base: pathlib.Path, ref: str) -> bool:
+    if "*" in ref:
+        return any(
+            next(anchor.glob(ref), None) is not None for anchor in (base, ROOT)
+        )
+    ref = ref.rstrip("/").rstrip(".").rstrip("/")
+    if not ref:
+        return True
+    for anchor in (base, ROOT):
+        p = anchor / ref
+        if p.exists():
+            return True
+        if p.suffix == "" and (
+            p.with_suffix(".hpp").exists() or p.with_suffix(".cpp").exists()
+        ):
+            return True
+    return False
+
+
+def candidate_refs(text: str):
+    for m in LINK_RE.finditer(text):
+        target = m.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+    for m in CODE_RE.finditer(text):
+        token = m.group(1)
+        if token.startswith(PATH_PREFIXES) or token in ("CMakeLists.txt",):
+            # Strip trailing punctuation from prose and code-call suffixes.
+            yield token.rstrip(".,;:")
+
+
+def main() -> int:
+    failures = []
+    for doc in DOCS:
+        if not doc.exists():
+            failures.append(f"{doc.relative_to(ROOT)}: file missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for raw in candidate_refs(text):
+            for ref in expand_braces(raw):
+                if not exists(doc.parent, ref):
+                    failures.append(f"{doc.relative_to(ROOT)}: broken reference '{ref}'")
+    if failures:
+        print("docs reference check FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"docs reference check OK ({', '.join(str(d.relative_to(ROOT)) for d in DOCS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

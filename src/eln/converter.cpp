@@ -71,7 +71,9 @@ void tdf_isink::write_tdf_outputs(network& net) { outp.write(net.current(*this))
 // ---------------------------------------------------------------- de_vsource
 
 de_vsource::de_vsource(const std::string& name, network& net, node p, node n)
-    : component(name, net), inp("inp"), p_(p), n_(n) {}
+    : component(name, net), inp("inp"), p_(p), n_(n) {
+    net.declare_de_coupled();
+}
 
 void de_vsource::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
@@ -87,7 +89,9 @@ void de_vsource::read_tdf_inputs(network& net) { net.set_input(slot_, inp.read()
 // ---------------------------------------------------------------- de_isource
 
 de_isource::de_isource(const std::string& name, network& net, node p, node n)
-    : component(name, net), inp("inp"), p_(p), n_(n) {}
+    : component(name, net), inp("inp"), p_(p), n_(n) {
+    net.declare_de_coupled();
+}
 
 void de_isource::stamp(network& net) {
     slot_p_ = net.add_input(network::row_of(p_));
@@ -103,7 +107,9 @@ void de_isource::read_tdf_inputs(network& net) {
 // ------------------------------------------------------------------ de_vsink
 
 de_vsink::de_vsink(const std::string& name, network& net, node a, node b)
-    : component(name, net), outp("outp"), a_(a), b_(b) {}
+    : component(name, net), outp("outp"), a_(a), b_(b) {
+    net.declare_de_coupled();
+}
 
 void de_vsink::write_tdf_outputs(network& net) { outp.write(net.voltage(a_, b_)); }
 
@@ -112,6 +118,7 @@ void de_vsink::write_tdf_outputs(network& net) { outp.write(net.voltage(a_, b_))
 de_rswitch::de_rswitch(const std::string& name, network& net, node a, node b, double r_on,
                        double r_off)
     : component(name, net), ctrl("ctrl"), a_(a), b_(b), r_on_(r_on), r_off_(r_off) {
+    net.declare_de_coupled();
     util::require(r_on > 0.0 && r_off > r_on, this->name(),
                   "switch requires 0 < r_on < r_off");
 }

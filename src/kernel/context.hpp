@@ -44,6 +44,7 @@ public:
     void make_current() noexcept;
 
     [[nodiscard]] scheduler& sched() noexcept { return scheduler_; }
+    [[nodiscard]] const scheduler& sched() const noexcept { return scheduler_; }
     [[nodiscard]] const time& now() const noexcept { return scheduler_.now(); }
 
     // --- construction-time services ----------------------------------------

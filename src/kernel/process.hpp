@@ -48,6 +48,11 @@ public:
 
     [[nodiscard]] bool dynamically_waiting() const noexcept { return dynamic_waiting_; }
 
+    /// The lazily created timed-trigger event (nullptr until the first timed
+    /// wait).  The TDF synchronization layer uses its identity to ignore
+    /// peer-cluster re-arms when planning batched execution.
+    [[nodiscard]] const event* timeout_event() const noexcept { return timeout_event_.get(); }
+
     /// Clear dynamic wait state when a dynamic trigger fires.
     void dynamic_trigger_fired();
 

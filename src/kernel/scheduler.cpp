@@ -42,6 +42,36 @@ time scheduler::next_event_time() const noexcept {
     return timed_queue_.begin()->first;
 }
 
+bool scheduler::instant_active_ignoring(
+    const std::vector<const method_process*>& ignored_processes,
+    const std::vector<const event*>& ignored_events) const noexcept {
+    if (!update_queue_.empty()) return true;
+    for (const method_process* p : runnable_) {
+        if (std::find(ignored_processes.begin(), ignored_processes.end(), p) ==
+            ignored_processes.end()) {
+            return true;
+        }
+    }
+    for (const event* e : delta_events_) {
+        if (!e->pending()) continue;
+        if (std::find(ignored_events.begin(), ignored_events.end(), e) ==
+            ignored_events.end()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+time scheduler::next_event_time_ignoring(
+    const std::vector<const event*>& ignored) const noexcept {
+    for (const auto& [at, entry] : timed_queue_) {
+        if (entry.generation != entry.ev->generation() || !entry.ev->pending()) continue;
+        if (std::find(ignored.begin(), ignored.end(), entry.ev) != ignored.end()) continue;
+        return at;
+    }
+    return time::max();
+}
+
 void scheduler::initialization_phase() {
     // All method processes run once at time zero unless dont_initialize().
     for (method_process* p : all_processes_) {
@@ -80,6 +110,7 @@ void scheduler::evaluate_update_loop() {
 }
 
 time scheduler::run(const time& end) {
+    run_end_ = end;
     if (!initialized_) {
         initialization_phase();
         evaluate_update_loop();
@@ -104,6 +135,7 @@ time scheduler::run(const time& end) {
 
 void scheduler::reset() {
     now_ = time::zero();
+    run_end_ = time::max();
     delta_count_ = 0;
     initialized_ = false;
     runnable_.clear();

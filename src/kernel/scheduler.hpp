@@ -43,8 +43,29 @@ public:
     /// True when no timed events, delta events, or runnables remain.
     [[nodiscard]] bool idle() const noexcept;
 
+    /// True while the current instant still has pending evaluation work —
+    /// runnable processes, queued signal updates, or delta notifications —
+    /// other than the given processes/events.  TDF batch planning defers
+    /// until the instant is settled (so every same-timestamp process has
+    /// armed its next timed event), ignoring independent peer clusters,
+    /// whose same-instant activity cannot interact with the caller.
+    [[nodiscard]] bool instant_active_ignoring(
+        const std::vector<const method_process*>& ignored_processes,
+        const std::vector<const event*>& ignored_events) const noexcept;
+
     /// Time of the next pending timed event (time::max() if none).
     [[nodiscard]] time next_event_time() const noexcept;
+
+    /// Like next_event_time(), but skipping cancelled notifications and the
+    /// given events (used by TDF batch planning to ignore the re-arm events
+    /// of independent peer clusters).
+    [[nodiscard]] time next_event_time_ignoring(
+        const std::vector<const event*>& ignored) const noexcept;
+
+    /// End bound of the in-progress (or most recent) run() call; time::max()
+    /// before the first run.  The TDF synchronization layer uses it to keep
+    /// batched cluster execution from running past the requested stop time.
+    [[nodiscard]] const time& run_end() const noexcept { return run_end_; }
 
     void reset();
 
@@ -54,6 +75,7 @@ private:
     void evaluate_update_loop();
 
     time now_;
+    time run_end_ = time::max();
     std::uint64_t delta_count_ = 0;
     bool initialized_ = false;
 

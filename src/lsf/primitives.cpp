@@ -160,7 +160,9 @@ void to_tdf::write_tdf_outputs(system& sys) { outp.write(sys.value(in_)); }
 // ------------------------------------------------------------------- from_de
 
 from_de::from_de(const std::string& name, system& sys, signal out)
-    : block(name, sys), inp("inp"), out_(out) {}
+    : block(name, sys), inp("inp"), out_(out) {
+    sys.declare_de_coupled();
+}
 
 void from_de::stamp(system& sys) {
     const std::size_t r = sys.claim_driver(out_, *this);
@@ -181,7 +183,9 @@ void from_de::read_tdf_inputs(system& sys) {
 // --------------------------------------------------------------------- to_de
 
 to_de::to_de(const std::string& name, system& sys, signal in)
-    : block(name, sys), outp("outp"), in_(in) {}
+    : block(name, sys), outp("outp"), in_(in) {
+    sys.declare_de_coupled();
+}
 
 void to_de::write_tdf_outputs(system& sys) { outp.write(sys.value(in_)); }
 

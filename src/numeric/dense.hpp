@@ -114,9 +114,18 @@ public:
 
     /// Solve A x = b using the stored factors.
     [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+        std::vector<T> x;
+        solve_into(b, x);
+        return x;
+    }
+
+    /// Solve into a caller-owned buffer (no allocation once x has capacity);
+    /// b and x must be distinct vectors.
+    void solve_into(const std::vector<T>& b, std::vector<T>& x) const {
         util::require(factored_, "dense_lu", "solve before factor");
         util::require(b.size() == n_, "dense_lu", "solve: dimension mismatch");
-        std::vector<T> x(n_);
+        util::require(&b != &x, "dense_lu", "solve: aliased output");
+        x.assign(n_, T{});
         // Apply permutation and forward-substitute L (unit diagonal).
         for (std::size_t i = 0; i < n_; ++i) {
             T acc = b[perm_[i]];
@@ -129,7 +138,6 @@ public:
             for (std::size_t j = ii + 1; j < n_; ++j) acc -= lu_(ii, j) * x[j];
             x[ii] = acc / lu_(ii, ii);
         }
-        return x;
     }
 
     [[nodiscard]] bool factored() const noexcept { return factored_; }

@@ -72,8 +72,17 @@ public:
 
     /// y = this * x
     [[nodiscard]] std::vector<T> multiply(const std::vector<T>& x) const {
+        std::vector<T> y;
+        multiply_into(x, y);
+        return y;
+    }
+
+    /// y = this * x into a caller-owned buffer (no allocation once y has
+    /// capacity); x and y must be distinct vectors.
+    void multiply_into(const std::vector<T>& x, std::vector<T>& y) const {
         util::require(x.size() == n_, "sparse_matrix", "multiply: dimension mismatch");
-        std::vector<T> y(n_, T{});
+        util::require(&x != &y, "sparse_matrix", "multiply: aliased output");
+        y.assign(n_, T{});
         for (std::size_t r = 0; r < rows_idx_.size(); ++r) {
             T acc{};
             const auto& idx = rows_idx_[r];
@@ -81,7 +90,6 @@ public:
             for (std::size_t k = 0; k < idx.size(); ++k) acc += val[k] * x[idx[k]];
             y[r] = acc;
         }
-        return y;
     }
 
     /// Dense copy (tests, small systems, ablation benches).
@@ -226,9 +234,18 @@ public:
     }
 
     [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
+        std::vector<T> x;
+        solve_into(b, x);
+        return x;
+    }
+
+    /// Solve into a caller-owned buffer (no allocation once x has capacity);
+    /// b and x must be distinct vectors.
+    void solve_into(const std::vector<T>& b, std::vector<T>& x) const {
         util::require(factored_, "sparse_lu", "solve before factor");
         util::require(b.size() == n_, "sparse_lu", "solve: dimension mismatch");
-        std::vector<T> x(n_);
+        util::require(&b != &x, "sparse_lu", "solve: aliased output");
+        x.assign(n_, T{});
         // Forward: L y = P b  (L has unit diagonal, stored per-row).
         for (std::size_t i = 0; i < n_; ++i) {
             T acc = b[perm_[i]];
@@ -252,7 +269,6 @@ public:
             }
             x[ii] = acc / diag;
         }
-        return x;
     }
 
     [[nodiscard]] bool factored() const noexcept { return factored_; }

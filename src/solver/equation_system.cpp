@@ -51,11 +51,16 @@ void equation_system::set_input(std::size_t slot, double v) {
 }
 
 std::vector<double> equation_system::rhs(double t) const {
-    std::vector<double> q = rhs_constant_;
+    std::vector<double> q;
+    rhs_into(t, q);
+    return q;
+}
+
+void equation_system::rhs_into(double t, std::vector<double>& q) const {
+    q.assign(rhs_constant_.begin(), rhs_constant_.end());
     q.resize(size(), 0.0);
     for (const auto& s : rhs_sources_) q[s.row] += s.value(t);
     for (const auto& in : inputs_) q[in.row] += in.value;
-    return q;
 }
 
 void equation_system::eval_nonlinear(const std::vector<double>& x,

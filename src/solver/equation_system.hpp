@@ -90,6 +90,10 @@ public:
     /// Assemble q(t) from constants, time functions, and input slots.
     [[nodiscard]] std::vector<double> rhs(double t) const;
 
+    /// Allocation-free variant: assemble q(t) into `q` (resized as needed).
+    /// Fixed-step solvers call this once per step with a reused buffer.
+    void rhs_into(double t, std::vector<double>& q) const;
+
     // --- nonlinear -----------------------------------------------------------
     void add_nonlinear(nonlinear_fn fn) { nonlinear_.push_back(std::move(fn)); }
     [[nodiscard]] bool is_linear() const noexcept { return nonlinear_.empty(); }

@@ -55,27 +55,37 @@ void linear_dae_solver::ensure_factored(integration_method m) {
 }
 
 void linear_dae_solver::step() {
+    // All scratch vectors are members reused across steps: when the TDF
+    // synchronization layer batches many firings per DE interaction, each
+    // step is one rhs assembly, one sparse mat-vec, and one triangular
+    // solve against the cached factorization — no allocations, no refactor
+    // (ensure_factored is a generation check unless the system restamped).
     const integration_method m =
         be_next_ ? integration_method::backward_euler : method_;
     be_next_ = false;
     ensure_factored(m);
     const double t1 = t_ + h_;
-    const std::vector<double> q1 = sys_->rhs(t1);
-    const std::vector<double> bx = sys_->b().multiply(x_);
+    sys_->rhs_into(t1, q1_);
+    sys_->b().multiply_into(x_, bx_);
 
-    std::vector<double> rhs(sys_->size());
+    rhs_.resize(sys_->size());
     if (m == integration_method::backward_euler) {
-        for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] = q1[i] + bx[i] / h_;
+        for (std::size_t i = 0; i < rhs_.size(); ++i) rhs_[i] = q1_[i] + bx_[i] / h_;
     } else {
-        const std::vector<double> ax = sys_->a().multiply(x_);
-        for (std::size_t i = 0; i < rhs.size(); ++i) {
-            rhs[i] = 0.5 * (q1[i] + q_prev_[i]) + bx[i] / h_ - 0.5 * ax[i];
+        sys_->a().multiply_into(x_, ax_);
+        for (std::size_t i = 0; i < rhs_.size(); ++i) {
+            rhs_[i] = 0.5 * (q1_[i] + q_prev_[i]) + bx_[i] / h_ - 0.5 * ax_[i];
         }
     }
-    x_ = use_dense_ ? dense_lu_.solve(rhs) : lu_.solve(rhs);
+    if (use_dense_) {
+        dense_lu_.solve_into(rhs_, x_next_);
+    } else {
+        lu_.solve_into(rhs_, x_next_);
+    }
+    x_.swap(x_next_);
     ++solves_;
     t_ = t1;
-    q_prev_ = q1;
+    q_prev_.swap(q1_);
 }
 
 void linear_dae_solver::advance_to(double t_end) {

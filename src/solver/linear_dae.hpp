@@ -67,6 +67,12 @@ private:
     double t_ = 0.0;
     std::vector<double> x_;
     std::vector<double> q_prev_;  // q(t) of the accepted point (trapezoidal)
+    // Per-step scratch, reused so batched firings never allocate.
+    std::vector<double> q1_;
+    std::vector<double> bx_;
+    std::vector<double> ax_;
+    std::vector<double> rhs_;
+    std::vector<double> x_next_;
     num::sparse_lu_d lu_;
     num::dense_lu_d dense_lu_;
     bool use_dense_ = false;

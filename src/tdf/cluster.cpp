@@ -1,15 +1,33 @@
 #include "tdf/cluster.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <numeric>
 
+#include "kernel/process.hpp"
+#include "kernel/signal.hpp"
 #include "tdf/module.hpp"
 #include "tdf/port.hpp"
-#include "tdf/schedule.hpp"
 #include "util/report.hpp"
 
 namespace sca::tdf {
+
+namespace {
+
+/// True if any object below `o` is a bound DE port (converter ports are
+/// members of the module, so they appear in its object subtree).
+bool subtree_has_bound_de_port(const de::object* o) {
+    for (const de::object* c : o->children()) {
+        if (const auto* p = dynamic_cast<const de::port_base*>(c); p != nullptr && p->bound()) {
+            return true;
+        }
+        if (subtree_has_bound_de_port(c)) return true;
+    }
+    return false;
+}
+
+}  // namespace
 
 cluster::cluster(std::vector<module*> modules) : modules_(std::move(modules)) {
     // Collect the signals touched by member ports (unique, writer required).
@@ -91,86 +109,54 @@ void cluster::resolve_timesteps() {
 }
 
 void cluster::build_schedule() {
-    // PASS construction (Lee/Messerschmitt): repeatedly fire any module whose
-    // input tokens are available until every module reached its repetition
-    // count. Failure to complete means the graph is deadlocked (needs delays).
-    std::map<const signal_base*, std::uint64_t> produced;   // incl. writer delay
-    std::map<const port_base*, std::uint64_t> consumed;     // per reader
-    std::map<const module*, std::uint64_t> fired;
-    std::map<const signal_base*, std::uint64_t> max_span;
+    // Describe the graph abstractly and compile it (PASS construction and
+    // run-length encoding live in schedule.cpp).
+    std::map<module*, std::size_t> index;
+    for (std::size_t i = 0; i < modules_.size(); ++i) index[modules_[i]] = i;
 
-    for (signal_base* s : signals_) {
-        produced[s] = s->writer()->delay();
-        for (port_base* r : s->readers()) consumed[r] = 0;
-        max_span[s] = 0;
+    std::vector<sdf_signal_desc> descs(signals_.size());
+    for (std::size_t s = 0; s < signals_.size(); ++s) {
+        const port_base* w = signals_[s]->writer();
+        descs[s].writer = {index.at(w->owner()), w->rate(), w->delay()};
+        for (port_base* r : signals_[s]->readers()) {
+            descs[s].readers.push_back({index.at(r->owner()), r->rate(), r->delay()});
+        }
     }
-    for (module* m : modules_) fired[m] = 0;
+    std::vector<std::uint64_t> reps(modules_.size());
+    for (std::size_t i = 0; i < modules_.size(); ++i) reps[i] = modules_[i]->repetitions();
 
-    auto update_span = [&](signal_base* s) {
-        std::int64_t oldest = static_cast<std::int64_t>(produced[s]);
-        for (port_base* r : s->readers()) {
-            oldest = std::min(oldest, static_cast<std::int64_t>(consumed[r]) -
-                                          static_cast<std::int64_t>(r->delay()));
-        }
-        const auto span = static_cast<std::uint64_t>(
-            std::max<std::int64_t>(0, static_cast<std::int64_t>(produced[s]) - oldest));
-        max_span[s] = std::max(max_span[s], span);
-    };
-    for (signal_base* s : signals_) update_span(s);
+    const compiled_schedule compiled = compile_schedule(reps, descs);
 
-    auto fireable = [&](module* m) {
-        if (fired[m] >= m->repetitions()) return false;
-        for (port_base* p : m->ports()) {
-            if (!p->is_input()) continue;
-            const signal_base* s = p->bound_signal();
-            const std::int64_t needed = static_cast<std::int64_t>(consumed[p]) +
-                                        static_cast<std::int64_t>(p->rate()) -
-                                        static_cast<std::int64_t>(p->delay());
-            if (needed > static_cast<std::int64_t>(produced.at(s))) return false;
-        }
-        return true;
-    };
-
+    program_.clear();
+    program_.reserve(compiled.program.size());
     schedule_.clear();
     schedule_firing_.clear();
-    std::uint64_t total = 0;
-    for (module* m : modules_) total += m->repetitions();
-
-    while (schedule_.size() < total) {
-        bool progress = false;
-        for (module* m : modules_) {
-            if (!fireable(m)) continue;
-            schedule_.push_back(m);
-            schedule_firing_.push_back(fired[m]);
-            ++fired[m];
-            progress = true;
-            for (port_base* p : m->ports()) {
-                auto* s = const_cast<signal_base*>(p->bound_signal());
-                if (p->is_input()) {
-                    consumed[p] += p->rate();
-                } else {
-                    produced[s] += p->rate();
-                    update_span(s);
-                }
-            }
+    schedule_.reserve(compiled.total_firings);
+    schedule_firing_.reserve(compiled.total_firings);
+    for (const firing_entry& e : compiled.program) {
+        program_.push_back({modules_[e.module], e.first_firing, e.count});
+        for (std::uint64_t k = 0; k < e.count; ++k) {
+            schedule_.push_back(modules_[e.module]);
+            schedule_firing_.push_back(e.first_firing + k);
         }
-        util::require(progress, "tdf_cluster",
-                      "dataflow deadlock: no module can fire; insert port delays to "
-                      "break the cycle");
     }
 
-    // Ring-buffer capacities from the observed maximum live-token span.
-    for (signal_base* s : signals_) {
-        s->allocate(static_cast<std::size_t>(std::max<std::uint64_t>(max_span[s], 1)) +
-                    s->writer()->rate());
+    // Preallocate the ring buffers and reset port stream positions: writers
+    // start after their delay tokens.
+    for (std::size_t s = 0; s < signals_.size(); ++s) {
+        signals_[s]->allocate(compiled.buffer_capacity[s]);
+        signals_[s]->writer()->reset_position(signals_[s]->writer()->delay());
+        for (port_base* r : signals_[s]->readers()) r->reset_position(0);
     }
 }
 
-void cluster::size_buffers() {
-    // Reset port stream positions: writers start after their delay tokens.
-    for (signal_base* s : signals_) {
-        s->writer()->reset_position(s->writer()->delay());
-        for (port_base* r : s->readers()) r->reset_position(0);
+void cluster::detect_de_coupling() {
+    de_coupled_ = false;
+    for (module* m : modules_) {
+        if (m->de_coupled_declared() || subtree_has_bound_de_port(m)) {
+            de_coupled_ = true;
+            return;
+        }
     }
 }
 
@@ -178,25 +164,111 @@ void cluster::elaborate() {
     compute_repetitions();
     resolve_timesteps();
     build_schedule();
-    size_buffers();
+    detect_de_coupling();
     for (module* m : modules_) m->set_owning_cluster(*this);
     for (module* m : modules_) m->initialize();
 }
 
 void cluster::attach(de::simulation_context& ctx) {
     ctx_ = &ctx;
-    ctx.register_method("tdf_cluster_exec", [this] {
-        execute();
-        ctx_->next_trigger(period_);
-    });
+    proc_ = &ctx.register_method("tdf_cluster_exec", [this] { on_wake(); });
 }
 
-void cluster::execute() {
-    const de::time t0 = ctx_ != nullptr ? ctx_->now() : de::time::zero();
-    for (std::size_t i = 0; i < schedule_.size(); ++i) {
-        schedule_[i]->fire(t0, schedule_firing_[i]);
+void cluster::set_max_batch_periods(std::uint64_t n) {
+    util::require(n >= 1, "tdf_cluster", "max batch periods must be >= 1");
+    max_batch_ = n;
+}
+
+void cluster::set_peer_processes(std::vector<const de::method_process*> peers) {
+    peers_ = std::move(peers);
+}
+
+void cluster::run_cycles(const de::time& start, std::uint64_t n) {
+    de::time t = start;
+    for (std::uint64_t c = 0; c < n; ++c) {
+        for (const program_entry& e : program_) {
+            e.mod->fire_run(t, e.first_firing, e.count);
+        }
+        ++cycles_;
+        t += period_;
     }
-    ++cycles_;
+    next_cycle_start_ = t;
+}
+
+std::uint64_t cluster::plan_batch_ahead() const {
+    // Batching contract: run cycles ahead of DE time only when no DE process
+    // could observe the difference.  DE-coupled clusters never qualify.  For
+    // pure clusters the bound is the next pending timed event — except the
+    // re-arms of independent peer clusters, which provably cannot interact —
+    // and the end of the current scheduler run, so the final state matches
+    // per-period execution exactly.  This runs in a zero-delay re-activation
+    // of the driving process: every same-timestamp process has already
+    // executed and re-armed, making the timed queue authoritative.
+    const std::int64_t p = period_.value_fs();
+    if (p <= 0) return 0;
+    const de::time s = next_cycle_start_;
+    std::uint64_t n = max_batch_ - 1;  // one cycle already ran this interaction
+
+    const de::scheduler& sch = static_cast<const de::simulation_context&>(*ctx_).sched();
+    const de::time end = sch.run_end();
+    if (end != de::time::max()) {
+        if (s > end) return 0;
+        n = std::min(n, static_cast<std::uint64_t>((end - s).value_fs() / p) + 1);
+    }
+    ignore_scratch_.clear();
+    for (const de::method_process* peer : peers_) {
+        if (const de::event* ev = peer->timeout_event(); ev != nullptr) {
+            ignore_scratch_.push_back(ev);
+        }
+    }
+    const de::time next_ev = sch.next_event_time_ignoring(ignore_scratch_);
+    if (next_ev != de::time::max()) {
+        if (next_ev <= s) return 0;
+        const std::int64_t gap = (next_ev - s).value_fs();
+        n = std::min(n, static_cast<std::uint64_t>((gap + p - 1) / p));
+    }
+    return n;
+}
+
+void cluster::on_wake() {
+    const de::time now = ctx_->now();
+    if (!batch_check_pending_) {
+        // Timed wake at a cycle boundary.
+        run_cycles(now, 1);
+        // Peek: schedule the batch-check re-activation only when the (possibly
+        // still unsettled) queue suggests batching could yield anything —
+        // event-dense models otherwise pay a useless delta round per period.
+        // The peek may overestimate; the settled re-check below is what
+        // guarantees correctness.
+        if (!de_coupled_ && max_batch_ > 1 && plan_batch_ahead() > 0) {
+            batch_check_pending_ = true;
+            ctx_->next_trigger(de::time::zero());
+            return;
+        }
+        ctx_->next_trigger(period_);
+        return;
+    }
+    // Zero-delay (delta) re-activation: plan only once the instant has
+    // settled, so every same-timestamp process has executed and armed its
+    // next timed event.  Peer pure clusters are ignored — their same-instant
+    // wakes and deferral deltas cannot interact with this cluster, and two
+    // deferring clusters would otherwise ping-pong forever.  Anything else
+    // still active at this instant -> defer one more delta cycle.
+    ignore_scratch_.clear();
+    for (const de::method_process* peer : peers_) {
+        if (const de::event* ev = peer->timeout_event(); ev != nullptr) {
+            ignore_scratch_.push_back(ev);
+        }
+    }
+    if (static_cast<const de::simulation_context&>(*ctx_).sched().instant_active_ignoring(
+            peers_, ignore_scratch_)) {
+        ctx_->next_trigger(de::time::zero());
+        return;
+    }
+    batch_check_pending_ = false;
+    const std::uint64_t ahead = plan_batch_ahead();
+    if (ahead > 0) run_cycles(next_cycle_start_, ahead);
+    ctx_->next_trigger(next_cycle_start_ - now);
 }
 
 // ------------------------------------------------------------------ registry
@@ -208,6 +280,12 @@ registry::registry(de::simulation_context& ctx) : ctx_(&ctx) {
 registry& registry::of(de::simulation_context& ctx) { return ctx.domain_data<registry>(); }
 
 void registry::add_module(module& m) { modules_.push_back(&m); }
+
+void registry::set_default_max_batch_periods(std::uint64_t n) {
+    util::require(n >= 1, "tdf_registry", "max batch periods must be >= 1");
+    default_max_batch_ = n;
+    for (auto& c : clusters_) c->set_max_batch_periods(n);
+}
 
 void registry::elaborate_clusters() {
     if (elaborated_) return;
@@ -250,8 +328,19 @@ void registry::elaborate_clusters() {
     }
     for (auto& [root, members] : groups) {
         clusters_.push_back(std::make_unique<cluster>(std::move(members)));
+        clusters_.back()->set_max_batch_periods(default_max_batch_);
         clusters_.back()->elaborate();
         clusters_.back()->attach(*ctx_);
+    }
+
+    // Independent clusters cannot observe one another, so batch planning may
+    // ignore the re-arm events of every pure (non-DE-coupled) peer.
+    std::vector<const de::method_process*> pure_procs;
+    for (const auto& c : clusters_) {
+        if (!c->de_coupled()) pure_procs.push_back(c->process());
+    }
+    for (const auto& c : clusters_) {
+        if (!c->de_coupled()) c->set_peer_processes(pure_procs);
     }
 }
 

@@ -2,6 +2,14 @@
 // synchronization layer between the dataflow/continuous-time world and the
 // discrete-event kernel (paper §3: "the concept of a dedicated manager, let
 // us call it the synchronization layer").
+//
+// At elaboration each cluster compiles its repetition vector into a flat
+// firing program (run-length-encoded {module, count} entries with
+// preallocated ring buffers); at runtime the program executes as a tight
+// loop with no map lookups or allocations.  Clusters that do not exchange
+// samples with the DE world batch several schedule periods per DE kernel
+// interaction, bounded by the next pending DE event and the end of the
+// current run; converter-coupled clusters synchronize every period.
 #ifndef SCA_TDF_CLUSTER_HPP
 #define SCA_TDF_CLUSTER_HPP
 
@@ -10,6 +18,7 @@
 
 #include "kernel/context.hpp"
 #include "kernel/time.hpp"
+#include "tdf/schedule.hpp"
 
 namespace sca::tdf {
 
@@ -20,35 +29,84 @@ class signal_base;
 /// one statically scheduled unit from a single DE process.
 class cluster {
 public:
+    /// One compiled firing-program entry: `count` consecutive firings of
+    /// `mod`, the first at cycle-relative firing index `first_firing`.
+    struct program_entry {
+        module* mod;
+        std::uint64_t first_firing;
+        std::uint64_t count;
+    };
+
+    /// Default cap on schedule periods executed per DE kernel interaction.
+    static constexpr std::uint64_t k_default_max_batch_periods = 64;
+
     explicit cluster(std::vector<module*> modules);
 
-    /// Compute repetition vector, resolve timesteps, build the static
-    /// schedule (PASS), size the buffers, and call initialize() on modules.
+    /// Compute repetition vector, resolve timesteps, compile the firing
+    /// program (PASS), size the buffers, and call initialize() on modules.
     void elaborate();
 
-    /// Register the driving DE process with the kernel.
+    /// Register the driving DE process with the kernel.  The driving process
+    /// runs one cycle per timed wake; for clusters without DE coupling a
+    /// zero-delay re-activation then runs further cycles ahead of DE time
+    /// once the event queue has settled — never past the next pending DE
+    /// event or the end of the current scheduler run.
     void attach(de::simulation_context& ctx);
 
-    /// Execute one full cluster cycle at the current DE time.
-    void execute();
+    /// Peer-cluster processes whose re-arm events batch planning may ignore
+    /// (independent clusters cannot observe each other); set by the registry.
+    void set_peer_processes(std::vector<const de::method_process*> peers);
+
+    /// The driving DE process (valid after attach()).
+    [[nodiscard]] const de::method_process* process() const noexcept { return proc_; }
 
     [[nodiscard]] const de::time& period() const noexcept { return period_; }
     [[nodiscard]] const std::vector<module*>& modules() const noexcept { return modules_; }
+    /// Expanded firing order (one entry per firing); introspection/tests.
     [[nodiscard]] const std::vector<module*>& schedule() const noexcept { return schedule_; }
+    /// The compiled (run-length-encoded) firing program.
+    [[nodiscard]] const std::vector<program_entry>& program() const noexcept {
+        return program_;
+    }
     [[nodiscard]] std::uint64_t cycle_count() const noexcept { return cycles_; }
+
+    /// True when any member module exchanges samples with the DE world
+    /// (converter ports or DE-controlled ELN/LSF components); such clusters
+    /// synchronize with the DE kernel at every period boundary.
+    [[nodiscard]] bool de_coupled() const noexcept { return de_coupled_; }
+
+    /// Cap the number of schedule periods executed per DE kernel
+    /// interaction (>= 1).  1 disables batching entirely.
+    void set_max_batch_periods(std::uint64_t n);
+    [[nodiscard]] std::uint64_t max_batch_periods() const noexcept { return max_batch_; }
 
 private:
     void compute_repetitions();
     void resolve_timesteps();
     void build_schedule();
-    void size_buffers();
+    void detect_de_coupling();
+    /// Driving-process body: one cycle per timed wake plus the batched
+    /// continuation on the zero-delay re-activation.
+    void on_wake();
+    /// Fire `n` cluster cycles, the first starting at virtual time `start`.
+    void run_cycles(const de::time& start, std::uint64_t n);
+    /// Cycles safe to run ahead of DE time, starting at next_cycle_start_.
+    [[nodiscard]] std::uint64_t plan_batch_ahead() const;
 
     std::vector<module*> modules_;
     std::vector<signal_base*> signals_;
-    std::vector<module*> schedule_;
-    std::vector<std::uint64_t> schedule_firing_;  // firing index per schedule entry
+    std::vector<program_entry> program_;
+    std::vector<module*> schedule_;               // expanded firing order
+    std::vector<std::uint64_t> schedule_firing_;  // firing index per entry
+    std::vector<const de::method_process*> peers_;
+    mutable std::vector<const de::event*> ignore_scratch_;
     de::time period_;
+    de::time next_cycle_start_;
     std::uint64_t cycles_ = 0;
+    std::uint64_t max_batch_ = k_default_max_batch_periods;
+    bool de_coupled_ = false;
+    bool batch_check_pending_ = false;
+    de::method_process* proc_ = nullptr;
     de::simulation_context* ctx_ = nullptr;
 };
 
@@ -66,6 +124,9 @@ public:
         return clusters_;
     }
 
+    /// Batch cap applied to every cluster (existing and future).
+    void set_default_max_batch_periods(std::uint64_t n);
+
     /// Cluster discovery + scheduling; runs as an elaboration hook.
     void elaborate_clusters();
 
@@ -73,6 +134,7 @@ private:
     de::simulation_context* ctx_;
     std::vector<module*> modules_;
     std::vector<std::unique_ptr<cluster>> clusters_;
+    std::uint64_t default_max_batch_ = cluster::k_default_max_batch_periods;
     bool elaborated_ = false;
 };
 

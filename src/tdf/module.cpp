@@ -8,11 +8,15 @@ module::module(const de::module_name& nm) : de::module(nm) {
     registry::of(context()).add_module(*this);
 }
 
-void module::fire(const de::time& t0, std::uint64_t k) {
-    current_time_ = t0 + timestep_ * static_cast<std::int64_t>(k);
-    processing();
-    ++activations_;
-    for (port_base* p : ports_) p->advance();
+void module::fire_run(const de::time& t0, std::uint64_t k0, std::uint64_t n) {
+    de::time t = t0 + timestep_ * static_cast<std::int64_t>(k0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        current_time_ = t;
+        processing();
+        ++activations_;
+        for (port_base* p : ports_) p->advance();
+        t += timestep_;
+    }
 }
 
 }  // namespace sca::tdf

@@ -87,7 +87,18 @@ public:
     void set_repetitions(std::uint64_t r) noexcept { repetitions_ = r; }
 
     /// Execute one firing at cycle start `t0`, firing index `k` in the cycle.
-    void fire(const de::time& t0, std::uint64_t k);
+    void fire(const de::time& t0, std::uint64_t k) { fire_run(t0, k, 1); }
+
+    /// Execute `n` consecutive firings starting at firing index `k0` of the
+    /// cycle beginning at `t0` (the compiled firing program's inner loop).
+    void fire_run(const de::time& t0, std::uint64_t k0, std::uint64_t n);
+
+    /// Declare that this module exchanges samples with the DE world outside
+    /// the TDF converter-port protocol (ELN/LSF converter components call
+    /// this).  The owning cluster then synchronizes with the DE kernel every
+    /// cycle instead of batching cycles.
+    void declare_de_coupled() noexcept { de_coupled_ = true; }
+    [[nodiscard]] bool de_coupled_declared() const noexcept { return de_coupled_; }
 
     [[nodiscard]] cluster* owning_cluster() const noexcept { return cluster_; }
     void set_owning_cluster(cluster& c) noexcept { cluster_ = &c; }
@@ -102,6 +113,7 @@ private:
     de::time current_time_;
     std::uint64_t repetitions_ = 0;
     std::uint64_t activations_ = 0;
+    bool de_coupled_ = false;
     cluster* cluster_ = nullptr;
 };
 

@@ -93,6 +93,9 @@ public:
     /// Ring-buffer allocation; called by the cluster after scheduling.
     virtual void allocate(std::size_t capacity) = 0;
 
+    /// Current ring-buffer capacity in tokens (valid after elaboration).
+    [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
+
 protected:
     explicit signal_base(std::string name) : de::object(std::move(name)) {}
 
@@ -110,6 +113,8 @@ public:
         util::require(capacity > 0, name(), "zero buffer capacity");
         buffer_.assign(capacity, initial_);
     }
+
+    [[nodiscard]] std::size_t capacity() const noexcept override { return buffer_.size(); }
 
     /// Value used for tokens before the start of the stream (delay tokens).
     /// Intended to be called from module initialize(), i.e. after buffer

@@ -1,5 +1,6 @@
 #include "tdf/schedule.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "util/report.hpp"
@@ -90,6 +91,124 @@ std::vector<std::uint64_t> repetition_vector(std::size_t n,
         for (auto& v : result) v /= static_cast<std::uint64_t>(num_gcd);
     }
     return result;
+}
+
+compiled_schedule compile_schedule(const std::vector<std::uint64_t>& repetitions,
+                                   const std::vector<sdf_signal_desc>& signals) {
+    const std::size_t n_mod = repetitions.size();
+    const std::size_t n_sig = signals.size();
+
+    // Flat per-module port tables so the PASS loop below runs on plain
+    // indexed vectors (no associative lookups).
+    struct input_ref {
+        std::size_t signal;
+        std::size_t reader;  // index into signals[signal].readers
+        unsigned rate;
+        unsigned delay;
+    };
+    struct output_ref {
+        std::size_t signal;
+        unsigned rate;
+    };
+    std::vector<std::vector<input_ref>> inputs(n_mod);
+    std::vector<std::vector<output_ref>> outputs(n_mod);
+
+    std::vector<std::uint64_t> produced(n_sig);  // tokens written, incl. writer delay
+    std::vector<std::vector<std::uint64_t>> consumed(n_sig);  // per reader
+    std::vector<std::uint64_t> max_span(n_sig, 0);
+
+    for (std::size_t s = 0; s < n_sig; ++s) {
+        const sdf_signal_desc& sig = signals[s];
+        util::require(sig.writer.module < n_mod, "compile_schedule",
+                      "writer module index out of range");
+        util::require(sig.writer.rate > 0, "compile_schedule", "writer rate must be positive");
+        produced[s] = sig.writer.delay;
+        outputs[sig.writer.module].push_back({s, sig.writer.rate});
+        consumed[s].assign(sig.readers.size(), 0);
+        for (std::size_t r = 0; r < sig.readers.size(); ++r) {
+            const sdf_endpoint& rd = sig.readers[r];
+            util::require(rd.module < n_mod, "compile_schedule",
+                          "reader module index out of range");
+            util::require(rd.rate > 0, "compile_schedule", "reader rate must be positive");
+            inputs[rd.module].push_back({s, r, rd.rate, rd.delay});
+        }
+    }
+
+    // Live-token span of a signal: newest produced minus oldest still needed
+    // (delayed readers reach `delay` tokens into the past).  The maximum over
+    // the constructed schedule is the exact ring-buffer requirement.
+    auto update_span = [&](std::size_t s) {
+        std::int64_t oldest = static_cast<std::int64_t>(produced[s]);
+        const sdf_signal_desc& sig = signals[s];
+        for (std::size_t r = 0; r < sig.readers.size(); ++r) {
+            oldest = std::min(oldest, static_cast<std::int64_t>(consumed[s][r]) -
+                                          static_cast<std::int64_t>(sig.readers[r].delay));
+        }
+        const auto span = static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, static_cast<std::int64_t>(produced[s]) - oldest));
+        max_span[s] = std::max(max_span[s], span);
+    };
+    for (std::size_t s = 0; s < n_sig; ++s) update_span(s);
+
+    std::vector<std::uint64_t> fired(n_mod, 0);
+    auto fireable = [&](std::size_t m) {
+        if (fired[m] >= repetitions[m]) return false;
+        for (const input_ref& in : inputs[m]) {
+            const std::int64_t needed = static_cast<std::int64_t>(consumed[in.signal][in.reader]) +
+                                        static_cast<std::int64_t>(in.rate) -
+                                        static_cast<std::int64_t>(in.delay);
+            if (needed > static_cast<std::int64_t>(produced[in.signal])) return false;
+        }
+        return true;
+    };
+
+    compiled_schedule out;
+    for (std::size_t m = 0; m < n_mod; ++m) out.total_firings += repetitions[m];
+
+    // PASS construction (Lee/Messerschmitt), greedy per module: firing a
+    // module to exhaustion before moving on maximizes run lengths, so the
+    // run-length-encoded program stays short.  Any PASS order produces the
+    // same token streams (SDF is determinate).
+    std::uint64_t scheduled = 0;
+    while (scheduled < out.total_firings) {
+        bool progress = false;
+        for (std::size_t m = 0; m < n_mod; ++m) {
+            std::uint64_t run = 0;
+            while (fireable(m)) {
+                for (const input_ref& in : inputs[m]) consumed[in.signal][in.reader] += in.rate;
+                for (const output_ref& o : outputs[m]) {
+                    produced[o.signal] += o.rate;
+                    update_span(o.signal);
+                }
+                ++fired[m];
+                ++run;
+            }
+            if (run == 0) continue;
+            progress = true;
+            scheduled += run;
+            if (!out.program.empty() && out.program.back().module == m) {
+                out.program.back().count += run;
+            } else {
+                out.program.push_back({m, fired[m] - run, run});
+            }
+        }
+        util::require(progress, "tdf_schedule",
+                      "dataflow deadlock: no module can fire; insert port delays to "
+                      "break the cycle");
+    }
+
+    // Ring capacity: the observed live-token span plus one firing of slack
+    // (the seed's rule), but never less than a full period of tokens
+    // (writer rate x writer repetitions) so a cycle never wraps mid-period.
+    out.buffer_capacity.resize(n_sig);
+    for (std::size_t s = 0; s < n_sig; ++s) {
+        const sdf_endpoint& w = signals[s].writer;
+        const std::uint64_t span_rule = std::max<std::uint64_t>(max_span[s], 1) + w.rate;
+        const std::uint64_t period_rule = static_cast<std::uint64_t>(w.rate) *
+                                          repetitions[w.module];
+        out.buffer_capacity[s] = static_cast<std::size_t>(std::max(span_rule, period_rule));
+    }
+    return out;
 }
 
 }  // namespace sca::tdf

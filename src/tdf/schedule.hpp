@@ -1,8 +1,14 @@
-// Repetition-vector computation for synchronous dataflow graphs.
+// Static scheduling for synchronous dataflow graphs: repetition-vector
+// computation and compilation of the firing order into a flat, preallocated
+// firing program.
 //
-// Solves the balance equations rep[from] * out_rate == rep[to] * in_rate for
-// every edge, returning the minimal positive integer solution, and reports
-// rate inconsistencies (graphs with no finite static schedule).
+// The repetition vector solves the balance equations
+// rep[from] * out_rate == rep[to] * in_rate for every edge (minimal positive
+// integer solution) and reports rate inconsistencies (graphs with no finite
+// static schedule).  compile_schedule() then runs the PASS construction
+// (Lee/Messerschmitt) once at elaboration and emits a run-length-encoded
+// firing program plus exact ring-buffer capacities, so per-sample execution
+// needs no dynamic scheduling, map lookups, or allocations.
 #ifndef SCA_TDF_SCHEDULE_HPP
 #define SCA_TDF_SCHEDULE_HPP
 
@@ -23,6 +29,48 @@ struct rate_edge {
 /// Throws sca::util::error for inconsistent rates.
 [[nodiscard]] std::vector<std::uint64_t> repetition_vector(std::size_t n,
                                                            const std::vector<rate_edge>& edges);
+
+/// One end of a dataflow signal: which module it belongs to and how many
+/// tokens move per firing (plus initial delay tokens shifting the stream).
+struct sdf_endpoint {
+    std::size_t module = 0;
+    unsigned rate = 1;
+    unsigned delay = 0;
+};
+
+/// Abstract description of one dataflow signal: a single writer and any
+/// number of readers.
+struct sdf_signal_desc {
+    sdf_endpoint writer;
+    std::vector<sdf_endpoint> readers;
+};
+
+/// One entry of the compiled firing program: fire `count` consecutive
+/// activations of `module`, starting at firing index `first_firing` within
+/// the cluster cycle.  Consecutive firings of the same module are merged so
+/// the executor's outer loop touches each entry once.
+struct firing_entry {
+    std::size_t module = 0;
+    std::uint64_t first_firing = 0;
+    std::uint64_t count = 0;
+};
+
+/// Result of schedule compilation: the flat firing program and, per signal,
+/// the ring-buffer capacity (in tokens) needed to run it.  Buffers hold at
+/// least one full period of tokens (writer rate x writer repetitions), so a
+/// cluster cycle never wraps mid-period.
+struct compiled_schedule {
+    std::vector<firing_entry> program;
+    std::vector<std::size_t> buffer_capacity;  // indexed like `signals`
+    std::uint64_t total_firings = 0;
+};
+
+/// Run the PASS construction over the graph described by `repetitions` (from
+/// repetition_vector) and `signals`, producing the firing program and buffer
+/// capacities.  Throws sca::util::error on dataflow deadlock (a cycle with
+/// insufficient delay tokens).
+[[nodiscard]] compiled_schedule compile_schedule(const std::vector<std::uint64_t>& repetitions,
+                                                 const std::vector<sdf_signal_desc>& signals);
 
 }  // namespace sca::tdf
 

@@ -11,6 +11,7 @@
 #include "eln/sources.hpp"
 #include "kernel/clock.hpp"
 #include "kernel/signal.hpp"
+#include "tdf/cluster.hpp"
 #include "tdf/converter.hpp"
 #include "tdf/module.hpp"
 
@@ -196,4 +197,116 @@ TEST(sync, network_activations_track_cluster_period) {
     sim.run(50_us);
     EXPECT_EQ(net.activation_count(), 11U);  // t = 0, 5, ..., 50 us
     EXPECT_EQ(net.factorizations(), 1U);     // linear: factored exactly once
+}
+
+// ------------------------------------------------- batched synchronization
+
+TEST(sync, converter_ports_mark_cluster_de_coupled) {
+    core::simulation sim;
+    de::signal<double> wire("wire", -1.0);
+    staircase_writer src("src");
+    src.out.bind(wire);
+    sim.elaborate();
+    auto& reg = tdf::registry::of(sim.context());
+    ASSERT_EQ(reg.clusters().size(), 1U);
+    // A de_out converter port forces per-period synchronization.
+    EXPECT_TRUE(reg.clusters()[0]->de_coupled());
+}
+
+TEST(sync, de_controlled_network_is_de_coupled) {
+    core::simulation sim;
+    de::signal<double> level("level", 0.0);
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto n = net.create_node("n");
+    auto* src = new eln::de_vsource("src", net, n, gnd);
+    new eln::resistor("r", net, n, gnd, 1000.0);
+    src->inp.bind(level);
+    sim.elaborate();
+    auto& reg = tdf::registry::of(sim.context());
+    ASSERT_EQ(reg.clusters().size(), 1U);
+    EXPECT_TRUE(reg.clusters()[0]->de_coupled());
+}
+
+TEST(sync, pure_network_cluster_is_not_de_coupled) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto n = net.create_node("n");
+    new eln::isource("is", net, gnd, n, eln::waveform::dc(1e-3));
+    new eln::resistor("r", net, n, gnd, 1000.0);
+    sim.elaborate();
+    auto& reg = tdf::registry::of(sim.context());
+    ASSERT_EQ(reg.clusters().size(), 1U);
+    EXPECT_FALSE(reg.clusters()[0]->de_coupled());
+}
+
+namespace {
+
+/// A pure TDF pipeline observed by a periodic DE process reading the raw
+/// signal buffer; returns the observer's log.  Guards the batching contract:
+/// timed DE observers must see exactly what per-period execution produces.
+std::vector<double> run_observed_pipeline(std::uint64_t max_batch_periods) {
+    core::simulation sim;
+    tdf::registry::of(sim.context()).set_default_max_batch_periods(max_batch_periods);
+
+    struct ramp : tdf::module {
+        tdf::out<double> out;
+        double v = 0.0;
+        explicit ramp(const de::module_name& nm) : tdf::module(nm), out("out") {}
+        void set_attributes() override { set_timestep(2.0, de::time_unit::us); }
+        void processing() override { out.write(v += 1.0); }
+    } src("src");
+    struct sink_mod : tdf::module {
+        tdf::in<double> in;
+        explicit sink_mod(const de::module_name& nm) : tdf::module(nm), in("in") {}
+        void processing() override { (void)in.read(); }
+    } snk("snk");
+    tdf::signal<double> s("s");
+    src.out.bind(s);
+    snk.in.bind(s);
+
+    // Periodic observer at 7 us (deliberately unaligned with the 2 us
+    // cluster period), reading the most recent token.
+    std::vector<double> log;
+    auto& watcher = sim.context().register_method("watch", [&] {
+        log.push_back(s.last_value());
+        sim.context().next_trigger(7_us);
+    });
+    (void)watcher;
+
+    sim.run(200_us);
+    return log;
+}
+
+}  // namespace
+
+TEST(sync, batched_execution_invisible_to_timed_de_observer) {
+    const auto per_period = run_observed_pipeline(1);
+    const auto batched = run_observed_pipeline(tdf::cluster::k_default_max_batch_periods);
+    ASSERT_EQ(per_period.size(), batched.size());
+    for (std::size_t i = 0; i < per_period.size(); ++i) {
+        ASSERT_EQ(per_period[i], batched[i]) << "observation " << i;
+    }
+}
+
+TEST(sync, batched_network_reuses_factorization) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto n = net.create_node("n");
+    new eln::vsource("vs", net, n, gnd, eln::waveform::sine(1.0, 10e3));
+    new eln::resistor("r", net, n, gnd, 1000.0);
+
+    sim.run(500_us);
+    auto& reg = tdf::registry::of(sim.context());
+    ASSERT_EQ(reg.clusters().size(), 1U);
+    EXPECT_FALSE(reg.clusters()[0]->de_coupled());
+    EXPECT_EQ(net.activation_count(), 501U);
+    // The iteration matrix is factored exactly once even though activations
+    // run in batches of up to k_default_max_batch_periods.
+    EXPECT_EQ(net.factorizations(), 1U);
 }

@@ -328,3 +328,152 @@ TEST(tdf_cluster, schedule_respects_data_dependencies) {
     EXPECT_LT(pos(&a), pos(&b));
     EXPECT_LT(pos(&b), pos(&sink));
 }
+
+// --------------------------------------------- compiled firing program
+
+TEST(repetition_vector, coprime_rates_balance) {
+    // A -3:5-> B : 5 firings of A produce 15 tokens = 3 firings of B.
+    const std::vector<tdf::rate_edge> edges{{0, 1, 3, 5}};
+    const auto reps = tdf::repetition_vector(2, edges);
+    EXPECT_EQ(reps, (std::vector<std::uint64_t>{5, 3}));
+}
+
+TEST(compile_schedule, merges_consecutive_firings) {
+    // 0 -1:1-> 1 (rate 4 out) -4:1-> 2 : reps {1, 1, 4}; module 2's four
+    // firings are consecutive, so the program has three entries.
+    std::vector<tdf::sdf_signal_desc> sigs(2);
+    sigs[0].writer = {0, 1, 0};
+    sigs[0].readers = {{1, 1, 0}};
+    sigs[1].writer = {1, 4, 0};
+    sigs[1].readers = {{2, 1, 0}};
+    const auto compiled = tdf::compile_schedule({1, 1, 4}, sigs);
+    EXPECT_EQ(compiled.total_firings, 6U);
+    ASSERT_EQ(compiled.program.size(), 3U);
+    EXPECT_EQ(compiled.program[2].module, 2U);
+    EXPECT_EQ(compiled.program[2].first_firing, 0U);
+    EXPECT_EQ(compiled.program[2].count, 4U);
+}
+
+TEST(compile_schedule, buffer_holds_full_period_of_tokens) {
+    // Writer rate 4 x 3 repetitions = 12 tokens per period.
+    std::vector<tdf::sdf_signal_desc> sigs(1);
+    sigs[0].writer = {0, 4, 0};
+    sigs[0].readers = {{1, 6, 0}};
+    const auto compiled = tdf::compile_schedule({3, 2}, sigs);
+    ASSERT_EQ(compiled.buffer_capacity.size(), 1U);
+    EXPECT_GE(compiled.buffer_capacity[0], 12U);
+}
+
+TEST(compile_schedule, deadlock_without_delay_throws) {
+    // 0 <-> 1 cycle with no initial tokens: nothing can fire.
+    std::vector<tdf::sdf_signal_desc> sigs(2);
+    sigs[0].writer = {0, 1, 0};
+    sigs[0].readers = {{1, 1, 0}};
+    sigs[1].writer = {1, 1, 0};
+    sigs[1].readers = {{0, 1, 0}};
+    EXPECT_THROW((void)tdf::compile_schedule({1, 1}, sigs), sca::util::error);
+}
+
+TEST(tdf_cluster, single_module_cluster_runs) {
+    de::simulation_context ctx;
+    struct lone_counter : tdf::module {
+        std::uint64_t ticks = 0;
+        explicit lone_counter(const de::module_name& nm) : tdf::module(nm) {}
+        void set_attributes() override { set_timestep(1.0, de::time_unit::us); }
+        void processing() override { ++ticks; }
+    } mod("mod");
+
+    ctx.run(10_us);
+    EXPECT_EQ(mod.ticks, 11U);  // t = 0..10 us
+    auto& reg = tdf::registry::of(ctx);
+    ASSERT_EQ(reg.clusters().size(), 1U);
+    ASSERT_EQ(reg.clusters()[0]->program().size(), 1U);
+    EXPECT_EQ(reg.clusters()[0]->program()[0].count, 1U);
+    EXPECT_FALSE(reg.clusters()[0]->de_coupled());
+}
+
+TEST(tdf_cluster, program_is_run_length_compressed) {
+    de::simulation_context ctx;
+    ramp_source src("src");
+    collector sink("sink");
+    tdf::signal<double> s("s");
+    src.out.bind(s);
+    sink.in.bind(s);
+    sink.in.set_rate(4);  // reps: src 4, sink 1
+
+    ctx.elaborate();
+    auto& reg = tdf::registry::of(ctx);
+    ASSERT_EQ(reg.clusters().size(), 1U);
+    const auto& c = *reg.clusters()[0];
+    EXPECT_EQ(c.schedule().size(), 5U);       // expanded: 4 src + 1 sink firings
+    ASSERT_EQ(c.program().size(), 2U);        // compiled: {src x4}, {sink x1}
+    EXPECT_EQ(c.program()[0].mod, &src);
+    EXPECT_EQ(c.program()[0].count, 4U);
+    EXPECT_EQ(c.program()[1].mod, &sink);
+    EXPECT_EQ(c.program()[1].count, 1U);
+}
+
+TEST(tdf_cluster, signal_buffer_sized_rate_times_repetition) {
+    de::simulation_context ctx;
+    ramp_source src("src");
+    collector sink("sink");
+    tdf::signal<double> s("s");
+    src.out.set_rate(4);
+    src.out.bind(s);
+    sink.in.bind(s);
+    sink.in.set_rate(6);  // reps: src 3, sink 2 -> 12 tokens per period
+
+    ctx.elaborate();
+    EXPECT_GE(s.capacity(), 12U);
+}
+
+namespace {
+
+/// Deterministic multirate pipeline; returns the sink's collected samples.
+std::vector<double> run_multirate_pipeline(std::uint64_t max_batch_periods,
+                                           const de::time& duration) {
+    de::simulation_context ctx;
+    tdf::registry::of(ctx).set_default_max_batch_periods(max_batch_periods);
+    ramp_source src("src");
+    scaler up("up", 1.5);
+    collector sink("sink");
+    tdf::signal<double> s1("s1"), s2("s2");
+    src.out.set_rate(2);
+    src.out.bind(s1);
+    up.in.bind(s1);
+    up.in.set_rate(3);
+    up.out.bind(s2);
+    sink.in.bind(s2);
+    sink.in.set_delay(1);
+    ctx.run(duration);
+    return sink.samples;
+}
+
+}  // namespace
+
+TEST(tdf_cluster, batched_execution_is_bit_identical_to_per_period) {
+    const auto per_period = run_multirate_pipeline(1, 1_ms);
+    const auto batched = run_multirate_pipeline(tdf::cluster::k_default_max_batch_periods, 1_ms);
+    ASSERT_EQ(per_period.size(), batched.size());
+    for (std::size_t i = 0; i < per_period.size(); ++i) {
+        ASSERT_EQ(per_period[i], batched[i]) << "sample " << i;  // exact, not near
+    }
+}
+
+TEST(tdf_cluster, batching_reduces_kernel_interactions) {
+    de::simulation_context ctx;
+    ramp_source src("src");
+    collector sink("sink");
+    tdf::signal<double> s("s");
+    src.out.bind(s);
+    sink.in.bind(s);
+
+    ctx.run(de::time(1.0, de::time_unit::ms));  // 1001 periods at 1 us
+    auto& reg = tdf::registry::of(ctx);
+    ASSERT_EQ(reg.clusters().size(), 1U);
+    EXPECT_EQ(reg.clusters()[0]->cycle_count(), 1001U);
+    // Every DE interaction is at most two process activations (cycle +
+    // batch check); without batching there would be >= 1001.
+    ASSERT_NE(reg.clusters()[0]->process(), nullptr);
+    EXPECT_LT(reg.clusters()[0]->process()->activation_count(), 150U);
+}
