@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/simulation.hpp"
+#include "eln/converter.hpp"
 #include "eln/network.hpp"
 #include "eln/primitives.hpp"
 #include "eln/sources.hpp"
@@ -75,6 +76,44 @@ struct rc_ladder {
             prev = node;
         }
         out_node = prev;
+    }
+};
+
+/// Owning bundle for the PWM-switched buck converter shared by
+/// bench_switching_restamp and the tests/test_eln.cpp bit-equivalence
+/// tests (one netlist, so the bench's bit-identity claim stays covered):
+/// 24 V source with ESR + input decoupling — which keep the MNA pivot
+/// order value-stable across switch states — high-side DE-controlled
+/// switch, freewheel path, LC output filter, 4 ohm load.
+struct switched_buck {
+    std::unique_ptr<eln::network> net;
+    std::vector<std::unique_ptr<eln::component>> parts;
+    eln::de_rswitch* hi_side = nullptr;
+    eln::node vout_node;
+
+    explicit switched_buck(de::time step = de::time(1.0, de::time_unit::us)) {
+        net = std::make_unique<eln::network>(de::module_name("buck"));
+        net->set_timestep(step);
+        auto gnd = net->ground();
+        auto vsrc = net->create_node("vsrc");
+        auto vin = net->create_node("vin");
+        auto sw = net->create_node("sw");
+        vout_node = net->create_node("vout");
+        parts.push_back(std::make_unique<eln::vsource>(
+            "vs", *net, vsrc, gnd, eln::waveform::dc(24.0)));
+        parts.push_back(std::make_unique<eln::resistor>("esr", *net, vsrc, vin, 0.01));
+        parts.push_back(std::make_unique<eln::capacitor>("cin", *net, vin, gnd, 10e-6));
+        auto hi = std::make_unique<eln::de_rswitch>("hi_side", *net, vin, sw, 0.05, 1e6);
+        hi_side = hi.get();
+        parts.push_back(std::move(hi));
+        parts.push_back(
+            std::make_unique<eln::resistor>("freewheel", *net, sw, gnd, 0.5));
+        parts.push_back(
+            std::make_unique<eln::inductor>("filter_l", *net, sw, vout_node, 100e-6));
+        parts.push_back(
+            std::make_unique<eln::capacitor>("filter_c", *net, vout_node, gnd, 220e-6));
+        parts.push_back(
+            std::make_unique<eln::resistor>("load", *net, vout_node, gnd, 4.0));
     }
 };
 

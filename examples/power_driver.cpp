@@ -3,8 +3,10 @@
 // inductive load, driven by a DE duty-cycle controller.
 //
 // Demonstrates the phase-3 power-electronics scenario: every switching edge
-// restamps the network and refactors the system matrix; the output ripple
-// and regulation behavior are printed for a duty-cycle sweep.
+// rewrites the switch's conductance stamp slot in place and triggers a
+// numeric-only refactorization against the cached symbolic analysis (the
+// full restamp + symbolic pass happens exactly once, at elaboration); the
+// output ripple and regulation behavior are printed for a duty-cycle sweep.
 #include <cstdio>
 #include <vector>
 
@@ -28,6 +30,7 @@ struct buck_result {
     double v_mean;
     double v_ripple;
     std::uint64_t refactorizations;
+    std::uint64_t symbolic;
 };
 
 buck_result run_buck(double duty_value) {
@@ -70,6 +73,7 @@ buck_result run_buck(double duty_value) {
     }
     out.v_ripple = hi - lo;
     out.refactorizations = net.factorizations();
+    out.symbolic = net.symbolic_factorizations();
     return out;
 }
 
@@ -78,16 +82,20 @@ buck_result run_buck(double duty_value) {
 int main() {
     std::printf("PWM power driver (paper seed work [8], AnalogSL scenario)\n");
     std::printf("24 V input, 50 kHz PWM, LC filter (100 uH / 220 uF), 4 ohm load\n\n");
-    std::printf("%8s %12s %12s %18s\n", "duty", "V_out mean", "ripple pk-pk",
-                "matrix refactors");
+    std::printf("%8s %12s %12s %18s %10s\n", "duty", "V_out mean", "ripple pk-pk",
+                "numeric refactors", "symbolic");
     for (double duty : {0.2, 0.35, 0.5, 0.65, 0.8}) {
         const auto res = run_buck(duty);
-        std::printf("%8.2f %12.3f %12.4f %18llu\n", duty, res.v_mean, res.v_ripple,
-                    static_cast<unsigned long long>(res.refactorizations));
+        std::printf("%8.2f %12.3f %12.4f %18llu %10llu\n", duty, res.v_mean,
+                    res.v_ripple,
+                    static_cast<unsigned long long>(res.refactorizations),
+                    static_cast<unsigned long long>(res.symbolic));
     }
     std::printf("\nExpected shape: V_out tracks duty * 24 V (minus conduction losses);\n"
-                "every PWM edge forces one restamp+refactorization of the MNA system,\n"
-                "the cost the paper's phase-3 'specialized power-electronics MoC'\n"
-                "motivation targets.\n");
+                "every PWM edge rewrites the switch stamp slot and refactors the MNA\n"
+                "system numerically; the symbolic analysis (pivot order + fill\n"
+                "pattern) is computed once at elaboration and reused throughout --\n"
+                "the incremental-restamp pipeline the paper's phase-3 'specialized\n"
+                "power-electronics MoC' motivation targets.\n");
     return 0;
 }

@@ -124,16 +124,18 @@ de_rswitch::de_rswitch(const std::string& name, network& net, node a, node b, do
 }
 
 void de_rswitch::stamp(network& net) {
-    net.stamp_conductance(a_, b_, 1.0 / (closed_ ? r_on_ : r_off_));
+    slot_ = net.add_stamp_slot(1.0 / (closed_ ? r_on_ : r_off_));
+    net.stamp_conductance_slot(slot_, a_, b_);
 }
 
-bool de_rswitch::sample_inputs() {
+stamp_change de_rswitch::sample_inputs() {
     const bool v = ctrl.read();
     if (v != closed_) {
         closed_ = v;
-        return true;
+        net_->update_stamp_value(slot_, 1.0 / (closed_ ? r_on_ : r_off_));
+        return stamp_change::values;
     }
-    return false;
+    return stamp_change::none;
 }
 
 }  // namespace sca::eln

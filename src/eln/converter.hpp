@@ -124,10 +124,12 @@ private:
     node a_, b_;
 };
 
-/// Switch controlled by a DE boolean signal; a state change triggers restamp
-/// and refactorization at the next network step (state is sampled at TDF
+/// Switch controlled by a DE boolean signal (state is sampled at TDF
 /// activation boundaries — the synchronization quantization documented in
-/// DESIGN.md).
+/// DESIGN.md).  Both states stamp the same conductance pattern through one
+/// stamp slot, so a toggle is a values-only update: the dirty matrix entries
+/// are rewritten in place and the solver refactors numerically against its
+/// cached symbolic analysis — the hot path of switching workloads.
 class de_rswitch : public component {
 public:
     de_rswitch(const std::string& name, network& net, node a, node b, double r_on = 1.0,
@@ -136,7 +138,7 @@ public:
     de::in<bool> ctrl;
 
     void stamp(network& net) override;
-    bool sample_inputs() override;
+    stamp_change sample_inputs() override;
 
     [[nodiscard]] bool closed() const noexcept { return closed_; }
 
@@ -144,6 +146,7 @@ private:
     node a_, b_;
     double r_on_, r_off_;
     bool closed_ = false;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 }  // namespace sca::eln

@@ -44,14 +44,13 @@ std::size_t network::branch_row(const component& c, const std::string& suffix) {
     const std::size_t row =
         raw_system().add_unknown("i(" + c.name() + "." + suffix + ")");
     branch_rows_.emplace(key, row);
+    primary_branch_.emplace(&c, row);  // keeps the first-requested branch
     return row;
 }
 
 std::size_t network::find_branch(const component& c) const {
-    for (const auto& [key, row] : branch_rows_) {
-        if (key.first == &c) return row;
-    }
-    return ground_row;
+    const auto it = primary_branch_.find(&c);
+    return it == primary_branch_.end() ? ground_row : it->second;
 }
 
 void network::add_a(std::size_t r, std::size_t c, double v) {
@@ -80,6 +79,47 @@ void network::stamp_capacitance(const node& a, const node& b, double c) {
     add_b(ra, rb, -c);
     add_b(rb, ra, -c);
     add_b(rb, rb, c);
+}
+
+solver::stamp_handle network::add_stamp_slot(double initial_value) {
+    return raw_system().add_stamp(initial_value);
+}
+
+void network::stamp_a_slot(solver::stamp_handle h, std::size_t r, std::size_t c,
+                           double w) {
+    if (r == ground_row || c == ground_row) return;
+    raw_system().stamp_a(h, r, c, w);
+}
+
+void network::stamp_b_slot(solver::stamp_handle h, std::size_t r, std::size_t c,
+                           double w) {
+    if (r == ground_row || c == ground_row) return;
+    raw_system().stamp_b(h, r, c, w);
+}
+
+void network::stamp_conductance_slot(solver::stamp_handle h, const node& a,
+                                     const node& b) {
+    const std::size_t ra = row_of(a);
+    const std::size_t rb = row_of(b);
+    stamp_a_slot(h, ra, ra, 1.0);
+    stamp_a_slot(h, ra, rb, -1.0);
+    stamp_a_slot(h, rb, ra, -1.0);
+    stamp_a_slot(h, rb, rb, 1.0);
+}
+
+void network::stamp_capacitance_slot(solver::stamp_handle h, const node& a,
+                                     const node& b) {
+    const std::size_t ra = row_of(a);
+    const std::size_t rb = row_of(b);
+    stamp_b_slot(h, ra, ra, 1.0);
+    stamp_b_slot(h, ra, rb, -1.0);
+    stamp_b_slot(h, rb, ra, -1.0);
+    stamp_b_slot(h, rb, rb, 1.0);
+}
+
+void network::update_stamp_value(solver::stamp_handle h, double v) {
+    raw_system().set_stamp(h, v);
+    request_value_update();
 }
 
 void network::add_rhs_constant(std::size_t r, double v) {
@@ -130,7 +170,16 @@ void network::build_equations() {
 void network::read_inputs() {
     for (component* c : components_) {
         c->read_tdf_inputs(*this);
-        if (c->sample_inputs()) request_restamp();
+        switch (c->sample_inputs()) {
+            case stamp_change::values:
+                request_value_update();
+                break;
+            case stamp_change::topology:
+                request_restamp();
+                break;
+            case stamp_change::none:
+                break;
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 #ifndef SCA_ELN_NETWORK_HPP
 #define SCA_ELN_NETWORK_HPP
 
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <string>
@@ -22,6 +23,13 @@ namespace sca::eln {
 
 class network;
 
+/// What a component reports after sampling its event-driven controls.
+enum class stamp_change : std::uint8_t {
+    none,      ///< stamps unchanged
+    values,    ///< existing stamp-slot values rewritten (numeric refactor only)
+    topology,  ///< the stamp pattern may have moved (full restamp + symbolic)
+};
+
 /// Base class of all network components. Components register themselves at
 /// construction and stamp their equations when the network (re)builds.
 class component : public de::object {
@@ -31,9 +39,12 @@ public:
     /// Contribute stamps to the network's equation system.
     virtual void stamp(network& net) = 0;
 
-    /// Sample event-driven control inputs; return true if the stamps changed
-    /// (forces a restamp + refactor before the next step).
-    virtual bool sample_inputs() { return false; }
+    /// Sample event-driven control inputs and report which stamps changed:
+    /// components with stamp slots write the new values themselves (via
+    /// network::update_stamp_value) and return stamp_change::values, so only
+    /// the dirty entries are touched and the solver refactors numerically;
+    /// stamp_change::topology forces the full restamp + symbolic path.
+    virtual stamp_change sample_inputs() { return stamp_change::none; }
 
     /// Exchange samples with TDF ports (called around each solver step).
     virtual void read_tdf_inputs(network&) {}
@@ -94,6 +105,18 @@ public:
     void stamp_conductance(const node& a, const node& b, double g);
     void stamp_capacitance(const node& a, const node& b, double c);
 
+    // --- stamp slots (values-only incremental updates) -------------------------
+    /// Allocate a runtime-updatable value slot (see equation_system).
+    [[nodiscard]] solver::stamp_handle add_stamp_slot(double initial_value);
+    /// Ground-aware weighted slot references into A / B.
+    void stamp_a_slot(solver::stamp_handle h, std::size_t r, std::size_t c, double w);
+    void stamp_b_slot(solver::stamp_handle h, std::size_t r, std::size_t c, double w);
+    /// Two-terminal conductance/capacitance patterns whose value is the slot.
+    void stamp_conductance_slot(solver::stamp_handle h, const node& a, const node& b);
+    void stamp_capacitance_slot(solver::stamp_handle h, const node& a, const node& b);
+    /// Write a new slot value and schedule the values-only solver refresh.
+    void update_stamp_value(solver::stamp_handle h, double v);
+
     /// Ground-aware RHS contributions.
     void add_rhs_constant(std::size_t r, double v);
     void add_rhs_source(std::size_t r, std::function<double(double)> fn);
@@ -107,8 +130,10 @@ public:
     void add_noise_between(const node& a, const node& b, std::function<double(double)> psd,
                            std::string name);
 
-    /// Component-visible restamp request (switches, variable elements).
+    /// Component-visible full-restamp request (topology/pattern changes).
     void component_restamp() { request_restamp(); }
+    /// Component-visible values-only refresh request (after set_stamp).
+    void component_value_update() { request_value_update(); }
 
     [[nodiscard]] const std::vector<component*>& components() const noexcept {
         return components_;
@@ -131,6 +156,9 @@ private:
     std::vector<node_info> nodes_;
     std::vector<component*> components_;
     std::map<std::pair<const component*, std::string>, std::size_t> branch_rows_;
+    // First branch row of each component: O(log #components) lookup for
+    // current() probes instead of a scan over every (component, suffix) key.
+    std::map<const component*, std::size_t> primary_branch_;
     double temperature_ = 300.0;
 };
 

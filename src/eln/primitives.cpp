@@ -24,13 +24,15 @@ resistor::resistor(const std::string& name, network& net, node a, node b, double
 }
 
 void resistor::stamp(network& net) {
-    net.stamp_conductance(a_, b_, 1.0 / ohms_);
+    slot_ = net.add_stamp_slot(1.0 / ohms_);
+    net.stamp_conductance_slot(slot_, a_, b_);
     if (noisy_) {
-        const double r = ohms_;
         const double temp = net.temperature();
+        // The PSD reads the live resistance so values-only updates keep
+        // noise analyses consistent without a restamp.
         net.add_noise_between(a_, b_,
-                              [r, temp](double) {
-                                  return 4.0 * solver::k_boltzmann * temp / r;
+                              [this, temp](double) {
+                                  return 4.0 * solver::k_boltzmann * temp / ohms_;
                               },
                               name());
     }
@@ -40,7 +42,9 @@ void resistor::set_value(double ohms) {
     util::require(ohms > 0.0, name(), "resistance must be positive");
     if (ohms != ohms_) {
         ohms_ = ohms;
-        net_->component_restamp();
+        if (slot_ != solver::no_stamp_handle) {
+            net_->update_stamp_value(slot_, 1.0 / ohms_);
+        }
     }
 }
 
@@ -53,13 +57,16 @@ capacitor::capacitor(const std::string& name, network& net, node a, node b, doub
     util::require(farads > 0.0, this->name(), "capacitance must be positive");
 }
 
-void capacitor::stamp(network& net) { net.stamp_capacitance(a_, b_, farads_); }
+void capacitor::stamp(network& net) {
+    slot_ = net.add_stamp_slot(farads_);
+    net.stamp_capacitance_slot(slot_, a_, b_);
+}
 
 void capacitor::set_value(double farads) {
     util::require(farads > 0.0, name(), "capacitance must be positive");
     if (farads != farads_) {
         farads_ = farads;
-        net_->component_restamp();
+        if (slot_ != solver::no_stamp_handle) net_->update_stamp_value(slot_, farads_);
     }
 }
 
@@ -78,14 +85,15 @@ void inductor::stamp(network& net) {
     // v_a - v_b - L di/dt = 0
     net.add_a(k, network::row_of(a_), 1.0);
     net.add_a(k, network::row_of(b_), -1.0);
-    net.add_b(k, k, -henries_);
+    slot_ = net.add_stamp_slot(henries_);
+    net.stamp_b_slot(slot_, k, k, -1.0);
 }
 
 void inductor::set_value(double henries) {
     util::require(henries > 0.0, name(), "inductance must be positive");
     if (henries != henries_) {
         henries_ = henries;
-        net_->component_restamp();
+        if (slot_ != solver::no_stamp_handle) net_->update_stamp_value(slot_, henries_);
     }
 }
 
@@ -101,14 +109,15 @@ void vcvs::stamp(network& net) {
     // v_p - v_n - gain * (v_cp - v_cn) = 0
     net.add_a(k, network::row_of(p_), 1.0);
     net.add_a(k, network::row_of(n_), -1.0);
-    net.add_a(k, network::row_of(cp_), -gain_);
-    net.add_a(k, network::row_of(cn_), gain_);
+    slot_ = net.add_stamp_slot(gain_);
+    net.stamp_a_slot(slot_, k, network::row_of(cp_), -1.0);
+    net.stamp_a_slot(slot_, k, network::row_of(cn_), 1.0);
 }
 
 void vcvs::set_gain(double gain) {
     if (gain != gain_) {
         gain_ = gain;
-        net_->component_restamp();
+        if (slot_ != solver::no_stamp_handle) net_->update_stamp_value(slot_, gain_);
     }
 }
 
@@ -120,16 +129,17 @@ vccs::vccs(const std::string& name, network& net, node cp, node cn, node p, node
 
 void vccs::stamp(network& net) {
     // Current gm * v(cp,cn) flows from p through the source to n.
-    net.add_a(network::row_of(p_), network::row_of(cp_), gm_);
-    net.add_a(network::row_of(p_), network::row_of(cn_), -gm_);
-    net.add_a(network::row_of(n_), network::row_of(cp_), -gm_);
-    net.add_a(network::row_of(n_), network::row_of(cn_), gm_);
+    slot_ = net.add_stamp_slot(gm_);
+    net.stamp_a_slot(slot_, network::row_of(p_), network::row_of(cp_), 1.0);
+    net.stamp_a_slot(slot_, network::row_of(p_), network::row_of(cn_), -1.0);
+    net.stamp_a_slot(slot_, network::row_of(n_), network::row_of(cp_), -1.0);
+    net.stamp_a_slot(slot_, network::row_of(n_), network::row_of(cn_), 1.0);
 }
 
 void vccs::set_gm(double gm) {
     if (gm != gm_) {
         gm_ = gm;
-        net_->component_restamp();
+        if (slot_ != solver::no_stamp_handle) net_->update_stamp_value(slot_, gm_);
     }
 }
 
@@ -194,13 +204,16 @@ rswitch::rswitch(const std::string& name, network& net, node a, node b, double r
 }
 
 void rswitch::stamp(network& net) {
-    net.stamp_conductance(a_, b_, 1.0 / (closed_ ? r_on_ : r_off_));
+    slot_ = net.add_stamp_slot(1.0 / (closed_ ? r_on_ : r_off_));
+    net.stamp_conductance_slot(slot_, a_, b_);
 }
 
 void rswitch::set_state(bool closed) {
     if (closed != closed_) {
         closed_ = closed;
-        net_->component_restamp();
+        if (slot_ != solver::no_stamp_handle) {
+            net_->update_stamp_value(slot_, 1.0 / (closed_ ? r_on_ : r_off_));
+        }
     }
 }
 

@@ -18,7 +18,8 @@ public:
 
     void stamp(network& net) override;
 
-    /// Change the resistance; triggers a restamp before the next step.
+    /// Change the resistance; rewrites the conductance stamp slot in place
+    /// (values-only: the solver refactors numerically, no symbolic pass).
     void set_value(double ohms);
     [[nodiscard]] double value() const noexcept { return ohms_; }
 
@@ -29,6 +30,7 @@ private:
     node a_, b_;
     double ohms_;
     bool noisy_ = true;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 /// Capacitor; optional initial voltage taken into account by the DC solve
@@ -46,6 +48,7 @@ public:
 private:
     node a_, b_;
     double farads_;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 /// Inductor (owns a branch current unknown).
@@ -60,6 +63,7 @@ public:
 private:
     node a_, b_;
     double henries_;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 /// Voltage-controlled voltage source: v(p,n) = gain * v(cp,cn).
@@ -73,6 +77,7 @@ public:
 private:
     node cp_, cn_, p_, n_;
     double gain_;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 /// Voltage-controlled current source: i(p->n) = gm * v(cp,cn).
@@ -86,6 +91,7 @@ public:
 private:
     node cp_, cn_, p_, n_;
     double gm_;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 /// Current-controlled voltage source: v(p,n) = rm * i(control branch).
@@ -126,9 +132,10 @@ private:
     double ratio_;
 };
 
-/// Resistive switch: r_on when closed, r_off when open. State changes force
-/// a restamp + refactor (the only event that breaks factorization reuse in a
-/// linear network).
+/// Resistive switch: r_on when closed, r_off when open. Both states stamp
+/// the same conductance pattern through one stamp slot, so a state change is
+/// a values-only update: the solver refactors numerically against its cached
+/// symbolic analysis instead of rebuilding the world.
 class rswitch : public component {
 public:
     rswitch(const std::string& name, network& net, node a, node b, double r_on = 1.0,
@@ -143,6 +150,7 @@ private:
     node a_, b_;
     double r_on_, r_off_;
     bool closed_;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 /// Ideal operational amplifier (nullor): forces v(inp) = v(inn) and supplies

@@ -11,7 +11,13 @@ event::event(std::string name) : name_(std::move(name)) {
     context_ = &simulation_context::current();
 }
 
-event::~event() = default;
+event::~event() {
+    // Deregister from subscribers so their destructors do not come back to
+    // this (freed) event — context teardown destroys events and processes
+    // in whatever order the owners were declared.
+    for (method_process* p : static_subscribers_) p->event_destroyed(*this);
+    for (method_process* p : dynamic_subscribers_) p->event_destroyed(*this);
+}
 
 void event::notify() {
     // Immediate notification: fires during the current evaluation phase and

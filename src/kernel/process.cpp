@@ -1,5 +1,6 @@
 #include "kernel/process.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "kernel/context.hpp"
@@ -67,6 +68,15 @@ void method_process::next_trigger(const time& delay, event& e) {
     dynamic_events_.push_back(&e);
     dynamic_waiting_ = true;
     trigger_requested_ = true;
+}
+
+void method_process::event_destroyed(event& e) {
+    static_sensitivity_.erase(
+        std::remove(static_sensitivity_.begin(), static_sensitivity_.end(), &e),
+        static_sensitivity_.end());
+    dynamic_events_.erase(
+        std::remove(dynamic_events_.begin(), dynamic_events_.end(), &e),
+        dynamic_events_.end());
 }
 
 void method_process::dynamic_trigger_fired() {

@@ -56,6 +56,11 @@ public:
     /// Clear dynamic wait state when a dynamic trigger fires.
     void dynamic_trigger_fired();
 
+    /// An event this process subscribes to is being destroyed: drop every
+    /// reference so the process destructor does not unsubscribe from freed
+    /// memory (events and processes may be torn down in either order).
+    void event_destroyed(event& e);
+
     /// Scheduler bookkeeping: avoid double-queueing in one evaluation phase.
     [[nodiscard]] bool queued() const noexcept { return queued_; }
     void set_queued(bool q) noexcept { queued_ = q; }

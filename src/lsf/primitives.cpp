@@ -39,7 +39,8 @@ gain::gain(const std::string& name, system& sys, signal in, signal out, double k
 void gain::stamp(system& sys) {
     const std::size_t r = sys.claim_driver(out_, *this);
     sys.sys().add_a(r, out_.index(), 1.0);
-    sys.sys().add_a(r, in_.index(), -k_);
+    slot_ = sys.sys().add_stamp(k_);
+    sys.sys().stamp_a(slot_, r, in_.index(), -1.0);
 }
 
 void gain::stamp_init(system&, solver::equation_system& init, double) {
@@ -50,8 +51,10 @@ void gain::stamp_init(system&, solver::equation_system& init, double) {
 void gain::set_k(double k) {
     if (k != k_) {
         k_ = k;
-        // Restamping is handled by the owning system on the next step.
-        sys_->component_restamp_request();
+        if (slot_ != solver::no_stamp_handle) {
+            sys_->sys().set_stamp(slot_, k_);
+            sys_->component_value_update();
+        }
     }
 }
 

@@ -39,11 +39,14 @@ public:
     void stamp(system& sys) override;
     void stamp_init(system& sys, solver::equation_system& init, double t0) override;
 
+    /// Change the gain; rewrites the stamp slot in place (values-only: the
+    /// solver refactors numerically, no restamp or symbolic pass).
     void set_k(double k);
 
 private:
     signal in_, out_;
     double k_;
+    solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
 
 /// out = w1 * in1 + w2 * in2 (weights default to 1).

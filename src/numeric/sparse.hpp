@@ -3,6 +3,15 @@
 // threshold partial pivoting.  MNA matrices from ladder/mesh networks are
 // extremely sparse; factor-once/solve-many with sparse storage is what makes
 // the fixed-timestep linear solver cheap per step (paper §3, [6]).
+//
+// The factorization is split into a *symbolic* phase (pivot order, fill
+// pattern, CSR factor layout — value-independent once the pivot sequence is
+// chosen) and a *numeric* phase that recomputes factor values into the
+// cached pattern.  Every sparse_matrix carries a pattern-version token that
+// changes only on structural edits, so solvers can detect when the cached
+// symbolic analysis is still valid and refactor values only — the hot path
+// for switching workloads where a DE event changes stamp values but not the
+// sparsity pattern.
 #ifndef SCA_NUMERIC_SPARSE_HPP
 #define SCA_NUMERIC_SPARSE_HPP
 
@@ -10,12 +19,22 @@
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "numeric/dense.hpp"
 #include "util/report.hpp"
 
 namespace sca::num {
+
+namespace detail {
+/// Monotonic token source shared by all sparse matrices: two matrices (or
+/// the same matrix before/after a structural edit) never share a version.
+inline std::uint64_t next_pattern_version() noexcept {
+    static std::uint64_t counter = 0;
+    return ++counter;
+}
+}  // namespace detail
 
 /// Sparse square matrix assembled from (row, col, value) triplets.
 /// Duplicate entries are summed, matching the "stamping" style of MNA.
@@ -29,19 +48,35 @@ public:
     /// branch unknowns lazily while stamping). Shrinking is not supported.
     void resize(std::size_t n) {
         util::require(n >= n_, "sparse_matrix", "resize cannot shrink the matrix");
+        if (n == n_ && rows_idx_.size() == n) return;
         n_ = n;
         rows_idx_.resize(n);
         rows_val_.resize(n);
+        pattern_version_ = detail::next_pattern_version();
     }
 
     void clear() {
         rows_idx_.assign(n_, {});
         rows_val_.assign(n_, {});
         nnz_ = 0;
+        pattern_version_ = detail::next_pattern_version();
+    }
+
+    /// Reset all values to zero keeping the sparsity pattern (and therefore
+    /// the pattern version) intact — the values-only rebuild path.
+    void zero_values() {
+        for (auto& vals : rows_val_) std::fill(vals.begin(), vals.end(), T{});
     }
 
     [[nodiscard]] std::size_t size() const noexcept { return n_; }
     [[nodiscard]] std::size_t nonzeros() const noexcept { return nnz_; }
+
+    /// Token identifying the current sparsity pattern: changes whenever an
+    /// entry is created, the matrix is cleared, or it is resized — never on
+    /// value updates.  Unique across matrix instances.
+    [[nodiscard]] std::uint64_t pattern_version() const noexcept {
+        return pattern_version_;
+    }
 
     /// Add `value` at (r, c); sums with any existing entry (MNA stamp).
     void add(std::size_t r, std::size_t c, T value) {
@@ -56,7 +91,19 @@ public:
             idx.insert(it, c);
             val.insert(val.begin() + static_cast<std::ptrdiff_t>(pos), value);
             ++nnz_;
+            pattern_version_ = detail::next_pattern_version();
         }
+    }
+
+    /// Overwrite the value of an *existing* entry (values-only update; the
+    /// pattern version is untouched). Errors if (r, c) is not in the pattern.
+    void set_entry(std::size_t r, std::size_t c, T value) {
+        util::require(r < n_ && c < n_, "sparse_matrix", "index out of range");
+        auto& idx = rows_idx_[r];
+        const auto it = std::lower_bound(idx.begin(), idx.end(), c);
+        util::require(it != idx.end() && *it == c, "sparse_matrix",
+                      "set_entry target is not in the sparsity pattern");
+        rows_val_[r][static_cast<std::size_t>(it - idx.begin())] = value;
     }
 
     [[nodiscard]] T get(std::size_t r, std::size_t c) const {
@@ -122,14 +169,26 @@ public:
 private:
     std::size_t n_ = 0;
     std::size_t nnz_ = 0;
+    std::uint64_t pattern_version_ = detail::next_pattern_version();
     std::vector<std::vector<std::size_t>> rows_idx_;
     std::vector<std::vector<T>> rows_val_;
 };
 
-/// Sparse LU with threshold partial pivoting (right-looking, row-based
-/// Gaussian elimination on sorted sparse rows).  Fill-in is created as
-/// needed; for the banded matrices MNA produces from ladders and meshes the
-/// fill stays near the band.
+/// Sparse LU with threshold partial pivoting.
+///
+/// `factor()` is the full (symbolic + numeric) factorization: right-looking
+/// row-based Gaussian elimination that chooses the pivot order, discovers
+/// the fill pattern, and compresses the factors into CSR arrays.  The
+/// symbolic outcome — pivot permutation, L/U patterns, CSR layout — is kept
+/// and tagged with the source matrix's pattern version.
+///
+/// `refactor()` is the numeric-only phase: given a matrix with the *same*
+/// pattern version, it replays the elimination left-looking into the cached
+/// CSR layout with the frozen pivot order.  The arithmetic (operation order
+/// included) is identical to `factor()`, so for a value-stable pivot order
+/// the two produce bit-identical factors.  It refuses (returns false) when
+/// the pattern changed or a frozen pivot becomes numerically unacceptable;
+/// the caller then falls back to `factor()`.
 template <typename T>
 class sparse_lu {
 public:
@@ -142,20 +201,34 @@ public:
         n_ = a.size();
         util::require(pivot_threshold > 0.0 && pivot_threshold <= 1.0, "sparse_lu",
                       "pivot threshold must be in (0, 1]");
-        // Working copy of the rows.
-        rows_idx_.assign(n_, {});
-        rows_val_.assign(n_, {});
+        factored_ = false;
+        symbolic_valid_ = false;
+        // Working copy of the rows.  Exact numerical cancellations are kept
+        // as explicit zeros so the resulting fill pattern depends only on
+        // the structure and the pivot sequence — the property refactor()
+        // relies on to reuse it for different values.
+        std::vector<std::vector<std::size_t>> rows_idx(n_);
+        std::vector<std::vector<T>> rows_val(n_);
         for (std::size_t r = 0; r < n_; ++r) {
-            rows_idx_[r] = a.row_indices(r);
-            rows_val_[r] = a.row_values(r);
+            rows_idx[r] = a.row_indices(r);
+            rows_val[r] = a.row_values(r);
         }
         perm_.resize(n_);
         for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
-        lower_idx_.assign(n_, {});
-        lower_val_.assign(n_, {});
+        std::vector<std::vector<std::size_t>> lower_idx(n_);
+        std::vector<std::vector<T>> lower_val(n_);
 
         std::vector<T> work(n_, T{});          // scatter buffer for row updates
         std::vector<std::size_t> work_touched;  // columns touched in `work`
+
+        const auto entry_at = [&](std::size_t r, std::size_t c) -> T {
+            const auto& idx = rows_idx[r];
+            const auto it = std::lower_bound(idx.begin(), idx.end(), c);
+            if (it != idx.end() && *it == c) {
+                return rows_val[r][static_cast<std::size_t>(it - idx.begin())];
+            }
+            return T{};
+        };
 
         for (std::size_t k = 0; k < n_; ++k) {
             // --- pivot selection: largest |a_ik| among rows i >= k, but accept
@@ -165,7 +238,7 @@ public:
             double best = 0.0;
             double diag_mag = 0.0;
             for (std::size_t r = k; r < n_; ++r) {
-                const T v = entry(r, k);
+                const T v = entry_at(r, k);
                 const double mag = pivot_magnitude(v);
                 if (r == k) diag_mag = mag;
                 if (mag > best) {
@@ -176,37 +249,42 @@ public:
             util::require(best > 0.0, "sparse_lu", "matrix is singular");
             if (diag_mag >= pivot_threshold * best) pivot = k;
             if (pivot != k) {
-                std::swap(rows_idx_[k], rows_idx_[pivot]);
-                std::swap(rows_val_[k], rows_val_[pivot]);
+                std::swap(rows_idx[k], rows_idx[pivot]);
+                std::swap(rows_val[k], rows_val[pivot]);
                 std::swap(perm_[k], perm_[pivot]);
                 // The already-accumulated L multipliers travel with the row.
-                std::swap(lower_idx_[k], lower_idx_[pivot]);
-                std::swap(lower_val_[k], lower_val_[pivot]);
+                std::swap(lower_idx[k], lower_idx[pivot]);
+                std::swap(lower_val[k], lower_val[pivot]);
             }
 
-            const T pivot_value = entry(k, k);
+            const T pivot_value = entry_at(k, k);
             const T inv_piv = T(1) / pivot_value;
 
-            // --- eliminate column k from all rows below.
+            // --- eliminate column k from all rows below.  Rows are touched
+            // on *structural* presence of (r, k), not value, so the L
+            // pattern is value-independent given the pivot sequence.
             for (std::size_t r = k + 1; r < n_; ++r) {
-                const T a_rk = entry(r, k);
-                if (a_rk == T{}) continue;
+                const auto& ridx0 = rows_idx[r];
+                const auto kit = std::lower_bound(ridx0.begin(), ridx0.end(), k);
+                if (kit == ridx0.end() || *kit != k) continue;
+                const T a_rk =
+                    rows_val[r][static_cast<std::size_t>(kit - ridx0.begin())];
                 const T mult = a_rk * inv_piv;
-                lower_idx_[r].push_back(k);
-                lower_val_[r].push_back(mult);
+                lower_idx[r].push_back(k);
+                lower_val[r].push_back(mult);
 
                 // row_r -= mult * row_k  (columns > k), via scatter/gather.
                 work_touched.clear();
-                const auto& ridx = rows_idx_[r];
-                const auto& rval = rows_val_[r];
+                const auto& ridx = rows_idx[r];
+                const auto& rval = rows_val[r];
                 for (std::size_t j = 0; j < ridx.size(); ++j) {
                     if (ridx[j] > k) {
                         work[ridx[j]] = rval[j];
                         work_touched.push_back(ridx[j]);
                     }
                 }
-                const auto& kidx = rows_idx_[k];
-                const auto& kval = rows_val_[k];
+                const auto& kidx = rows_idx[k];
+                const auto& kval = rows_val[k];
                 for (std::size_t j = 0; j < kidx.size(); ++j) {
                     if (kidx[j] <= k) continue;
                     if (work[kidx[j]] == T{} &&
@@ -217,20 +295,98 @@ public:
                     work[kidx[j]] -= mult * kval[j];
                 }
                 std::sort(work_touched.begin(), work_touched.end());
-                auto& new_idx = rows_idx_[r];
-                auto& new_val = rows_val_[r];
+                auto& new_idx = rows_idx[r];
+                auto& new_val = rows_val[r];
                 new_idx.clear();
                 new_val.clear();
                 for (std::size_t c : work_touched) {
-                    if (work[c] != T{}) {
-                        new_idx.push_back(c);
-                        new_val.push_back(work[c]);
-                    }
+                    new_idx.push_back(c);
+                    new_val.push_back(work[c]);
                     work[c] = T{};
                 }
             }
         }
+
+        // --- compress the factors into CSR.  U row i holds columns >= i in
+        // ascending order with the diagonal first; L row i holds columns
+        // < i in ascending elimination order (unit diagonal implicit).
+        u_ptr_.assign(n_ + 1, 0);
+        l_ptr_.assign(n_ + 1, 0);
+        for (std::size_t i = 0; i < n_; ++i) {
+            u_ptr_[i + 1] = u_ptr_[i] + rows_idx[i].size();
+            l_ptr_[i + 1] = l_ptr_[i] + lower_idx[i].size();
+        }
+        u_col_.resize(u_ptr_[n_]);
+        u_val_.resize(u_ptr_[n_]);
+        l_col_.resize(l_ptr_[n_]);
+        l_val_.resize(l_ptr_[n_]);
+        inv_diag_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            std::copy(rows_idx[i].begin(), rows_idx[i].end(), u_col_.begin() + u_ptr_[i]);
+            std::copy(rows_val[i].begin(), rows_val[i].end(), u_val_.begin() + u_ptr_[i]);
+            std::copy(lower_idx[i].begin(), lower_idx[i].end(),
+                      l_col_.begin() + l_ptr_[i]);
+            std::copy(lower_val[i].begin(), lower_val[i].end(),
+                      l_val_.begin() + l_ptr_[i]);
+            util::require(u_ptr_[i] < u_ptr_[i + 1] && u_col_[u_ptr_[i]] == i,
+                          "sparse_lu", "factor lost the diagonal");
+            inv_diag_[i] = T(1) / u_val_[u_ptr_[i]];
+        }
+        pattern_version_ = a.pattern_version();
+        symbolic_valid_ = true;
         factored_ = true;
+        ++symbolic_count_;
+        ++numeric_count_;
+    }
+
+    /// Numeric-only refactorization against the cached symbolic analysis.
+    /// Returns false — leaving the factorization unusable until the next
+    /// factor() — when no analysis is cached, `a`'s pattern version differs
+    /// from the analyzed one, or a pivot under the frozen order degenerates
+    /// (zero, non-finite, or vanishing relative to its U row).
+    bool refactor(const sparse_matrix<T>& a) {
+        factored_ = false;
+        if (!symbolic_valid_ || a.size() != n_ ||
+            a.pattern_version() != pattern_version_) {
+            return false;
+        }
+        work_.assign(n_, T{});
+        for (std::size_t i = 0; i < n_; ++i) {
+            // Scatter the original (permuted) row, then eliminate with the
+            // frozen multiplier pattern — same operations in the same order
+            // as factor(), so values match it bit for bit.
+            const std::size_t orig = perm_[i];
+            const auto& aidx = a.row_indices(orig);
+            const auto& avals = a.row_values(orig);
+            for (std::size_t j = 0; j < aidx.size(); ++j) work_[aidx[j]] = avals[j];
+            for (std::size_t jj = l_ptr_[i]; jj < l_ptr_[i + 1]; ++jj) {
+                const std::size_t k = l_col_[jj];
+                const T mult = work_[k] * inv_diag_[k];
+                l_val_[jj] = mult;
+                for (std::size_t uu = u_ptr_[k] + 1; uu < u_ptr_[k + 1]; ++uu) {
+                    work_[u_col_[uu]] -= mult * u_val_[uu];
+                }
+            }
+            double row_max = 0.0;
+            for (std::size_t uu = u_ptr_[i]; uu < u_ptr_[i + 1]; ++uu) {
+                const T v = work_[u_col_[uu]];
+                u_val_[uu] = v;
+                work_[u_col_[uu]] = T{};
+                row_max = std::max(row_max, pivot_magnitude(v));
+            }
+            for (std::size_t jj = l_ptr_[i]; jj < l_ptr_[i + 1]; ++jj) {
+                work_[l_col_[jj]] = T{};
+            }
+            const double diag_mag = pivot_magnitude(u_val_[u_ptr_[i]]);
+            if (!(diag_mag > 0.0) || !std::isfinite(row_max) ||
+                diag_mag < k_refactor_stability * row_max) {
+                return false;
+            }
+            inv_diag_[i] = T(1) / u_val_[u_ptr_[i]];
+        }
+        factored_ = true;
+        ++numeric_count_;
+        return true;
     }
 
     [[nodiscard]] std::vector<T> solve(const std::vector<T>& b) const {
@@ -249,56 +405,60 @@ public:
         // Forward: L y = P b  (L has unit diagonal, stored per-row).
         for (std::size_t i = 0; i < n_; ++i) {
             T acc = b[perm_[i]];
-            const auto& lidx = lower_idx_[i];
-            const auto& lval = lower_val_[i];
-            for (std::size_t j = 0; j < lidx.size(); ++j) acc -= lval[j] * x[lidx[j]];
+            for (std::size_t j = l_ptr_[i]; j < l_ptr_[i + 1]; ++j) {
+                acc -= l_val_[j] * x[l_col_[j]];
+            }
             x[i] = acc;
         }
-        // Backward: U x = y. Row i of U holds columns >= i.
+        // Backward: U x = y. Row i of U holds columns >= i, diagonal first.
         for (std::size_t ii = n_; ii-- > 0;) {
             T acc = x[ii];
-            T diag{};
-            const auto& uidx = rows_idx_[ii];
-            const auto& uval = rows_val_[ii];
-            for (std::size_t j = 0; j < uidx.size(); ++j) {
-                if (uidx[j] == ii) {
-                    diag = uval[j];
-                } else if (uidx[j] > ii) {
-                    acc -= uval[j] * x[uidx[j]];
-                }
+            for (std::size_t j = u_ptr_[ii] + 1; j < u_ptr_[ii + 1]; ++j) {
+                acc -= u_val_[j] * x[u_col_[j]];
             }
-            x[ii] = acc / diag;
+            x[ii] = acc / u_val_[u_ptr_[ii]];
         }
     }
 
     [[nodiscard]] bool factored() const noexcept { return factored_; }
     [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
+    /// True when a symbolic analysis (pivot order + fill pattern) is cached.
+    [[nodiscard]] bool symbolic_valid() const noexcept { return symbolic_valid_; }
+    /// Pattern version of the matrix the cached analysis was computed for.
+    [[nodiscard]] std::uint64_t analyzed_pattern_version() const noexcept {
+        return pattern_version_;
+    }
+
+    /// Factorization counters: full symbolic analyses vs. numeric factor
+    /// passes (every factor() counts once in each; refactor() only numeric).
+    [[nodiscard]] std::uint64_t symbolic_count() const noexcept { return symbolic_count_; }
+    [[nodiscard]] std::uint64_t numeric_count() const noexcept { return numeric_count_; }
+
     /// Number of stored entries in L + U (fill-in diagnostic).
     [[nodiscard]] std::size_t factor_nonzeros() const {
-        std::size_t nnz = 0;
-        for (const auto& r : rows_idx_) nnz += r.size();
-        for (const auto& r : lower_idx_) nnz += r.size();
-        return nnz;
+        return u_col_.size() + l_col_.size();
     }
 
 private:
-    [[nodiscard]] T entry(std::size_t r, std::size_t c) const {
-        const auto& idx = rows_idx_[r];
-        const auto it = std::lower_bound(idx.begin(), idx.end(), c);
-        if (it != idx.end() && *it == c) {
-            return rows_val_[r][static_cast<std::size_t>(it - idx.begin())];
-        }
-        return T{};
-    }
+    /// Refactor bails to a full factorization when a frozen pivot drops
+    /// below this fraction of its U row's magnitude — catastrophic growth
+    /// guard; legitimate value changes in MNA stamps stay far above it.
+    static constexpr double k_refactor_stability = 1e-12;
 
     std::size_t n_ = 0;
     bool factored_ = false;
+    bool symbolic_valid_ = false;
+    std::uint64_t pattern_version_ = 0;
+    std::uint64_t symbolic_count_ = 0;
+    std::uint64_t numeric_count_ = 0;
     std::vector<std::size_t> perm_;
-    std::vector<std::vector<std::size_t>> rows_idx_;  // becomes U after factor
-    std::vector<std::vector<T>> rows_val_;
-    std::vector<std::vector<std::size_t>> lower_idx_;  // L multipliers per row
-    std::vector<std::vector<T>> lower_val_;
+    std::vector<std::size_t> u_ptr_, u_col_;  // CSR upper factor (diag first)
+    std::vector<T> u_val_;
+    std::vector<std::size_t> l_ptr_, l_col_;  // CSR unit-lower factor
+    std::vector<T> l_val_;
+    std::vector<T> inv_diag_;
+    std::vector<T> work_;  // refactor scatter buffer
 };
 
 using sparse_matrix_d = sparse_matrix<double>;

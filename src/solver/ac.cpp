@@ -56,7 +56,16 @@ std::vector<std::complex<double>> ac_solver::solve(double f) const {
     const std::size_t n = sys_->size();
     const double omega = 2.0 * std::numbers::pi * f;
 
-    num::sparse_matrix_z m(n);
+    // The pattern of A + j*omega*B is frequency-independent: build the
+    // complex matrix once, then rewrite values per frequency and reuse the
+    // cached symbolic factorization (numeric-only refactor per point).
+    if (!cache_valid_) {
+        m_cache_ = num::sparse_matrix_z(n);
+        cache_valid_ = true;
+    } else {
+        m_cache_.zero_values();
+    }
+    num::sparse_matrix_z& m = m_cache_;
     for (std::size_t r = 0; r < n; ++r) {
         const auto& idx = a_linearized_.row_indices(r);
         const auto& val = a_linearized_.row_values(r);
@@ -76,8 +85,8 @@ std::vector<std::complex<double>> ac_solver::solve(double f) const {
     std::vector<std::complex<double>> u(n, {0.0, 0.0});
     for (const auto& s : sys_->ac_sources()) u[s.row] += s.amplitude;
 
-    num::sparse_lu_z lu(m);
-    return lu.solve(u);
+    if (!lu_cache_.refactor(m)) lu_cache_.factor(m);
+    return lu_cache_.solve(u);
 }
 
 std::vector<std::complex<double>> ac_solver::transfer(std::size_t output,

@@ -6,6 +6,9 @@
 // For each analysis frequency f the solver factors (A + j*2*pi*f*B) and
 // solves against the AC stimulus vector; for nonlinear systems A is first
 // augmented with the Jacobian of g at the DC operating point (linearization).
+// The complex system matrix has the same sparsity pattern at every
+// frequency, so the per-frequency factorization reuses one cached symbolic
+// analysis across the whole sweep (numeric-only refactor per point).
 #ifndef SCA_SOLVER_AC_HPP
 #define SCA_SOLVER_AC_HPP
 
@@ -45,6 +48,11 @@ public:
 private:
     const equation_system* sys_;
     num::sparse_matrix_d a_linearized_;  // A (+ dg/dx at the DC point)
+    // Per-frequency solve caches: the complex matrix pattern is frequency-
+    // independent, so the symbolic factorization is computed once per sweep.
+    mutable num::sparse_matrix_z m_cache_;
+    mutable num::sparse_lu_z lu_cache_;
+    mutable bool cache_valid_ = false;
 };
 
 /// Magnitude in dB (20 log10 |h|).

@@ -1,5 +1,7 @@
 #include "solver/equation_system.hpp"
 
+#include <algorithm>
+
 #include "util/report.hpp"
 
 namespace sca::solver {
@@ -25,7 +27,125 @@ void equation_system::clear_stamps() {
     nonlinear_.clear();
     ac_sources_.clear();
     noise_sources_.clear();
+    slot_values_.clear();
+    ledger_a_.clear();
+    ledger_b_.clear();
+    slot_entries_.clear();
+    slots_finalized_ = false;
     ++generation_;
+}
+
+void equation_system::append_static_term(matrix_id which, std::size_t row,
+                                         std::size_t col, double v) {
+    // Ledgers exist only for slot-referencing entries; a static add on one
+    // of them must be recorded to keep replay order intact.  Purely static
+    // entries never allocate a ledger (their accumulated value is folded
+    // into the ledger's prefix constant if a slot reference arrives later).
+    auto& ledger = which == matrix_id::a ? ledger_a_ : ledger_b_;
+    if (ledger.empty()) return;
+    const auto it = ledger.find(entry_key(row, col));
+    if (it != ledger.end()) it->second.terms.push_back({no_stamp_handle, v});
+}
+
+void equation_system::append_slot_term(matrix_id which, std::size_t row,
+                                       std::size_t col, stamp_handle h, double weight) {
+    auto& ledger = which == matrix_id::a ? ledger_a_ : ledger_b_;
+    auto [it, created] = ledger.try_emplace(entry_key(row, col));
+    if (created) {
+        // First slot reference on this entry: fold everything stamped so
+        // far into one prefix constant.  The prefix is the exact value the
+        // matrix accumulated, so replaying prefix + later terms in order
+        // reproduces a full restamp bit for bit.
+        const auto& mat = which == matrix_id::a ? a_ : b_;
+        it->second.terms.push_back({no_stamp_handle, mat.get(row, col)});
+    }
+    it->second.terms.push_back({h, weight});
+    // A new slot dependency after finalize_stamps() must re-index.
+    slots_finalized_ = false;
+}
+
+void equation_system::add_a(std::size_t row, std::size_t col, double v) {
+    a_.add(row, col, v);
+    append_static_term(matrix_id::a, row, col, v);
+}
+
+void equation_system::add_b(std::size_t row, std::size_t col, double v) {
+    b_.add(row, col, v);
+    append_static_term(matrix_id::b, row, col, v);
+}
+
+stamp_handle equation_system::add_stamp(double initial_value) {
+    slot_values_.push_back(initial_value);
+    slots_finalized_ = false;  // slot_entries_ must grow before set_stamp
+    return slot_values_.size() - 1;
+}
+
+void equation_system::stamp_a(stamp_handle h, std::size_t row, std::size_t col,
+                              double weight) {
+    util::require(h < slot_values_.size(), "equation_system", "invalid stamp handle");
+    append_slot_term(matrix_id::a, row, col, h, weight);
+    a_.add(row, col, weight * slot_values_[h]);
+}
+
+void equation_system::stamp_b(stamp_handle h, std::size_t row, std::size_t col,
+                              double weight) {
+    util::require(h < slot_values_.size(), "equation_system", "invalid stamp handle");
+    append_slot_term(matrix_id::b, row, col, h, weight);
+    b_.add(row, col, weight * slot_values_[h]);
+}
+
+double equation_system::stamp_value(stamp_handle h) const {
+    util::require(h < slot_values_.size(), "equation_system", "invalid stamp handle");
+    return slot_values_[h];
+}
+
+void equation_system::finalize_stamps() {
+    if (slots_finalized_) return;
+    slot_entries_.assign(slot_values_.size(), {});
+    const auto index = [this](const std::unordered_map<std::uint64_t, entry_ledger>& ledger,
+                              matrix_id which) {
+        for (const auto& [key, entry] : ledger) {
+            const auto row = static_cast<std::size_t>(key >> 32);
+            const auto col = static_cast<std::size_t>(key & 0xffffffffULL);
+            for (const auto& term : entry.terms) {
+                if (term.slot == no_stamp_handle) continue;
+                auto& deps = slot_entries_[term.slot];
+                const entry_ref ref{which, row, col};
+                const bool seen = std::any_of(deps.begin(), deps.end(), [&](const entry_ref& e) {
+                    return e.which == which && e.row == row && e.col == col;
+                });
+                if (!seen) deps.push_back(ref);
+            }
+        }
+    };
+    index(ledger_a_, matrix_id::a);
+    index(ledger_b_, matrix_id::b);
+    slots_finalized_ = true;
+}
+
+void equation_system::rewrite_entry(const entry_ref& e) {
+    const auto& ledger = e.which == matrix_id::a ? ledger_a_ : ledger_b_;
+    const auto it = ledger.find(entry_key(e.row, e.col));
+    util::require(it != ledger.end(), "equation_system", "stamp ledger entry missing");
+    // Replay every contribution in original stamping order: the sum is
+    // bit-identical to what a full restamp with the current slot values
+    // would have accumulated through sparse_matrix::add.
+    double total = 0.0;
+    for (const auto& term : it->second.terms) {
+        total += term.slot == no_stamp_handle ? term.weight
+                                              : term.weight * slot_values_[term.slot];
+    }
+    auto& mat = e.which == matrix_id::a ? a_ : b_;
+    mat.set_entry(e.row, e.col, total);
+}
+
+void equation_system::set_stamp(stamp_handle h, double value) {
+    util::require(h < slot_values_.size(), "equation_system", "invalid stamp handle");
+    if (slot_values_[h] == value) return;
+    finalize_stamps();
+    slot_values_[h] = value;
+    for (const auto& e : slot_entries_[h]) rewrite_entry(e);
+    ++values_generation_;
 }
 
 void equation_system::add_rhs_constant(std::size_t row, double v) {

@@ -12,12 +12,24 @@
 // (ELN netlists via MNA, LSF signal-flow graphs, transfer functions,
 // state-space blocks) lowers to this form; every solver (fixed-step linear,
 // variable-step nonlinear Newton, DC, AC, noise) consumes it.
+//
+// Stamps come in two flavours.  Plain add_a/add_b contributions are static:
+// changing them requires clear_stamps() + a full restamp (which bumps the
+// stamp generation and invalidates every cached factorization, symbolic
+// included).  *Stamp slots* are the incremental path: a component allocates
+// a named value slot once at elaboration (add_stamp) and wires weighted
+// references to it into A/B (stamp_a/stamp_b); later set_stamp() calls
+// rewrite only the affected matrix entries — the sparsity pattern is
+// untouched, only the values generation advances, and solvers respond with
+// a numeric-only refactorization against their cached symbolic analysis.
 #ifndef SCA_SOLVER_EQUATION_SYSTEM_HPP
 #define SCA_SOLVER_EQUATION_SYSTEM_HPP
 
 #include <complex>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "numeric/sparse.hpp"
@@ -57,6 +69,10 @@ struct noise_source {
     std::string name;
 };
 
+/// Handle of a runtime-updatable stamp value slot (see class comment).
+using stamp_handle = std::size_t;
+inline constexpr stamp_handle no_stamp_handle = static_cast<stamp_handle>(-1);
+
 class equation_system {
 public:
     equation_system() = default;
@@ -66,16 +82,34 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
     [[nodiscard]] const std::string& unknown_name(std::size_t i) const { return names_[i]; }
 
-    /// Reset all stamps but keep the unknowns (used when a topology change,
-    /// e.g. a switch, requires restamping).
+    /// Reset all stamps (including stamp slots) but keep the unknowns: the
+    /// full-restamp path for topology/pattern changes.
     void clear_stamps();
 
     // --- linear stamps -------------------------------------------------------
-    void add_a(std::size_t row, std::size_t col, double v) { a_.add(row, col, v); }
-    void add_b(std::size_t row, std::size_t col, double v) { b_.add(row, col, v); }
+    void add_a(std::size_t row, std::size_t col, double v);
+    void add_b(std::size_t row, std::size_t col, double v);
 
     [[nodiscard]] const num::sparse_matrix_d& a() const noexcept { return a_; }
     [[nodiscard]] const num::sparse_matrix_d& b() const noexcept { return b_; }
+
+    // --- stamp slots (values-only incremental updates) -----------------------
+    /// Allocate a value slot with its initial value.
+    stamp_handle add_stamp(double initial_value);
+    /// Stamp `weight * value(h)` into A/B at (row, col) and register the
+    /// dependency so set_stamp(h) can rewrite the entry later.
+    void stamp_a(stamp_handle h, std::size_t row, std::size_t col, double weight);
+    void stamp_b(stamp_handle h, std::size_t row, std::size_t col, double weight);
+    /// Update a slot value; rewrites every dependent A/B entry (replaying
+    /// all that entry's contributions in stamping order, so the result is
+    /// bit-identical to a full restamp with the new value) and advances the
+    /// values generation. No-op when the value is unchanged.
+    void set_stamp(stamp_handle h, double value);
+    [[nodiscard]] double stamp_value(stamp_handle h) const;
+
+    /// Build the slot -> entries index after (re)stamping completes. Lazy:
+    /// set_stamp calls it on demand; views call it eagerly after assembly.
+    void finalize_stamps();
 
     // --- right-hand side -----------------------------------------------------
     void add_rhs_constant(std::size_t row, double v);
@@ -118,14 +152,52 @@ public:
     }
 
     // --- change tracking -------------------------------------------------------
-    /// Incremented by clear_stamps(); solvers compare to detect restamping.
+    /// Incremented by clear_stamps(); a change means the sparsity pattern
+    /// may have moved — solvers must re-run symbolic analysis.
     [[nodiscard]] std::uint64_t stamp_generation() const noexcept { return generation_; }
+    /// Incremented by set_stamp() value rewrites; a change with an unchanged
+    /// stamp generation means a numeric-only refactorization suffices.
+    [[nodiscard]] std::uint64_t values_generation() const noexcept {
+        return values_generation_;
+    }
 
 private:
     struct input_slot {
         std::size_t row;
         double value = 0.0;
     };
+
+    enum class matrix_id : std::uint8_t { a, b };
+
+    /// One additive term of a matrix entry: a constant (slot ==
+    /// no_stamp_handle, value == weight) or `weight * slots_[slot]`.
+    struct contribution {
+        stamp_handle slot;
+        double weight;
+    };
+
+    /// Ordered contribution list of one slot-referencing (row, col) matrix
+    /// entry: a prefix constant folding all earlier static adds, then the
+    /// slot and static terms in stamping order.  Purely static entries
+    /// carry no ledger at all.
+    struct entry_ledger {
+        std::vector<contribution> terms;
+    };
+
+    struct entry_ref {
+        matrix_id which;
+        std::size_t row;
+        std::size_t col;
+    };
+
+    static std::uint64_t entry_key(std::size_t row, std::size_t col) noexcept {
+        return (static_cast<std::uint64_t>(row) << 32) | static_cast<std::uint64_t>(col);
+    }
+
+    void append_static_term(matrix_id which, std::size_t row, std::size_t col, double v);
+    void append_slot_term(matrix_id which, std::size_t row, std::size_t col,
+                          stamp_handle h, double weight);
+    void rewrite_entry(const entry_ref& e);
 
     std::vector<std::string> names_;
     num::sparse_matrix_d a_;
@@ -137,6 +209,13 @@ private:
     std::vector<ac_source> ac_sources_;
     std::vector<noise_source> noise_sources_;
     std::uint64_t generation_ = 0;
+    std::uint64_t values_generation_ = 0;
+
+    std::vector<double> slot_values_;
+    std::unordered_map<std::uint64_t, entry_ledger> ledger_a_;
+    std::unordered_map<std::uint64_t, entry_ledger> ledger_b_;
+    std::vector<std::vector<entry_ref>> slot_entries_;  // slot -> dependent entries
+    bool slots_finalized_ = false;
 };
 
 }  // namespace sca::solver

@@ -34,24 +34,35 @@ void linear_dae_solver::set_timestep(double h) {
 void linear_dae_solver::invalidate() { factored_ = false; }
 
 void linear_dae_solver::ensure_factored(integration_method m) {
-    if (factored_ && factored_method_ == m &&
-        stamp_generation_ == sys_->stamp_generation()) {
-        return;
-    }
+    const bool pattern_stale = stamp_generation_ != sys_->stamp_generation();
+    const bool values_stale = values_generation_ != sys_->values_generation() ||
+                              factored_method_ != m;
+    if (factored_ && !pattern_stale && !values_stale) return;
     // M = c_a * A + B / h   (c_a = 1 for BE, 1/2 for trapezoidal)
     const double ca = m == integration_method::backward_euler ? 1.0 : 0.5;
-    num::sparse_matrix_d mat(sys_->size());
-    mat.add_scaled(sys_->a(), ca);
-    mat.add_scaled(sys_->b(), 1.0 / h_);
-    if (use_dense_) {
-        dense_lu_.factor(mat.to_dense());
+    if (pattern_stale || !iter_mat_valid_) {
+        // Pattern may have moved: rebuild the iteration matrix from scratch
+        // (fresh pattern version forces a full symbolic factorization).
+        iter_mat_ = num::sparse_matrix_d(sys_->size());
+        iter_mat_valid_ = true;
     } else {
-        lu_.factor(mat);
+        // Values-only: reuse the pattern, rewrite the values in place.
+        iter_mat_.zero_values();
+    }
+    iter_mat_.add_scaled(sys_->a(), ca);
+    iter_mat_.add_scaled(sys_->b(), 1.0 / h_);
+    if (use_dense_) {
+        dense_lu_.factor(iter_mat_.to_dense());
+        ++symbolic_factors_;
+    } else if (!lu_.refactor(iter_mat_)) {
+        lu_.factor(iter_mat_);
+        ++symbolic_factors_;
     }
     ++factors_;
     factored_ = true;
     factored_method_ = m;
     stamp_generation_ = sys_->stamp_generation();
+    values_generation_ = sys_->values_generation();
 }
 
 void linear_dae_solver::step() {

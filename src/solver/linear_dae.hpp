@@ -3,8 +3,12 @@
 // Solves  A x + B dx/dt = q(t)  with backward Euler or the trapezoidal rule
 // at a fixed step h.  The iteration matrix (c_a A + B/h) is factored once and
 // reused for every step — the "solved without iterations" property the paper
-// attributes to linear systems (§3, citing [6]); refactoring happens only
-// when the system is restamped (e.g. a switch toggled) or h changes.
+// attributes to linear systems (§3, citing [6]).  Refactoring is tiered:
+// a values-only change (stamp-slot update — switch toggle, parameter write —
+// or a timestep/method change) rebuilds the iteration matrix values in place
+// and runs a numeric-only refactorization against the cached symbolic
+// analysis; only a stamp-generation change (full restamp, pattern may have
+// moved) re-runs the symbolic phase.
 #ifndef SCA_SOLVER_LINEAR_DAE_HPP
 #define SCA_SOLVER_LINEAR_DAE_HPP
 
@@ -49,7 +53,13 @@ public:
     /// stamps changed, BE re-establishes consistency in one step.
     void force_backward_euler_next() noexcept { be_next_ = true; }
 
+    /// Numeric factorization passes (full factorizations included).
     [[nodiscard]] std::uint64_t factor_count() const noexcept { return factors_; }
+    /// Full symbolic analyses (pivot order + fill pattern). Values-only
+    /// restamps keep this flat: only factor_count advances.
+    [[nodiscard]] std::uint64_t symbolic_factor_count() const noexcept {
+        return symbolic_factors_;
+    }
     [[nodiscard]] std::uint64_t solve_count() const noexcept { return solves_; }
 
     /// Use dense factorization instead of sparse (ablation benches).
@@ -73,6 +83,8 @@ private:
     std::vector<double> ax_;
     std::vector<double> rhs_;
     std::vector<double> x_next_;
+    num::sparse_matrix_d iter_mat_;  // persistent c_a·A + B/h (pattern reused)
+    bool iter_mat_valid_ = false;
     num::sparse_lu_d lu_;
     num::dense_lu_d dense_lu_;
     bool use_dense_ = false;
@@ -80,7 +92,9 @@ private:
     bool be_next_ = false;
     integration_method factored_method_ = integration_method::backward_euler;
     std::uint64_t stamp_generation_ = ~0ULL;
+    std::uint64_t values_generation_ = ~0ULL;
     std::uint64_t factors_ = 0;
+    std::uint64_t symbolic_factors_ = 0;
     std::uint64_t solves_ = 0;
 };
 

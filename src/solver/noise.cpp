@@ -45,9 +45,16 @@ noise_result noise_solver::analyze(std::size_t output, const sweep& sw) const {
         for (const auto& e : jac) a.add(e.row, e.col, e.value);
     }
 
+    // One complex matrix + factorization reused across the sweep: the
+    // pattern is frequency-independent, so only the first point pays the
+    // symbolic analysis (numeric-only refactor afterwards).
+    num::sparse_matrix_z m(n);
+    num::sparse_lu_z lu;
+    bool first_point = true;
     for (double f : sw.frequencies()) {
         const double omega = 2.0 * std::numbers::pi * f;
-        num::sparse_matrix_z m(n);
+        if (!first_point) m.zero_values();
+        first_point = false;
         for (std::size_t r = 0; r < n; ++r) {
             const auto& idx = a.row_indices(r);
             const auto& val = a.row_values(r);
@@ -63,7 +70,7 @@ noise_result noise_solver::analyze(std::size_t output, const sweep& sw) const {
                 m.add(r, idx[k], std::complex<double>(0.0, omega * val[k]));
             }
         }
-        num::sparse_lu_z lu(m);
+        if (!lu.refactor(m)) lu.factor(m);
 
         noise_point pt;
         pt.frequency = f;

@@ -38,7 +38,18 @@ bool nonlinear_dae_solver::try_step(double h) {
     std::vector<double> rhs_fixed(sys_->size());
     for (std::size_t i = 0; i < rhs_fixed.size(); ++i) rhs_fixed[i] = q1[i] + bx0[i] / h;
 
-    num::sparse_matrix_d m(sys_->size());
+    // A full restamp may have moved the pattern: start the persistent
+    // matrices over (their fresh pattern versions force one symbolic
+    // factorization); otherwise only rewrite values in place.
+    if (!mats_valid_ || stamp_generation_ != sys_->stamp_generation()) {
+        iter_mat_ = num::sparse_matrix_d(sys_->size());
+        newton_mat_ = num::sparse_matrix_d(sys_->size());
+        mats_valid_ = true;
+        stamp_generation_ = sys_->stamp_generation();
+    } else {
+        iter_mat_.zero_values();
+    }
+    num::sparse_matrix_d& m = iter_mat_;
     m.add_scaled(sys_->a(), 1.0);
     m.add_scaled(sys_->b(), 1.0 / h);
 
@@ -68,16 +79,22 @@ bool nonlinear_dae_solver::try_step(double h) {
     double fnorm = num::norm_inf(f);
     for (int it = 0; it < opt_.newton.max_iterations; ++it) {
         ++newton_iters_;
-        num::sparse_matrix_d j = m;
-        for (const auto& e : jac) j.add(e.row, e.col, e.value);
-        num::sparse_lu_d jlu;
-        try {
-            jlu.factor(j);
-        } catch (const util::error&) {
-            return false;  // singular Jacobian at this step size
+        // Rebuild the Jacobian values into the persistent matrix; entries a
+        // model stops reporting stay as explicit zeros, so the pattern only
+        // grows and the symbolic factorization can be reused.
+        newton_mat_.zero_values();
+        newton_mat_.add_scaled(m, 1.0);
+        for (const auto& e : jac) newton_mat_.add(e.row, e.col, e.value);
+        if (!newton_lu_.refactor(newton_mat_)) {
+            try {
+                newton_lu_.factor(newton_mat_);
+            } catch (const util::error&) {
+                return false;  // singular Jacobian at this step size
+            }
+            ++symbolic_factorizations_;
         }
         ++factorizations_;
-        const std::vector<double> dx = jlu.solve(f);
+        const std::vector<double> dx = newton_lu_.solve(f);
 
         double damping = 1.0;
         bool improved = false;

@@ -5,12 +5,20 @@
 // solved by damped Newton iteration, and the step size is controlled by a
 // local-truncation-error estimate from the difference between the corrector
 // and a linear predictor.
+//
+// The Jacobian J = A + B/h + dg/dx has a fixed sparsity pattern once the
+// nonlinear models have reported their full entry sets, so the solver keeps
+// one persistent Jacobian matrix and reuses its symbolic factorization
+// (pivot order + fill pattern) across Newton iterations, timesteps, and
+// values-only restamps; only a pattern change (full restamp, or a model
+// reporting a new entry) re-runs the symbolic analysis.
 #ifndef SCA_SOLVER_NONLINEAR_DAE_HPP
 #define SCA_SOLVER_NONLINEAR_DAE_HPP
 
 #include <cstdint>
 #include <vector>
 
+#include "numeric/sparse.hpp"
 #include "solver/equation_system.hpp"
 
 namespace sca::solver {
@@ -52,7 +60,12 @@ public:
     [[nodiscard]] std::uint64_t steps_accepted() const noexcept { return accepted_; }
     [[nodiscard]] std::uint64_t steps_rejected() const noexcept { return rejected_; }
     [[nodiscard]] std::uint64_t newton_iterations() const noexcept { return newton_iters_; }
+    /// Numeric Jacobian factorization passes (one per Newton iteration).
     [[nodiscard]] std::uint64_t factorizations() const noexcept { return factorizations_; }
+    /// Full symbolic analyses; stays flat once the Jacobian pattern settles.
+    [[nodiscard]] std::uint64_t symbolic_factorizations() const noexcept {
+        return symbolic_factorizations_;
+    }
     [[nodiscard]] double current_h() const noexcept { return h_; }
 
 private:
@@ -73,10 +86,22 @@ private:
     std::vector<double> x_candidate_;
     bool have_prev_ = false;
 
+    // Persistent matrices: iter_mat_ holds A + B/h (values rewritten per
+    // step), newton_mat_ the full Jacobian.  Their patterns only ever grow
+    // (stale entries stay as explicit zeros), so once the nonlinear models'
+    // entry sets settle, the cached symbolic factorization in newton_lu_ is
+    // valid for every subsequent iteration.
+    num::sparse_matrix_d iter_mat_;
+    num::sparse_matrix_d newton_mat_;
+    num::sparse_lu_d newton_lu_;
+    bool mats_valid_ = false;
+    std::uint64_t stamp_generation_ = ~0ULL;
+
     std::uint64_t accepted_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t newton_iters_ = 0;
     std::uint64_t factorizations_ = 0;
+    std::uint64_t symbolic_factorizations_ = 0;
 };
 
 }  // namespace sca::solver

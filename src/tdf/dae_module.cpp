@@ -23,6 +23,7 @@ void dae_module::build_now() {
     if (built_) return;
     built_ = true;  // set first: build_equations may query equations()
     build_equations();
+    sys_.finalize_stamps();
 }
 
 std::vector<double> dae_module::initial_state() {
@@ -35,9 +36,16 @@ std::uint64_t dae_module::factorizations() const noexcept {
     return 0;
 }
 
+std::uint64_t dae_module::symbolic_factorizations() const noexcept {
+    if (linear_) return linear_->symbolic_factor_count();
+    if (nonlinear_) return nonlinear_->symbolic_factorizations();
+    return 0;
+}
+
 void dae_module::rebuild() {
     sys_.clear_stamps();
     build_equations();
+    sys_.finalize_stamps();
     restamp_requested_ = false;
 }
 
@@ -51,6 +59,11 @@ void dae_module::processing() {
 
     if (first_activation_) {
         first_activation_ = false;
+        // Components that sampled their controls in read_inputs() above have
+        // already pushed slot values into the system; a pattern-level change
+        // still needs the rebuild before the initial state is computed.
+        if (restamp_requested_) rebuild();
+        value_update_requested_ = false;
         state_ = initial_state();
         if (sys_.is_linear()) {
             linear_ = std::make_unique<solver::linear_dae_solver>(sys_, method_, h);
@@ -64,13 +77,14 @@ void dae_module::processing() {
         return;
     }
 
-    if (restamp_requested_) {
-        rebuild();
-        // stamp_generation changed: the linear solver refactors lazily; the
-        // nonlinear solver rebuilds its Jacobian every step anyway.  One BE
-        // step re-establishes algebraic consistency after the discontinuity.
-        if (linear_) linear_->force_backward_euler_next();
-    }
+    // A restamp re-runs symbolic analysis; a values-only update refactors
+    // numerically against the cached pattern.  Either way the stamps moved
+    // discontinuously, so one BE step re-establishes algebraic consistency
+    // (the trapezoidal rule rings forever on a stamp discontinuity).
+    const bool discontinuity = restamp_requested_ || value_update_requested_;
+    if (restamp_requested_) rebuild();
+    value_update_requested_ = false;
+    if (discontinuity && linear_) linear_->force_backward_euler_next();
 
     if (linear_) {
         linear_->step();

@@ -39,8 +39,21 @@ public:
     /// Assemble equations if not done yet (for AC/noise before a transient).
     void build_now();
 
-    /// Per-step solver statistics.
+    /// Per-step solver statistics: numeric factorization passes, and full
+    /// symbolic analyses (pivot order + fill pattern). A values-only restamp
+    /// advances only the former.
     [[nodiscard]] std::uint64_t factorizations() const noexcept;
+    [[nodiscard]] std::uint64_t symbolic_factorizations() const noexcept;
+
+    /// Incremental restamping (default on): components with stamp slots
+    /// push value updates straight into the equation system, and the solver
+    /// answers with a numeric-only refactor. When off, every value update is
+    /// escalated to a full restamp + symbolic factorization — the
+    /// rebuild-the-world baseline kept for A/B benches and equivalence tests.
+    void set_incremental_updates(bool on) noexcept { incremental_updates_ = on; }
+    [[nodiscard]] bool incremental_updates() const noexcept {
+        return incremental_updates_;
+    }
 
     void processing() final;
 
@@ -62,9 +75,22 @@ protected:
     /// Initial state at t=0; default is the DC operating point.
     virtual std::vector<double> initial_state();
 
-    /// Components call this when their stamps changed (e.g. switch toggled);
-    /// the system is restamped and the solver refactored before the next step.
+    /// Components call this when their stamp *pattern* may have changed
+    /// (topology edits); the system is rebuilt from scratch and the solver
+    /// re-runs symbolic analysis before the next step.
     void request_restamp() { restamp_requested_ = true; }
+
+    /// Components call this after writing new values into existing stamp
+    /// slots (switch toggle, parameter change): no rebuild, the solver does
+    /// a numeric-only refactor. Escalates to a full restamp when
+    /// incremental updates are disabled.
+    void request_value_update() {
+        if (incremental_updates_) {
+            value_update_requested_ = true;
+        } else {
+            restamp_requested_ = true;
+        }
+    }
 
     /// Continuous time of the sample being produced (seconds).
     [[nodiscard]] double solve_time() const noexcept { return solve_time_; }
@@ -81,6 +107,8 @@ private:
     bool built_ = false;
     bool first_activation_ = true;
     bool restamp_requested_ = false;
+    bool value_update_requested_ = false;
+    bool incremental_updates_ = true;
     double solve_time_ = 0.0;
 };
 

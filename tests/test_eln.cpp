@@ -13,6 +13,8 @@
 #include "eln/sources.hpp"
 #include "util/report.hpp"
 
+#include "../bench/bench_util.hpp"  // shared switched_buck netlist
+
 namespace de = sca::de;
 namespace eln = sca::eln;
 namespace core = sca::core;
@@ -257,6 +259,121 @@ TEST(eln, de_switch_samples_control_signal) {
     ctl.write(true);
     sim.run(3_us);
     EXPECT_LT(net.voltage(a), 0.01);
+}
+
+TEST(eln, switch_toggles_are_numeric_refactors_only) {
+    // A PWM-style DE-controlled switch: after elaboration every toggle is a
+    // values-only slot update, so the symbolic analysis runs exactly once
+    // while the numeric factor count tracks the toggles.
+    core::simulation sim;
+    de::signal<bool> ctl("ctl", false);
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto a = net.create_node("a");
+    auto b = net.create_node("b");
+    eln::isource is("is", net, gnd, a, eln::waveform::dc(1e-3));
+    eln::resistor r1("r1", net, a, b, 100.0);
+    eln::capacitor c1("c1", net, b, gnd, 1e-6);
+    eln::de_rswitch sw("sw", net, b, gnd, 1.0, 1e9);
+    sw.ctrl.bind(ctl);
+
+    sim.run(3_us);
+    const auto factors_before = net.factorizations();
+    EXPECT_EQ(net.symbolic_factorizations(), 1U);
+
+    for (int i = 0; i < 8; ++i) {
+        ctl.write(i % 2 == 0);
+        sim.run(2_us);
+    }
+    // Toggles refactored (numeric) but never re-ran the symbolic phase.
+    EXPECT_GT(net.factorizations(), factors_before);
+    EXPECT_EQ(net.symbolic_factorizations(), 1U);
+}
+
+TEST(eln, set_value_is_numeric_refactor_only) {
+    core::simulation sim;
+    eln::network net("net");
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto a = net.create_node("a");
+    eln::isource is("is", net, gnd, a, eln::waveform::dc(1e-3));
+    eln::resistor r1("r1", net, a, gnd, 1000.0);
+
+    sim.run(2_us);
+    EXPECT_NEAR(net.voltage(a), 1.0, 1e-9);
+    EXPECT_EQ(net.symbolic_factorizations(), 1U);
+    r1.set_value(2000.0);
+    sim.run(2_us);
+    EXPECT_NEAR(net.voltage(a), 2.0, 1e-6);
+    EXPECT_EQ(net.symbolic_factorizations(), 1U);
+}
+
+namespace {
+
+/// Switched RC transient sampled every step; `incremental` selects the
+/// values-only pipeline or the rebuild-the-world baseline.
+std::vector<double> switched_rc_waveform(bool incremental) {
+    core::simulation sim;
+    de::signal<bool> ctl("ctl", false);
+    eln::network net("net");
+    net.set_incremental_updates(incremental);
+    net.set_timestep(1.0, de::time_unit::us);
+    auto gnd = net.ground();
+    auto a = net.create_node("a");
+    auto b = net.create_node("b");
+    eln::vsource vs("vs", net, a, gnd, eln::waveform::dc(5.0));
+    eln::resistor r1("r1", net, a, b, 1000.0);
+    eln::capacitor c1("c1", net, b, gnd, 100e-9);
+    eln::de_rswitch sw("sw", net, b, gnd, 50.0, 1e9);
+    sw.ctrl.bind(ctl);
+
+    std::vector<double> samples;
+    sca::core::transient_recorder rec(sim, 1_us);
+    rec.add_probe("vb", [&] { return net.voltage(b); });
+    for (int seg = 0; seg < 10; ++seg) {
+        ctl.write(seg % 2 == 0);
+        rec.run(25_us);
+    }
+    return rec.column(0);
+}
+
+/// The bench_switching_restamp buck converter — the identical netlist, via
+/// the shared bench_util::switched_buck builder (source ESR + input
+/// decoupling keep the pivot order value-stable across switch states).
+std::vector<double> buck_waveform(bool incremental) {
+    core::simulation sim;
+    de::signal<bool> gate("gate", false);
+    bench_util::switched_buck buck;
+    buck.net->set_incremental_updates(incremental);
+    buck.hi_side->ctrl.bind(gate);
+
+    sca::core::transient_recorder rec(sim, 1_us);
+    rec.add_probe("vout", [&] { return buck.net->voltage(buck.vout_node); });
+    for (int seg = 0; seg < 20; ++seg) {
+        gate.write(seg % 2 == 0);  // 50 kHz PWM edges
+        rec.run(10_us);
+    }
+    return rec.column(0);
+}
+
+void expect_bit_identical(const std::vector<double>& inc,
+                          const std::vector<double>& full) {
+    ASSERT_EQ(inc.size(), full.size());
+    ASSERT_GT(inc.size(), 100U);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+        ASSERT_EQ(inc[i], full[i]) << "diverged at sample " << i;
+    }
+}
+
+}  // namespace
+
+TEST(eln, incremental_restamp_is_bit_identical_to_full_restamp) {
+    expect_bit_identical(switched_rc_waveform(true), switched_rc_waveform(false));
+}
+
+TEST(eln, buck_converter_is_bit_identical_to_full_restamp) {
+    expect_bit_identical(buck_waveform(true), buck_waveform(false));
 }
 
 TEST(eln, nature_mismatch_is_rejected) {

@@ -160,6 +160,180 @@ TEST(sparse_lu, factor_nonzeros_reports_fill) {
     EXPECT_GE(lu.factor_nonzeros(), 3U);
 }
 
+// --- symbolic/numeric split ---
+
+TEST(sparse_matrix, pattern_version_tracks_structure_not_values) {
+    num::sparse_matrix_d m(3);
+    const auto v0 = m.pattern_version();
+    m.add(0, 0, 1.0);
+    const auto v1 = m.pattern_version();
+    EXPECT_NE(v0, v1);
+    m.add(0, 0, 2.0);  // duplicate sum: no structural change
+    EXPECT_EQ(m.pattern_version(), v1);
+    m.set_entry(0, 0, 5.0);  // value rewrite: no structural change
+    EXPECT_EQ(m.pattern_version(), v1);
+    EXPECT_DOUBLE_EQ(m.get(0, 0), 5.0);
+    m.zero_values();
+    EXPECT_EQ(m.pattern_version(), v1);
+    EXPECT_DOUBLE_EQ(m.get(0, 0), 0.0);
+    m.add(1, 2, 1.0);  // new entry: structural change
+    EXPECT_NE(m.pattern_version(), v1);
+}
+
+TEST(sparse_matrix, set_entry_outside_pattern_throws) {
+    num::sparse_matrix_d m(2);
+    m.add(0, 0, 1.0);
+    EXPECT_THROW(m.set_entry(0, 1, 2.0), sca::util::error);
+}
+
+TEST(sparse_lu, refactor_matches_full_factor_bit_for_bit) {
+    // MNA-shaped system with a voltage-source style zero diagonal (forces a
+    // pivot swap) and a conductance whose value will change.
+    auto build = [](double g) {
+        num::sparse_matrix_d m(4);
+        m.add(0, 0, g + 0.1);
+        m.add(0, 1, -g);
+        m.add(1, 0, -g);
+        m.add(1, 1, g + 0.5);
+        m.add(1, 3, 1.0);  // branch current into KCL
+        m.add(3, 1, 1.0);  // branch voltage constraint
+        m.add(2, 2, 2.0);
+        m.add(2, 1, -0.25);
+        return m;
+    };
+    num::sparse_matrix_d m = build(1.0);
+    num::sparse_lu_d lu(m);
+    EXPECT_EQ(lu.symbolic_count(), 1U);
+    EXPECT_EQ(lu.numeric_count(), 1U);
+
+    // Values-only change in place, numeric refactor.
+    m.zero_values();
+    m.add_scaled(build(3.5), 1.0);
+    ASSERT_TRUE(lu.refactor(m));
+    EXPECT_EQ(lu.symbolic_count(), 1U);
+    EXPECT_EQ(lu.numeric_count(), 2U);
+    const std::vector<double> b{1.0, -2.0, 0.5, 0.25};
+    const auto x_re = lu.solve(b);
+
+    // Reference: full factorization of the same values from scratch.
+    num::sparse_lu_d fresh(build(3.5));
+    const auto x_full = fresh.solve(b);
+    ASSERT_EQ(x_re.size(), x_full.size());
+    for (std::size_t i = 0; i < x_re.size(); ++i) {
+        EXPECT_EQ(x_re[i], x_full[i]);  // bit-identical, not just close
+    }
+}
+
+TEST(sparse_lu, refactor_rejects_pattern_change) {
+    num::sparse_matrix_d m(2);
+    m.add(0, 0, 2.0);
+    m.add(1, 1, 3.0);
+    num::sparse_lu_d lu(m);
+    m.add(0, 1, 1.0);  // structural change
+    EXPECT_FALSE(lu.refactor(m));
+    EXPECT_FALSE(lu.factored());
+    lu.factor(m);  // recovers with a fresh symbolic pass
+    EXPECT_EQ(lu.symbolic_count(), 2U);
+    const auto x = lu.solve({2.0, 3.0});
+    EXPECT_NEAR(x[0], 0.5, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(sparse_lu, refactor_rejects_other_matrix) {
+    num::sparse_matrix_d m1(2);
+    m1.add(0, 0, 1.0);
+    m1.add(1, 1, 1.0);
+    num::sparse_matrix_d m2(2);
+    m2.add(0, 0, 1.0);
+    m2.add(1, 1, 1.0);
+    num::sparse_lu_d lu(m1);
+    EXPECT_FALSE(lu.refactor(m2));  // same shape, different pattern token
+}
+
+TEST(sparse_lu, refactor_bails_on_vanishing_pivot) {
+    num::sparse_matrix_d m(2);
+    m.add(0, 0, 1.0);
+    m.add(0, 1, 1.0);
+    m.add(1, 0, 1.0);
+    m.add(1, 1, 2.0);
+    num::sparse_lu_d lu(m);
+    // Make the second pivot exactly cancel: 2 - 1*2/1 ... set values so the
+    // (1,1) elimination result is 0.
+    m.zero_values();
+    m.add_scaled([&] {
+        num::sparse_matrix_d v(2);
+        v.add(0, 0, 1.0);
+        v.add(0, 1, 2.0);
+        v.add(1, 0, 1.0);
+        v.add(1, 1, 2.0);  // u22 = 2 - 1*2 = 0
+        return v;
+    }(), 1.0);
+    EXPECT_FALSE(lu.refactor(m));
+    EXPECT_FALSE(lu.factored());
+}
+
+TEST(sparse_lu, refactor_keeps_cancelled_fill_positions) {
+    // An entry that cancels to exactly zero during the first factorization
+    // must stay in the cached pattern: with different values it is nonzero
+    // again and the refactor has to land it correctly.
+    auto build = [](double a10) {
+        num::sparse_matrix_d m(3);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, a10);
+        m.add(1, 1, 1.0);  // a10 == 1 makes the (1,1) update cancel exactly
+        m.add(1, 2, 1.0);
+        m.add(2, 1, 1.0);
+        m.add(2, 2, 4.0);
+        return m;
+    };
+    num::sparse_matrix_d m = build(1.0);
+    num::sparse_lu_d lu(m);
+    m.zero_values();
+    m.add_scaled(build(0.5), 1.0);
+    if (lu.refactor(m)) {
+        const std::vector<double> b{1.0, 2.0, 3.0};
+        const auto x = lu.solve(b);
+        num::dense_lu_d ref(build(0.5).to_dense());
+        const auto xr = ref.solve(b);
+        for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], xr[i], 1e-12);
+    }
+}
+
+TEST(sparse_lu, repeated_refactor_matches_dense_reference) {
+    // Random diagonally dominant pattern; rewrite values 10 times and check
+    // each refactored solve against a dense factorization of the same values.
+    std::mt19937 rng(1234);
+    std::uniform_real_distribution<double> val(0.5, 2.0);
+    const std::size_t n = 25;
+    num::sparse_matrix_d m(n);
+    std::vector<std::pair<std::size_t, std::size_t>> off;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i != j && (rng() & 7U) == 0U) off.emplace_back(i, j);
+        }
+    }
+    auto fill = [&](num::sparse_matrix_d& t) {
+        std::mt19937 vals(static_cast<unsigned>(rng()));
+        for (auto [i, j] : off) t.add(i, j, val(vals) * 0.1);
+        for (std::size_t i = 0; i < n; ++i) t.add(i, i, 10.0 + val(vals));
+    };
+    fill(m);
+    num::sparse_lu_d lu(m);
+    std::vector<double> b(n, 1.0);
+    for (int round = 0; round < 10; ++round) {
+        m.zero_values();
+        fill(m);
+        ASSERT_TRUE(lu.refactor(m));
+        const auto xs = lu.solve(b);
+        num::dense_lu_d dlu(m.to_dense());
+        const auto xd = dlu.solve(b);
+        for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+    }
+    EXPECT_EQ(lu.symbolic_count(), 1U);
+    EXPECT_EQ(lu.numeric_count(), 11U);
+}
+
 // --- property sweep: random diagonally dominant systems, sparse vs dense ---
 
 class random_system_property : public ::testing::TestWithParam<int> {};

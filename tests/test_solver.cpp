@@ -114,6 +114,109 @@ TEST(linear_dae, restamp_triggers_refactor) {
     sys.add_b(0, 0, 1.0);
     s.step();
     EXPECT_EQ(s.factor_count(), 2U);
+    // clear_stamps is the pattern-level path: symbolic analysis re-runs.
+    EXPECT_EQ(s.symbolic_factor_count(), 2U);
+}
+
+TEST(linear_dae, stamp_slot_update_refactors_numerically_only) {
+    // dx/dt = -x/tau with tau driven through a stamp slot: updating the slot
+    // must cost one numeric refactor and zero symbolic analyses.
+    solver::equation_system sys;
+    const std::size_t x = sys.add_unknown("x");
+    const auto g = sys.add_stamp(1.0 / 1e-3);
+    sys.stamp_a(g, x, x, 1.0);
+    sys.add_b(x, x, 1.0);
+    solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, 1e-6);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(1e-4);
+    EXPECT_EQ(s.factor_count(), 1U);
+    EXPECT_EQ(s.symbolic_factor_count(), 1U);
+
+    sys.set_stamp(g, 1.0 / 2e-3);  // values-only: pattern untouched
+    s.advance_to(2e-4);
+    EXPECT_EQ(s.factor_count(), 2U);
+    EXPECT_EQ(s.symbolic_factor_count(), 1U);
+    EXPECT_EQ(s.solve_count(), 200U);
+}
+
+TEST(equation_system, stamp_slot_added_after_finalize_is_usable) {
+    // finalize_stamps() indexes slot -> entries; a slot allocated (and
+    // referenced) afterwards must re-index instead of indexing out of range.
+    solver::equation_system sys;
+    const std::size_t x = sys.add_unknown("x");
+    const auto g1 = sys.add_stamp(2.0);
+    sys.stamp_a(g1, x, x, 1.0);
+    sys.finalize_stamps();
+    const auto g2 = sys.add_stamp(3.0);
+    sys.stamp_a(g2, x, x, 1.0);
+    EXPECT_DOUBLE_EQ(sys.a().get(x, x), 5.0);
+    sys.set_stamp(g2, 4.0);
+    EXPECT_DOUBLE_EQ(sys.a().get(x, x), 6.0);
+    sys.set_stamp(g1, 1.0);
+    EXPECT_DOUBLE_EQ(sys.a().get(x, x), 5.0);
+}
+
+TEST(equation_system, static_adds_interleaved_with_slots_replay_in_order) {
+    solver::equation_system sys;
+    const std::size_t x = sys.add_unknown("x");
+    sys.add_a(x, x, 10.0);            // static prefix
+    const auto g = sys.add_stamp(1.0);
+    sys.stamp_a(g, x, x, 2.0);        // + 2*g
+    sys.add_a(x, x, 0.5);             // static suffix on a dynamic entry
+    EXPECT_DOUBLE_EQ(sys.a().get(x, x), 12.5);
+    sys.set_stamp(g, 3.0);
+    EXPECT_DOUBLE_EQ(sys.a().get(x, x), 16.5);
+}
+
+TEST(linear_dae, timestep_change_refactors_numerically_only) {
+    auto sys = decay_system(1e-3);
+    solver::linear_dae_solver s(sys, solver::integration_method::backward_euler, 1e-6);
+    s.set_initial_state({1.0}, 0.0);
+    s.step();
+    s.set_timestep(2e-6);
+    s.step();
+    EXPECT_EQ(s.factor_count(), 2U);
+    EXPECT_EQ(s.symbolic_factor_count(), 1U);
+}
+
+TEST(linear_dae, slot_update_matches_full_restamp_bit_for_bit) {
+    // The same switched-decay transient twice: once through stamp-slot
+    // updates (numeric refactor), once through clear_stamps + full restamp
+    // (fresh symbolic). Waveforms must match exactly, not approximately.
+    const double tau_a = 1e-3, tau_b = 2.5e-4;
+
+    solver::equation_system sys_inc;
+    const std::size_t xi = sys_inc.add_unknown("x");
+    const auto slot = sys_inc.add_stamp(1.0 / tau_a);
+    sys_inc.stamp_a(slot, xi, xi, 1.0);
+    sys_inc.add_b(xi, xi, 1.0);
+    solver::linear_dae_solver inc(sys_inc, solver::integration_method::backward_euler,
+                                  1e-6);
+    inc.set_initial_state({1.0}, 0.0);
+
+    solver::equation_system sys_full;
+    const std::size_t xf = sys_full.add_unknown("x");
+    sys_full.add_a(xf, xf, 1.0 / tau_a);
+    sys_full.add_b(xf, xf, 1.0);
+    solver::linear_dae_solver full(sys_full, solver::integration_method::backward_euler,
+                                   1e-6);
+    full.set_initial_state({1.0}, 0.0);
+
+    double tau = tau_a;
+    for (int seg = 0; seg < 6; ++seg) {
+        tau = seg % 2 == 0 ? tau_b : tau_a;
+        sys_inc.set_stamp(slot, 1.0 / tau);
+        sys_full.clear_stamps();
+        sys_full.add_a(xf, xf, 1.0 / tau);
+        sys_full.add_b(xf, xf, 1.0);
+        for (int i = 0; i < 50; ++i) {
+            inc.step();
+            full.step();
+            ASSERT_EQ(inc.x()[0], full.x()[0]) << "diverged in segment " << seg;
+        }
+    }
+    EXPECT_EQ(inc.symbolic_factor_count(), 1U);
+    EXPECT_GE(full.symbolic_factor_count(), 6U);
 }
 
 TEST(linear_dae, dense_and_sparse_paths_agree) {
@@ -267,6 +370,28 @@ TEST(nonlinear_dae, reports_newton_statistics) {
     s.advance_to(1e-4);
     EXPECT_GT(s.newton_iterations(), 0U);
     EXPECT_GT(s.factorizations(), 0U);
+}
+
+TEST(nonlinear_dae, newton_reuses_symbolic_factorization) {
+    // Cubic damping: many Newton iterations over many timesteps, but the
+    // Jacobian pattern is fixed, so the symbolic analysis runs only for the
+    // first iteration while every iteration pays a numeric refactor.
+    solver::equation_system sys;
+    const std::size_t x = sys.add_unknown("x");
+    sys.add_b(x, x, 1.0);
+    sys.add_nonlinear([x](const std::vector<double>& xi, std::vector<double>& r,
+                          std::vector<solver::jacobian_entry>& j) {
+        r[x] += xi[x] * xi[x] * xi[x];
+        j.push_back({x, x, 3.0 * xi[x] * xi[x]});
+    });
+    solver::nonlinear_options opt;
+    opt.h_init = 1e-3;
+    opt.h_max = 0.05;
+    solver::nonlinear_dae_solver s(sys, opt);
+    s.set_initial_state({1.0}, 0.0);
+    s.advance_to(2.0);
+    EXPECT_GT(s.factorizations(), 20U);
+    EXPECT_EQ(s.symbolic_factorizations(), 1U);
 }
 
 // --------------------------------------------------------------- external --
