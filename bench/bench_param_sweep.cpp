@@ -1,0 +1,135 @@
+// CLAIM-SCENARIO: one scenario definition serves a whole experiment sweep,
+// and the run_set engine scales sweep throughput with worker threads because
+// every run owns an independent simulation_context (no shared mutable state,
+// no locks on the simulation path).
+//
+// Two sweeps, 64 parameter points each, at 1 / 4 / 8 workers:
+//   rc_sweep    - RC lowpass corner sweep (8 R values x 8 C values)
+//   buck_sweep  - PWM-switched buck converter load/duty sweep (8 x 8),
+//                 exercising the DE<->ELN switching path per run
+// Counters report aggregate runs/second; per-run results are bit-identical
+// across worker counts (asserted by tests/test_scenario.cpp).
+#include <benchmark/benchmark.h>
+
+#include "core/run_set.hpp"
+#include "core/scenario.hpp"
+#include "eln/converter.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "kernel/signal.hpp"
+#include "lib/pwm.hpp"
+
+namespace core = sca::core;
+namespace de = sca::de;
+namespace eln = sca::eln;
+namespace lib = sca::lib;
+using namespace sca::de::literals;
+
+namespace {
+
+constexpr std::size_t k_axis_points = 8;  // 8 x 8 = 64-point sweeps
+
+core::scenario rc_scenario() {
+    return core::scenario::define(
+        "bench_rc", core::params{{"r", 1e3}, {"c", 100e-9}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& net = tb.make<eln::network>("net");
+            net.set_timestep(2.0, de::time_unit::us);
+            auto gnd = net.ground();
+            auto vin = net.create_node("vin");
+            auto vout = net.create_node("vout");
+            tb.make<eln::vsource>("vs", net, vin, gnd, eln::waveform::sine(1.0, 1e3));
+            tb.make<eln::resistor>("r", net, vin, vout, p.number("r"));
+            tb.make<eln::capacitor>("c", net, vout, gnd, p.number("c"));
+            tb.measure("vout_final", [&net, vout] { return net.voltage(vout); });
+            tb.set_stop_time(de::time::from_seconds(4e-3));
+        });
+}
+
+core::scenario buck_scenario() {
+    return core::scenario::define(
+        "bench_buck", core::params{{"load", 4.0}, {"duty", 0.5}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& net = tb.make<eln::network>("net");
+            net.set_timestep(1.0, de::time_unit::us);
+            auto gnd = net.ground();
+            auto vsrc = net.create_node("vsrc");
+            auto vin = net.create_node("vin");
+            auto sw = net.create_node("sw");
+            auto vout = net.create_node("vout");
+            tb.make<eln::vsource>("vs", net, vsrc, gnd, eln::waveform::dc(24.0));
+            tb.make<eln::resistor>("esr", net, vsrc, vin, 0.01);
+            tb.make<eln::capacitor>("cin", net, vin, gnd, 10e-6);
+            auto& hi = tb.make<eln::de_rswitch>("hi_side", net, vin, sw, 0.05, 1e6);
+            tb.make<eln::resistor>("freewheel", net, sw, gnd, 0.5);
+            tb.make<eln::inductor>("filter_l", net, sw, vout, 100e-6);
+            tb.make<eln::capacitor>("filter_c", net, vout, gnd, 220e-6);
+            tb.make<eln::resistor>("load", net, vout, gnd, p.number("load"));
+
+            auto& duty = tb.make<de::signal<double>>("duty", p.number("duty"));
+            auto& gate = tb.make<de::signal<bool>>("gate", false);
+            auto& pwm = tb.make<lib::pwm>("pwm", 20_us);  // 50 kHz
+            pwm.duty.bind(duty);
+            pwm.out.bind(gate);
+            hi.ctrl.bind(gate);
+
+            tb.measure("vout_final", [&net, vout] { return net.voltage(vout); });
+            tb.set_stop_time(de::time::from_seconds(2e-3));
+        });
+}
+
+core::run_set make_rc_sweep(unsigned workers) {
+    return core::run_set(rc_scenario())
+        .with_grid(core::param_grid()
+                       .add_logspace("r", 200.0, 20e3, k_axis_points)
+                       .add_logspace("c", 10e-9, 1e-6, k_axis_points))
+        .set_workers(workers)
+        .keep_waveforms(false);
+}
+
+core::run_set make_buck_sweep(unsigned workers) {
+    return core::run_set(buck_scenario())
+        .with_grid(core::param_grid()
+                       .add_linspace("load", 1.0, 8.0, k_axis_points)
+                       .add_linspace("duty", 0.2, 0.8, k_axis_points))
+        .set_workers(workers)
+        .keep_waveforms(false);
+}
+
+void bm_rc_sweep(benchmark::State& state) {
+    const auto workers = static_cast<unsigned>(state.range(0));
+    std::size_t runs = 0;
+    for (auto _ : state) {
+        const auto table = make_rc_sweep(workers).run_all();
+        if (table.failed_count() != 0) state.SkipWithError("sweep run failed");
+        runs += table.size();
+        benchmark::DoNotOptimize(table.runs().data());
+    }
+    state.counters["runs_per_s"] =
+        benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+
+void bm_buck_sweep(benchmark::State& state) {
+    const auto workers = static_cast<unsigned>(state.range(0));
+    std::size_t runs = 0;
+    for (auto _ : state) {
+        const auto table = make_buck_sweep(workers).run_all();
+        if (table.failed_count() != 0) state.SkipWithError("sweep run failed");
+        runs += table.size();
+        benchmark::DoNotOptimize(table.runs().data());
+    }
+    state.counters["runs_per_s"] =
+        benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+// Worker counts: sequential baseline, then 4 and 8 worker threads. Real time
+// (not main-thread CPU time) is the honest denominator for a pool.
+BENCHMARK(bm_rc_sweep)->Arg(1)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_buck_sweep)->Arg(1)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -2,96 +2,120 @@
 // in one conservative network (electrical armature, rotational mechanics,
 // thermal winding model) with a software speed controller in the DE world —
 // the paper's "virtual prototype including software-in-the-loop" pattern.
+//
+// On the scenario API the whole virtual prototype — plant, controller state,
+// probes — is one reusable definition; the target speed and load-torque step
+// are typed parameters, so sweeping drive profiles is a run_set away.
 #include <cstdio>
 
-#include "core/simulation.hpp"
-#include "core/transient.hpp"
+#include "core/scenario.hpp"
 #include "eln/converter.hpp"
 #include "eln/multidomain.hpp"
 #include "eln/network.hpp"
 #include "eln/primitives.hpp"
 #include "eln/sources.hpp"
 
+namespace core = sca::core;
 namespace de = sca::de;
 namespace eln = sca::eln;
 using namespace sca::de::literals;
 
+namespace {
+
+// Heat source whose value the DE controller updates from measured current.
+struct de_heat : eln::component {
+    de::in<double> inp;
+    eln::node p, n;
+    std::size_t sp = 0, sn = 0;
+    de_heat(const std::string& nm, eln::network& net, eln::node p_, eln::node n_)
+        : component(nm, net), inp("inp"), p(p_), n(n_) {}
+    void stamp(eln::network& net) override {
+        sp = net.add_input(eln::network::row_of(p));
+        sn = net.add_input(eln::network::row_of(n));
+    }
+    void read_tdf_inputs(eln::network& net) override {
+        net.set_input(sp, -inp.read());
+        net.set_input(sn, inp.read());
+    }
+};
+
+core::scenario define_motor_drive() {
+    return core::scenario::define(
+        "dc_motor_drive", core::params{{"w_target", 100.0}, {"load_step", 0.3}},
+        [](core::testbench& tb, const core::params& p) {
+            // --- plant: motor + load + thermal model -----------------------
+            auto& plant = tb.make<eln::network>("plant");
+            plant.set_timestep(200.0, de::time_unit::us);
+            auto gnd = plant.ground();
+            auto rgnd = plant.ground(eln::nature::mechanical_rotational);
+            auto tamb = plant.ground(eln::nature::thermal);
+            auto varm = plant.create_node("varm");
+            auto shaft = plant.create_node("shaft", eln::nature::mechanical_rotational);
+            auto tj = plant.create_node("tj", eln::nature::thermal);
+
+            // Armature supply controlled from the DE side (the "power stage").
+            auto& v_cmd = tb.make<de::signal<double>>("v_cmd", 0.0);
+            auto& supply = tb.make<eln::de_vsource>("supply", plant, varm, gnd);
+            supply.inp.bind(v_cmd);
+
+            const double kt = 0.08;  // N*m/A and V*s/rad
+            auto& motor = tb.make<eln::dc_motor>("motor", plant, varm, gnd, shaft,
+                                                 0.8, 2e-3, kt);
+            tb.make<eln::inertia>("rotor", plant, shaft, 0.004);
+            tb.make<eln::rotational_damper>("friction", plant, shaft, rgnd, 5e-4);
+            // Load torque step at t = 4 s (someone grabs the shaft).
+            tb.make<eln::torque_source>(
+                "load", plant, shaft, rgnd,
+                eln::waveform::pulse(0.0, p.number("load_step"), 4.0, 1e-3, 1e-3,
+                                     100.0, 200.0));
+
+            auto& p_loss = tb.make<de::signal<double>>("p_loss", 0.0);
+            auto& heater = tb.make<de_heat>("heater", plant, tamb, tj);
+            heater.inp.bind(p_loss);
+            tb.make<eln::thermal_resistance>("rth", plant, tj, tamb, 3.0);
+            tb.make<eln::thermal_capacitance>("cth", plant, tj, 25.0);
+
+            // --- software controller (DE): PI speed loop at 1 kHz ----------
+            struct pi_state {
+                double integral = 0.0;
+            };
+            auto& st = tb.make<pi_state>();
+            auto& ctx = tb.context();
+            const double w_target = p.number("w_target");
+            ctx.register_method("speed_ctl", [&ctx, &plant, &motor, &v_cmd, &p_loss,
+                                              &st, w_target, shaft] {
+                const double w = plant.voltage(shaft);
+                const double i_arm = plant.current(motor);
+                const double err = w_target - w;
+                st.integral += err * 1e-3;
+                const double v =
+                    std::min(24.0, std::max(0.0, 0.8 * err + 4.0 * st.integral));
+                v_cmd.write(v);
+                p_loss.write(i_arm * i_arm * 0.8);  // I^2 R into the thermal model
+                ctx.next_trigger(1_ms);
+            });
+
+            tb.probe("speed", [&plant, shaft] { return plant.voltage(shaft); });
+            tb.probe("temp", [&plant, tj] { return plant.voltage(tj); });
+            tb.probe("current", [&plant, &motor] { return plant.current(motor); });
+            tb.set_sample_period(10_ms);
+            tb.set_stop_time(8_sec);
+            tb.measure("w_final", [&plant, shaft] { return plant.voltage(shaft); });
+        });
+}
+
+}  // namespace
+
 int main() {
-    sca::core::simulation sim;
+    auto drive = define_motor_drive();
+    auto tb = drive.build();
+    tb->run();
 
-    // --- plant: motor + load + thermal model -------------------------------
-    eln::network plant("plant");
-    plant.set_timestep(200.0, de::time_unit::us);
-    auto gnd = plant.ground();
-    auto rgnd = plant.ground(eln::nature::mechanical_rotational);
-    auto tamb = plant.ground(eln::nature::thermal);
-    auto varm = plant.create_node("varm");
-    auto shaft = plant.create_node("shaft", eln::nature::mechanical_rotational);
-    auto tj = plant.create_node("tj", eln::nature::thermal);
+    const auto speed = tb->waveform("speed");
+    const auto temp = tb->waveform("temp");
+    const auto current = tb->waveform("current");
 
-    // Armature supply controlled from the DE side (the "power stage").
-    de::signal<double> v_cmd("v_cmd", 0.0);
-    eln::de_vsource supply("supply", plant, varm, gnd);
-    supply.inp.bind(v_cmd);
-
-    const double kt = 0.08;  // N*m/A and V*s/rad
-    eln::dc_motor motor("motor", plant, varm, gnd, shaft, 0.8, 2e-3, kt);
-    eln::inertia rotor("rotor", plant, shaft, 0.004);
-    eln::rotational_damper friction("friction", plant, shaft, rgnd, 5e-4);
-    // Load torque step at t = 4 s (someone grabs the shaft).
-    eln::torque_source load("load", plant, shaft, rgnd,
-                            eln::waveform::pulse(0.0, 0.3, 4.0, 1e-3, 1e-3, 100.0, 200.0));
-
-    // Winding heats with I^2 R; modeled as thermal RC fed by a heat source
-    // whose value the controller updates from the measured current.
-    de::signal<double> p_loss("p_loss", 0.0);
-    struct de_heat : eln::component {
-        de::in<double> inp;
-        eln::node p, n;
-        std::size_t sp = 0, sn = 0;
-        de_heat(const std::string& nm, eln::network& net, eln::node p_, eln::node n_)
-            : component(nm, net), inp("inp"), p(p_), n(n_) {}
-        void stamp(eln::network& net) override {
-            sp = net.add_input(eln::network::row_of(p));
-            sn = net.add_input(eln::network::row_of(n));
-        }
-        void read_tdf_inputs(eln::network& net) override {
-            net.set_input(sp, -inp.read());
-            net.set_input(sn, inp.read());
-        }
-    } heater("heater", plant, tamb, tj);
-    heater.inp.bind(p_loss);
-    eln::thermal_resistance rth("rth", plant, tj, tamb, 3.0);
-    eln::thermal_capacitance cth("cth", plant, tj, 25.0);
-
-    // --- software controller (DE): PI speed loop at 1 kHz ------------------
-    const double w_target = 100.0;  // rad/s
-    double integral = 0.0;
-    auto& ctl = sim.context().register_method("speed_ctl", [&] {
-        const double w = plant.voltage(shaft);
-        const double i_arm = plant.current(motor);
-        const double err = w_target - w;
-        integral += err * 1e-3;
-        const double v = std::min(24.0, std::max(0.0, 0.8 * err + 4.0 * integral));
-        v_cmd.write(v);
-        p_loss.write(i_arm * i_arm * 0.8);  // I^2 R into the thermal model
-        sim.context().next_trigger(1_ms);
-    });
-    (void)ctl;
-
-    sca::core::transient_recorder rec(sim, 10_ms);
-    rec.add_probe("speed", [&] { return plant.voltage(shaft); });
-    rec.add_probe("temp", [&] { return plant.voltage(tj); });
-    rec.add_probe("current", [&] { return plant.current(motor); });
-    rec.run(8_sec);
-
-    const auto speed = rec.column(0);
-    const auto temp = rec.column(1);
-    const auto current = rec.column(2);
-
-    auto at = [&](double t) {
-        return static_cast<std::size_t>(t / 10e-3);
-    };
+    auto at = [&](double t) { return static_cast<std::size_t>(t / 10e-3); };
     std::printf("DC motor drive: electrical + rotational + thermal + software MoCs\n\n");
     std::printf("%8s %12s %12s %12s\n", "t [s]", "w [rad/s]", "I_arm [A]", "dT [K]");
     for (double t : {0.5, 1.0, 2.0, 3.9, 4.5, 6.0, 7.9}) {
@@ -101,6 +125,6 @@ int main() {
     std::printf("\nExpected shape: the PI loop settles the speed at %.0f rad/s, the\n"
                 "load-torque step at t=4 s produces a dip the controller recovers,\n"
                 "armature current and winding temperature rise accordingly.\n",
-                w_target);
+                tb->parameters().number("w_target"));
     return 0;
 }

@@ -3,15 +3,22 @@
 // offset, measures ENOB with and without digital correction, and prints the
 // exploration table the paper describes ("efficient exploration of pipelined
 // architectures at a more abstract level").
+//
+// The exploration is exactly what the scenario API is for: the ADC testbench
+// is defined once over typed parameters (stages, gain_error, offset,
+// correction), every table row becomes one parameter point of a run_set, and
+// the whole exploration executes across the worker pool in one call.
 #include <cstdio>
 #include <vector>
 
-#include "core/simulation.hpp"
+#include "core/run_set.hpp"
+#include "core/scenario.hpp"
 #include "lib/oscillator.hpp"
 #include "lib/pipeline_adc.hpp"
 #include "tdf/port.hpp"
 #include "util/measure.hpp"
 
+namespace core = sca::core;
 namespace de = sca::de;
 namespace tdf = sca::tdf;
 namespace lib = sca::lib;
@@ -32,33 +39,51 @@ struct code_sink : tdf::module {
     void processing() override { (void)in.read(); }
 };
 
-double run_adc(unsigned stages, double gain_error, double offset, bool correction) {
-    sca::core::simulation sim;
-    lib::sine_source src("src", 0.95, 997.0);
-    src.set_timestep(10.0, de::time_unit::us);  // 100 kS/s
-    lib::pipeline_adc adc("adc", stages, 1.0);
-    std::vector<lib::pipeline_stage_params> params(stages);
-    for (auto& p : params) {
-        p.gain_error = gain_error;
-        p.offset = offset;
-    }
-    adc.set_stage_params(params);
-    adc.set_digital_correction(correction);
+core::scenario define_adc() {
+    return core::scenario::define(
+        "pipelined_adc",
+        core::params{
+            {"stages", 9.0}, {"gain_error", 0.0}, {"offset", 0.0}, {"correction", 1.0}},
+        [](core::testbench& tb, const core::params& p) {
+            const auto stages = static_cast<unsigned>(p.number("stages"));
 
-    recorder rec("rec");
-    code_sink codes("codes");
-    tdf::signal<double> s_in("s_in"), s_est("s_est");
-    tdf::signal<std::int64_t> s_code("s_code");
-    src.out.bind(s_in);
-    adc.in.bind(s_in);
-    adc.code.bind(s_code);
-    adc.analog_estimate.bind(s_est);
-    codes.in.bind(s_code);
-    rec.in.bind(s_est);
+            auto& src = tb.make<lib::sine_source>("src", 0.95, 997.0);
+            src.set_timestep(10.0, de::time_unit::us);  // 100 kS/s
+            auto& adc = tb.make<lib::pipeline_adc>("adc", stages, 1.0);
+            std::vector<lib::pipeline_stage_params> sp(stages);
+            for (auto& s : sp) {
+                s.gain_error = p.number("gain_error");
+                s.offset = p.number("offset");
+            }
+            adc.set_stage_params(sp);
+            adc.set_digital_correction(p.number("correction") > 0.5);
 
-    sim.run(82_ms);
-    std::vector<double> tail(rec.samples.end() - 8192, rec.samples.end());
-    return sca::util::enob(sca::util::sinad_db(tail, 100e3));
+            auto& rec = tb.make<recorder>("rec");
+            auto& codes = tb.make<code_sink>("codes");
+            auto& s_in = tb.make<tdf::signal<double>>("s_in");
+            auto& s_est = tb.make<tdf::signal<double>>("s_est");
+            auto& s_code = tb.make<tdf::signal<std::int64_t>>("s_code");
+            src.out.bind(s_in);
+            adc.in.bind(s_in);
+            adc.code.bind(s_code);
+            adc.analog_estimate.bind(s_est);
+            codes.in.bind(s_code);
+            rec.in.bind(s_est);
+
+            tb.set_stop_time(82_ms);
+            tb.measure("enob", [&rec] {
+                std::vector<double> tail(rec.samples.end() - 8192, rec.samples.end());
+                return sca::util::enob(sca::util::sinad_db(tail, 100e3));
+            });
+        });
+}
+
+core::params point(double stages, double ge, double offset, bool corr) {
+    return core::params{}
+        .set("stages", stages)
+        .set("gain_error", ge)
+        .set("offset", offset)
+        .set("correction", corr ? 1.0 : 0.0);
 }
 
 }  // namespace
@@ -67,28 +92,41 @@ int main() {
     std::printf("Pipelined ADC architecture exploration (paper seed work [2])\n");
     std::printf("10-bit pipeline (9 x 1.5-bit stages + flash), 100 kS/s, 997 Hz tone\n\n");
 
+    // One run_set holds the entire exploration: the rows below index into it.
+    auto sweep = core::run_set(define_adc()).keep_waveforms(false);
+    sweep.add_point(point(9, 0.0, 0.0, true));                        // 0: ideal
+    for (double ge : {0.0001, 0.001, 0.005, 0.02}) {                  // 1-4
+        sweep.add_point(point(9, ge, 0.0, true));
+    }
+    sweep.add_point(point(9, 0.0, 0.1, true));                        // 5
+    sweep.add_point(point(9, 0.0, 0.1, false));                       // 6
+    for (unsigned stages : {5U, 7U, 9U, 11U}) {                       // 7-10
+        sweep.add_point(point(stages, 0.0, 0.0, true));
+    }
+    const auto table = sweep.run_all();
+    auto enob_at = [&](std::size_t i) { return table[i].measurement("enob"); };
+
     std::printf("%-34s %10s\n", "configuration", "ENOB");
-    std::printf("%-34s %10.2f\n", "ideal stages, correction on",
-                run_adc(9, 0.0, 0.0, true));
+    std::printf("%-34s %10.2f\n", "ideal stages, correction on", enob_at(0));
 
     std::printf("\nper-stage residue-amplifier gain error (correction on):\n");
+    std::size_t row = 1;
     for (double ge : {0.0001, 0.001, 0.005, 0.02}) {
         char label[64];
         std::snprintf(label, sizeof label, "  gain error %.2f %%", ge * 100.0);
-        std::printf("%-34s %10.2f\n", label, run_adc(9, ge, 0.0, true));
+        std::printf("%-34s %10.2f\n", label, enob_at(row++));
     }
 
     std::printf("\ncomparator offset 0.1 V (vref/10):\n");
-    std::printf("%-34s %10.2f\n", "  with digital correction",
-                run_adc(9, 0.0, 0.1, true));
-    std::printf("%-34s %10.2f\n", "  without digital correction",
-                run_adc(9, 0.0, 0.1, false));
+    std::printf("%-34s %10.2f\n", "  with digital correction", enob_at(5));
+    std::printf("%-34s %10.2f\n", "  without digital correction", enob_at(6));
 
     std::printf("\nresolution scaling (ideal):\n");
+    row = 7;  // rows 5-6 were the offset experiments
     for (unsigned stages : {5U, 7U, 9U, 11U}) {
         char label[64];
         std::snprintf(label, sizeof label, "  %u stages (%u bits)", stages, stages + 1);
-        std::printf("%-34s %10.2f\n", label, run_adc(stages, 0.0, 0.0, true));
+        std::printf("%-34s %10.2f\n", label, enob_at(row++));
     }
 
     std::printf("\nExpected shape: ENOB tracks stages+1 for ideal pipelines, digital\n"

@@ -2,23 +2,27 @@
 // C++ — a PWM-controlled buck-style half bridge with an LC output filter and
 // inductive load, driven by a DE duty-cycle controller.
 //
-// Demonstrates the phase-3 power-electronics scenario: every switching edge
-// rewrites the switch's conductance stamp slot in place and triggers a
-// numeric-only refactorization against the cached symbolic analysis (the
-// full restamp + symbolic pass happens exactly once, at elaboration); the
-// output ripple and regulation behavior are printed for a duty-cycle sweep.
+// Ported to the scenario API: the buck testbench is *defined once* as a
+// factory over typed parameters (duty, load), then a run_set sweeps the duty
+// cycle across a worker pool — each run in its own simulation context — and
+// aggregates mean output voltage, ripple, and solver counters into one
+// result table.  Every switching edge still rewrites the switch's
+// conductance stamp slot in place (numeric-only refactorization against the
+// symbolic analysis cached at elaboration).
 #include <cstdio>
 #include <vector>
 
-#include "core/simulation.hpp"
-#include "core/transient.hpp"
+#include "core/run_set.hpp"
+#include "core/scenario.hpp"
 #include "eln/converter.hpp"
 #include "eln/network.hpp"
 #include "eln/primitives.hpp"
 #include "eln/sources.hpp"
+#include "kernel/signal.hpp"
 #include "lib/pwm.hpp"
 #include "util/measure.hpp"
 
+namespace core = sca::core;
 namespace de = sca::de;
 namespace eln = sca::eln;
 namespace lib = sca::lib;
@@ -26,55 +30,59 @@ using namespace sca::de::literals;
 
 namespace {
 
-struct buck_result {
-    double v_mean;
-    double v_ripple;
-    std::uint64_t refactorizations;
-    std::uint64_t symbolic;
-};
+core::scenario define_buck() {
+    return core::scenario::define(
+        "power_driver", core::params{{"duty", 0.5}, {"load", 4.0}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& duty = tb.make<de::signal<double>>("duty", p.number("duty"));
+            auto& gate = tb.make<de::signal<bool>>("gate", false);
+            auto& pwm = tb.make<lib::pwm>("pwm", 20_us);  // 50 kHz switching
+            pwm.duty.bind(duty);
+            pwm.out.bind(gate);
 
-buck_result run_buck(double duty_value) {
-    sca::core::simulation sim;
+            auto& net = tb.make<eln::network>("net");
+            net.set_timestep(1.0, de::time_unit::us);
+            auto gnd = net.ground();
+            auto vin = net.create_node("vin");
+            auto sw_node = net.create_node("sw");
+            auto vout = net.create_node("vout");
+            tb.make<eln::vsource>("vs", net, vin, gnd, eln::waveform::dc(24.0));
+            auto& hi_side = tb.make<eln::de_rswitch>("hi_side", net, vin, sw_node,
+                                                     0.05, 1e6);
+            hi_side.ctrl.bind(gate);
+            // Synchronous low side modeled as the freewheeling resistor path.
+            tb.make<eln::resistor>("freewheel", net, sw_node, gnd, 0.5);
+            tb.make<eln::inductor>("filter_l", net, sw_node, vout, 100e-6);
+            tb.make<eln::capacitor>("filter_c", net, vout, gnd, 220e-6);
+            tb.make<eln::resistor>("load", net, vout, gnd, p.number("load"));
 
-    de::signal<double> duty("duty", duty_value);
-    de::signal<bool> gate("gate", false);
-    lib::pwm pwm("pwm", 20_us);  // 50 kHz switching
-    pwm.duty.bind(duty);
-    pwm.out.bind(gate);
+            // Sample co-prime with the 20 us PWM period so ripple does not
+            // alias out.
+            tb.probe("vout", [&net, vout] { return net.voltage(vout); });
+            tb.set_sample_period(3_us);
+            tb.set_stop_time(30_ms);
 
-    eln::network net("net");
-    net.set_timestep(1.0, de::time_unit::us);
-    auto gnd = net.ground();
-    auto vin = net.create_node("vin");
-    auto sw_node = net.create_node("sw");
-    auto vout = net.create_node("vout");
-    eln::vsource vs("vs", net, vin, gnd, eln::waveform::dc(24.0));
-    eln::de_rswitch hi_side("hi_side", net, vin, sw_node, 0.05, 1e6);
-    hi_side.ctrl.bind(gate);
-    // Synchronous low side modeled as the freewheeling resistor path.
-    eln::resistor freewheel("freewheel", net, sw_node, gnd, 0.5);
-    eln::inductor filter_l("filter_l", net, sw_node, vout, 100e-6);
-    eln::capacitor filter_c("filter_c", net, vout, gnd, 220e-6);
-    eln::resistor load("load", net, vout, gnd, 4.0);
-
-    // Sample co-prime with the 20 us PWM period so ripple does not alias out.
-    sca::core::transient_recorder rec(sim, 3_us);
-    rec.add_probe("vout", [&] { return net.voltage(vout); });
-    rec.run(30_ms);
-
-    const auto v = rec.column(0);
-    std::vector<double> tail(v.end() - 2000, v.end());
-    buck_result out{};
-    out.v_mean = sca::util::mean(tail);
-    double lo = tail[0], hi = tail[0];
-    for (double x : tail) {
-        lo = std::min(lo, x);
-        hi = std::max(hi, x);
-    }
-    out.v_ripple = hi - lo;
-    out.refactorizations = net.factorizations();
-    out.symbolic = net.symbolic_factorizations();
-    return out;
+            tb.measure("v_mean", [&tb] {
+                const auto v = tb.waveform("vout");
+                const std::vector<double> tail(v.end() - 2000, v.end());
+                return sca::util::mean(tail);
+            });
+            tb.measure("v_ripple", [&tb] {
+                const auto v = tb.waveform("vout");
+                double lo = v[v.size() - 2000], hi = lo;
+                for (std::size_t i = v.size() - 2000; i < v.size(); ++i) {
+                    lo = std::min(lo, v[i]);
+                    hi = std::max(hi, v[i]);
+                }
+                return hi - lo;
+            });
+            tb.measure("refactors", [&net] {
+                return static_cast<double>(net.factorizations());
+            });
+            tb.measure("symbolic", [&net] {
+                return static_cast<double>(net.symbolic_factorizations());
+            });
+        });
 }
 
 }  // namespace
@@ -82,20 +90,30 @@ buck_result run_buck(double duty_value) {
 int main() {
     std::printf("PWM power driver (paper seed work [8], AnalogSL scenario)\n");
     std::printf("24 V input, 50 kHz PWM, LC filter (100 uH / 220 uF), 4 ohm load\n\n");
+
+    const auto table = core::run_set(define_buck())
+                           .with_grid(core::param_grid().add(
+                               "duty", {0.2, 0.35, 0.5, 0.65, 0.8}))
+                           .keep_waveforms(false)
+                           .run_all();
+
     std::printf("%8s %12s %12s %18s %10s\n", "duty", "V_out mean", "ripple pk-pk",
                 "numeric refactors", "symbolic");
-    for (double duty : {0.2, 0.35, 0.5, 0.65, 0.8}) {
-        const auto res = run_buck(duty);
-        std::printf("%8.2f %12.3f %12.4f %18llu %10llu\n", duty, res.v_mean,
-                    res.v_ripple,
-                    static_cast<unsigned long long>(res.refactorizations),
-                    static_cast<unsigned long long>(res.symbolic));
+    for (const auto& run : table.runs()) {
+        if (!run.ok) {
+            std::printf("run %zu failed: %s\n", run.index, run.error.c_str());
+            continue;
+        }
+        std::printf("%8.2f %12.3f %12.4f %18.0f %10.0f\n",
+                    run.parameters.number("duty"), run.measurement("v_mean"),
+                    run.measurement("v_ripple"), run.measurement("refactors"),
+                    run.measurement("symbolic"));
     }
     std::printf("\nExpected shape: V_out tracks duty * 24 V (minus conduction losses);\n"
                 "every PWM edge rewrites the switch stamp slot and refactors the MNA\n"
                 "system numerically; the symbolic analysis (pivot order + fill\n"
-                "pattern) is computed once at elaboration and reused throughout --\n"
-                "the incremental-restamp pipeline the paper's phase-3 'specialized\n"
-                "power-electronics MoC' motivation targets.\n");
+                "pattern) is computed once at elaboration and reused throughout.\n"
+                "The whole sweep ran as one run_set: one scenario definition, one\n"
+                "independent context per duty point, all worker threads busy.\n");
     return 0;
 }

@@ -1,14 +1,16 @@
-// Quickstart: a mixed-signal "hello world".
+// Quickstart: a mixed-signal "hello world" on the scenario API.
 //
 // A TDF sine source drives an ELN RC lowpass; a comparator squares the
 // filtered wave back up and publishes it to the DE world, where a process
-// counts edges.  Demonstrates the three worlds (dataflow, conservative
-// continuous-time, discrete-event) and the tracing API in ~80 lines.
+// counts edges.  The testbench is defined once as a scenario — parameters,
+// probes and measurements included — then built and run.  Demonstrates the
+// three worlds (dataflow, conservative continuous-time, discrete-event) and
+// the scenario/testbench lifecycle in ~90 lines.
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "core/simulation.hpp"
+#include "core/scenario.hpp"
 #include "eln/converter.hpp"
 #include "eln/network.hpp"
 #include "eln/primitives.hpp"
@@ -16,8 +18,8 @@
 #include "lib/converters.hpp"
 #include "lib/oscillator.hpp"
 #include "tdf/port.hpp"
-#include "util/trace.hpp"
 
+namespace core = sca::core;
 namespace de = sca::de;
 namespace tdf = sca::tdf;
 namespace eln = sca::eln;
@@ -43,55 +45,61 @@ struct null_bool_sink : tdf::module {
 }  // namespace
 
 int main() {
-    sca::core::simulation sim;
+    auto quickstart = core::scenario::define(
+        "quickstart", core::params{{"f_sine", 1e3}, {"r", 1e3}, {"c", 100e-9}},
+        [](core::testbench& tb, const core::params& p) {
+            // 1. Dataflow stimulus: sine sampled at 1 MHz.
+            auto& src = tb.make<lib::sine_source>("src", 1.0, p.number("f_sine"));
+            src.set_timestep(1.0, de::time_unit::us);
 
-    // 1. Dataflow stimulus: 1 kHz sine sampled at 1 MHz.
-    lib::sine_source src("src", 1.0, 1e3);
-    src.set_timestep(1.0, de::time_unit::us);
+            // 2. Conservative-law RC lowpass (fc ~ 1.6 kHz at defaults).
+            auto& net = tb.make<eln::network>("net");
+            auto gnd = net.ground();
+            auto vin = net.create_node("vin");
+            auto vout = net.create_node("vout");
+            auto& drive = tb.make<eln::tdf_vsource>("drive", net, vin, gnd);
+            tb.make<eln::resistor>("r", net, vin, vout, p.number("r"));
+            tb.make<eln::capacitor>("c", net, vout, gnd, p.number("c"));
+            auto& probe = tb.make<eln::tdf_vsink>("probe", net, vout, gnd);
 
-    // 2. Conservative-law RC lowpass (fc ~ 1.6 kHz).
-    eln::network net("net");
-    auto gnd = net.ground();
-    auto vin = net.create_node("vin");
-    auto vout = net.create_node("vout");
-    eln::tdf_vsource drive("drive", net, vin, gnd);
-    eln::resistor r("r", net, vin, vout, 1000.0);
-    eln::capacitor c("c", net, vout, gnd, 100e-9);
-    eln::tdf_vsink probe("probe", net, vout, gnd);
+            // 3. Back to digital: comparator with hysteresis -> DE counter.
+            auto& cmp = tb.make<lib::comparator>("cmp", 0.0, 0.05);
+            auto& square = tb.make<de::signal<bool>>("square", false);
+            cmp.enable_de_output(square);
+            auto& counter = tb.make<edge_counter>("counter");
+            counter.in.bind(square);
 
-    // 3. Back to digital: comparator with hysteresis -> DE edge counter.
-    lib::comparator cmp("cmp", 0.0, 0.05);
-    de::signal<bool> square("square", false);
-    cmp.enable_de_output(square);
-    edge_counter counter("counter");
-    counter.in.bind(square);
+            auto& s_sine = tb.make<tdf::signal<double>>("s_sine");
+            auto& s_filtered = tb.make<tdf::signal<double>>("s_filtered");
+            auto& s_square = tb.make<tdf::signal<bool>>("s_square");
+            src.out.bind(s_sine);
+            drive.inp.bind(s_sine);
+            probe.outp.bind(s_filtered);
+            cmp.in.bind(s_filtered);
+            cmp.out.bind(s_square);
+            auto& bsink = tb.make<null_bool_sink>("bsink");
+            bsink.in.bind(s_square);
 
-    tdf::signal<double> s_sine("s_sine"), s_filtered("s_filtered");
-    tdf::signal<bool> s_square("s_square");
-    src.out.bind(s_sine);
-    drive.inp.bind(s_sine);
-    probe.outp.bind(s_filtered);
-    cmp.in.bind(s_filtered);
-    cmp.out.bind(s_square);
-    null_bool_sink bsink("bsink");
-    bsink.in.bind(s_square);
+            // Probes recorded every 10 us; measurements read at run end.
+            tb.probe("sine", s_sine);
+            tb.probe("filtered", [&net, vout] { return net.voltage(vout); });
+            tb.probe("square", square);
+            tb.set_sample_period(10_us);
+            tb.set_stop_time(10_ms);
+            tb.measure("vout_amplitude", [&net, vout] { return net.voltage(vout); });
+            tb.measure("edges", [&counter] { return double(counter.edges); });
+        });
 
-    // Tracing: tabular file with three channels sampled every 10 us.
-    sca::util::tabular_trace_file trace("quickstart_trace.dat");
-    trace.add_channel("sine", sca::core::probe(s_sine));
-    trace.add_channel("filtered", [&] { return net.voltage(vout); });
-    trace.add_channel("square", sca::core::probe(square));
-    sim.trace(trace, 10_us);
-
-    sim.run(10_ms);
-    trace.close();
+    auto tb = quickstart.build();
+    tb->run();
+    tb->save_trace("quickstart_trace.dat");
 
     std::printf("quickstart: simulated %.1f ms of a TDF -> ELN -> DE loop\n",
-                sim.now().to_seconds() * 1e3);
+                tb->sim().now().to_seconds() * 1e3);
     std::printf("  filtered amplitude at vout : %.3f V (attenuated from 1.0 V)\n",
-                net.voltage(vout));
-    std::printf("  comparator edges seen in DE: %d (expect ~2 per 1 kHz cycle)\n",
-                counter.edges);
+                tb->measurement("vout_amplitude"));
+    std::printf("  comparator edges seen in DE: %.0f (expect ~2 per 1 kHz cycle)\n",
+                tb->measurement("edges"));
     std::printf("  waveforms written to        quickstart_trace.dat\n");
     return 0;
 }

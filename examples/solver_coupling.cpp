@@ -7,7 +7,8 @@
 // oscillator) two ways:
 //   1. through the plug-in boundary `solver::external_solver`, using the
 //      in-tree RK4 engine as the stand-in "existing simulator", wrapped
-//      into the dataflow world by `lib::external_ode`;
+//      into the dataflow world by `lib::external_ode` — built as a scenario
+//      so the coupling testbench is reusable;
 //   2. as a reference, directly with the library's own variable-step
 //      nonlinear DAE solver on the equation interface.
 // It also shows the [6]-style frequency-domain cascade over TDF models.
@@ -16,7 +17,7 @@
 #include <vector>
 
 #include "core/ac_analysis.hpp"
-#include "core/simulation.hpp"
+#include "core/scenario.hpp"
 #include "lib/amplifier.hpp"
 #include "lib/external_ode.hpp"
 #include "lib/filters.hpp"
@@ -27,6 +28,7 @@
 #include "tdf/port.hpp"
 #include "util/measure.hpp"
 
+namespace core = sca::core;
 namespace de = sca::de;
 namespace tdf = sca::tdf;
 namespace lib = sca::lib;
@@ -44,39 +46,59 @@ struct recorder : tdf::module {
     void processing() override { samples.push_back(in.read()); }
 };
 
+/// Foreign engine behind the coupling interface, embedded in TDF.
+core::scenario define_coupled_vdp() {
+    return core::scenario::define(
+        "coupled_vdp", core::params{{"mu", k_mu}, {"x0", 0.1}},
+        [](core::testbench& tb, const core::params& p) {
+            const double mu = p.number("mu");
+            auto engine = std::make_unique<solver::rk4_solver>(1e-4);
+            engine->configure(2, 1,
+                              [mu](double, const std::vector<double>& x,
+                                   const std::vector<double>& u,
+                                   std::vector<double>& dx) {
+                                  dx[0] = x[1];
+                                  dx[1] = mu * (1.0 - x[0] * x[0]) * x[1] - x[0] + u[0];
+                              });
+            engine->set_state({p.number("x0"), 0.0});
+            auto& plant = tb.make<lib::external_ode>("plant", std::move(engine),
+                                                     /*output_state=*/0);
+            plant.set_timestep(1.0, de::time_unit::ms);
+
+            auto& zero = tb.make<lib::waveform_source>(
+                "zero", sca::util::waveform::dc(0.0));
+            auto& rec = tb.make<recorder>("rec");
+            auto& s_u = tb.make<tdf::signal<double>>("s_u");
+            auto& s_y = tb.make<tdf::signal<double>>("s_y");
+            zero.out.bind(s_u);
+            plant.in.bind(s_u);
+            plant.out.bind(s_y);
+            rec.in.bind(s_y);
+
+            tb.set_stop_time(40_sec);
+            tb.measure("amplitude", [&rec] {
+                double amp = 0.0;
+                for (std::size_t i = rec.samples.size() / 2; i < rec.samples.size();
+                     ++i) {
+                    amp = std::max(amp, std::abs(rec.samples[i]));
+                }
+                return amp;
+            });
+            tb.measure("rhs_evaluations", [&plant] {
+                auto& rk = dynamic_cast<solver::rk4_solver&>(plant.engine());
+                return double(rk.rhs_evaluations());
+            });
+        });
+}
+
 }  // namespace
 
 int main() {
     // ---------------------------------------------------------------------
     // 1. Foreign engine behind the coupling interface, embedded in TDF.
     // ---------------------------------------------------------------------
-    sca::core::simulation sim;
-    auto engine = std::make_unique<solver::rk4_solver>(1e-4);
-    engine->configure(2, 1,
-                      [](double, const std::vector<double>& x,
-                         const std::vector<double>& u, std::vector<double>& dx) {
-                          dx[0] = x[1];
-                          dx[1] = k_mu * (1.0 - x[0] * x[0]) * x[1] - x[0] + u[0];
-                      });
-    engine->set_state({0.1, 0.0});
-    lib::external_ode plant("plant", std::move(engine), /*output_state=*/0);
-    plant.set_timestep(1.0, de::time_unit::ms);
-
-    lib::waveform_source zero("zero", sca::util::waveform::dc(0.0));
-    recorder rec("rec");
-    tdf::signal<double> s_u("s_u"), s_y("s_y");
-    zero.out.bind(s_u);
-    plant.in.bind(s_u);
-    plant.out.bind(s_y);
-    rec.in.bind(s_y);
-
-    sim.run(40_sec);
-
-    auto& rk = dynamic_cast<solver::rk4_solver&>(plant.engine());
-    double ext_amp = 0.0;
-    for (std::size_t i = rec.samples.size() / 2; i < rec.samples.size(); ++i) {
-        ext_amp = std::max(ext_amp, std::abs(rec.samples[i]));
-    }
+    auto coupled = define_coupled_vdp().build();
+    coupled->run();
 
     // ---------------------------------------------------------------------
     // 2. Native reference: the same oscillator on the equation interface.
@@ -109,9 +131,9 @@ int main() {
     std::printf("Open solver coupling (paper: 'existing simulators may be plugged in')\n\n");
     std::printf("Van der Pol oscillator, mu = %.1f, limit-cycle amplitude (theory ~2.0):\n",
                 k_mu);
-    std::printf("  external engine (%s via external_solver): %.3f  [%llu RHS evals]\n",
-                rk.engine_name().c_str(), ext_amp,
-                static_cast<unsigned long long>(rk.rhs_evaluations()));
+    std::printf("  external engine (rk4 via external_solver) : %.3f  [%.0f RHS evals]\n",
+                coupled->measurement("amplitude"),
+                coupled->measurement("rhs_evaluations"));
     std::printf("  native variable-step Newton solver        : %.3f  [%llu steps, %llu rejected]\n",
                 native_amp, static_cast<unsigned long long>(native.steps_accepted()),
                 static_cast<unsigned long long>(native.steps_rejected()));
@@ -119,31 +141,34 @@ int main() {
     // ---------------------------------------------------------------------
     // 3. [6]-style frequency-domain cascade over TDF component models.
     // ---------------------------------------------------------------------
-    sca::core::simulation sim2;
-    lib::amplifier ifa("ifa", 8.0);
+    core::testbench cascade_tb("cascade");
+    auto& ifa = cascade_tb.make<lib::amplifier>("ifa", 8.0);
     ifa.set_bandwidth(20e3);
-    lib::fir post("post", lib::fir::design_lowpass(63, 0.1));
+    auto& post = cascade_tb.make<lib::fir>("post", lib::fir::design_lowpass(63, 0.1));
     struct src_t : tdf::module {
         tdf::out<double> out;
         explicit src_t(const de::module_name& nm) : tdf::module(nm), out("out") {}
         void set_attributes() override { set_timestep(10.0, de::time_unit::us); }
         void processing() override { out.write(0.0); }
-    } s("s");
-    recorder r2("r2");
-    tdf::signal<double> w1("w1"), w2("w2"), w3("w3");
+    };
+    auto& s = cascade_tb.make<src_t>("s");
+    auto& r2 = cascade_tb.make<recorder>("r2");
+    auto& w1 = cascade_tb.make<tdf::signal<double>>("w1");
+    auto& w2 = cascade_tb.make<tdf::signal<double>>("w2");
+    auto& w3 = cascade_tb.make<tdf::signal<double>>("w3");
     s.out.bind(w1);
     ifa.in.bind(w1);
     ifa.out.bind(w2);
     post.in.bind(w2);
     post.out.bind(w3);
     r2.in.bind(w3);
-    sim2.elaborate();
+    cascade_tb.elaborate();
 
     const std::vector<const tdf::module*> chain{&ifa, &post};
     std::printf("\nfrequency-domain cascade (amplifier pole x FIR, paper [6] style):\n");
     std::printf("%12s %14s %14s\n", "f [kHz]", "|H| [dB]", "phase [deg]");
     for (double f : {1e3, 5e3, 10e3, 20e3, 30e3}) {
-        const auto pt = sca::core::tdf_cascade_response(chain, {f, f, 1})[0];
+        const auto pt = core::tdf_cascade_response(chain, {f, f, 1})[0];
         std::printf("%12.1f %14.2f %14.1f\n", f / 1e3, pt.magnitude_db(), pt.phase_deg());
     }
     std::printf("\nExpected shape: both engines find the ~2.0 limit cycle; the cascade\n"

@@ -1,5 +1,6 @@
 #include "core/ac_analysis.hpp"
 
+#include "core/scenario.hpp"
 #include "util/report.hpp"
 
 namespace sca::core {
@@ -27,6 +28,11 @@ ac_analysis::ac_analysis(tdf::dae_module& view, std::vector<double> dc_operating
     : view_(&view), dc_(std::move(dc_operating_point)), have_dc_(true) {
     view.build_now();
 }
+
+ac_analysis::ac_analysis(testbench& tb) : ac_analysis(tb.view()) {}
+
+ac_analysis::ac_analysis(testbench& tb, const std::string& view_name)
+    : ac_analysis(tb.view(view_name)) {}
 
 std::vector<ac_point> ac_analysis::sweep(std::size_t output,
                                          const solver::sweep& sw) const {

@@ -22,12 +22,19 @@ struct ac_point {
     [[nodiscard]] double phase_deg() const { return solver::phase_deg(value); }
 };
 
+class testbench;
+
 class ac_analysis {
 public:
     /// The view's equations are assembled on construction. For nonlinear
     /// views pass the DC operating point explicitly.
     explicit ac_analysis(tdf::dae_module& view);
     ac_analysis(tdf::dae_module& view, std::vector<double> dc_operating_point);
+
+    /// Analyse the testbench's continuous-time view (elaborating first), so
+    /// one scenario-built model serves DC, AC, noise, and transient runs.
+    explicit ac_analysis(testbench& tb);
+    ac_analysis(testbench& tb, const std::string& view_name);
 
     /// Sweep the response of unknown `output` (eln node.index(), lsf
     /// signal.index(), or any branch row).

@@ -3,11 +3,17 @@
 #include <iomanip>
 #include <ostream>
 
+#include "core/scenario.hpp"
 #include "util/report.hpp"
 
 namespace sca::core {
 
 dc_analysis::dc_analysis(tdf::dae_module& view) : view_(&view) { view.build_now(); }
+
+dc_analysis::dc_analysis(testbench& tb) : dc_analysis(tb.view()) {}
+
+dc_analysis::dc_analysis(testbench& tb, const std::string& view_name)
+    : dc_analysis(tb.view(view_name)) {}
 
 std::vector<dc_analysis::entry> dc_analysis::operating_point(double t0) const {
     const auto x = solver::dc_solve(view_->equations(), t0, options_);

@@ -13,10 +13,17 @@
 
 namespace sca::core {
 
+class testbench;
+
 class dc_analysis {
 public:
     /// Assembles the view's equations on construction.
     explicit dc_analysis(tdf::dae_module& view);
+
+    /// Analyse the testbench's continuous-time view (elaborating first), so
+    /// one scenario-built model serves DC, AC, noise, and transient runs.
+    explicit dc_analysis(testbench& tb);
+    dc_analysis(testbench& tb, const std::string& view_name);
 
     struct entry {
         std::string name;  // unknown name, e.g. "v(out)" or "i(vs.i)"

@@ -1,5 +1,7 @@
 #include "core/noise_analysis.hpp"
 
+#include "core/scenario.hpp"
+
 namespace sca::core {
 
 noise_analysis::noise_analysis(tdf::dae_module& view) : view_(&view) { view.build_now(); }
@@ -8,6 +10,11 @@ noise_analysis::noise_analysis(tdf::dae_module& view, std::vector<double> dc_ope
     : view_(&view), dc_(std::move(dc_operating_point)), have_dc_(true) {
     view.build_now();
 }
+
+noise_analysis::noise_analysis(testbench& tb) : noise_analysis(tb.view()) {}
+
+noise_analysis::noise_analysis(testbench& tb, const std::string& view_name)
+    : noise_analysis(tb.view(view_name)) {}
 
 solver::noise_result noise_analysis::run(std::size_t output,
                                          const solver::sweep& sw) const {

@@ -3,6 +3,7 @@
 #ifndef SCA_CORE_NOISE_ANALYSIS_HPP
 #define SCA_CORE_NOISE_ANALYSIS_HPP
 
+#include <string>
 #include <vector>
 
 #include "solver/noise.hpp"
@@ -11,10 +12,17 @@
 
 namespace sca::core {
 
+class testbench;
+
 class noise_analysis {
 public:
     explicit noise_analysis(tdf::dae_module& view);
     noise_analysis(tdf::dae_module& view, std::vector<double> dc_operating_point);
+
+    /// Analyse the testbench's continuous-time view (elaborating first), so
+    /// one scenario-built model serves DC, AC, noise, and transient runs.
+    explicit noise_analysis(testbench& tb);
+    noise_analysis(testbench& tb, const std::string& view_name);
 
     /// Output-referred noise PSD sweep at the given unknown.
     [[nodiscard]] solver::noise_result run(std::size_t output,

@@ -1,4 +1,4 @@
-// The user-facing simulation driver: owns one kernel context, provides the
+// The single-run simulation driver: owns one kernel context, provides the
 // build / elaborate / run lifecycle, and hosts waveform tracing.
 //
 //   sca::core::simulation sim;
@@ -6,6 +6,12 @@
 //   sim.trace(file, sca::de::time(1.0, sca::de::time_unit::us));
 //   file.add_channel("vout", sca::core::probe(vout_signal));
 //   sim.run(sca::de::time(10.0, sca::de::time_unit::ms));
+//
+// This is the thin compatibility facade underneath the scenario front end
+// (core/scenario.hpp): a testbench owns a simulation, and reusable scenario
+// definitions plus core/run_set add typed parameters, probes/measurements,
+// and parallel multi-run execution on top.  New code should prefer
+// scenario/testbench; this class stays for imperative one-shot drivers.
 #ifndef SCA_CORE_SIMULATION_HPP
 #define SCA_CORE_SIMULATION_HPP
 

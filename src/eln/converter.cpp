@@ -132,6 +132,9 @@ stamp_change de_rswitch::sample_inputs() {
     const bool v = ctrl.read();
     if (v != closed_) {
         closed_ = v;
+        // No slot yet (registered after the network built): escalate to a
+        // full restamp, which allocates the slot and stamps the new state.
+        if (slot_ == solver::no_stamp_handle) return stamp_change::topology;
         net_->update_stamp_value(slot_, 1.0 / (closed_ ? r_on_ : r_off_));
         return stamp_change::values;
     }

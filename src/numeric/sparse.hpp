@@ -16,6 +16,7 @@
 #define SCA_NUMERIC_SPARSE_HPP
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <complex>
 #include <cstddef>
@@ -30,9 +31,11 @@ namespace sca::num {
 namespace detail {
 /// Monotonic token source shared by all sparse matrices: two matrices (or
 /// the same matrix before/after a structural edit) never share a version.
+/// Atomic so that independent simulation contexts running on worker threads
+/// (core/run_set) can edit matrices concurrently without racing the counter.
 inline std::uint64_t next_pattern_version() noexcept {
-    static std::uint64_t counter = 0;
-    return ++counter;
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 }  // namespace detail
 

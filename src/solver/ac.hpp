@@ -39,6 +39,9 @@ public:
     ac_solver(const equation_system& sys, const std::vector<double>& dc_operating_point);
 
     /// Phasor solution of all unknowns at frequency `f` (Hz).
+    /// Not thread-safe despite constness: solve/transfer reuse mutable
+    /// per-sweep factorization caches. Give each thread its own ac_solver
+    /// (the core::ac_analysis driver constructs one per sweep call).
     [[nodiscard]] std::vector<std::complex<double>> solve(double f) const;
 
     /// Transfer from the AC stimulus to unknown `output` over a sweep.

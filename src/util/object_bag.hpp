@@ -1,0 +1,62 @@
+// Heterogeneous owned-object storage with deterministic teardown.
+//
+// Simulation models are built from non-copyable, non-movable objects (modules,
+// signals, network components) whose constructors register them with the
+// current simulation context.  A bag keeps such objects alive for exactly as
+// long as the testbench (or test fixture) that created them, and destroys
+// them in reverse construction order — children before the structures they
+// registered with.  This replaces the "anchor with bare `new` and never
+// delete" idiom, so leak checking can stay enabled under ASan.
+#ifndef SCA_UTIL_OBJECT_BAG_HPP
+#define SCA_UTIL_OBJECT_BAG_HPP
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace sca::util {
+
+class object_bag {
+public:
+    object_bag() = default;
+    ~object_bag() { clear(); }
+
+    object_bag(const object_bag&) = delete;
+    object_bag& operator=(const object_bag&) = delete;
+
+    /// Construct a T in place and own it; the reference stays valid until the
+    /// bag is cleared or destroyed.
+    template <typename T, typename... Args>
+    T& make(Args&&... args) {
+        auto item = std::make_unique<holder<T>>(std::forward<Args>(args)...);
+        T& ref = item->value;
+        items_.push_back(std::move(item));
+        return ref;
+    }
+
+    /// Destroy all owned objects, newest first.
+    void clear() {
+        while (!items_.empty()) items_.pop_back();
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+private:
+    struct holder_base {
+        virtual ~holder_base() = default;
+    };
+    template <typename T>
+    struct holder final : holder_base {
+        template <typename... Args>
+        explicit holder(Args&&... args) : value(std::forward<Args>(args)...) {}
+        T value;
+    };
+
+    std::vector<std::unique_ptr<holder_base>> items_;
+};
+
+}  // namespace sca::util
+
+#endif  // SCA_UTIL_OBJECT_BAG_HPP

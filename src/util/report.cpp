@@ -5,16 +5,19 @@
 namespace sca::util {
 
 namespace {
+// Thread-local so that concurrent scenario runs (core/run_set) collect their
+// diagnostics independently: a worker thread never sees another run's
+// warnings, and no locking is needed on the report path.
 std::vector<std::string>& warning_store() {
-    static std::vector<std::string> store;
+    thread_local std::vector<std::string> store;
     return store;
 }
 std::vector<std::string>& info_store() {
-    static std::vector<std::string> store;
+    thread_local std::vector<std::string> store;
     return store;
 }
 bool& echo_flag() {
-    static bool echo = false;
+    thread_local bool echo = false;
     return echo;
 }
 }  // namespace

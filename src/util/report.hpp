@@ -43,6 +43,8 @@ void report_warning(std::string_view context, std::string_view what);
 void report_info(std::string_view context, std::string_view what);
 
 /// All warnings recorded since the last clear_reports() call.
+/// Diagnostics are collected per thread: a worker running one scenario of a
+/// parallel run_set only ever observes its own run's warnings.
 [[nodiscard]] const std::vector<std::string>& warnings();
 
 /// All info messages recorded since the last clear_reports() call.

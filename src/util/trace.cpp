@@ -24,6 +24,16 @@ void trace_file::sample(double t) {
     write_row(t, values);
 }
 
+void trace_file::replay_row(double t, const std::vector<double>& values) {
+    require(values.size() == channels_.size(), "trace_file",
+            "replay_row value count does not match channel count");
+    if (!header_written_) {
+        write_header();
+        header_written_ = true;
+    }
+    write_row(t, values);
+}
+
 // ---------------------------------------------------------------- tabular --
 
 tabular_trace_file::tabular_trace_file(const std::string& path) : out_(path) {

@@ -34,10 +34,17 @@ public:
     /// Record the current value of every channel at time `t` (seconds).
     void sample(double t);
 
+    /// Write an externally captured row (one value per channel) — used to
+    /// re-emit an in-memory trace into another sink, e.g. a tabular file.
+    void replay_row(double t, const std::vector<double>& values);
+
     /// Flush and close the underlying file. Idempotent.
     virtual void close() = 0;
 
     [[nodiscard]] std::size_t channel_count() const noexcept { return channels_.size(); }
+    [[nodiscard]] const std::string& channel_name(std::size_t i) const {
+        return channels_.at(i).name;
+    }
 
 protected:
     trace_file() = default;

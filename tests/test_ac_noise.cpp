@@ -16,6 +16,7 @@
 #include "lsf/node.hpp"
 #include "lsf/primitives.hpp"
 #include "solver/noise.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace eln = sca::eln;
@@ -41,6 +42,7 @@ namespace {
 
 struct rc_fixture {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net;
     eln::node vout;
     double r = 1000.0;
@@ -51,10 +53,10 @@ struct rc_fixture {
         auto gnd = net.ground();
         auto vin = net.create_node("vin");
         vout = net.create_node("vout");
-        auto* vs = new eln::vsource("vs", net, vin, gnd, eln::waveform::dc(0.0));
-        vs->set_ac(1.0);
-        new eln::resistor("r", net, vin, vout, r);
-        new eln::capacitor("c", net, vout, gnd, c);
+        auto& vs = bag.make<eln::vsource>("vs", net, vin, gnd, eln::waveform::dc(0.0));
+        vs.set_ac(1.0);
+        bag.make<eln::resistor>("r", net, vin, vout, r);
+        bag.make<eln::capacitor>("c", net, vout, gnd, c);
         sim.elaborate();
     }
 };
@@ -202,12 +204,13 @@ TEST(noise, integrated_rc_noise_approaches_kt_over_c) {
 TEST(noise, parallel_resistors_reduce_output_noise) {
     auto run_divider = [](double r2) {
         core::simulation sim;
+        sca::util::object_bag bag;
         eln::network net("net");
         net.set_timestep(1.0, de::time_unit::us);
         auto gnd = net.ground();
         auto n = net.create_node("n");
-        new eln::resistor("r1", net, n, gnd, 1000.0);
-        new eln::resistor("r2", net, n, gnd, r2);
+        bag.make<eln::resistor>("r1", net, n, gnd, 1000.0);
+        bag.make<eln::resistor>("r2", net, n, gnd, r2);
         sim.elaborate();
         core::noise_analysis na(net);
         const auto res = na.run(n.index(), {1.0, 1.0, 1});
@@ -223,13 +226,14 @@ TEST(noise, parallel_resistors_reduce_output_noise) {
 
 TEST(noise, noiseless_resistor_is_excluded) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    auto* r1 = new eln::resistor("r1", net, n, gnd, 1000.0);
-    r1->set_noisy(false);
-    new eln::resistor("r2", net, n, gnd, 1000.0);
+    auto& r1 = bag.make<eln::resistor>("r1", net, n, gnd, 1000.0);
+    r1.set_noisy(false);
+    bag.make<eln::resistor>("r2", net, n, gnd, 1000.0);
     sim.elaborate();
     core::noise_analysis na(net);
     const auto res = na.run(n.index(), {1.0, 1.0, 1});
@@ -250,17 +254,18 @@ TEST(noise, per_source_contributions_sum_to_total) {
 
 TEST(noise, vsource_noise_psd_contributes) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto a = net.create_node("a");
     auto b = net.create_node("b");
-    auto* vs = new eln::vsource("vs", net, a, gnd, eln::waveform::dc(0.0));
-    vs->set_noise_psd([](double) { return 1e-12; });  // 1 uV/rtHz
-    auto* r1 = new eln::resistor("r1", net, a, b, 1000.0);
-    auto* r2 = new eln::resistor("r2", net, b, gnd, 1000.0);
-    r1->set_noisy(false);
-    r2->set_noisy(false);
+    auto& vs = bag.make<eln::vsource>("vs", net, a, gnd, eln::waveform::dc(0.0));
+    vs.set_noise_psd([](double) { return 1e-12; });  // 1 uV/rtHz
+    auto& r1 = bag.make<eln::resistor>("r1", net, a, b, 1000.0);
+    auto& r2 = bag.make<eln::resistor>("r2", net, b, gnd, 1000.0);
+    r1.set_noisy(false);
+    r2.set_noisy(false);
     sim.elaborate();
     core::noise_analysis na(net);
     const auto res = na.run(b.index(), {1e3, 1e3, 1});

@@ -22,6 +22,7 @@
 #include "tdf/module.hpp"
 #include "util/trace.hpp"
 #include "util/waveform.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -33,13 +34,14 @@ using namespace sca::de::literals;
 
 TEST(coverage, ac_write_emits_frequency_rows) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    auto* vs = new eln::vsource("vs", net, n, gnd, eln::waveform::dc(0.0));
-    vs->set_ac(1.0);
-    new eln::resistor("r", net, n, gnd, 1000.0);
+    auto& vs = bag.make<eln::vsource>("vs", net, n, gnd, eln::waveform::dc(0.0));
+    vs.set_ac(1.0);
+    bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
     sim.elaborate();
 
     core::ac_analysis ac(net);
@@ -53,12 +55,13 @@ TEST(coverage, ac_write_emits_frequency_rows) {
 
 TEST(coverage, noise_write_emits_per_source_columns) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    new eln::resistor("ra", net, n, gnd, 1000.0);
-    new eln::resistor("rb", net, n, gnd, 1000.0);
+    bag.make<eln::resistor>("ra", net, n, gnd, 1000.0);
+    bag.make<eln::resistor>("rb", net, n, gnd, 1000.0);
     sim.elaborate();
 
     core::noise_analysis na(net);
@@ -164,12 +167,13 @@ TEST(coverage, time_modulo_and_division) {
 TEST(coverage, first_order_amplifier_dc_probe_via_dc_analysis_options) {
     // dc_options pseudo-transient knob reachable through the facade.
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    new eln::capacitor("c", net, n, gnd, 1e-9);  // floating-by-C: singular A
-    new eln::resistor("r", net, n, gnd, 1e6);
+    bag.make<eln::capacitor>("c", net, n, gnd, 1e-9);  // floating-by-C: singular A
+    bag.make<eln::resistor>("r", net, n, gnd, 1e6);
     sim.elaborate();
     sca::core::dc_analysis dc(net);
     sca::solver::dc_options opt;

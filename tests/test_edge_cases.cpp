@@ -26,6 +26,7 @@
 #include "solver/nonlinear_dae.hpp"
 #include "tdf/module.hpp"
 #include "util/report.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -238,18 +239,19 @@ TEST(eln_edge, gyrator_makes_inductor_from_capacitor) {
     // Gyrator loaded with C behaves as L = C/g^2: check the AC impedance
     // rises with frequency like an inductor.
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n1 = net.create_node("n1");
     auto n2 = net.create_node("n2");
-    auto* is = new eln::isource("is", net, gnd, n1, eln::waveform::dc(0.0));
-    is->set_ac(1.0);
+    auto& is = bag.make<eln::isource>("is", net, gnd, n1, eln::waveform::dc(0.0));
+    is.set_ac(1.0);
     const double g = 1e-3;
     const double c = 1e-6;
-    new eln::gyrator("gy", net, n1, gnd, n2, gnd, g);
-    new eln::capacitor("c", net, n2, gnd, c);
-    new eln::resistor("rp", net, n1, gnd, 1e9);  // keeps DC defined
+    bag.make<eln::gyrator>("gy", net, n1, gnd, n2, gnd, g);
+    bag.make<eln::capacitor>("c", net, n2, gnd, c);
+    bag.make<eln::resistor>("rp", net, n1, gnd, 1e9);  // keeps DC defined
     sim.elaborate();
     core::ac_analysis ac(net);
     const double l_sim = c / (g * g);  // 1 H
@@ -279,13 +281,14 @@ TEST(eln_edge, de_isource_injects_controlled_current) {
 TEST(eln_edge, noise_scales_with_temperature) {
     auto psd_at = [](double kelvin) {
         core::simulation sim;
+        sca::util::object_bag bag;
         eln::network net("net");
         net.set_timestep(1.0, de::time_unit::us);
         net.set_temperature(kelvin);
         auto gnd = net.ground();
         auto n = net.create_node("n");
-        new eln::resistor("r", net, n, gnd, 1000.0);
-        new eln::capacitor("c", net, n, gnd, 1e-12);
+        bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
+        bag.make<eln::capacitor>("c", net, n, gnd, 1e-12);
         sim.elaborate();
         core::noise_analysis na(net);
         return na.run(n.index(), {100.0, 100.0, 1}).points[0].total_psd;
@@ -295,13 +298,14 @@ TEST(eln_edge, noise_scales_with_temperature) {
 
 TEST(eln_edge, vsource_ac_phase_propagates) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    auto* vs = new eln::vsource("vs", net, n, gnd, eln::waveform::dc(0.0));
-    vs->set_ac(2.0, 90.0);
-    new eln::resistor("r", net, n, gnd, 1000.0);
+    auto& vs = bag.make<eln::vsource>("vs", net, n, gnd, eln::waveform::dc(0.0));
+    vs.set_ac(2.0, 90.0);
+    bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
     sim.elaborate();
     core::ac_analysis ac(net);
     const auto pt = ac.sweep(n.index(), {1e3, 1e3, 1})[0];
@@ -490,16 +494,17 @@ class opamp_gain_sweep : public ::testing::TestWithParam<int> {};
 TEST_P(opamp_gain_sweep, inverting_gain_tracks_resistor_ratio) {
     const double ratio = static_cast<double>(GetParam());
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto vin = net.create_node("vin");
     auto vsum = net.create_node("vsum");
     auto vout = net.create_node("vout");
-    new eln::vsource("vs", net, vin, gnd, eln::waveform::dc(0.25));
-    new eln::resistor("rin", net, vin, vsum, 1000.0);
-    new eln::resistor("rf", net, vsum, vout, 1000.0 * ratio);
-    new eln::ideal_opamp("op", net, gnd, vsum, vout);
+    bag.make<eln::vsource>("vs", net, vin, gnd, eln::waveform::dc(0.25));
+    bag.make<eln::resistor>("rin", net, vin, vsum, 1000.0);
+    bag.make<eln::resistor>("rf", net, vsum, vout, 1000.0 * ratio);
+    bag.make<eln::ideal_opamp>("op", net, gnd, vsum, vout);
     sim.run(2_us);
     EXPECT_NEAR(net.voltage(vout), -0.25 * ratio, 1e-9);
 }

@@ -23,6 +23,7 @@
 #include "lsf/primitives.hpp"
 #include "lsf/view.hpp"
 #include "util/measure.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -49,6 +50,7 @@ TEST(integration, tdf_lsf_eln_chain_propagates_signal) {
     // Signal path crossing three MoCs: TDF sine -> LSF lowpass -> ELN RC
     // line -> TDF probe, all in a single cluster.
     core::simulation sim;
+    sca::util::object_bag bag;
 
     lib::sine_source src("src", 1.0, 1e3);
     src.set_timestep(5.0, de::time_unit::us);
@@ -65,18 +67,18 @@ TEST(integration, tdf_lsf_eln_chain_propagates_signal) {
     auto gnd = line.ground();
     auto n1 = line.create_node("n1");
     auto n2 = line.create_node("n2");
-    auto* drv = new eln::tdf_vsource("drv", line, n1, gnd);
-    new eln::resistor("rs", line, n1, n2, 100.0);
-    new eln::resistor("rl", line, n2, gnd, 100.0);
-    auto* probe = new eln::tdf_vsink("probe", line, n2, gnd);
+    auto& drv = bag.make<eln::tdf_vsource>("drv", line, n1, gnd);
+    bag.make<eln::resistor>("rs", line, n1, n2, 100.0);
+    bag.make<eln::resistor>("rl", line, n2, gnd, 100.0);
+    auto& probe = bag.make<eln::tdf_vsink>("probe", line, n2, gnd);
 
     collector sink("sink");
     tdf::signal<double> s1("s1"), s2("s2"), s3("s3");
     src.out.bind(s1);
     from.inp.bind(s1);
     to.outp.bind(s2);
-    drv->inp.bind(s2);
-    probe->outp.bind(s3);
+    drv.inp.bind(s2);
+    probe.outp.bind(s3);
     sink.in.bind(s3);
 
     sim.run(5_ms);
@@ -92,6 +94,7 @@ TEST(integration, de_controller_closes_loop_over_analog_plant) {
     // comparator publishes to DE, the DE controller toggles the charging
     // switch. The loop must regulate the capacitor voltage near setpoint.
     core::simulation sim;
+    sca::util::object_bag bag;
 
     de::signal<bool> heater_on("heater_on", true);
     de::signal<bool> above("above", false);
@@ -101,18 +104,18 @@ TEST(integration, de_controller_closes_loop_over_analog_plant) {
     auto gnd = plant.ground();
     auto vsup = plant.create_node("vsup");
     auto vc = plant.create_node("vc");
-    new eln::vsource("vs", plant, vsup, gnd, eln::waveform::dc(10.0));
-    auto* sw = new eln::de_rswitch("sw", plant, vsup, vc, 1000.0, 1e9);
-    sw->ctrl.bind(heater_on);
-    new eln::capacitor("c", plant, vc, gnd, 1e-6);
-    new eln::resistor("leak", plant, vc, gnd, 2000.0);
-    auto* probe = new eln::tdf_vsink("probe", plant, vc, gnd);
+    bag.make<eln::vsource>("vs", plant, vsup, gnd, eln::waveform::dc(10.0));
+    auto& sw = bag.make<eln::de_rswitch>("sw", plant, vsup, vc, 1000.0, 1e9);
+    sw.ctrl.bind(heater_on);
+    bag.make<eln::capacitor>("c", plant, vc, gnd, 1e-6);
+    bag.make<eln::resistor>("leak", plant, vc, gnd, 2000.0);
+    auto& probe = bag.make<eln::tdf_vsink>("probe", plant, vc, gnd);
 
     lib::comparator cmp("cmp", 5.0, 0.2);
     cmp.enable_de_output(above);
 
     tdf::signal<double> s("s");
-    probe->outp.bind(s);
+    probe.outp.bind(s);
     cmp.in.bind(s);
     tdf::signal<bool> sdummy("sdummy");
     cmp.out.bind(sdummy);
@@ -211,19 +214,20 @@ TEST(integration, trace_files_capture_mixed_signals) {
 
 TEST(integration, multiple_networks_in_one_simulation) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net_a("net_a");
     net_a.set_timestep(1.0, de::time_unit::us);
     auto ga = net_a.ground();
     auto na = net_a.create_node("na");
-    new eln::isource("ia", net_a, ga, na, eln::waveform::dc(1e-3));
-    new eln::resistor("ra", net_a, na, ga, 1000.0);
+    bag.make<eln::isource>("ia", net_a, ga, na, eln::waveform::dc(1e-3));
+    bag.make<eln::resistor>("ra", net_a, na, ga, 1000.0);
 
     eln::network net_b("net_b");
     net_b.set_timestep(3.0, de::time_unit::us);
     auto gb = net_b.ground();
     auto nb = net_b.create_node("nb");
-    new eln::isource("ib", net_b, gb, nb, eln::waveform::dc(2e-3));
-    new eln::resistor("rb", net_b, nb, gb, 1000.0);
+    bag.make<eln::isource>("ib", net_b, gb, nb, eln::waveform::dc(2e-3));
+    bag.make<eln::resistor>("rb", net_b, nb, gb, 1000.0);
 
     sim.run(30_us);
     EXPECT_NEAR(net_a.voltage(na), 1.0, 1e-9);

@@ -23,6 +23,7 @@
 #include "lib/sigma_delta.hpp"
 #include "util/fft.hpp"
 #include "util/measure.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -505,16 +506,17 @@ TEST(external_ode, wrapped_rk4_matches_eln_rc) {
     const double r = 1000.0, c = 100e-9;
 
     core::simulation sim;
+    sca::util::object_bag bag;
     // Native ELN reference.
     sca::eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto vin = net.create_node("vin");
     auto vout = net.create_node("vout");
-    new sca::eln::vsource("vs", net, vin, gnd,
+    bag.make<sca::eln::vsource>("vs", net, vin, gnd,
                           sca::eln::waveform::pulse(0.0, 1.0, 5e-6, 1e-9, 1e-9, 1.0, 2.0));
-    new sca::eln::resistor("r", net, vin, vout, r);
-    new sca::eln::capacitor("c", net, vout, gnd, c);
+    bag.make<sca::eln::resistor>("r", net, vin, vout, r);
+    bag.make<sca::eln::capacitor>("c", net, vout, gnd, c);
 
     // External engine wrapped in TDF.
     auto engine = std::make_unique<sca::solver::rk4_solver>(1e-7);

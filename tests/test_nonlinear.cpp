@@ -12,6 +12,7 @@
 #include "eln/primitives.hpp"
 #include "eln/sources.hpp"
 #include "util/measure.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace eln = sca::eln;
@@ -96,16 +97,17 @@ TEST(nonlinear, nmos_saturation_current) {
 TEST(nonlinear, nmos_resistor_inverter_transfer) {
     auto vout_for = [](double vin_value) {
         core::simulation sim;
+        sca::util::object_bag bag;
         eln::network net("net");
         net.set_timestep(1.0, de::time_unit::us);
         auto gnd = net.ground();
         auto vdd = net.create_node("vdd");
         auto vin = net.create_node("vin");
         auto vout = net.create_node("vout");
-        new eln::vsource("vdd_s", net, vdd, gnd, eln::waveform::dc(5.0));
-        new eln::vsource("vin_s", net, vin, gnd, eln::waveform::dc(vin_value));
-        new eln::resistor("rl", net, vdd, vout, 10e3);
-        new eln::nmos("m", net, vout, vin, gnd, 2e-3, 0.7, 0.01);
+        bag.make<eln::vsource>("vdd_s", net, vdd, gnd, eln::waveform::dc(5.0));
+        bag.make<eln::vsource>("vin_s", net, vin, gnd, eln::waveform::dc(vin_value));
+        bag.make<eln::resistor>("rl", net, vdd, vout, 10e3);
+        bag.make<eln::nmos>("m", net, vout, vin, gnd, 2e-3, 0.7, 0.01);
         sim.run(3_us);
         return net.voltage(vout);
     };

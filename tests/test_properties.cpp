@@ -17,6 +17,7 @@
 #include "tdf/cluster.hpp"
 #include "tdf/module.hpp"
 #include "tdf/schedule.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace eln = sca::eln;
@@ -36,19 +37,20 @@ TEST_P(random_ladder, dc_solution_satisfies_kirchhoff) {
     std::uniform_int_distribution<int> len(2, 12);
 
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     const int n = len(rng);
     std::vector<eln::node> nodes;
     for (int i = 0; i < n; ++i) nodes.push_back(net.create_node("n" + std::to_string(i)));
-    new eln::vsource("vs", net, nodes[0], gnd, eln::waveform::dc(10.0));
+    bag.make<eln::vsource>("vs", net, nodes[0], gnd, eln::waveform::dc(10.0));
     std::vector<double> series_r;
     for (int i = 0; i + 1 < n; ++i) {
         series_r.push_back(res(rng));
-        new eln::resistor("rs" + std::to_string(i), net, nodes[i], nodes[i + 1],
+        bag.make<eln::resistor>("rs" + std::to_string(i), net, nodes[i], nodes[i + 1],
                           series_r.back());
-        new eln::resistor("rp" + std::to_string(i), net, nodes[i + 1], gnd, res(rng));
+        bag.make<eln::resistor>("rp" + std::to_string(i), net, nodes[i + 1], gnd, res(rng));
     }
 
     sim.run(3_us);
@@ -223,17 +225,18 @@ TEST_P(random_rc_energy, discharge_is_monotonic_without_sources) {
     // A charged capacitor discharging through a random resistor mesh must
     // decay monotonically (passivity: no energy creation).
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto a = net.create_node("a");
     auto b = net.create_node("b");
     // Charge via a source that switches off after 10 us.
-    new eln::isource("chg", net, gnd, a,
+    bag.make<eln::isource>("chg", net, gnd, a,
                      eln::waveform::pulse(1e-3, 0.0, 10e-6, 1e-9, 1e-9, 1.0, 2.0));
-    new eln::capacitor("c1", net, a, gnd, cap(rng));
-    new eln::resistor("r1", net, a, b, res(rng));
-    new eln::resistor("r2", net, b, gnd, res(rng));
+    bag.make<eln::capacitor>("c1", net, a, gnd, cap(rng));
+    bag.make<eln::resistor>("r1", net, a, b, res(rng));
+    bag.make<eln::resistor>("r2", net, b, gnd, res(rng));
 
     sim.run(10_us);
     double prev = net.voltage(a);

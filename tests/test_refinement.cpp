@@ -30,6 +30,7 @@
 #include "lsf/node.hpp"
 #include "lsf/primitives.hpp"
 #include "tdf/port.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -170,14 +171,15 @@ INSTANTIATE_TEST_SUITE_P(frequencies, refinement_levels,
 
 TEST(refinement, dc_analysis_reports_named_operating_point) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto a = net.create_node("a");
     auto b = net.create_node("b");
-    new eln::vsource("vs", net, a, gnd, eln::waveform::dc(9.0));
-    new eln::resistor("r1", net, a, b, 2000.0);
-    new eln::resistor("r2", net, b, gnd, 1000.0);
+    bag.make<eln::vsource>("vs", net, a, gnd, eln::waveform::dc(9.0));
+    bag.make<eln::resistor>("r1", net, a, b, 2000.0);
+    bag.make<eln::resistor>("r2", net, b, gnd, 1000.0);
     sim.elaborate();
 
     core::dc_analysis dc(net);

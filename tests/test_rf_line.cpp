@@ -16,6 +16,7 @@
 #include "lib/pll.hpp"
 #include "tdf/port.hpp"
 #include "util/measure.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -144,19 +145,20 @@ TEST(rc_line, elmore_delay_matches_theory) {
 
 TEST(rc_line, internal_nodes_are_probeable) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto a = net.create_node("a");
     auto b = net.create_node("b");
-    new eln::vsource("vs", net, a, gnd, eln::waveform::dc(4.0));
-    auto* line = new eln::rc_line("line", net, a, b, gnd, 1000.0, 1e-9, 4);
-    new eln::resistor("load", net, b, gnd, 1000.0);
+    bag.make<eln::vsource>("vs", net, a, gnd, eln::waveform::dc(4.0));
+    auto& line = bag.make<eln::rc_line>("line", net, a, b, gnd, 1000.0, 1e-9, 4);
+    bag.make<eln::resistor>("load", net, b, gnd, 1000.0);
     sim.run(20_us);
     // Voltage decreases monotonically along the ladder toward the load.
     double prev = net.voltage(a);
-    for (std::size_t i = 0; i + 1 < line->sections(); ++i) {
-        const double v = net.voltage(line->internal(i));
+    for (std::size_t i = 0; i + 1 < line.sections(); ++i) {
+        const double v = net.voltage(line.internal(i));
         EXPECT_LT(v, prev);
         prev = v;
     }
@@ -168,6 +170,7 @@ TEST(rlgc_line, matched_termination_passes_ac_flatly) {
     // A lossless LC line terminated in its characteristic impedance shows a
     // flat magnitude response well below the section cutoff.
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
@@ -175,10 +178,10 @@ TEST(rlgc_line, matched_termination_passes_ac_flatly) {
     auto b = net.create_node("b");
     const double l = 1e-3, c = 1e-9;  // Z0 = 1 kohm
     const double z0 = std::sqrt(l / c);
-    auto* vs = new eln::vsource("vs", net, a, gnd, eln::waveform::dc(0.0));
-    vs->set_ac(1.0);
-    new eln::rlgc_line("line", net, a, b, gnd, 0.0, l, 0.0, c, 16);
-    new eln::resistor("term", net, b, gnd, z0);
+    auto& vs = bag.make<eln::vsource>("vs", net, a, gnd, eln::waveform::dc(0.0));
+    vs.set_ac(1.0);
+    bag.make<eln::rlgc_line>("line", net, a, b, gnd, 0.0, l, 0.0, c, 16);
+    bag.make<eln::resistor>("term", net, b, gnd, z0);
     sim.elaborate();
 
     core::ac_analysis ac(net);

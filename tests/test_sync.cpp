@@ -14,6 +14,7 @@
 #include "tdf/cluster.hpp"
 #include "tdf/converter.hpp"
 #include "tdf/module.hpp"
+#include "util/object_bag.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -109,15 +110,16 @@ TEST(sync, consistent_initial_state_at_t0) {
     // consistent initial (quiescent) state".  The first TDF sample out of an
     // ELN network must be the DC solution, not zero.
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto vin = net.create_node("vin");
     auto vout = net.create_node("vout");
-    new eln::vsource("vs", net, vin, gnd, eln::waveform::dc(6.0));
-    new eln::resistor("r1", net, vin, vout, 1000.0);
-    new eln::resistor("r2", net, vout, gnd, 2000.0);
-    auto* probe = new eln::tdf_vsink("probe", net, vout, gnd);
+    bag.make<eln::vsource>("vs", net, vin, gnd, eln::waveform::dc(6.0));
+    bag.make<eln::resistor>("r1", net, vin, vout, 1000.0);
+    bag.make<eln::resistor>("r2", net, vout, gnd, 2000.0);
+    auto& probe = bag.make<eln::tdf_vsink>("probe", net, vout, gnd);
 
     struct first_sample_sink : tdf::module {
         tdf::in<double> in;
@@ -126,7 +128,7 @@ TEST(sync, consistent_initial_state_at_t0) {
         void processing() override { got.push_back(in.read()); }
     } sink("sink");
     tdf::signal<double> s("s");
-    probe->outp.bind(s);
+    probe.outp.bind(s);
     sink.in.bind(s);
 
     sim.run(2_us);
@@ -136,14 +138,15 @@ TEST(sync, consistent_initial_state_at_t0) {
 
 TEST(sync, de_event_reaches_network_within_one_period) {
     core::simulation sim;
+    sca::util::object_bag bag;
     de::signal<double> level("level", 0.0);
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    auto* src = new eln::de_vsource("src", net, n, gnd);
-    new eln::resistor("r", net, n, gnd, 1000.0);
-    src->inp.bind(level);
+    auto& src = bag.make<eln::de_vsource>("src", net, n, gnd);
+    bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
+    src.inp.bind(level);
 
     sim.run(1_us);
     EXPECT_NEAR(net.voltage(n), 0.0, 1e-12);
@@ -187,12 +190,13 @@ TEST(sync, tdf_cluster_and_de_clock_interleave) {
 
 TEST(sync, network_activations_track_cluster_period) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(5.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    new eln::isource("is", net, gnd, n, eln::waveform::dc(1e-3));
-    new eln::resistor("r", net, n, gnd, 1000.0);
+    bag.make<eln::isource>("is", net, gnd, n, eln::waveform::dc(1e-3));
+    bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
 
     sim.run(50_us);
     EXPECT_EQ(net.activation_count(), 11U);  // t = 0, 5, ..., 50 us
@@ -215,14 +219,15 @@ TEST(sync, converter_ports_mark_cluster_de_coupled) {
 
 TEST(sync, de_controlled_network_is_de_coupled) {
     core::simulation sim;
+    sca::util::object_bag bag;
     de::signal<double> level("level", 0.0);
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    auto* src = new eln::de_vsource("src", net, n, gnd);
-    new eln::resistor("r", net, n, gnd, 1000.0);
-    src->inp.bind(level);
+    auto& src = bag.make<eln::de_vsource>("src", net, n, gnd);
+    bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
+    src.inp.bind(level);
     sim.elaborate();
     auto& reg = tdf::registry::of(sim.context());
     ASSERT_EQ(reg.clusters().size(), 1U);
@@ -231,12 +236,13 @@ TEST(sync, de_controlled_network_is_de_coupled) {
 
 TEST(sync, pure_network_cluster_is_not_de_coupled) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    new eln::isource("is", net, gnd, n, eln::waveform::dc(1e-3));
-    new eln::resistor("r", net, n, gnd, 1000.0);
+    bag.make<eln::isource>("is", net, gnd, n, eln::waveform::dc(1e-3));
+    bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
     sim.elaborate();
     auto& reg = tdf::registry::of(sim.context());
     ASSERT_EQ(reg.clusters().size(), 1U);
@@ -294,12 +300,13 @@ TEST(sync, batched_execution_invisible_to_timed_de_observer) {
 
 TEST(sync, batched_network_reuses_factorization) {
     core::simulation sim;
+    sca::util::object_bag bag;
     eln::network net("net");
     net.set_timestep(1.0, de::time_unit::us);
     auto gnd = net.ground();
     auto n = net.create_node("n");
-    new eln::vsource("vs", net, n, gnd, eln::waveform::sine(1.0, 10e3));
-    new eln::resistor("r", net, n, gnd, 1000.0);
+    bag.make<eln::vsource>("vs", net, n, gnd, eln::waveform::sine(1.0, 10e3));
+    bag.make<eln::resistor>("r", net, n, gnd, 1000.0);
 
     sim.run(500_us);
     auto& reg = tdf::registry::of(sim.context());
