@@ -1,11 +1,13 @@
-// Quickstart: a mixed-signal "hello world" on the scenario API.
+// Quickstart: a mixed-signal "hello world" on the scenario API, built
+// hierarchically.
 //
 // A TDF sine source drives an ELN RC lowpass; a comparator squares the
 // filtered wave back up and publishes it to the DE world, where a process
-// counts edges.  The testbench is defined once as a scenario — parameters,
-// probes and measurements included — then built and run.  Demonstrates the
-// three worlds (dataflow, conservative continuous-time, discrete-event) and
-// the scenario/testbench lifecycle in ~90 lines.
+// counts edges.  The RC is the reusable eln::rc_lowpass subcircuit bound by
+// terminals, and every TDF edge is wired with connect() — no intermediate
+// tdf::signal declarations anywhere.  Demonstrates the three worlds
+// (dataflow, conservative continuous-time, discrete-event), hierarchical
+// composition, and the scenario/testbench lifecycle in ~90 lines.
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
@@ -13,10 +15,10 @@
 #include "core/scenario.hpp"
 #include "eln/converter.hpp"
 #include "eln/network.hpp"
-#include "eln/primitives.hpp"
-#include "eln/sources.hpp"
+#include "eln/subcircuit.hpp"
 #include "lib/converters.hpp"
 #include "lib/oscillator.hpp"
+#include "tdf/connect.hpp"
 #include "tdf/port.hpp"
 
 namespace core = sca::core;
@@ -52,15 +54,22 @@ int main() {
             auto& src = tb.make<lib::sine_source>("src", 1.0, p.number("f_sine"));
             src.set_timestep(1.0, de::time_unit::us);
 
-            // 2. Conservative-law RC lowpass (fc ~ 1.6 kHz at defaults).
+            // 2. Conservative-law RC lowpass (fc ~ 1.6 kHz at defaults) as a
+            //    reusable subcircuit bound through its terminals.
             auto& net = tb.make<eln::network>("net");
             auto gnd = net.ground();
             auto vin = net.create_node("vin");
             auto vout = net.create_node("vout");
-            auto& drive = tb.make<eln::tdf_vsource>("drive", net, vin, gnd);
-            tb.make<eln::resistor>("r", net, vin, vout, p.number("r"));
-            tb.make<eln::capacitor>("c", net, vout, gnd, p.number("c"));
-            auto& probe = tb.make<eln::tdf_vsink>("probe", net, vout, gnd);
+            auto& drive = tb.make<eln::tdf_vsource>("drive", net);
+            drive.p(vin);
+            drive.n(gnd);
+            auto& rc = tb.make<eln::rc_lowpass>("rc", net, p.number("r"), p.number("c"));
+            rc.in(vin);
+            rc.out(vout);
+            rc.ref(gnd);
+            auto& probe = tb.make<eln::tdf_vsink>("probe", net);
+            probe.p(vout);
+            probe.n(gnd);
 
             // 3. Back to digital: comparator with hysteresis -> DE counter.
             auto& cmp = tb.make<lib::comparator>("cmp", 0.0, 0.05);
@@ -68,17 +77,12 @@ int main() {
             cmp.enable_de_output(square);
             auto& counter = tb.make<edge_counter>("counter");
             counter.in.bind(square);
-
-            auto& s_sine = tb.make<tdf::signal<double>>("s_sine");
-            auto& s_filtered = tb.make<tdf::signal<double>>("s_filtered");
-            auto& s_square = tb.make<tdf::signal<bool>>("s_square");
-            src.out.bind(s_sine);
-            drive.inp.bind(s_sine);
-            probe.outp.bind(s_filtered);
-            cmp.in.bind(s_filtered);
-            cmp.out.bind(s_square);
             auto& bsink = tb.make<null_bool_sink>("bsink");
-            bsink.in.bind(s_square);
+
+            // TDF wiring: connect() creates the intermediate signals.
+            auto& s_sine = connect(src.out, drive.inp);
+            connect(probe.outp, cmp.in);
+            connect(cmp.out, bsink.in);
 
             // Probes recorded every 10 us; measurements read at run end.
             tb.probe("sine", s_sine);

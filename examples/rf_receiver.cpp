@@ -1,7 +1,9 @@
-// Phase-2 RF/wireless scenario (paper §2): dataflow model of a receiver
-// front-end — LNA with saturation, quadrature downconversion mixer, IF
-// filter — plus the frequency-domain characterization (AC + noise) of the
-// analog channel-select filter, the analyses phase 1/2 mandate.
+// Phase-2 RF/wireless scenario (paper §2), built hierarchically: the
+// receiver front-end — LNA with saturation, quadrature downconversion mixer,
+// IF filter — is one reusable tdf::composite exposing rf-in/if-out ports,
+// and the analog channel-select tank is an eln::subcircuit bound by
+// terminals.  The frequency-domain characterization (AC + noise) of the tank
+// runs on the same testbench handle, as phase 1/2 mandate.
 //
 // Scenario-API version: the receiver chain is one scenario (RF/LO
 // frequencies as typed parameters, the IF peak extracted as measurements);
@@ -14,12 +16,13 @@
 #include "core/noise_analysis.hpp"
 #include "core/scenario.hpp"
 #include "eln/network.hpp"
-#include "eln/primitives.hpp"
 #include "eln/sources.hpp"
+#include "eln/subcircuit.hpp"
 #include "lib/amplifier.hpp"
 #include "lib/filters.hpp"
 #include "lib/mixer.hpp"
 #include "lib/oscillator.hpp"
+#include "tdf/connect.hpp"
 #include "tdf/port.hpp"
 #include "util/fft.hpp"
 #include "util/measure.hpp"
@@ -47,6 +50,51 @@ struct sink : tdf::module {
     void processing() override { (void)in.read(); }
 };
 
+/// The receiver front-end as a reusable subsystem: rf in, downconverted and
+/// channel-filtered IF out.  Internal wiring (including the discarded Q
+/// path) never leaks into the testbench.
+struct receiver_chain : tdf::composite {
+    tdf::in<double> rf;
+    tdf::out<double> if_out;
+
+    receiver_chain(const de::module_name& nm, double f_lo)
+        : tdf::composite(nm), rf("rf"), if_out("if_out") {
+        auto& lna = make_child<lib::amplifier>("lna", 20.0, 1.0, -1.0);
+        auto& lo = make_child<lib::quadrature_oscillator>("lo", 1.0, f_lo);
+        auto& mix_i = make_child<lib::mixer>("mix_i", 2.0);
+        auto& if_filter = make_child<lib::fir>(
+            "if_filter", lib::fir::design_lowpass(127, 0.005));  // 25 kHz
+        auto& q_sink = make_child<sink>("q_sink");
+
+        lna.in.bind(rf);  // forwarded subsystem input
+        connect(lna.out, mix_i.rf);
+        connect(lo.out_i, mix_i.lo);
+        connect(lo.out_q, q_sink.in);
+        connect(mix_i.out, if_filter.in);
+        if_filter.out.bind(if_out);  // exported subsystem output
+    }
+};
+
+/// Channel-select LC tank as a terminal-bound subcircuit: series source
+/// resistor into a parallel LC to ground.
+struct lc_tank : eln::subcircuit {
+    eln::terminal in, out, ref;
+    eln::resistor rs;
+    eln::inductor l1;
+    eln::capacitor c1;
+
+    lc_tank(const de::module_name& nm, eln::network& net, double l, double c)
+        : subcircuit(nm, net), in("in", *this), out("out", *this), ref("ref", *this),
+          rs("rs", net, 10e3), l1("l1", net, l), c1("c1", net, c) {
+        rs.p(in);
+        rs.n(out);
+        l1.p(out);
+        l1.n(ref);
+        c1.p(out);
+        c1.n(ref);
+    }
+};
+
 core::scenario define_receiver() {
     return core::scenario::define(
         "rf_receiver", core::params{{"f_rf", 455e3}, {"f_lo", 445e3}},
@@ -55,32 +103,11 @@ core::scenario define_receiver() {
 
             auto& rf_in = tb.make<lib::sine_source>("rf_in", 20e-3, p.number("f_rf"));
             rf_in.set_timestep(fs_step);
-            auto& lna = tb.make<lib::amplifier>("lna", 20.0, 1.0, -1.0);
-            auto& lo = tb.make<lib::quadrature_oscillator>("lo", 1.0, p.number("f_lo"));
-            auto& mix_i = tb.make<lib::mixer>("mix_i", 2.0);
-            auto& if_filter = tb.make<lib::fir>(
-                "if_filter", lib::fir::design_lowpass(127, 0.005));  // 25 kHz
+            auto& rx = tb.make<receiver_chain>("rx", p.number("f_lo"));
             auto& if_out = tb.make<recorder>("if_out");
-            auto& q_sink = tb.make<sink>("q_sink");
 
-            auto& w_rf = tb.make<tdf::signal<double>>("w_rf");
-            auto& w_lna = tb.make<tdf::signal<double>>("w_lna");
-            auto& w_loi = tb.make<tdf::signal<double>>("w_loi");
-            auto& w_loq = tb.make<tdf::signal<double>>("w_loq");
-            auto& w_mix = tb.make<tdf::signal<double>>("w_mix");
-            auto& w_if = tb.make<tdf::signal<double>>("w_if");
-            rf_in.out.bind(w_rf);
-            lna.in.bind(w_rf);
-            lna.out.bind(w_lna);
-            lo.out_i.bind(w_loi);
-            lo.out_q.bind(w_loq);
-            q_sink.in.bind(w_loq);
-            mix_i.rf.bind(w_lna);
-            mix_i.lo.bind(w_loi);
-            mix_i.out.bind(w_mix);
-            if_filter.in.bind(w_mix);
-            if_filter.out.bind(w_if);
-            if_out.in.bind(w_if);
+            connect(rf_in.out, rx.rf);
+            connect(rx.if_out, if_out.in);
 
             tb.set_stop_time(10_ms);
             // IF peak from the spectrum of the recorded tail; the 16k-point
@@ -124,9 +151,11 @@ core::scenario define_if_tank() {
             auto& src = tb.make<eln::vsource>("src", filt, n1, gnd,
                                               eln::waveform::dc(0.0));
             src.set_ac(1.0);
-            tb.make<eln::resistor>("rs", filt, n1, n2, 10e3);
-            tb.make<eln::inductor>("l1", filt, n2, gnd, p.number("l"));
-            tb.make<eln::capacitor>("c1", filt, n2, gnd, p.number("c"));
+            auto& tank =
+                tb.make<lc_tank>("tank", filt, p.number("l"), p.number("c"));
+            tank.in(n1);
+            tank.out(n2);
+            tank.ref(gnd);
             tb.note("out", double(n2.index()));
         });
 }

@@ -27,6 +27,12 @@
 // in-memory trace, and named measurements evaluated when a run finishes.
 // The classic core::simulation remains as the thin single-run facade
 // underneath; scenario/testbench is the recommended front end.
+//
+// Builders compose hierarchically: make<T> a tdf::composite or
+// eln::subcircuit (which own their children via module::make_child), wire
+// TDF ports with tdf::connect()/operator>>, and bind ELN terminals to
+// nodes — see docs/api.md "Hierarchical composition".  Composites behave
+// identically inside run_set parallel sweeps (tests/test_hierarchy.cpp).
 #ifndef SCA_CORE_SCENARIO_HPP
 #define SCA_CORE_SCENARIO_HPP
 

@@ -4,17 +4,23 @@ namespace sca::eln {
 
 // --------------------------------------------------------------- tdf_vsource
 
-tdf_vsource::tdf_vsource(const std::string& name, network& net, node p, node n)
-    : component(name, net), inp("inp"), p_(p), n_(n) {
+tdf_vsource::tdf_vsource(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this), inp("inp") {
     inp.set_owner(net);
+}
+
+tdf_vsource::tdf_vsource(const std::string& name, network& net, node p_node, node n_node)
+    : tdf_vsource(name, net) {
+    p.bind(p_node);
+    n.bind(n_node);
 }
 
 void tdf_vsource::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
-    net.add_a(network::row_of(p_), k, 1.0);
-    net.add_a(network::row_of(n_), k, -1.0);
-    net.add_a(k, network::row_of(p_), 1.0);
-    net.add_a(k, network::row_of(n_), -1.0);
+    net.add_a(network::row_of(p.get()), k, 1.0);
+    net.add_a(network::row_of(n.get()), k, -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
     slot_ = net.add_input(k);
 }
 
@@ -24,14 +30,20 @@ void tdf_vsource::read_tdf_inputs(network& net) {
 
 // --------------------------------------------------------------- tdf_isource
 
-tdf_isource::tdf_isource(const std::string& name, network& net, node p, node n)
-    : component(name, net), inp("inp"), p_(p), n_(n) {
+tdf_isource::tdf_isource(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this), inp("inp") {
     inp.set_owner(net);
 }
 
+tdf_isource::tdf_isource(const std::string& name, network& net, node p_node, node n_node)
+    : tdf_isource(name, net) {
+    p.bind(p_node);
+    n.bind(n_node);
+}
+
 void tdf_isource::stamp(network& net) {
-    slot_p_ = net.add_input(network::row_of(p_));
-    slot_n_ = net.add_input(network::row_of(n_));
+    slot_p_ = net.add_input(network::row_of(p.get()));
+    slot_n_ = net.add_input(network::row_of(n.get()));
 }
 
 void tdf_isource::read_tdf_inputs(network& net) {
@@ -42,45 +54,65 @@ void tdf_isource::read_tdf_inputs(network& net) {
 
 // ----------------------------------------------------------------- tdf_vsink
 
-tdf_vsink::tdf_vsink(const std::string& name, network& net, node a, node b)
-    : component(name, net), outp("outp"), a_(a), b_(b) {
+tdf_vsink::tdf_vsink(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this), outp("outp") {
     outp.set_owner(net);
+}
+
+tdf_vsink::tdf_vsink(const std::string& name, network& net, node a, node b)
+    : tdf_vsink(name, net) {
+    p.bind(a);
+    n.bind(b);
 }
 
 void tdf_vsink::stamp(network&) {}
 
-void tdf_vsink::write_tdf_outputs(network& net) { outp.write(net.voltage(a_, b_)); }
+void tdf_vsink::write_tdf_outputs(network& net) {
+    outp.write(net.voltage(p.get(), n.get()));
+}
 
 // ----------------------------------------------------------------- tdf_isink
 
-tdf_isink::tdf_isink(const std::string& name, network& net, node a, node b)
-    : component(name, net), outp("outp"), a_(a), b_(b) {
+tdf_isink::tdf_isink(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this), outp("outp") {
     outp.set_owner(net);
+}
+
+tdf_isink::tdf_isink(const std::string& name, network& net, node a, node b)
+    : tdf_isink(name, net) {
+    p.bind(a);
+    n.bind(b);
 }
 
 void tdf_isink::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
-    net.add_a(network::row_of(a_), k, 1.0);
-    net.add_a(network::row_of(b_), k, -1.0);
-    net.add_a(k, network::row_of(a_), 1.0);
-    net.add_a(k, network::row_of(b_), -1.0);
+    net.add_a(network::row_of(p.get()), k, 1.0);
+    net.add_a(network::row_of(n.get()), k, -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
 }
 
 void tdf_isink::write_tdf_outputs(network& net) { outp.write(net.current(*this)); }
 
 // ---------------------------------------------------------------- de_vsource
 
-de_vsource::de_vsource(const std::string& name, network& net, node p, node n)
-    : component(name, net), inp("inp"), p_(p), n_(n) {
+de_vsource::de_vsource(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this), inp("inp") {
     net.declare_de_coupled();
+}
+
+de_vsource::de_vsource(const std::string& name, network& net, node p_node, node n_node)
+    : de_vsource(name, net) {
+    p.bind(p_node);
+    n.bind(n_node);
 }
 
 void de_vsource::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
-    net.add_a(network::row_of(p_), k, 1.0);
-    net.add_a(network::row_of(n_), k, -1.0);
-    net.add_a(k, network::row_of(p_), 1.0);
-    net.add_a(k, network::row_of(n_), -1.0);
+    net.add_a(network::row_of(p.get()), k, 1.0);
+    net.add_a(network::row_of(n.get()), k, -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
     slot_ = net.add_input(k);
 }
 
@@ -88,14 +120,20 @@ void de_vsource::read_tdf_inputs(network& net) { net.set_input(slot_, inp.read()
 
 // ---------------------------------------------------------------- de_isource
 
-de_isource::de_isource(const std::string& name, network& net, node p, node n)
-    : component(name, net), inp("inp"), p_(p), n_(n) {
+de_isource::de_isource(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this), inp("inp") {
     net.declare_de_coupled();
 }
 
+de_isource::de_isource(const std::string& name, network& net, node p_node, node n_node)
+    : de_isource(name, net) {
+    p.bind(p_node);
+    n.bind(n_node);
+}
+
 void de_isource::stamp(network& net) {
-    slot_p_ = net.add_input(network::row_of(p_));
-    slot_n_ = net.add_input(network::row_of(n_));
+    slot_p_ = net.add_input(network::row_of(p.get()));
+    slot_n_ = net.add_input(network::row_of(n.get()));
 }
 
 void de_isource::read_tdf_inputs(network& net) {
@@ -106,26 +144,41 @@ void de_isource::read_tdf_inputs(network& net) {
 
 // ------------------------------------------------------------------ de_vsink
 
-de_vsink::de_vsink(const std::string& name, network& net, node a, node b)
-    : component(name, net), outp("outp"), a_(a), b_(b) {
+de_vsink::de_vsink(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this), outp("outp") {
     net.declare_de_coupled();
 }
 
-void de_vsink::write_tdf_outputs(network& net) { outp.write(net.voltage(a_, b_)); }
+de_vsink::de_vsink(const std::string& name, network& net, node a, node b)
+    : de_vsink(name, net) {
+    p.bind(a);
+    n.bind(b);
+}
+
+void de_vsink::write_tdf_outputs(network& net) {
+    outp.write(net.voltage(p.get(), n.get()));
+}
 
 // ---------------------------------------------------------------- de_rswitch
 
-de_rswitch::de_rswitch(const std::string& name, network& net, node a, node b, double r_on,
-                       double r_off)
-    : component(name, net), ctrl("ctrl"), a_(a), b_(b), r_on_(r_on), r_off_(r_off) {
+de_rswitch::de_rswitch(const std::string& name, network& net, double r_on, double r_off)
+    : component(name, net), p("p", *this), n("n", *this), ctrl("ctrl"), r_on_(r_on),
+      r_off_(r_off) {
     net.declare_de_coupled();
     util::require(r_on > 0.0 && r_off > r_on, this->name(),
                   "switch requires 0 < r_on < r_off");
 }
 
+de_rswitch::de_rswitch(const std::string& name, network& net, node a, node b, double r_on,
+                       double r_off)
+    : de_rswitch(name, net, r_on, r_off) {
+    p.bind(a);
+    n.bind(b);
+}
+
 void de_rswitch::stamp(network& net) {
     slot_ = net.add_stamp_slot(1.0 / (closed_ ? r_on_ : r_off_));
-    net.stamp_conductance_slot(slot_, a_, b_);
+    net.stamp_conductance_slot(slot_, p.get(), n.get());
 }
 
 stamp_change de_rswitch::sample_inputs() {

@@ -2,10 +2,14 @@
 // worlds and probes feeding network quantities back to them (paper §3:
 // conservative-law models couple to discrete-time models "by providing the
 // appropriate interface models (mixed-signal or mixed-domain interfaces)").
+//
+// Like the primitives, converters expose their network pins as bindable
+// eln::terminal ports (p/n); the legacy node constructors forward to them.
 #ifndef SCA_ELN_CONVERTER_HPP
 #define SCA_ELN_CONVERTER_HPP
 
 #include "eln/network.hpp"
+#include "eln/terminal.hpp"
 #include "kernel/signal.hpp"
 #include "tdf/port.hpp"
 
@@ -14,7 +18,10 @@ namespace sca::eln {
 /// Voltage source whose value is the current TDF input sample.
 class tdf_vsource : public component {
 public:
+    tdf_vsource(const std::string& name, network& net);
     tdf_vsource(const std::string& name, network& net, node p, node n);
+
+    terminal p, n;
 
     /// The TDF input port; bind it to a tdf::signal<double>.
     tdf::in<double> inp;
@@ -26,7 +33,6 @@ public:
     void read_tdf_inputs(network& net) override;
 
 private:
-    node p_, n_;
     double scale_ = 1.0;
     std::size_t slot_ = 0;
 };
@@ -34,7 +40,10 @@ private:
 /// Current source whose value is the current TDF input sample (p -> n).
 class tdf_isource : public component {
 public:
+    tdf_isource(const std::string& name, network& net);
     tdf_isource(const std::string& name, network& net, node p, node n);
+
+    terminal p, n;
 
     tdf::in<double> inp;
 
@@ -44,44 +53,46 @@ public:
     void read_tdf_inputs(network& net) override;
 
 private:
-    node p_, n_;
     double scale_ = 1.0;
     std::size_t slot_p_ = 0;
     std::size_t slot_n_ = 0;
 };
 
-/// Voltage probe writing v(a) - v(b) to a TDF output each step.
+/// Voltage probe writing v(p) - v(n) to a TDF output each step.
 class tdf_vsink : public component {
 public:
+    tdf_vsink(const std::string& name, network& net);
     tdf_vsink(const std::string& name, network& net, node a, node b);
+
+    terminal p, n;
 
     tdf::out<double> outp;
 
     void stamp(network& net) override;
     void write_tdf_outputs(network& net) override;
-
-private:
-    node a_, b_;
 };
 
 /// Current probe (0 V branch) writing the branch current to a TDF output.
 class tdf_isink : public component {
 public:
+    tdf_isink(const std::string& name, network& net);
     tdf_isink(const std::string& name, network& net, node a, node b);
+
+    terminal p, n;
 
     tdf::out<double> outp;
 
     void stamp(network& net) override;
     void write_tdf_outputs(network& net) override;
-
-private:
-    node a_, b_;
 };
 
 /// Voltage source controlled by a DE signal (sampled at each activation).
 class de_vsource : public component {
 public:
+    de_vsource(const std::string& name, network& net);
     de_vsource(const std::string& name, network& net, node p, node n);
+
+    terminal p, n;
 
     de::in<double> inp;
 
@@ -89,7 +100,6 @@ public:
     void read_tdf_inputs(network& net) override;
 
 private:
-    node p_, n_;
     std::size_t slot_ = 0;
 };
 
@@ -97,7 +107,10 @@ private:
 /// current flows p -> n inside the source).
 class de_isource : public component {
 public:
+    de_isource(const std::string& name, network& net);
     de_isource(const std::string& name, network& net, node p, node n);
+
+    terminal p, n;
 
     de::in<double> inp;
 
@@ -105,7 +118,6 @@ public:
     void read_tdf_inputs(network& net) override;
 
 private:
-    node p_, n_;
     std::size_t slot_p_ = 0;
     std::size_t slot_n_ = 0;
 };
@@ -113,15 +125,15 @@ private:
 /// Voltage probe writing into a DE signal at each activation.
 class de_vsink : public component {
 public:
+    de_vsink(const std::string& name, network& net);
     de_vsink(const std::string& name, network& net, node a, node b);
+
+    terminal p, n;
 
     de::out<double> outp;
 
     void stamp(network&) override {}
     void write_tdf_outputs(network& net) override;
-
-private:
-    node a_, b_;
 };
 
 /// Switch controlled by a DE boolean signal (state is sampled at TDF
@@ -132,8 +144,12 @@ private:
 /// cached symbolic analysis — the hot path of switching workloads.
 class de_rswitch : public component {
 public:
+    de_rswitch(const std::string& name, network& net, double r_on = 1.0,
+               double r_off = 1e9);
     de_rswitch(const std::string& name, network& net, node a, node b, double r_on = 1.0,
                double r_off = 1e9);
+
+    terminal p, n;
 
     de::in<bool> ctrl;
 
@@ -143,7 +159,6 @@ public:
     [[nodiscard]] bool closed() const noexcept { return closed_; }
 
 private:
-    node a_, b_;
     double r_on_, r_off_;
     bool closed_ = false;
     solver::stamp_handle slot_ = solver::no_stamp_handle;

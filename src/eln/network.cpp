@@ -1,5 +1,8 @@
 #include "eln/network.hpp"
 
+#include <algorithm>
+
+#include "eln/terminal.hpp"
 #include "util/report.hpp"
 
 namespace sca::eln {
@@ -9,10 +12,37 @@ component::component(std::string name, network& net)
     net.register_component(*this);
 }
 
+component::~component() {
+    if (net_ != nullptr) net_->unregister_component(*this);
+}
+
+network::~network() {
+    for (component* c : components_) c->net_ = nullptr;
+    for (terminal* t : terminals_) t->net_ = nullptr;
+}
+
+void network::unregister_component(component& c) {
+    components_.erase(std::remove(components_.begin(), components_.end(), &c),
+                      components_.end());
+}
+
 node network::create_node(const std::string& name, nature k) {
+    util::require(node_names_.insert(name).second, this->name(),
+                  "duplicate node name '" + name +
+                      "': node names are unique per network (subcircuit-internal "
+                      "nodes are auto-prefixed with the instance path)");
     const std::size_t index = raw_system().add_unknown("v(" + name + ")");
     nodes_.push_back({name, k});
     return node(this, index, k, /*ground=*/false);
+}
+
+void network::unregister_terminal(terminal& t) {
+    terminals_.erase(std::remove(terminals_.begin(), terminals_.end(), &t),
+                     terminals_.end());
+}
+
+void network::resolve_terminals() {
+    for (terminal* t : terminals_) t->resolve();
 }
 
 node network::ground(nature k) { return node(this, 0, k, /*ground=*/true); }
@@ -164,6 +194,7 @@ void network::check_nature(const node& n, nature expected, const std::string& wh
 }
 
 void network::build_equations() {
+    resolve_terminals();
     for (component* c : components_) c->stamp(*this);
 }
 

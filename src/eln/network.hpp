@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 namespace sca::eln {
 
 class network;
+class terminal;
 
 /// What a component reports after sampling its event-driven controls.
 enum class stamp_change : std::uint8_t {
@@ -50,10 +52,20 @@ public:
     virtual void read_tdf_inputs(network&) {}
     virtual void write_tdf_outputs(network&) {}
 
+    /// The network this component stamps into.
+    [[nodiscard]] network& net() const noexcept { return *net_; }
+
+    ~component() override;
+
 protected:
     component(std::string name, network& net);
 
     network* net_;
+
+private:
+    // Teardown is order-agnostic: whichever of component/network dies first
+    // unlinks from the other (see ~network).
+    friend class network;
 };
 
 /// Marker for "no row" (ground) in stamping helpers.
@@ -62,11 +74,18 @@ inline constexpr std::size_t ground_row = std::numeric_limits<std::size_t>::max(
 class network : public tdf::dae_module {
 public:
     explicit network(const de::module_name& nm) : tdf::dae_module(nm) {}
+    /// Detaches any still-registered components/terminals so their own
+    /// destructors do not reach back into a dead network (teardown order
+    /// between a network and its components is not constrained).
+    ~network() override;
 
     [[nodiscard]] const char* kind() const noexcept override { return "eln_network"; }
 
     // --- topology -------------------------------------------------------------
-    /// Create a named node of the given nature.
+    /// Create a named node of the given nature.  Node names are unique per
+    /// network; a duplicate is a construction error (subcircuit-internal
+    /// nodes are auto-prefixed with the instance path, so composites stay
+    /// unique without effort).
     [[nodiscard]] node create_node(const std::string& name,
                                    nature k = nature::electrical);
 
@@ -74,6 +93,21 @@ public:
     [[nodiscard]] node ground(nature k = nature::electrical);
 
     void register_component(component& c) { components_.push_back(&c); }
+    void unregister_component(component& c);
+
+    /// Terminals register at construction and deregister on destruction;
+    /// their forwarding chains are resolved at elaboration (see
+    /// resolve_terminals).
+    void register_terminal(terminal& t) { terminals_.push_back(&t); }
+    void unregister_terminal(terminal& t);
+
+    /// Resolve every registered terminal to its node, reporting unbound
+    /// chains with the full hierarchical path.  Runs automatically at
+    /// end_of_elaboration and again (idempotently) before equation setup,
+    /// so analyses on never-elaborated testbenches still get diagnostics.
+    void resolve_terminals();
+
+    void end_of_elaboration() override { resolve_terminals(); }
 
     /// Temperature used by noise models (kelvin).
     void set_temperature(double kelvin) { temperature_ = kelvin; }
@@ -154,7 +188,9 @@ private:
     };
 
     std::vector<node_info> nodes_;
+    std::set<std::string> node_names_;
     std::vector<component*> components_;
+    std::vector<terminal*> terminals_;
     std::map<std::pair<const component*, std::string>, std::size_t> branch_rows_;
     // First branch row of each component: O(log #components) lookup for
     // current() probes instead of a scan over every (component, suffix) key.

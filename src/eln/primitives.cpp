@@ -16,21 +16,26 @@ void stamp_branch_kcl(network& net, std::size_t k, const node& a, const node& b)
 
 // ------------------------------------------------------------------ resistor
 
-resistor::resistor(const std::string& name, network& net, node a, node b, double ohms)
-    : component(name, net), a_(a), b_(b), ohms_(ohms) {
-    network::check_nature(a, nature::electrical, this->name());
-    network::check_nature(b, nature::electrical, this->name());
+resistor::resistor(const std::string& name, network& net, double ohms)
+    : component(name, net), p("p", *this, nature::electrical),
+      n("n", *this, nature::electrical), ohms_(ohms) {
     util::require(ohms > 0.0, this->name(), "resistance must be positive");
+}
+
+resistor::resistor(const std::string& name, network& net, node a, node b, double ohms)
+    : resistor(name, net, ohms) {
+    p.bind(a);
+    n.bind(b);
 }
 
 void resistor::stamp(network& net) {
     slot_ = net.add_stamp_slot(1.0 / ohms_);
-    net.stamp_conductance_slot(slot_, a_, b_);
+    net.stamp_conductance_slot(slot_, p.get(), n.get());
     if (noisy_) {
         const double temp = net.temperature();
         // The PSD reads the live resistance so values-only updates keep
         // noise analyses consistent without a restamp.
-        net.add_noise_between(a_, b_,
+        net.add_noise_between(p.get(), n.get(),
                               [this, temp](double) {
                                   return 4.0 * solver::k_boltzmann * temp / ohms_;
                               },
@@ -50,16 +55,21 @@ void resistor::set_value(double ohms) {
 
 // ----------------------------------------------------------------- capacitor
 
-capacitor::capacitor(const std::string& name, network& net, node a, node b, double farads)
-    : component(name, net), a_(a), b_(b), farads_(farads) {
-    network::check_nature(a, nature::electrical, this->name());
-    network::check_nature(b, nature::electrical, this->name());
+capacitor::capacitor(const std::string& name, network& net, double farads)
+    : component(name, net), p("p", *this, nature::electrical),
+      n("n", *this, nature::electrical), farads_(farads) {
     util::require(farads > 0.0, this->name(), "capacitance must be positive");
+}
+
+capacitor::capacitor(const std::string& name, network& net, node a, node b, double farads)
+    : capacitor(name, net, farads) {
+    p.bind(a);
+    n.bind(b);
 }
 
 void capacitor::stamp(network& net) {
     slot_ = net.add_stamp_slot(farads_);
-    net.stamp_capacitance_slot(slot_, a_, b_);
+    net.stamp_capacitance_slot(slot_, p.get(), n.get());
 }
 
 void capacitor::set_value(double farads) {
@@ -72,19 +82,24 @@ void capacitor::set_value(double farads) {
 
 // ------------------------------------------------------------------ inductor
 
-inductor::inductor(const std::string& name, network& net, node a, node b, double henries)
-    : component(name, net), a_(a), b_(b), henries_(henries) {
-    network::check_nature(a, nature::electrical, this->name());
-    network::check_nature(b, nature::electrical, this->name());
+inductor::inductor(const std::string& name, network& net, double henries)
+    : component(name, net), p("p", *this, nature::electrical),
+      n("n", *this, nature::electrical), henries_(henries) {
     util::require(henries > 0.0, this->name(), "inductance must be positive");
+}
+
+inductor::inductor(const std::string& name, network& net, node a, node b, double henries)
+    : inductor(name, net, henries) {
+    p.bind(a);
+    n.bind(b);
 }
 
 void inductor::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
-    stamp_branch_kcl(net, k, a_, b_);
+    stamp_branch_kcl(net, k, p.get(), n.get());
     // v_a - v_b - L di/dt = 0
-    net.add_a(k, network::row_of(a_), 1.0);
-    net.add_a(k, network::row_of(b_), -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
     slot_ = net.add_stamp_slot(henries_);
     net.stamp_b_slot(slot_, k, k, -1.0);
 }
@@ -99,19 +114,28 @@ void inductor::set_value(double henries) {
 
 // ---------------------------------------------------------------------- vcvs
 
-vcvs::vcvs(const std::string& name, network& net, node cp, node cn, node p, node n,
-           double gain)
-    : component(name, net), cp_(cp), cn_(cn), p_(p), n_(n), gain_(gain) {}
+vcvs::vcvs(const std::string& name, network& net, double gain)
+    : component(name, net), cp("cp", *this), cn("cn", *this), p("p", *this),
+      n("n", *this), gain_(gain) {}
+
+vcvs::vcvs(const std::string& name, network& net, node cp_node, node cn_node,
+           node p_node, node n_node, double gain)
+    : vcvs(name, net, gain) {
+    cp.bind(cp_node);
+    cn.bind(cn_node);
+    p.bind(p_node);
+    n.bind(n_node);
+}
 
 void vcvs::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
-    stamp_branch_kcl(net, k, p_, n_);
+    stamp_branch_kcl(net, k, p.get(), n.get());
     // v_p - v_n - gain * (v_cp - v_cn) = 0
-    net.add_a(k, network::row_of(p_), 1.0);
-    net.add_a(k, network::row_of(n_), -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
     slot_ = net.add_stamp_slot(gain_);
-    net.stamp_a_slot(slot_, k, network::row_of(cp_), -1.0);
-    net.stamp_a_slot(slot_, k, network::row_of(cn_), 1.0);
+    net.stamp_a_slot(slot_, k, network::row_of(cp.get()), -1.0);
+    net.stamp_a_slot(slot_, k, network::row_of(cn.get()), 1.0);
 }
 
 void vcvs::set_gain(double gain) {
@@ -123,17 +147,26 @@ void vcvs::set_gain(double gain) {
 
 // ---------------------------------------------------------------------- vccs
 
-vccs::vccs(const std::string& name, network& net, node cp, node cn, node p, node n,
-           double gm)
-    : component(name, net), cp_(cp), cn_(cn), p_(p), n_(n), gm_(gm) {}
+vccs::vccs(const std::string& name, network& net, double gm)
+    : component(name, net), cp("cp", *this), cn("cn", *this), p("p", *this),
+      n("n", *this), gm_(gm) {}
+
+vccs::vccs(const std::string& name, network& net, node cp_node, node cn_node,
+           node p_node, node n_node, double gm)
+    : vccs(name, net, gm) {
+    cp.bind(cp_node);
+    cn.bind(cn_node);
+    p.bind(p_node);
+    n.bind(n_node);
+}
 
 void vccs::stamp(network& net) {
     // Current gm * v(cp,cn) flows from p through the source to n.
     slot_ = net.add_stamp_slot(gm_);
-    net.stamp_a_slot(slot_, network::row_of(p_), network::row_of(cp_), 1.0);
-    net.stamp_a_slot(slot_, network::row_of(p_), network::row_of(cn_), -1.0);
-    net.stamp_a_slot(slot_, network::row_of(n_), network::row_of(cp_), -1.0);
-    net.stamp_a_slot(slot_, network::row_of(n_), network::row_of(cn_), 1.0);
+    net.stamp_a_slot(slot_, network::row_of(p.get()), network::row_of(cp.get()), 1.0);
+    net.stamp_a_slot(slot_, network::row_of(p.get()), network::row_of(cn.get()), -1.0);
+    net.stamp_a_slot(slot_, network::row_of(n.get()), network::row_of(cp.get()), -1.0);
+    net.stamp_a_slot(slot_, network::row_of(n.get()), network::row_of(cn.get()), 1.0);
 }
 
 void vccs::set_gm(double gm) {
@@ -145,67 +178,98 @@ void vccs::set_gm(double gm) {
 
 // ---------------------------------------------------------------------- ccvs
 
-ccvs::ccvs(const std::string& name, network& net, const component& control, node p, node n,
-           double rm)
-    : component(name, net), control_(&control), p_(p), n_(n), rm_(rm) {}
+ccvs::ccvs(const std::string& name, network& net, const component& control, double rm)
+    : component(name, net), p("p", *this), n("n", *this), control_(&control), rm_(rm) {}
+
+ccvs::ccvs(const std::string& name, network& net, const component& control, node p_node,
+           node n_node, double rm)
+    : ccvs(name, net, control, rm) {
+    p.bind(p_node);
+    n.bind(n_node);
+}
 
 void ccvs::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
     const std::size_t j = net.branch_row(*control_);
-    stamp_branch_kcl(net, k, p_, n_);
+    stamp_branch_kcl(net, k, p.get(), n.get());
     // v_p - v_n - rm * i_j = 0
-    net.add_a(k, network::row_of(p_), 1.0);
-    net.add_a(k, network::row_of(n_), -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
     net.add_a(k, j, -rm_);
 }
 
 // ---------------------------------------------------------------------- cccs
 
-cccs::cccs(const std::string& name, network& net, const component& control, node p, node n,
-           double beta)
-    : component(name, net), control_(&control), p_(p), n_(n), beta_(beta) {}
+cccs::cccs(const std::string& name, network& net, const component& control, double beta)
+    : component(name, net), p("p", *this), n("n", *this), control_(&control),
+      beta_(beta) {}
+
+cccs::cccs(const std::string& name, network& net, const component& control, node p_node,
+           node n_node, double beta)
+    : cccs(name, net, control, beta) {
+    p.bind(p_node);
+    n.bind(n_node);
+}
 
 void cccs::stamp(network& net) {
     const std::size_t j = net.branch_row(*control_);
     // Current beta * i_j flows from p through the source to n.
-    net.add_a(network::row_of(p_), j, beta_);
-    net.add_a(network::row_of(n_), j, -beta_);
+    net.add_a(network::row_of(p.get()), j, beta_);
+    net.add_a(network::row_of(n.get()), j, -beta_);
 }
 
 // --------------------------------------------------------- ideal transformer
 
-ideal_transformer::ideal_transformer(const std::string& name, network& net, node p1,
-                                     node n1, node p2, node n2, double ratio)
-    : component(name, net), p1_(p1), n1_(n1), p2_(p2), n2_(n2), ratio_(ratio) {
+ideal_transformer::ideal_transformer(const std::string& name, network& net, double ratio)
+    : component(name, net), p1("p1", *this), n1("n1", *this), p2("p2", *this),
+      n2("n2", *this), ratio_(ratio) {
     util::require(ratio != 0.0, this->name(), "transformer ratio must be nonzero");
+}
+
+ideal_transformer::ideal_transformer(const std::string& name, network& net, node p1_node,
+                                     node n1_node, node p2_node, node n2_node,
+                                     double ratio)
+    : ideal_transformer(name, net, ratio) {
+    p1.bind(p1_node);
+    n1.bind(n1_node);
+    p2.bind(p2_node);
+    n2.bind(n2_node);
 }
 
 void ideal_transformer::stamp(network& net) {
     // One branch unknown: primary current i1; secondary current = -ratio*i1.
     const std::size_t k = net.branch_row(*this);
-    net.add_a(network::row_of(p1_), k, 1.0);
-    net.add_a(network::row_of(n1_), k, -1.0);
-    net.add_a(network::row_of(p2_), k, -ratio_);
-    net.add_a(network::row_of(n2_), k, ratio_);
+    net.add_a(network::row_of(p1.get()), k, 1.0);
+    net.add_a(network::row_of(n1.get()), k, -1.0);
+    net.add_a(network::row_of(p2.get()), k, -ratio_);
+    net.add_a(network::row_of(n2.get()), k, ratio_);
     // v1 = ratio * v2:  v_p1 - v_n1 - ratio (v_p2 - v_n2) = 0
-    net.add_a(k, network::row_of(p1_), 1.0);
-    net.add_a(k, network::row_of(n1_), -1.0);
-    net.add_a(k, network::row_of(p2_), -ratio_);
-    net.add_a(k, network::row_of(n2_), ratio_);
+    net.add_a(k, network::row_of(p1.get()), 1.0);
+    net.add_a(k, network::row_of(n1.get()), -1.0);
+    net.add_a(k, network::row_of(p2.get()), -ratio_);
+    net.add_a(k, network::row_of(n2.get()), ratio_);
 }
 
 // ------------------------------------------------------------------- rswitch
 
-rswitch::rswitch(const std::string& name, network& net, node a, node b, double r_on,
-                 double r_off, bool closed)
-    : component(name, net), a_(a), b_(b), r_on_(r_on), r_off_(r_off), closed_(closed) {
+rswitch::rswitch(const std::string& name, network& net, double r_on, double r_off,
+                 bool closed)
+    : component(name, net), p("p", *this), n("n", *this), r_on_(r_on), r_off_(r_off),
+      closed_(closed) {
     util::require(r_on > 0.0 && r_off > r_on, this->name(),
                   "switch requires 0 < r_on < r_off");
 }
 
+rswitch::rswitch(const std::string& name, network& net, node a, node b, double r_on,
+                 double r_off, bool closed)
+    : rswitch(name, net, r_on, r_off, closed) {
+    p.bind(a);
+    n.bind(b);
+}
+
 void rswitch::stamp(network& net) {
     slot_ = net.add_stamp_slot(1.0 / (closed_ ? r_on_ : r_off_));
-    net.stamp_conductance_slot(slot_, a_, b_);
+    net.stamp_conductance_slot(slot_, p.get(), n.get());
 }
 
 void rswitch::set_state(bool closed) {
@@ -219,37 +283,50 @@ void rswitch::set_state(bool closed) {
 
 // --------------------------------------------------------------- ideal_opamp
 
-ideal_opamp::ideal_opamp(const std::string& name, network& net, node inp, node inn,
-                         node out)
-    : component(name, net), inp_(inp), inn_(inn), out_(out) {
-    network::check_nature(inp, nature::electrical, this->name());
-    network::check_nature(inn, nature::electrical, this->name());
-    network::check_nature(out, nature::electrical, this->name());
+ideal_opamp::ideal_opamp(const std::string& name, network& net)
+    : component(name, net), inp("inp", *this, nature::electrical),
+      inn("inn", *this, nature::electrical), out("out", *this, nature::electrical) {}
+
+ideal_opamp::ideal_opamp(const std::string& name, network& net, node inp_node,
+                         node inn_node, node out_node)
+    : ideal_opamp(name, net) {
+    inp.bind(inp_node);
+    inn.bind(inn_node);
+    out.bind(out_node);
 }
 
 void ideal_opamp::stamp(network& net) {
     // Nullor stamp: one unknown (the output current), one constraint row
     // (virtual short between the inputs). The inputs draw no current.
     const std::size_t k = net.branch_row(*this, "iout");
-    net.add_a(network::row_of(out_), k, 1.0);
-    net.add_a(k, network::row_of(inp_), 1.0);
-    net.add_a(k, network::row_of(inn_), -1.0);
+    net.add_a(network::row_of(out.get()), k, 1.0);
+    net.add_a(k, network::row_of(inp.get()), 1.0);
+    net.add_a(k, network::row_of(inn.get()), -1.0);
 }
 
 // ------------------------------------------------------------------- gyrator
 
-gyrator::gyrator(const std::string& name, network& net, node p1, node n1, node p2,
-                 node n2, double g)
-    : component(name, net), p1_(p1), n1_(n1), p2_(p2), n2_(n2), g_(g) {
+gyrator::gyrator(const std::string& name, network& net, double g)
+    : component(name, net), p1("p1", *this), n1("n1", *this), p2("p2", *this),
+      n2("n2", *this), g_(g) {
     util::require(g != 0.0, this->name(), "gyration conductance must be nonzero");
+}
+
+gyrator::gyrator(const std::string& name, network& net, node p1_node, node n1_node,
+                 node p2_node, node n2_node, double g)
+    : gyrator(name, net, g) {
+    p1.bind(p1_node);
+    n1.bind(n1_node);
+    p2.bind(p2_node);
+    n2.bind(n2_node);
 }
 
 void gyrator::stamp(network& net) {
     // i(port1) = g * v(port2): a VCCS from port 2 voltage into port 1 ...
-    const std::size_t rp1 = network::row_of(p1_);
-    const std::size_t rn1 = network::row_of(n1_);
-    const std::size_t rp2 = network::row_of(p2_);
-    const std::size_t rn2 = network::row_of(n2_);
+    const std::size_t rp1 = network::row_of(p1.get());
+    const std::size_t rn1 = network::row_of(n1.get());
+    const std::size_t rp2 = network::row_of(p2.get());
+    const std::size_t rn2 = network::row_of(n2.get());
     net.add_a(rp1, rp2, g_);
     net.add_a(rp1, rn2, -g_);
     net.add_a(rn1, rp2, -g_);
@@ -263,15 +340,21 @@ void gyrator::stamp(network& net) {
 
 // ------------------------------------------------------------------- ammeter
 
+ammeter::ammeter(const std::string& name, network& net)
+    : component(name, net), p("p", *this), n("n", *this) {}
+
 ammeter::ammeter(const std::string& name, network& net, node a, node b)
-    : component(name, net), a_(a), b_(b) {}
+    : ammeter(name, net) {
+    p.bind(a);
+    n.bind(b);
+}
 
 void ammeter::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
-    stamp_branch_kcl(net, k, a_, b_);
+    stamp_branch_kcl(net, k, p.get(), n.get());
     // 0 V across:  v_a - v_b = 0
-    net.add_a(k, network::row_of(a_), 1.0);
-    net.add_a(k, network::row_of(b_), -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
 }
 
 }  // namespace sca::eln

@@ -4,16 +4,30 @@
 // "conservative systems may be modeled at system-level as linear network
 // macromodels based on simple electrical R, L, C, and controled source
 // primitives").
+//
+// Every component exposes its pins as bindable eln::terminal ports:
+//
+//   eln::resistor r("r", net, 1e3);
+//   r.p(vin);
+//   r.n(vout);
+//
+// which also bind to subcircuit pins for hierarchical composition.  The
+// legacy (network&, node, node) constructors remain as thin wrappers that
+// bind the terminals immediately.
 #ifndef SCA_ELN_PRIMITIVES_HPP
 #define SCA_ELN_PRIMITIVES_HPP
 
 #include "eln/network.hpp"
+#include "eln/terminal.hpp"
 
 namespace sca::eln {
 
 /// Resistor with thermal noise (4kT/R current PSD).
 class resistor : public component {
 public:
+    terminal p, n;
+
+    resistor(const std::string& name, network& net, double ohms);
     resistor(const std::string& name, network& net, node a, node b, double ohms);
 
     void stamp(network& net) override;
@@ -27,7 +41,6 @@ public:
     void set_noisy(bool noisy) noexcept { noisy_ = noisy; }
 
 private:
-    node a_, b_;
     double ohms_;
     bool noisy_ = true;
     solver::stamp_handle slot_ = solver::no_stamp_handle;
@@ -39,6 +52,9 @@ private:
 /// if a different start is required.
 class capacitor : public component {
 public:
+    terminal p, n;
+
+    capacitor(const std::string& name, network& net, double farads);
     capacitor(const std::string& name, network& net, node a, node b, double farads);
 
     void stamp(network& net) override;
@@ -46,7 +62,6 @@ public:
     [[nodiscard]] double value() const noexcept { return farads_; }
 
 private:
-    node a_, b_;
     double farads_;
     solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
@@ -54,6 +69,9 @@ private:
 /// Inductor (owns a branch current unknown).
 class inductor : public component {
 public:
+    terminal p, n;
+
+    inductor(const std::string& name, network& net, double henries);
     inductor(const std::string& name, network& net, node a, node b, double henries);
 
     void stamp(network& net) override;
@@ -61,7 +79,6 @@ public:
     [[nodiscard]] double value() const noexcept { return henries_; }
 
 private:
-    node a_, b_;
     double henries_;
     solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
@@ -69,13 +86,15 @@ private:
 /// Voltage-controlled voltage source: v(p,n) = gain * v(cp,cn).
 class vcvs : public component {
 public:
+    terminal cp, cn, p, n;
+
+    vcvs(const std::string& name, network& net, double gain);
     vcvs(const std::string& name, network& net, node cp, node cn, node p, node n,
          double gain);
     void stamp(network& net) override;
     void set_gain(double gain);
 
 private:
-    node cp_, cn_, p_, n_;
     double gain_;
     solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
@@ -83,13 +102,15 @@ private:
 /// Voltage-controlled current source: i(p->n) = gm * v(cp,cn).
 class vccs : public component {
 public:
+    terminal cp, cn, p, n;
+
+    vccs(const std::string& name, network& net, double gm);
     vccs(const std::string& name, network& net, node cp, node cn, node p, node n,
          double gm);
     void stamp(network& net) override;
     void set_gm(double gm);
 
 private:
-    node cp_, cn_, p_, n_;
     double gm_;
     solver::stamp_handle slot_ = solver::no_stamp_handle;
 };
@@ -97,38 +118,44 @@ private:
 /// Current-controlled voltage source: v(p,n) = rm * i(control branch).
 class ccvs : public component {
 public:
+    terminal p, n;
+
+    ccvs(const std::string& name, network& net, const component& control, double rm);
     ccvs(const std::string& name, network& net, const component& control, node p, node n,
          double rm);
     void stamp(network& net) override;
 
 private:
     const component* control_;
-    node p_, n_;
     double rm_;
 };
 
 /// Current-controlled current source: i(p->n) = beta * i(control branch).
 class cccs : public component {
 public:
+    terminal p, n;
+
+    cccs(const std::string& name, network& net, const component& control, double beta);
     cccs(const std::string& name, network& net, const component& control, node p, node n,
          double beta);
     void stamp(network& net) override;
 
 private:
     const component* control_;
-    node p_, n_;
     double beta_;
 };
 
 /// Ideal transformer with ratio = v1/v2.
 class ideal_transformer : public component {
 public:
+    terminal p1, n1, p2, n2;
+
+    ideal_transformer(const std::string& name, network& net, double ratio);
     ideal_transformer(const std::string& name, network& net, node p1, node n1, node p2,
                       node n2, double ratio);
     void stamp(network& net) override;
 
 private:
-    node p1_, n1_, p2_, n2_;
     double ratio_;
 };
 
@@ -138,6 +165,10 @@ private:
 /// symbolic analysis instead of rebuilding the world.
 class rswitch : public component {
 public:
+    terminal p, n;
+
+    rswitch(const std::string& name, network& net, double r_on = 1.0, double r_off = 1e9,
+            bool closed = false);
     rswitch(const std::string& name, network& net, node a, node b, double r_on = 1.0,
             double r_off = 1e9, bool closed = false);
 
@@ -147,7 +178,6 @@ public:
     [[nodiscard]] bool closed() const noexcept { return closed_; }
 
 private:
-    node a_, b_;
     double r_on_, r_off_;
     bool closed_;
     solver::stamp_handle slot_ = solver::no_stamp_handle;
@@ -158,11 +188,11 @@ private:
 /// stamp used for system-level active-filter macromodels.
 class ideal_opamp : public component {
 public:
+    terminal inp, inn, out;
+
+    ideal_opamp(const std::string& name, network& net);
     ideal_opamp(const std::string& name, network& net, node inp, node inn, node out);
     void stamp(network& net) override;
-
-private:
-    node inp_, inn_, out_;
 };
 
 /// Gyrator: i1 = g * v2, i2 = -g * v1 (port 1 = p1/n1, port 2 = p2/n2).
@@ -170,23 +200,25 @@ private:
 /// integrated filter macromodels.
 class gyrator : public component {
 public:
+    terminal p1, n1, p2, n2;
+
+    gyrator(const std::string& name, network& net, double g);
     gyrator(const std::string& name, network& net, node p1, node n1, node p2, node n2,
             double g);
     void stamp(network& net) override;
 
 private:
-    node p1_, n1_, p2_, n2_;
     double g_;
 };
 
 /// Zero-volt source used as a current probe (owns a branch unknown).
 class ammeter : public component {
 public:
+    terminal p, n;
+
+    ammeter(const std::string& name, network& net);
     ammeter(const std::string& name, network& net, node a, node b);
     void stamp(network& net) override;
-
-private:
-    node a_, b_;
 };
 
 }  // namespace sca::eln

@@ -9,18 +9,23 @@ namespace sca::eln {
 
 // ------------------------------------------------------------------- vsource
 
-vsource::vsource(const std::string& name, network& net, node p, node n, waveform w)
-    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
-    network::check_nature(p, nature::electrical, this->name());
-    network::check_nature(n, nature::electrical, this->name());
+vsource::vsource(const std::string& name, network& net, waveform w)
+    : component(name, net), p("p", *this, nature::electrical),
+      n("n", *this, nature::electrical), wave_(std::move(w)) {}
+
+vsource::vsource(const std::string& name, network& net, node p_node, node n_node,
+                 waveform w)
+    : vsource(name, net, std::move(w)) {
+    p.bind(p_node);
+    n.bind(n_node);
 }
 
 void vsource::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);
-    net.add_a(network::row_of(p_), k, 1.0);
-    net.add_a(network::row_of(n_), k, -1.0);
-    net.add_a(k, network::row_of(p_), 1.0);
-    net.add_a(k, network::row_of(n_), -1.0);
+    net.add_a(network::row_of(p.get()), k, 1.0);
+    net.add_a(network::row_of(n.get()), k, -1.0);
+    net.add_a(k, network::row_of(p.get()), 1.0);
+    net.add_a(k, network::row_of(n.get()), -1.0);
     if (wave_.is_dc()) {
         net.add_rhs_constant(k, wave_.dc_value());
     } else {
@@ -47,15 +52,20 @@ void vsource::set_noise_psd(std::function<double(double)> psd) {
 
 // ------------------------------------------------------------------- isource
 
-isource::isource(const std::string& name, network& net, node p, node n, waveform w)
-    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
-    network::check_nature(p, nature::electrical, this->name());
-    network::check_nature(n, nature::electrical, this->name());
+isource::isource(const std::string& name, network& net, waveform w)
+    : component(name, net), p("p", *this, nature::electrical),
+      n("n", *this, nature::electrical), wave_(std::move(w)) {}
+
+isource::isource(const std::string& name, network& net, node p_node, node n_node,
+                 waveform w)
+    : isource(name, net, std::move(w)) {
+    p.bind(p_node);
+    n.bind(n_node);
 }
 
 void isource::stamp(network& net) {
-    const std::size_t rp = network::row_of(p_);
-    const std::size_t rn = network::row_of(n_);
+    const std::size_t rp = network::row_of(p.get());
+    const std::size_t rn = network::row_of(n.get());
     if (wave_.is_dc()) {
         net.add_rhs_constant(rp, -wave_.dc_value());
         net.add_rhs_constant(rn, wave_.dc_value());
@@ -71,8 +81,8 @@ void isource::stamp(network& net) {
     }
     if (noise_psd_) {
         std::vector<std::pair<std::size_t, double>> injections;
-        if (!p_.is_ground()) injections.emplace_back(p_.index(), -1.0);
-        if (!n_.is_ground()) injections.emplace_back(n_.index(), 1.0);
+        if (!p.get().is_ground()) injections.emplace_back(p.get().index(), -1.0);
+        if (!n.get().is_ground()) injections.emplace_back(n.get().index(), 1.0);
         if (!injections.empty()) {
             net.equations().add_noise_source(std::move(injections), noise_psd_, name());
         }

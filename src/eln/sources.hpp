@@ -6,6 +6,7 @@
 #include <functional>
 
 #include "eln/network.hpp"
+#include "eln/terminal.hpp"
 #include "util/waveform.hpp"
 
 namespace sca::eln {
@@ -17,6 +18,9 @@ using waveform = util::waveform;
 /// small-signal analysis and optional noise voltage PSD.
 class vsource : public component {
 public:
+    terminal p, n;
+
+    vsource(const std::string& name, network& net, waveform w);
     vsource(const std::string& name, network& net, node p, node n, waveform w);
 
     void stamp(network& net) override;
@@ -28,7 +32,6 @@ public:
     void set_noise_psd(std::function<double(double)> psd);
 
 private:
-    node p_, n_;
     waveform wave_;
     double ac_mag_ = 0.0;
     double ac_phase_deg_ = 0.0;
@@ -39,6 +42,9 @@ private:
 /// it is injected into node n).
 class isource : public component {
 public:
+    terminal p, n;
+
+    isource(const std::string& name, network& net, waveform w);
     isource(const std::string& name, network& net, node p, node n, waveform w);
 
     void stamp(network& net) override;
@@ -46,7 +52,6 @@ public:
     void set_noise_psd(std::function<double(double)> psd);
 
 private:
-    node p_, n_;
     waveform wave_;
     double ac_mag_ = 0.0;
     double ac_phase_deg_ = 0.0;

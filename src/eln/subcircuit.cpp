@@ -1,0 +1,68 @@
+#include "eln/subcircuit.hpp"
+
+#include <string>
+
+#include "util/report.hpp"
+
+namespace sca::eln {
+
+// ---------------------------------------------------------------- rc_lowpass
+
+rc_lowpass::rc_lowpass(const de::module_name& nm, network& net, double r_ohms,
+                       double c_farads)
+    : subcircuit(nm, net), in("in", *this, nature::electrical),
+      out("out", *this, nature::electrical), ref("ref", *this, nature::electrical),
+      r_("r", net, r_ohms), c_("c", net, c_farads) {
+    r_.p(in);
+    r_.n(out);
+    c_.p(out);
+    c_.n(ref);
+}
+
+// --------------------------------------------------------- resistive_divider
+
+resistive_divider::resistive_divider(const de::module_name& nm, network& net,
+                                     double r_top, double r_bottom)
+    : subcircuit(nm, net), in("in", *this, nature::electrical),
+      out("out", *this, nature::electrical), ref("ref", *this, nature::electrical),
+      top_("top", net, r_top), bottom_("bottom", net, r_bottom) {
+    top_.p(in);
+    top_.n(out);
+    bottom_.p(out);
+    bottom_.n(ref);
+}
+
+// ----------------------------------------------------------------- rc_ladder
+
+rc_ladder::rc_ladder(const de::module_name& nm, network& net, unsigned sections,
+                     double r_total, double c_total)
+    : subcircuit(nm, net), a("a", *this, nature::electrical),
+      b("b", *this, nature::electrical), ref("ref", *this, nature::electrical),
+      sections_(sections) {
+    util::require(sections >= 1, name(), "rc_ladder needs at least one section");
+    util::require(r_total > 0.0 && c_total > 0.0, name(),
+                  "rc_ladder needs positive total resistance and capacitance");
+    const double r_per = r_total / sections;
+    const double c_per = c_total / sections;
+    node prev;  // invalid for section 0 (input is the `a` terminal)
+    for (unsigned i = 0; i < sections; ++i) {
+        auto& r = make_child<resistor>("r" + std::to_string(i), this->net(), r_per);
+        auto& c = make_child<capacitor>("c" + std::to_string(i), this->net(), c_per);
+        if (i == 0) {
+            r.p(a);
+        } else {
+            r.p(prev);
+        }
+        if (i + 1 == sections) {
+            r.n(b);
+            c.p(b);
+        } else {
+            prev = internal("t" + std::to_string(i));
+            r.n(prev);
+            c.p(prev);
+        }
+        c.n(ref);
+    }
+}
+
+}  // namespace sca::eln

@@ -1,0 +1,84 @@
+#include "eln/terminal.hpp"
+
+#include "eln/network.hpp"
+#include "eln/subcircuit.hpp"
+#include "util/report.hpp"
+
+namespace sca::eln {
+
+terminal::terminal(std::string name, de::object& owner, network& net,
+                   std::optional<nature> expected)
+    : de::object(std::move(name), owner), net_(&net), expected_(expected) {
+    net.register_terminal(*this);
+}
+
+terminal::terminal(std::string name, component& owner)
+    : terminal(std::move(name), owner, owner.net(), std::nullopt) {}
+
+terminal::terminal(std::string name, component& owner, nature expected)
+    : terminal(std::move(name), owner, owner.net(), expected) {}
+
+terminal::terminal(std::string name, subcircuit& owner)
+    : terminal(std::move(name), owner, owner.net(), std::nullopt) {}
+
+terminal::terminal(std::string name, subcircuit& owner, nature expected)
+    : terminal(std::move(name), owner, owner.net(), expected) {}
+
+terminal::~terminal() {
+    if (net_ != nullptr) net_->unregister_terminal(*this);
+}
+
+void terminal::check_node(const node& n) const {
+    util::require(n.valid(), name(), "cannot bind an invalid node handle");
+    util::require(n.net() == net_, name(),
+                  "node belongs to a different network (" + n.net()->name() +
+                      ") than this terminal's owner (" + net_->name() + ")");
+    if (expected_) network::check_nature(n, *expected_, name());
+}
+
+void terminal::bind(const node& n) {
+    util::require(!is_bound(), name(),
+                  "ELN terminal is already bound; a terminal binds exactly one "
+                  "node or parent terminal");
+    check_node(n);
+    node_ = n;
+    has_node_ = true;
+}
+
+void terminal::bind(terminal& t) {
+    util::require(!is_bound(), name(),
+                  "ELN terminal is already bound; a terminal binds exactly one "
+                  "node or parent terminal");
+    util::require(&t != this, name(), "ELN terminal cannot forward to itself");
+    util::require(t.net_ == net_, name(),
+                  "terminal belongs to a different network (" + t.net_->name() +
+                      ") than this terminal's owner (" + net_->name() + ")");
+    forward_ = &t;
+}
+
+void terminal::resolve() {
+    if (has_node_) return;
+    // Follow the forwarding chain; targets need not be resolved yet.
+    const terminal* t = this;
+    int hops = 0;
+    while (!t->has_node_ && t->forward_ != nullptr) {
+        t = t->forward_;
+        util::require(++hops < 1024, name(), "ELN terminal binding cycle detected");
+    }
+    util::require(t->has_node_, name(),
+                  t == this ? "unbound ELN terminal"
+                            : "unbound ELN terminal (forwarding chain ends at " +
+                                  t->name() + " without reaching a node)");
+    check_node(t->node_);
+    node_ = t->node_;
+    has_node_ = true;
+}
+
+const node& terminal::get() const {
+    util::require(has_node_, name(),
+                  "ELN terminal is not resolved to a node yet (bind it and "
+                  "elaborate first)");
+    return node_;
+}
+
+}  // namespace sca::eln

@@ -1,0 +1,89 @@
+// Bindable conservative-law ports (the structural face of the ELN view).
+//
+// A terminal is the named connection point of a component or subcircuit.
+// It binds either directly to a network node
+//
+//   eln::resistor r("r", net, 1e3);
+//   r.p(vin);
+//   r.n(vout);
+//
+// or hierarchically to a terminal of the enclosing subcircuit, so composite
+// blocks expose their pins without knowing the outer netlist:
+//
+//   struct divider : eln::subcircuit {
+//       eln::terminal in, out, ref;
+//       ...
+//       top.p(in);   // component terminal forwards to the subcircuit pin
+//   };
+//
+// Forwarding chains are resolved at elaboration; an unbound chain is an
+// elaboration error reporting the terminal's full hierarchical path.
+#ifndef SCA_ELN_TERMINAL_HPP
+#define SCA_ELN_TERMINAL_HPP
+
+#include <optional>
+#include <string>
+
+#include "eln/node.hpp"
+#include "kernel/object.hpp"
+
+namespace sca::eln {
+
+class component;
+class network;
+class subcircuit;
+
+class terminal : public de::object {
+public:
+    /// Terminal owned by a component; with `expected`, node bindings are
+    /// nature-checked (matching the checks of the legacy node constructors).
+    terminal(std::string name, component& owner);
+    terminal(std::string name, component& owner, nature expected);
+    /// Exposed pin of a subcircuit.
+    terminal(std::string name, subcircuit& owner);
+    terminal(std::string name, subcircuit& owner, nature expected);
+
+    ~terminal() override;
+
+    [[nodiscard]] const char* kind() const noexcept override { return "eln_terminal"; }
+
+    /// Bind directly to a node of the owning network.
+    void bind(const node& n);
+    /// Bind hierarchically to another terminal (typically a subcircuit pin).
+    void bind(terminal& t);
+    void operator()(const node& n) { bind(n); }
+    void operator()(terminal& t) { bind(t); }
+
+    [[nodiscard]] bool is_bound() const noexcept {
+        return has_node_ || forward_ != nullptr;
+    }
+
+    /// Follow the forwarding chain to the terminal node.  Elaboration-time
+    /// error (with this terminal's full hierarchical path) when unbound.
+    void resolve();
+
+    /// The resolved node.  Valid after resolve() — immediately for terminals
+    /// bound directly to a node.
+    [[nodiscard]] const node& get() const;
+
+    [[nodiscard]] network& net() const noexcept { return *net_; }
+
+private:
+    terminal(std::string name, de::object& owner, network& net,
+             std::optional<nature> expected);
+    void check_node(const node& n) const;
+
+    network* net_;
+    node node_;
+    terminal* forward_ = nullptr;
+    bool has_node_ = false;
+    std::optional<nature> expected_;
+
+    // Teardown is order-agnostic: whichever of terminal/network dies first
+    // unlinks from the other (see ~network).
+    friend class network;
+};
+
+}  // namespace sca::eln
+
+#endif  // SCA_ELN_TERMINAL_HPP

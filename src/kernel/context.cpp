@@ -59,6 +59,26 @@ object* simulation_context::find_object(const std::string& full_name) const noex
     return nullptr;
 }
 
+std::vector<object*> simulation_context::hierarchy() const {
+    std::vector<object*> order;
+    order.reserve(objects_.size());
+    // Iterative pre-order DFS from each root; children pushed in reverse so
+    // they pop in construction order.
+    std::vector<object*> stack;
+    for (object* o : objects_) {
+        if (o->parent() != nullptr) continue;
+        stack.push_back(o);
+        while (!stack.empty()) {
+            object* top = stack.back();
+            stack.pop_back();
+            order.push_back(top);
+            const auto& kids = top->children();
+            for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+        }
+    }
+    return order;
+}
+
 method_process& simulation_context::register_method(std::string name,
                                                     std::function<void()> body) {
     processes_.push_back(
@@ -86,15 +106,21 @@ void simulation_context::elaborate() {
     if (elaborated_) return;
     util::require(construction_stack_.empty(), "simulation_context",
                   "elaborate called during module construction");
-    // 1. Resolve port bindings (chains may be followed in any order).
-    for (object* o : objects_) {
+    // 1. Hierarchy walk: a parent-before-child traversal of the object tree.
+    //    Composites appear before the children they own, so structural
+    //    callbacks can rely on enclosing modules being processed first.
+    const std::vector<object*> walk = hierarchy();
+    // 2. Binding resolution: follow DE port-to-port forwarding chains to the
+    //    terminal signals (chains may be followed in any order).
+    for (object* o : walk) {
         if (auto* p = dynamic_cast<port_base*>(o)) p->resolve();
     }
-    // 2. Structural callbacks.
-    for (object* o : objects_) {
+    // 3. Structural callbacks, outermost modules first.
+    for (object* o : walk) {
         if (auto* m = dynamic_cast<module*>(o)) m->end_of_elaboration();
     }
-    // 3. Domain hooks (e.g. TDF cluster discovery and scheduling).
+    // 4. Domain hooks: TDF binding resolution + cluster discovery and
+    //    scheduling, which in turn triggers DAE setup in the views.
     for (const auto& hook : elaboration_hooks_) hook();
     elaborated_ = true;
 }

@@ -61,6 +61,12 @@ public:
     [[nodiscard]] object* find_object(const std::string& full_name) const noexcept;
     [[nodiscard]] const std::vector<object*>& objects() const noexcept { return objects_; }
 
+    /// The object hierarchy in depth-first pre-order: every root (object
+    /// without a parent) in registration order, each immediately followed by
+    /// its subtree.  Parents always precede their children; this is the
+    /// traversal order of the elaboration walk.
+    [[nodiscard]] std::vector<object*> hierarchy() const;
+
     // --- process bookkeeping -------------------------------------------------
     method_process& register_method(std::string name, std::function<void()> body);
     void next_trigger(event& e);

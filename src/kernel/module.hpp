@@ -16,10 +16,12 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "kernel/context.hpp"
 #include "kernel/object.hpp"
 #include "kernel/process.hpp"
+#include "util/object_bag.hpp"
 
 namespace sca::de {
 
@@ -57,6 +59,25 @@ public:
     /// Called once after port binding, before simulation starts.
     virtual void end_of_elaboration() {}
 
+    /// Construct a child object owned by this module.  The child is attached
+    /// below this module in the object hierarchy (its name becomes
+    /// "<this>.<child>") and is destroyed with the module, newest first —
+    /// object_bag semantics, so grandchildren die before the structures they
+    /// registered with.  Works both inside the constructor (composite
+    /// modules building their internals) and afterwards (builders growing a
+    /// hierarchy from outside).
+    template <typename T, typename... Args>
+    T& make_child(Args&&... args) {
+        context().make_current();
+        const construction_scope scope(*this);
+        return children_bag_.make<T>(std::forward<Args>(args)...);
+    }
+
+    /// Number of owned children (diagnostics/tests).
+    [[nodiscard]] std::size_t owned_children() const noexcept {
+        return children_bag_.size();
+    }
+
 protected:
     explicit module(const module_name& nm);
     ~module() override;
@@ -70,6 +91,29 @@ protected:
 
     /// Current simulation time.
     [[nodiscard]] const time& now() const noexcept { return context().now(); }
+
+private:
+    /// RAII frame making `parent` the construction parent for the duration
+    /// of a child construction; pops back to the entry depth even when the
+    /// child's module_name already unwound part of the stack.
+    class construction_scope {
+    public:
+        explicit construction_scope(module& parent)
+            : ctx_(&parent.context()), depth_(ctx_->construction_depth()) {
+            ctx_->push_construction_parent(parent);
+        }
+        ~construction_scope() {
+            while (ctx_->construction_depth() > depth_) ctx_->pop_construction_parent();
+        }
+        construction_scope(const construction_scope&) = delete;
+        construction_scope& operator=(const construction_scope&) = delete;
+
+    private:
+        simulation_context* ctx_;
+        std::size_t depth_;
+    };
+
+    util::object_bag children_bag_;
 };
 
 }  // namespace sca::de

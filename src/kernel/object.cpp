@@ -19,11 +19,22 @@ object::object(std::string basename) : basename_(std::move(basename)) {
     context_->register_object(*this);
 }
 
+object::object(std::string basename, object& parent) : basename_(std::move(basename)) {
+    context_ = &parent.context();
+    parent_ = &parent;
+    parent_->children_.push_back(this);
+    full_name_ = parent_->full_name_ + "." + basename_;
+    context_->register_object(*this);
+}
+
 object::~object() {
     if (parent_ != nullptr) {
         auto& siblings = parent_->children_;
         siblings.erase(std::remove(siblings.begin(), siblings.end(), this), siblings.end());
     }
+    // Children that outlive this object (e.g. auto-created wires owned by a
+    // per-context registry) must not dereference a dangling parent pointer.
+    for (object* c : children_) c->parent_ = nullptr;
     context_->unregister_object(*this);
 }
 

@@ -39,6 +39,12 @@ protected:
     /// object on top of the construction stack (if any).
     explicit object(std::string basename);
 
+    /// Registers with `parent`'s context and attaches below `parent`
+    /// explicitly, ignoring the construction stack.  Used by ports/terminals
+    /// that belong to a non-module owner (e.g. ELN components), so their
+    /// hierarchical names nest under it ("top.rc1.r.p").
+    object(std::string basename, object& parent);
+
 private:
     std::string basename_;
     std::string full_name_;

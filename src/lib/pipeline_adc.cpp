@@ -2,56 +2,69 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "tdf/connect.hpp"
 #include "util/report.hpp"
 
 namespace sca::lib {
 
-pipeline_adc::pipeline_adc(const de::module_name& nm, unsigned stages, double vref)
-    : tdf::module(nm), in("in"), code("code"), analog_estimate("analog_estimate"),
-      stages_(stages), vref_(vref) {
-    util::require(stages >= 1 && stages <= 20, name(), "stages must be in [1, 20]");
+// ------------------------------------------------------------ pipeline_stage
+
+pipeline_stage::pipeline_stage(const de::module_name& nm, double vref, bool first)
+    : tdf::module(nm), in("in"), residue("residue"), d("d"), vref_(vref), first_(first) {
     util::require(vref > 0.0, name(), "vref must be positive");
-    params_.assign(stages, {});
 }
 
-void pipeline_adc::set_stage_params(std::vector<pipeline_stage_params> params) {
-    util::require(params.size() == stages_, name(), "one parameter set per stage required");
-    params_ = std::move(params);
-}
-
-void pipeline_adc::processing() {
-    double residue = std::clamp(in.read(), -vref_, vref_);
-    // With digital correction: 1.5-bit stages (decisions at +/- vref/4, codes
-    // d in {-1, 0, +1}); the inter-stage redundancy absorbs comparator
-    // offsets up to vref/4.  Without correction: plain binary stages
-    // (decision at 0, d in {-1, +1}) whose residue leaves the valid range as
-    // soon as a comparator decides wrongly — the failure mode the redundancy
-    // exists to fix ([2]).
-    std::vector<int> d(stages_);
-    for (unsigned s = 0; s < stages_; ++s) {
-        const double v = residue + params_[s].offset;
-        int ds = 0;
-        if (correction_) {
-            ds = v > vref_ / 4.0 ? 1 : (v < -vref_ / 4.0 ? -1 : 0);
-        } else {
-            ds = v >= 0.0 ? 1 : -1;
-        }
-        d[s] = ds;
-        const double gain = 2.0 * (1.0 + params_[s].gain_error);
-        residue = gain * residue - static_cast<double>(ds) * vref_ *
-                                      (1.0 + params_[s].gain_error);
-        residue = std::clamp(residue, -2.0 * vref_, 2.0 * vref_);
+void pipeline_stage::processing() {
+    // With digital correction: 1.5-bit decisions at +/- vref/4, codes
+    // d in {-1, 0, +1}; the inter-stage redundancy absorbs comparator
+    // offsets up to vref/4.  Without correction: plain binary decisions at 0
+    // (d in {-1, +1}) whose residue leaves the valid range as soon as a
+    // comparator decides wrongly — the failure mode the redundancy exists to
+    // fix ([2]).
+    double r = in.read();
+    if (first_) r = std::clamp(r, -vref_, vref_);
+    const double v = r + params_.offset;
+    int ds = 0;
+    if (correction_) {
+        ds = v > vref_ / 4.0 ? 1 : (v < -vref_ / 4.0 ? -1 : 0);
+    } else {
+        ds = v >= 0.0 ? 1 : -1;
     }
-    // Final 1-bit flash.
-    const int last = residue >= 0.0 ? 1 : -1;
+    d.write(ds);
+    const double gain = 2.0 * (1.0 + params_.gain_error);
+    r = gain * r - static_cast<double>(ds) * vref_ * (1.0 + params_.gain_error);
+    residue.write(std::clamp(r, -2.0 * vref_, 2.0 * vref_));
+}
+
+// ---------------------------------------------------------- pipeline_backend
+
+pipeline_backend::pipeline_backend(const de::module_name& nm, unsigned stages,
+                                   double vref)
+    : tdf::module(nm), residue_in("residue_in"), code("code"),
+      analog_estimate("analog_estimate"), stages_(stages), vref_(vref) {
+    d_in_.reserve(stages);
+    for (unsigned s = 0; s < stages; ++s) {
+        d_in_.push_back(std::make_unique<tdf::in<int>>("d" + std::to_string(s)));
+    }
+}
+
+tdf::in<int>& pipeline_backend::d_in(unsigned s) {
+    util::require(s < stages_, name(), "stage index out of range");
+    return *d_in_[s];
+}
+
+void pipeline_backend::processing() {
+    // Final 1-bit flash on the last residue.
+    const int last = residue_in.read() >= 0.0 ? 1 : -1;
 
     // Recombination: code = sum d_s * 2^(stages - s) + last.
     std::int64_t out_code = 0;
     for (unsigned s = 0; s < stages_; ++s) {
         const std::int64_t weight = std::int64_t{1}
                                     << static_cast<std::int64_t>(stages_ - s);
-        out_code += static_cast<std::int64_t>(d[s]) * weight;
+        out_code += static_cast<std::int64_t>(d_in_[s]->read()) * weight;
     }
     out_code += last;
 
@@ -62,6 +75,40 @@ void pipeline_adc::processing() {
     // code spans [-2^(stages+1), 2^(stages+1)-1] over [-vref, vref).
     analog_estimate.write(static_cast<double>(out_code) * vref_ /
                           std::pow(2.0, static_cast<double>(stages_ + 1)));
+}
+
+// -------------------------------------------------------------- pipeline_adc
+
+pipeline_adc::pipeline_adc(const de::module_name& nm, unsigned stages, double vref)
+    : tdf::composite(nm), in("in"), code("code"), analog_estimate("analog_estimate"),
+      stages_(stages), vref_(vref) {
+    util::require(stages >= 1 && stages <= 20, name(), "stages must be in [1, 20]");
+    util::require(vref > 0.0, name(), "vref must be positive");
+    backend_ = &make_child<pipeline_backend>("backend", stages, vref);
+    stages_v_.reserve(stages);
+    for (unsigned s = 0; s < stages; ++s) {
+        auto& st =
+            make_child<pipeline_stage>("stage" + std::to_string(s), vref, s == 0);
+        if (s == 0) {
+            st.in.bind(in);  // forwarded converter input
+        } else {
+            connect(stages_v_.back()->residue, st.in);
+        }
+        connect(st.d, backend_->d_in(s));
+        stages_v_.push_back(&st);
+    }
+    connect(stages_v_.back()->residue, backend_->residue_in);
+    backend_->code.bind(code);
+    backend_->analog_estimate.bind(analog_estimate);
+}
+
+void pipeline_adc::set_stage_params(std::vector<pipeline_stage_params> params) {
+    util::require(params.size() == stages_, name(), "one parameter set per stage required");
+    for (unsigned s = 0; s < stages_; ++s) stages_v_[s]->set_params(params[s]);
+}
+
+void pipeline_adc::set_digital_correction(bool on) noexcept {
+    for (pipeline_stage* s : stages_v_) s->set_correction(on);
 }
 
 }  // namespace sca::lib

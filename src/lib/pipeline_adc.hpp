@@ -3,10 +3,13 @@
 // exploration of pipelined architectures with accuracy comparable to a
 // numerical reference.
 //
-// Each 1.5-bit stage resolves a coarse code and produces an amplified
-// residue; redundancy plus digital correction absorbs comparator offsets.
-// Per-stage gain error and offset model the analog impairments whose effect
-// the digital noise cancellation in [2] explores.
+// The converter is a hierarchical composite: a chain of 1.5-bit
+// pipeline_stage modules feeding a pipeline_backend that resolves the final
+// flash bit and recombines the stage codes (redundancy plus digital
+// correction absorbs comparator offsets).  The composite exposes the same
+// ports and knobs as the former monolithic module — in/code/analog_estimate,
+// set_stage_params, set_digital_correction — and produces bit-identical
+// output; stage modules are also usable standalone.
 #ifndef SCA_LIB_PIPELINE_ADC_HPP
 #define SCA_LIB_PIPELINE_ADC_HPP
 
@@ -22,13 +25,57 @@ struct pipeline_stage_params {
     double offset = 0.0;       // comparator offset (volts)
 };
 
-class pipeline_adc : public tdf::module {
+/// One 1.5-bit pipeline stage: coarse decision (d in {-1,0,+1} with digital
+/// correction, {-1,+1} without) plus the amplified residue.  The first stage
+/// additionally clamps the converter input to the [-vref, vref] full scale.
+class pipeline_stage : public tdf::module {
 public:
     tdf::in<double> in;
+    tdf::out<double> residue;
+    tdf::out<int> d;
+
+    pipeline_stage(const de::module_name& nm, double vref, bool first);
+
+    void set_params(const pipeline_stage_params& p) noexcept { params_ = p; }
+    void set_correction(bool on) noexcept { correction_ = on; }
+
+    void processing() override;
+
+private:
+    double vref_;
+    bool first_;
+    bool correction_ = true;
+    pipeline_stage_params params_;
+};
+
+/// Final 1-bit flash plus digital recombination of the stage codes.
+class pipeline_backend : public tdf::module {
+public:
+    tdf::in<double> residue_in;
     tdf::out<std::int64_t> code;
     tdf::out<double> analog_estimate;  // reconstructed value (ideal backend DAC)
 
-    /// `stages` 1.5-bit stages + final 1-bit flash => stages+1 output bits.
+    pipeline_backend(const de::module_name& nm, unsigned stages, double vref);
+
+    /// The per-stage code input (0 <= s < stages).
+    [[nodiscard]] tdf::in<int>& d_in(unsigned s);
+
+    void processing() override;
+
+private:
+    unsigned stages_;
+    double vref_;
+    std::vector<std::unique_ptr<tdf::in<int>>> d_in_;
+};
+
+/// The composite converter: `stages` 1.5-bit stages + final 1-bit flash
+/// => stages+1 output bits.
+class pipeline_adc : public tdf::composite {
+public:
+    tdf::in<double> in;                // forwarded to the first stage
+    tdf::out<std::int64_t> code;       // forwarded from the backend
+    tdf::out<double> analog_estimate;  // forwarded from the backend
+
     pipeline_adc(const de::module_name& nm, unsigned stages, double vref);
 
     /// Inject per-stage impairments (defaults are ideal).
@@ -36,17 +83,20 @@ public:
 
     /// Disable the redundancy-based digital correction (raw binary
     /// recombination) to demonstrate why correction matters.
-    void set_digital_correction(bool on) noexcept { correction_ = on; }
-
-    void processing() override;
+    void set_digital_correction(bool on) noexcept;
 
     [[nodiscard]] unsigned bits() const noexcept { return stages_ + 1; }
+
+    /// The stage chain (introspection/tests).
+    [[nodiscard]] const std::vector<pipeline_stage*>& stages() const noexcept {
+        return stages_v_;
+    }
 
 private:
     unsigned stages_;
     double vref_;
-    bool correction_ = true;
-    std::vector<pipeline_stage_params> params_;
+    std::vector<pipeline_stage*> stages_v_;
+    pipeline_backend* backend_ = nullptr;
 };
 
 }  // namespace sca::lib

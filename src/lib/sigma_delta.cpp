@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tdf/connect.hpp"
 #include "util/report.hpp"
 
 namespace sca::lib {
@@ -66,6 +67,16 @@ void sinc3_decimator::processing() {
         norm += static_cast<double>(w);
     }
     out.write(acc / norm);
+}
+
+sigma_delta_adc::sigma_delta_adc(const de::module_name& nm, unsigned order, double vref,
+                                 unsigned osr)
+    : tdf::composite(nm), in("in"), out("out") {
+    mod_ = &make_child<sigma_delta_modulator>("mod", order, vref);
+    dec_ = &make_child<sinc3_decimator>("dec", osr);
+    mod_->in.bind(in);            // forwarded oversampled input
+    connect(mod_->out, dec_->in);  // the multirate boundary, inside the block
+    dec_->out.bind(out);          // exported decimated output
 }
 
 }  // namespace sca::lib

@@ -47,6 +47,26 @@ private:
     std::vector<double> window_;
 };
 
+/// Complete oversampling converter as a hierarchical composite: modulator
+/// followed by the matched sinc3 decimator.  `in` runs at the oversampled
+/// rate; `out` produces one sample per `osr` inputs — the multirate boundary
+/// lives inside the composite and is resolved by the cluster schedule.
+class sigma_delta_adc : public tdf::composite {
+public:
+    tdf::in<double> in;
+    tdf::out<double> out;
+
+    sigma_delta_adc(const de::module_name& nm, unsigned order, double vref,
+                    unsigned osr);
+
+    [[nodiscard]] sigma_delta_modulator& modulator() noexcept { return *mod_; }
+    [[nodiscard]] sinc3_decimator& decimator() noexcept { return *dec_; }
+
+private:
+    sigma_delta_modulator* mod_;
+    sinc3_decimator* dec_;
+};
+
 }  // namespace sca::lib
 
 #endif  // SCA_LIB_SIGMA_DELTA_HPP

@@ -277,9 +277,16 @@ registry::registry(de::simulation_context& ctx) : ctx_(&ctx) {
     ctx.add_elaboration_hook([this] { elaborate_clusters(); });
 }
 
+registry::~registry() = default;
+
 registry& registry::of(de::simulation_context& ctx) { return ctx.domain_data<registry>(); }
 
 void registry::add_module(module& m) { modules_.push_back(&m); }
+
+signal_base& registry::adopt_signal(std::unique_ptr<signal_base> s) {
+    adopted_signals_.push_back(std::move(s));
+    return *adopted_signals_.back();
+}
 
 void registry::set_default_max_batch_periods(std::uint64_t n) {
     util::require(n >= 1, "tdf_registry", "max batch periods must be >= 1");
@@ -291,7 +298,16 @@ void registry::elaborate_clusters() {
     if (elaborated_) return;
     elaborated_ = true;
 
-    // Attribute settling first: modules declare rates/delays/timesteps.
+    // Binding resolution: follow every port's forwarding chain to its
+    // terminal signal and attach dataflow endpoints there.  This covers
+    // module ports, composite forwarding ports, and the converter ports of
+    // ELN/LSF components alike; unbound chains fail here with the port's
+    // full hierarchical path.
+    for (de::object* o : ctx_->objects()) {
+        if (auto* p = dynamic_cast<port_base*>(o)) p->resolve();
+    }
+
+    // Attribute settling: modules declare rates/delays/timesteps.
     for (module* m : modules_) m->set_attributes();
 
     // Union-find over modules connected through TDF signals.

@@ -115,6 +115,7 @@ private:
 class registry {
 public:
     explicit registry(de::simulation_context& ctx);
+    ~registry();  // out of line: adopted signals need the complete type
 
     static registry& of(de::simulation_context& ctx);
 
@@ -127,13 +128,20 @@ public:
     /// Batch cap applied to every cluster (existing and future).
     void set_default_max_batch_periods(std::uint64_t n);
 
-    /// Cluster discovery + scheduling; runs as an elaboration hook.
+    /// Cluster discovery + scheduling; runs as an elaboration hook.  Resolves
+    /// every TDF port's forwarding chain first, so discovery traverses
+    /// hierarchical (port-to-port) bindings transparently.
     void elaborate_clusters();
+
+    /// Take ownership of an auto-created signal (see tdf/connect.hpp); the
+    /// signal lives until the context is destroyed.
+    signal_base& adopt_signal(std::unique_ptr<signal_base> s);
 
 private:
     de::simulation_context* ctx_;
     std::vector<module*> modules_;
     std::vector<std::unique_ptr<cluster>> clusters_;
+    std::vector<std::unique_ptr<signal_base>> adopted_signals_;
     std::uint64_t default_max_batch_ = cluster::k_default_max_batch_periods;
     bool elaborated_ = false;
 };

@@ -117,6 +117,32 @@ private:
     cluster* cluster_ = nullptr;
 };
 
+/// Structural-only TDF module: a reusable subsystem that owns child TDF
+/// modules (via make_child) and exposes TDF ports that forward to them.  A
+/// composite never fires — its ports have no owner module, so at elaboration
+/// they resolve as pure aliases of the terminal signals while the children
+/// join the cluster schedule individually.
+///
+///   struct gain_chain : sca::tdf::composite {
+///       sca::tdf::in<double> in;
+///       sca::tdf::out<double> out;
+///       explicit gain_chain(const sca::de::module_name& nm)
+///           : composite(nm), in("in"), out("out") {
+///           auto& a = make_child<scaler>("a");
+///           auto& b = make_child<scaler>("b");
+///           a.x.bind(in);             // forwarded input
+///           connect(a.y, b.x);        // auto-created interior signal
+///           b.y.bind(out);            // exported output
+///       }
+///   };
+class composite : public de::module {
+public:
+    [[nodiscard]] const char* kind() const noexcept override { return "tdf_composite"; }
+
+protected:
+    explicit composite(const de::module_name& nm) : de::module(nm) {}
+};
+
 }  // namespace sca::tdf
 
 #endif  // SCA_TDF_MODULE_HPP

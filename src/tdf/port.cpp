@@ -19,8 +19,71 @@ void port_base::set_owner(module& m) {
     m.register_port(*this);
 }
 
+namespace {
+void require_unbound(const port_base& port, const signal_base* s, const port_base* f) {
+    if (s != nullptr || f != nullptr) {
+        util::report_fatal(port.name(), "TDF port is already bound (to " +
+                                            (s != nullptr ? s->name() : f->name()) +
+                                            "); a port binds exactly one signal or "
+                                            "parent port");
+    }
+}
+}  // namespace
+
+void port_base::record_signal_binding(signal_base& s) {
+    require_unbound(*this, signal_, forward_);
+    signal_ = &s;
+}
+
+void port_base::record_port_binding(port_base& p) {
+    require_unbound(*this, signal_, forward_);
+    util::require(&p != this, name(), "TDF port cannot forward to itself");
+    util::require(p.is_input() == is_input_, name(),
+                  "TDF port-to-port binding must preserve direction "
+                  "(in forwards to in, out forwards to out)");
+    forward_ = &p;
+}
+
+void port_base::resolve() {
+    if (resolved_) return;
+    resolved_ = true;
+    // Follow the forwarding chain to the terminal signal.  Chains may be
+    // resolved in any order: intermediate ports are not required to have
+    // resolved already, only to lead to a signal eventually.
+    const port_base* p = this;
+    int hops = 0;
+    while (p->signal_ == nullptr && p->forward_ != nullptr) {
+        p = p->forward_;
+        util::require(++hops < 1024, name(), "TDF port binding cycle detected");
+    }
+    util::require(p->signal_ != nullptr, name(),
+                  p == this ? "unbound TDF port"
+                            : "unbound TDF port (forwarding chain ends at " + p->name() +
+                                  " without reaching a signal)");
+    signal_ = p->signal_;
+    // Only dataflow endpoints (ports owned by a tdf::module, including the
+    // converter ports ELN/LSF components re-own onto their network) attach
+    // to the signal; forwarding ports of composites are aliases.
+    if (owner_ != nullptr) {
+        if (is_input_) {
+            signal_->attach_reader(*this);
+        } else {
+            signal_->attach_writer(*this);
+        }
+    }
+}
+
+std::string detail::auto_wire_name(const port_base& from) {
+    const de::object* parent = from.parent();
+    if (parent != nullptr) return parent->basename() + "_" + from.basename();
+    return from.basename() + "_wire";
+}
+
 void signal_base::attach_writer(port_base& p) {
-    util::require(writer_ == nullptr, name(), "TDF signal already has a writer");
+    if (writer_ != nullptr) {
+        util::report_fatal(name(), "TDF signal already has a writer (" + writer_->name() +
+                                       "); cannot also attach " + p.name());
+    }
     writer_ = &p;
 }
 

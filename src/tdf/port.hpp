@@ -59,7 +59,21 @@ public:
     void set_owner(module& m);
 
     [[nodiscard]] signal_base* bound_signal() const noexcept { return signal_; }
+    /// Parent/child port this port forwards to (hierarchical binding).
+    [[nodiscard]] port_base* forwarded_port() const noexcept { return forward_; }
     [[nodiscard]] bool is_input() const noexcept { return is_input_; }
+    [[nodiscard]] bool bound() const noexcept {
+        return signal_ != nullptr || forward_ != nullptr;
+    }
+
+    /// Follow the port-to-port forwarding chain to the terminal signal and,
+    /// for ports that belong to a tdf::module (dataflow endpoints), attach as
+    /// reader/writer there.  Forwarding ports of composite modules resolve to
+    /// the same signal but never attach — they are structural aliases.
+    /// Called by the synchronization layer before cluster discovery;
+    /// idempotent.  Unbound chains are an elaboration error reporting the
+    /// full hierarchical path.
+    void resolve();
 
     /// Absolute stream position (tokens handled so far, including delay).
     [[nodiscard]] std::uint64_t position() const noexcept { return position_; }
@@ -69,15 +83,28 @@ public:
 protected:
     port_base(std::string name, bool is_input);
 
+    /// Record a direct signal binding (double binding is an error).
+    void record_signal_binding(signal_base& s);
+    /// Record a port-to-port forwarding binding (double binding is an error).
+    void record_port_binding(port_base& p);
+
     signal_base* signal_ = nullptr;
+    port_base* forward_ = nullptr;
     module* owner_ = nullptr;
     unsigned rate_ = 1;
     unsigned delay_ = 0;
     bool is_input_;
+    bool resolved_ = false;
     de::time timestep_request_;  // zero = unconstrained
     de::time timestep_;
     std::uint64_t position_ = 0;
 };
+
+namespace detail {
+/// Name for an auto-created wire: "ownerbasename_portbasename" (or
+/// "portbasename_wire" for orphan ports).  Used by tdf/connect.hpp.
+[[nodiscard]] std::string auto_wire_name(const port_base& from);
+}  // namespace detail
 
 /// Untyped TDF signal: one writer, any number of readers.
 class signal_base : public de::object {
@@ -147,17 +174,20 @@ private:
     T last_value_{};
 };
 
-/// TDF input port.
+/// TDF input port.  Binds to a tdf::signal<T> or, hierarchically, to another
+/// in<T> (a composite module's forwarded input); reader attachment happens at
+/// elaboration once the forwarding chain is resolved.
 template <typename T>
 class in : public port_base {
 public:
     explicit in(std::string name = "in") : port_base(std::move(name), /*is_input=*/true) {}
 
-    void bind(signal<T>& s) {
-        signal_ = &s;
-        s.attach_reader(*this);
-    }
+    void bind(signal<T>& s) { record_signal_binding(s); }
+    /// Hierarchical binding: this port reads through `parent` (an input port
+    /// of the enclosing composite, or of a sibling composite's interior).
+    void bind(in<T>& parent) { record_port_binding(parent); }
     void operator()(signal<T>& s) { bind(s); }
+    void operator()(in<T>& parent) { bind(parent); }
 
     /// Sample `k` (0 <= k < rate) of the current activation.
     [[nodiscard]] T read(unsigned k = 0) const {
@@ -171,17 +201,19 @@ public:
 private:
 };
 
-/// TDF output port.
+/// TDF output port.  Binds to a tdf::signal<T> or, hierarchically, to the
+/// out<T> of the enclosing composite module (export); writer attachment
+/// happens at elaboration once the forwarding chain is resolved.
 template <typename T>
 class out : public port_base {
 public:
     explicit out(std::string name = "out") : port_base(std::move(name), /*is_input=*/false) {}
 
-    void bind(signal<T>& s) {
-        signal_ = &s;
-        s.attach_writer(*this);
-    }
+    void bind(signal<T>& s) { record_signal_binding(s); }
+    /// Hierarchical binding: this port writes through `parent`.
+    void bind(out<T>& parent) { record_port_binding(parent); }
     void operator()(signal<T>& s) { bind(s); }
+    void operator()(out<T>& parent) { bind(parent); }
 
     /// Write sample `k` (0 <= k < rate) of the current activation.
     void write(const T& v, unsigned k = 0) {

@@ -163,11 +163,26 @@ TEST(tdf_edge, unbound_write_throws) {
 }
 
 TEST(tdf_edge, two_writers_on_one_signal_rejected) {
+    // Writer attachment happens at binding resolution (elaboration), so the
+    // conflict is reported there with both port paths in the message.
     de::simulation_context ctx;
+    struct src : tdf::module {
+        tdf::out<double> out;
+        explicit src(const de::module_name& nm) : tdf::module(nm), out("out") {
+            set_timestep(1.0, de::time_unit::us);
+        }
+        void processing() override { out.write(1.0); }
+    } w1("w1"), w2("w2");
     tdf::signal<double> sig("sig");
-    tdf::out<double> w1("w1"), w2("w2");
-    w1.bind(sig);
-    EXPECT_THROW(w2.bind(sig), sca::util::error);
+    w1.out.bind(sig);
+    w2.out.bind(sig);
+    try {
+        ctx.elaborate();
+        FAIL() << "expected the two-writer conflict to be reported";
+    } catch (const sca::util::error& e) {
+        EXPECT_NE(std::string(e.what()).find("w1.out"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("w2.out"), std::string::npos);
+    }
 }
 
 // ------------------------------------------------------------------ solver
