@@ -1,0 +1,174 @@
+// Adaptive receiver: dynamic TDF adaptive sampling.
+//
+// A bursty input (tone bursts with long quiet gaps, the duty cycle of a
+// battery-operated sensor radio) feeds a decimating front end: an 8-tap
+// windowed FIR + 8:1 decimator with an envelope detector.  The front end is a
+// *dynamic* TDF module — when the envelope shows no signal for a few
+// periods it requests an 8x larger timestep (change_attributes ->
+// request_timestep), dropping the whole cluster to 1/8 of the sample rate;
+// the instant a burst appears it snaps back.  The source and sink accept
+// the retiming (accept_attribute_changes), so the cluster reschedules
+// between periods through the schedule cache: after the first visit to each
+// of the two rate configurations every reschedule is a hash lookup.
+//
+// The payoff is printed at the end: the adaptive run fires the front end a
+// fraction of the times the static worst-case-rate model would, while
+// catching every burst.  bench/bench_dynamic_tdf.cpp measures the same
+// model against the static baseline in wall-clock samples/s.
+//
+// Build & run:  ./examples/adaptive_receiver
+#include <cmath>
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "tdf/cluster.hpp"
+#include "tdf/connect.hpp"
+#include "tdf/module.hpp"
+#include "tdf/port.hpp"
+
+namespace core = sca::core;
+namespace de = sca::de;
+namespace tdf = sca::tdf;
+using namespace sca::de::literals;
+
+namespace {
+
+constexpr double k_pi = 3.141592653589793;
+
+/// Tone bursts: `burst_ms` of a 20 kHz tone at the start of every
+/// `frame_ms` frame, a faint noise floor otherwise.  Evaluated at
+/// tdf_time(), so it is exact at any sampling rate the cluster settles on.
+struct burst_source : tdf::module {
+    tdf::out<double> out;
+    double frame_s, burst_s;
+
+    burst_source(const de::module_name& nm, double frame_ms, double burst_ms)
+        : tdf::module(nm), out("out"), frame_s(frame_ms * 1e-3),
+          burst_s(burst_ms * 1e-3) {}
+
+    [[nodiscard]] bool accept_attribute_changes() const override { return true; }
+    void processing() override {
+        const double t = tdf_time().to_seconds();
+        const double phase = std::fmod(t, frame_s);
+        const double v = phase < burst_s
+                             ? std::sin(2.0 * k_pi * 20e3 * t)
+                             : 1e-3 * std::sin(2.0 * k_pi * 1.1e3 * t);
+        out.write(v);
+    }
+};
+
+/// 8-tap windowed FIR + 8:1 decimator + envelope detector that retimes
+/// itself: after `quiet_limit` consecutive quiet periods it requests
+/// `slow_factor`x its base timestep; any activity snaps it back.
+struct adaptive_frontend : tdf::module {
+    tdf::in<double> in;    // rate 8: one frame of input per firing
+    tdf::out<double> out;  // rate 1: decimated sample
+    de::time base_step;
+    double threshold;
+    std::int64_t slow_factor;
+    int quiet_limit;
+    int quiet_streak = 0;
+    bool slow = false;
+    double envelope = 0.0;
+    std::uint64_t bursts_seen = 0;
+    double taps[8];
+
+    adaptive_frontend(const de::module_name& nm, const de::time& step)
+        : tdf::module(nm), in("in"), out("out"), base_step(step), threshold(0.05),
+          slow_factor(8), quiet_limit(3) {
+        in.set_rate(8);
+        // Hamming-windowed boxcar over the firing's 8 samples; the exact
+        // taps only matter as per-sample work representative of a real
+        // decimating front end.
+        for (int i = 0; i < 8; ++i) {
+            taps[i] = (0.54 - 0.46 * std::cos(2.0 * k_pi * i / 7.0)) / 8.0;
+        }
+    }
+
+    [[nodiscard]] bool does_attribute_changes() const override { return true; }
+    void set_attributes() override { set_timestep(base_step); }
+
+    void processing() override {
+        // One FIR dot product per output sample (8 fresh taps + history via
+        // the port's delayed reads would need a delay line; the 8 current
+        // samples are enough for the demo's work profile).
+        double acc = 0.0;
+        double peak = 0.0;
+        for (unsigned k = 0; k < 8; ++k) {
+            const double v = in.read(k);
+            acc += taps[k] * v;
+            peak = std::max(peak, std::abs(v));
+        }
+        out.write(acc);
+        const bool was_quiet = envelope < threshold;
+        envelope = peak;
+        if (was_quiet && peak >= threshold) ++bursts_seen;
+    }
+
+    void change_attributes() override {
+        if (envelope >= threshold) {
+            quiet_streak = 0;
+            slow = false;
+        } else if (++quiet_streak >= quiet_limit) {
+            slow = true;
+        }
+        request_timestep(slow ? base_step * slow_factor : base_step);
+    }
+};
+
+struct level_sink : tdf::module {
+    tdf::in<double> in;
+    std::uint64_t samples = 0;
+
+    explicit level_sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    [[nodiscard]] bool accept_attribute_changes() const override { return true; }
+    void processing() override {
+        (void)in.read();
+        ++samples;
+    }
+};
+
+}  // namespace
+
+int main() {
+    // Front end fires every 8 us when awake (1 Msps input), every 64 us when
+    // the band is quiet; bursts occupy 1 ms of every 10 ms frame.
+    auto receiver = core::scenario::define(
+        "adaptive_receiver", core::params{{"adaptive", 1.0}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& src = tb.make<burst_source>("src", 10.0, 1.0);
+            auto& fe = tb.make<adaptive_frontend>("fe", 8_us);
+            if (p.number("adaptive") == 0.0) fe.quiet_limit = 1 << 30;  // never slows
+            auto& sink = tb.make<level_sink>("sink");
+            connect(src.out, fe.in);
+            auto& s_dec = connect(fe.out, sink.in);
+            tb.probe("decimated", s_dec);
+            tb.set_sample_period(64_us);
+            tb.set_stop_time(200_ms);
+            tb.measure("bursts", [&fe] { return double(fe.bursts_seen); });
+            tb.measure("fe_firings", [&fe] { return double(fe.activation_count()); });
+            tb.measure("src_firings", [&src] { return double(src.activation_count()); });
+        });
+
+    auto adaptive = receiver.build();
+    adaptive->run();
+    auto statict = receiver.build({{"adaptive", 0.0}});
+    statict->run();
+
+    const auto& cluster = *tdf::registry::of(adaptive->context()).clusters().at(0);
+    std::printf("adaptive_receiver: 200 ms of a bursty band (1 ms burst / 10 ms frame)\n");
+    std::printf("  burst onsets detected      : %.0f adaptive vs %.0f static (must match)\n",
+                adaptive->measurement("bursts"), statict->measurement("bursts"));
+    std::printf("  front-end firings          : %.0f adaptive vs %.0f static worst-case\n",
+                adaptive->measurement("fe_firings"), statict->measurement("fe_firings"));
+    std::printf("  input samples produced     : %.0f vs %.0f  (%.1fx fewer)\n",
+                adaptive->measurement("src_firings"), statict->measurement("src_firings"),
+                statict->measurement("src_firings") / adaptive->measurement("src_firings"));
+    std::printf("  reschedules                : %llu (%llu recompiles, %llu cache hits)\n",
+                static_cast<unsigned long long>(cluster.reschedule_count()),
+                static_cast<unsigned long long>(cluster.recompile_count()),
+                static_cast<unsigned long long>(cluster.schedule_cache_hits()));
+    std::printf("  waveforms written to        adaptive_receiver_trace.dat\n");
+    adaptive->save_trace("adaptive_receiver_trace.dat");
+    return 0;
+}

@@ -1,5 +1,9 @@
 #!/usr/bin/env python3
-"""Fail if README.md or docs/architecture.md reference files that don't exist.
+"""Fail if the documentation references files that don't exist.
+
+Checked documents: README.md and the whole docs/ tree (architecture, api,
+benchmarks, known-issues) — in particular, every `examples/...` file a guide
+points at must exist, so example renames can't silently strand the docs.
 
 Checked reference forms:
   - markdown links:            [text](path)        (external URLs skipped)
@@ -17,7 +21,7 @@ import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-DOCS = [ROOT / "README.md", ROOT / "docs" / "architecture.md"]
+DOCS = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
 
 LINK_RE = re.compile(r"\]\(([^)#]+)(?:#[^)]*)?\)")
 CODE_RE = re.compile(r"`([^`\s]+)`")
@@ -55,10 +59,17 @@ def exists(base: pathlib.Path, ref: str) -> bool:
 
 
 def candidate_refs(text: str):
-    for m in LINK_RE.finditer(text):
+    # Markdown links are only looked for outside code: a C++ lambda in a
+    # fenced block or inline span (`[](testbench& tb, ...)`) parses exactly
+    # like a link otherwise.
+    prose = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    prose = re.sub(r"`[^`]*`", "", prose)
+    for m in LINK_RE.finditer(prose):
         target = m.group(1).strip()
         if target.startswith(("http://", "https://", "mailto:")):
             continue
+        if re.search(r"\s", target):
+            continue  # prose in parentheses, not a path
         yield target
     for m in CODE_RE.finditer(text):
         token = m.group(1)

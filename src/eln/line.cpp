@@ -6,12 +6,11 @@ namespace sca::eln {
 
 // ------------------------------------------------------------------ rc_line
 
-rc_line::rc_line(const std::string& name, network& net, node a, node b, node ref,
-                 double r_total, double c_total, std::size_t sections)
-    : component(name, net), a_(a), b_(b), ref_(ref), r_total_(r_total),
+rc_line::rc_line(const std::string& name, network& net, double r_total, double c_total,
+                 std::size_t sections)
+    : component(name, net), a("a", *this, nature::electrical),
+      b("b", *this, nature::electrical), ref("ref", *this), r_total_(r_total),
       c_total_(c_total), sections_(sections) {
-    network::check_nature(a, nature::electrical, this->name());
-    network::check_nature(b, nature::electrical, this->name());
     util::require(r_total > 0.0 && c_total > 0.0, this->name(),
                   "line parameters must be positive");
     util::require(sections >= 1, this->name(), "at least one section required");
@@ -21,28 +20,35 @@ rc_line::rc_line(const std::string& name, network& net, node a, node b, node ref
     }
 }
 
+rc_line::rc_line(const std::string& name, network& net, node a_node, node b_node,
+                 node ref_node, double r_total, double c_total, std::size_t sections)
+    : rc_line(name, net, r_total, c_total, sections) {
+    a.bind(a_node);
+    b.bind(b_node);
+    ref.bind(ref_node);
+}
+
 void rc_line::stamp(network& net) {
     const double g = static_cast<double>(sections_) / r_total_;  // per-section 1/R
     const double c = c_total_ / static_cast<double>(sections_);
-    node prev = a_;
+    node prev = a.get();
     for (std::size_t i = 0; i < sections_; ++i) {
-        const node next = i + 1 < sections_ ? internal_[i] : b_;
+        const node next = i + 1 < sections_ ? internal_[i] : b.get();
         net.stamp_conductance(prev, next, g);
         // Shunt capacitance split at the section boundary.
-        net.stamp_capacitance(next, ref_, c);
+        net.stamp_capacitance(next, ref.get(), c);
         prev = next;
     }
 }
 
 // ---------------------------------------------------------------- rlgc_line
 
-rlgc_line::rlgc_line(const std::string& name, network& net, node a, node b, node ref,
-                     double r_total, double l_total, double g_total, double c_total,
+rlgc_line::rlgc_line(const std::string& name, network& net, double r_total,
+                     double l_total, double g_total, double c_total,
                      std::size_t sections)
-    : component(name, net), a_(a), b_(b), ref_(ref), r_total_(r_total),
+    : component(name, net), a("a", *this, nature::electrical),
+      b("b", *this, nature::electrical), ref("ref", *this), r_total_(r_total),
       l_total_(l_total), g_total_(g_total), c_total_(c_total), sections_(sections) {
-    network::check_nature(a, nature::electrical, this->name());
-    network::check_nature(b, nature::electrical, this->name());
     util::require(r_total >= 0.0 && l_total > 0.0 && g_total >= 0.0 && c_total > 0.0,
                   this->name(), "line parameters out of range");
     util::require(sections >= 1, this->name(), "at least one section required");
@@ -56,6 +62,15 @@ rlgc_line::rlgc_line(const std::string& name, network& net, node a, node b, node
     }
 }
 
+rlgc_line::rlgc_line(const std::string& name, network& net, node a_node, node b_node,
+                     node ref_node, double r_total, double l_total, double g_total,
+                     double c_total, std::size_t sections)
+    : rlgc_line(name, net, r_total, l_total, g_total, c_total, sections) {
+    a.bind(a_node);
+    b.bind(b_node);
+    ref.bind(ref_node);
+}
+
 void rlgc_line::stamp(network& net) {
     const auto n = static_cast<double>(sections_);
     const double r = r_total_ / n;
@@ -63,11 +78,11 @@ void rlgc_line::stamp(network& net) {
     const double g_sh = g_total_ / n;
     const double c = c_total_ / n;
 
-    node prev = a_;
+    node prev = a.get();
     std::size_t idx = 0;
     for (std::size_t i = 0; i < sections_; ++i) {
         const node mid = nodes_[idx++];
-        const node next = i + 1 < sections_ ? nodes_[idx++] : b_;
+        const node next = i + 1 < sections_ ? nodes_[idx++] : b.get();
         // Series R then L.
         if (r > 0.0) {
             net.stamp_conductance(prev, mid, 1.0 / r);
@@ -82,8 +97,8 @@ void rlgc_line::stamp(network& net) {
         net.add_a(k, network::row_of(next), -1.0);
         net.add_b(k, k, -l);
         // Shunt G + C at the section end.
-        if (g_sh > 0.0) net.stamp_conductance(next, ref_, g_sh);
-        net.stamp_capacitance(next, ref_, c);
+        if (g_sh > 0.0) net.stamp_conductance(next, ref.get(), g_sh);
+        net.stamp_capacitance(next, ref.get(), c);
         prev = next;
     }
 }

@@ -1,6 +1,11 @@
 // Distributed RC/RLC transmission-line approximations as lumped ladders —
 // the subscriber-line macromodel of the paper's Figure 1 ("the system
 // environment would be modelled as linear electrical networks").
+//
+// Like the primitives, lines expose their pins as bindable eln::terminal
+// ports (a, b, ref), so they compose hierarchically with subcircuits; the
+// legacy (network&, node, node, node) constructors remain as thin wrappers
+// that bind the terminals immediately.
 #ifndef SCA_ELN_LINE_HPP
 #define SCA_ELN_LINE_HPP
 
@@ -9,6 +14,7 @@
 
 #include "eln/network.hpp"
 #include "eln/primitives.hpp"
+#include "eln/terminal.hpp"
 
 namespace sca::eln {
 
@@ -17,6 +23,10 @@ namespace sca::eln {
 /// `a` and `b` terminals (shunt elements return to `ref`).
 class rc_line : public component {
 public:
+    terminal a, b, ref;
+
+    rc_line(const std::string& name, network& net, double r_total, double c_total,
+            std::size_t sections);
     rc_line(const std::string& name, network& net, node a, node b, node ref,
             double r_total, double c_total, std::size_t sections);
 
@@ -27,7 +37,6 @@ public:
     [[nodiscard]] const node& internal(std::size_t i) const { return internal_.at(i); }
 
 private:
-    node a_, b_, ref_;
     double r_total_, c_total_;
     std::size_t sections_;
     std::vector<node> internal_;
@@ -37,6 +46,10 @@ private:
 /// The standard telegrapher's-equation discretization for lossy lines.
 class rlgc_line : public component {
 public:
+    terminal a, b, ref;
+
+    rlgc_line(const std::string& name, network& net, double r_total, double l_total,
+              double g_total, double c_total, std::size_t sections);
     rlgc_line(const std::string& name, network& net, node a, node b, node ref,
               double r_total, double l_total, double g_total, double c_total,
               std::size_t sections);
@@ -46,7 +59,6 @@ public:
     [[nodiscard]] std::size_t sections() const noexcept { return sections_; }
 
 private:
-    node a_, b_, ref_;
     double r_total_, l_total_, g_total_, c_total_;
     std::size_t sections_;
     std::vector<node> nodes_;                 // internal chain nodes

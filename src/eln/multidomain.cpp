@@ -34,62 +34,92 @@ void stamp_integral_branch(network& net, component& c, const node& a, const node
 
 // ---------------------------------------------------------------------- mass
 
-mass::mass(const std::string& name, network& net, node n, double kilograms)
-    : component(name, net), n_(n), m_(kilograms) {
-    network::check_nature(n, nature::mechanical_translational, this->name());
+mass::mass(const std::string& name, network& net, double kilograms)
+    : component(name, net), p("p", *this, nature::mechanical_translational),
+      m_(kilograms) {
     util::require(kilograms > 0.0, this->name(), "mass must be positive");
 }
 
+mass::mass(const std::string& name, network& net, node n, double kilograms)
+    : mass(name, net, kilograms) {
+    p.bind(n);
+}
+
 void mass::stamp(network& net) {
-    net.stamp_capacitance(n_, net.ground(nature::mechanical_translational), m_);
+    net.stamp_capacitance(p.get(), net.ground(nature::mechanical_translational), m_);
 }
 
 // -------------------------------------------------------------------- damper
 
-damper::damper(const std::string& name, network& net, node a, node b, double n_s_per_m)
-    : component(name, net), a_(a), b_(b), d_(n_s_per_m) {
-    network::check_nature(a, nature::mechanical_translational, this->name());
-    network::check_nature(b, nature::mechanical_translational, this->name());
+damper::damper(const std::string& name, network& net, double n_s_per_m)
+    : component(name, net), a("a", *this, nature::mechanical_translational),
+      b("b", *this, nature::mechanical_translational), d_(n_s_per_m) {
     util::require(n_s_per_m > 0.0, this->name(), "damping must be positive");
 }
 
-void damper::stamp(network& net) { net.stamp_conductance(a_, b_, d_); }
+damper::damper(const std::string& name, network& net, node a_node, node b_node,
+               double n_s_per_m)
+    : damper(name, net, n_s_per_m) {
+    a.bind(a_node);
+    b.bind(b_node);
+}
+
+void damper::stamp(network& net) { net.stamp_conductance(a.get(), b.get(), d_); }
 
 // -------------------------------------------------------------------- spring
 
-spring::spring(const std::string& name, network& net, node a, node b, double n_per_m)
-    : component(name, net), a_(a), b_(b), k_(n_per_m) {
-    network::check_nature(a, nature::mechanical_translational, this->name());
-    network::check_nature(b, nature::mechanical_translational, this->name());
+spring::spring(const std::string& name, network& net, double n_per_m)
+    : component(name, net), a("a", *this, nature::mechanical_translational),
+      b("b", *this, nature::mechanical_translational), k_(n_per_m) {
     util::require(n_per_m > 0.0, this->name(), "stiffness must be positive");
 }
 
-void spring::stamp(network& net) { stamp_integral_branch(net, *this, a_, b_, 1.0 / k_); }
+spring::spring(const std::string& name, network& net, node a_node, node b_node,
+               double n_per_m)
+    : spring(name, net, n_per_m) {
+    a.bind(a_node);
+    b.bind(b_node);
+}
+
+void spring::stamp(network& net) {
+    stamp_integral_branch(net, *this, a.get(), b.get(), 1.0 / k_);
+}
 
 // -------------------------------------------------------------- force_source
 
-force_source::force_source(const std::string& name, network& net, node p, node n,
-                           waveform w)
-    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
-    network::check_nature(p, nature::mechanical_translational, this->name());
-    network::check_nature(n, nature::mechanical_translational, this->name());
+force_source::force_source(const std::string& name, network& net, waveform w)
+    : component(name, net), p("p", *this, nature::mechanical_translational),
+      n("n", *this, nature::mechanical_translational), wave_(std::move(w)) {}
+
+force_source::force_source(const std::string& name, network& net, node p_node,
+                           node n_node, waveform w)
+    : force_source(name, net, std::move(w)) {
+    p.bind(p_node);
+    n.bind(n_node);
 }
 
-void force_source::stamp(network& net) { stamp_waveform_flow(net, p_, n_, wave_); }
+void force_source::stamp(network& net) {
+    stamp_waveform_flow(net, p.get(), n.get(), wave_);
+}
 
 // ------------------------------------------------------------ position_probe
 
-position_probe::position_probe(const std::string& name, network& net, node n)
-    : component(name, net), outp("outp"), n_(n) {
-    network::check_nature(n, nature::mechanical_translational, this->name());
+position_probe::position_probe(const std::string& name, network& net)
+    : component(name, net), p("p", *this, nature::mechanical_translational),
+      outp("outp") {
     outp.set_owner(net);
+}
+
+position_probe::position_probe(const std::string& name, network& net, node n)
+    : position_probe(name, net) {
+    p.bind(n);
 }
 
 void position_probe::stamp(network& net) {
     row_ = net.branch_row(*this, "x");
     // dx/dt - v = 0
     net.add_b(row_, row_, 1.0);
-    net.add_a(row_, network::row_of(n_), -1.0);
+    net.add_a(row_, network::row_of(p.get()), -1.0);
 }
 
 void position_probe::write_tdf_outputs(network& net) {
@@ -98,106 +128,158 @@ void position_probe::write_tdf_outputs(network& net) {
 
 // ------------------------------------------------------------------- inertia
 
-inertia::inertia(const std::string& name, network& net, node n, double kg_m2)
-    : component(name, net), n_(n), j_(kg_m2) {
-    network::check_nature(n, nature::mechanical_rotational, this->name());
+inertia::inertia(const std::string& name, network& net, double kg_m2)
+    : component(name, net), p("p", *this, nature::mechanical_rotational), j_(kg_m2) {
     util::require(kg_m2 > 0.0, this->name(), "inertia must be positive");
 }
 
+inertia::inertia(const std::string& name, network& net, node n, double kg_m2)
+    : inertia(name, net, kg_m2) {
+    p.bind(n);
+}
+
 void inertia::stamp(network& net) {
-    net.stamp_capacitance(n_, net.ground(nature::mechanical_rotational), j_);
+    net.stamp_capacitance(p.get(), net.ground(nature::mechanical_rotational), j_);
 }
 
 // --------------------------------------------------------- rotational_damper
 
-rotational_damper::rotational_damper(const std::string& name, network& net, node a, node b,
+rotational_damper::rotational_damper(const std::string& name, network& net,
                                      double n_m_s_per_rad)
-    : component(name, net), a_(a), b_(b), d_(n_m_s_per_rad) {
-    network::check_nature(a, nature::mechanical_rotational, this->name());
-    network::check_nature(b, nature::mechanical_rotational, this->name());
+    : component(name, net), a("a", *this, nature::mechanical_rotational),
+      b("b", *this, nature::mechanical_rotational), d_(n_m_s_per_rad) {
     util::require(n_m_s_per_rad > 0.0, this->name(), "damping must be positive");
 }
 
-void rotational_damper::stamp(network& net) { net.stamp_conductance(a_, b_, d_); }
+rotational_damper::rotational_damper(const std::string& name, network& net, node a_node,
+                                     node b_node, double n_m_s_per_rad)
+    : rotational_damper(name, net, n_m_s_per_rad) {
+    a.bind(a_node);
+    b.bind(b_node);
+}
+
+void rotational_damper::stamp(network& net) {
+    net.stamp_conductance(a.get(), b.get(), d_);
+}
 
 // ------------------------------------------------------------ torsion_spring
 
-torsion_spring::torsion_spring(const std::string& name, network& net, node a, node b,
+torsion_spring::torsion_spring(const std::string& name, network& net,
                                double n_m_per_rad)
-    : component(name, net), a_(a), b_(b), k_(n_m_per_rad) {
-    network::check_nature(a, nature::mechanical_rotational, this->name());
-    network::check_nature(b, nature::mechanical_rotational, this->name());
+    : component(name, net), a("a", *this, nature::mechanical_rotational),
+      b("b", *this, nature::mechanical_rotational), k_(n_m_per_rad) {
     util::require(n_m_per_rad > 0.0, this->name(), "stiffness must be positive");
 }
 
+torsion_spring::torsion_spring(const std::string& name, network& net, node a_node,
+                               node b_node, double n_m_per_rad)
+    : torsion_spring(name, net, n_m_per_rad) {
+    a.bind(a_node);
+    b.bind(b_node);
+}
+
 void torsion_spring::stamp(network& net) {
-    stamp_integral_branch(net, *this, a_, b_, 1.0 / k_);
+    stamp_integral_branch(net, *this, a.get(), b.get(), 1.0 / k_);
 }
 
 // ------------------------------------------------------------- torque_source
 
-torque_source::torque_source(const std::string& name, network& net, node p, node n,
-                             waveform w)
-    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
-    network::check_nature(p, nature::mechanical_rotational, this->name());
-    network::check_nature(n, nature::mechanical_rotational, this->name());
+torque_source::torque_source(const std::string& name, network& net, waveform w)
+    : component(name, net), p("p", *this, nature::mechanical_rotational),
+      n("n", *this, nature::mechanical_rotational), wave_(std::move(w)) {}
+
+torque_source::torque_source(const std::string& name, network& net, node p_node,
+                             node n_node, waveform w)
+    : torque_source(name, net, std::move(w)) {
+    p.bind(p_node);
+    n.bind(n_node);
 }
 
-void torque_source::stamp(network& net) { stamp_waveform_flow(net, p_, n_, wave_); }
+void torque_source::stamp(network& net) {
+    stamp_waveform_flow(net, p.get(), n.get(), wave_);
+}
 
 // ------------------------------------------------------- thermal_capacitance
 
-thermal_capacitance::thermal_capacitance(const std::string& name, network& net, node n,
+thermal_capacitance::thermal_capacitance(const std::string& name, network& net,
                                          double j_per_k)
-    : component(name, net), n_(n), c_(j_per_k) {
-    network::check_nature(n, nature::thermal, this->name());
+    : component(name, net), p("p", *this, nature::thermal), c_(j_per_k) {
     util::require(j_per_k > 0.0, this->name(), "heat capacity must be positive");
 }
 
+thermal_capacitance::thermal_capacitance(const std::string& name, network& net, node n,
+                                         double j_per_k)
+    : thermal_capacitance(name, net, j_per_k) {
+    p.bind(n);
+}
+
 void thermal_capacitance::stamp(network& net) {
-    net.stamp_capacitance(n_, net.ground(nature::thermal), c_);
+    net.stamp_capacitance(p.get(), net.ground(nature::thermal), c_);
 }
 
 // -------------------------------------------------------- thermal_resistance
 
-thermal_resistance::thermal_resistance(const std::string& name, network& net, node a,
-                                       node b, double k_per_w)
-    : component(name, net), a_(a), b_(b), r_(k_per_w) {
-    network::check_nature(a, nature::thermal, this->name());
-    network::check_nature(b, nature::thermal, this->name());
+thermal_resistance::thermal_resistance(const std::string& name, network& net,
+                                       double k_per_w)
+    : component(name, net), a("a", *this, nature::thermal),
+      b("b", *this, nature::thermal), r_(k_per_w) {
     util::require(k_per_w > 0.0, this->name(), "thermal resistance must be positive");
 }
 
-void thermal_resistance::stamp(network& net) { net.stamp_conductance(a_, b_, 1.0 / r_); }
+thermal_resistance::thermal_resistance(const std::string& name, network& net,
+                                       node a_node, node b_node, double k_per_w)
+    : thermal_resistance(name, net, k_per_w) {
+    a.bind(a_node);
+    b.bind(b_node);
+}
+
+void thermal_resistance::stamp(network& net) {
+    net.stamp_conductance(a.get(), b.get(), 1.0 / r_);
+}
 
 // --------------------------------------------------------------- heat_source
 
-heat_source::heat_source(const std::string& name, network& net, node p, node n, waveform w)
-    : component(name, net), p_(p), n_(n), wave_(std::move(w)) {
-    network::check_nature(p, nature::thermal, this->name());
-    network::check_nature(n, nature::thermal, this->name());
+heat_source::heat_source(const std::string& name, network& net, waveform w)
+    : component(name, net), p("p", *this, nature::thermal),
+      n("n", *this, nature::thermal), wave_(std::move(w)) {}
+
+heat_source::heat_source(const std::string& name, network& net, node p_node,
+                         node n_node, waveform w)
+    : heat_source(name, net, std::move(w)) {
+    p.bind(p_node);
+    n.bind(n_node);
 }
 
-void heat_source::stamp(network& net) { stamp_waveform_flow(net, p_, n_, wave_); }
+void heat_source::stamp(network& net) {
+    stamp_waveform_flow(net, p.get(), n.get(), wave_);
+}
 
 // ------------------------------------------------------------------ dc_motor
 
-dc_motor::dc_motor(const std::string& name, network& net, node elec_p, node elec_n,
-                   node shaft, double resistance, double inductance, double k_torque)
-    : component(name, net), ep_(elec_p), en_(elec_n), shaft_(shaft), r_(resistance),
+dc_motor::dc_motor(const std::string& name, network& net, double resistance,
+                   double inductance, double k_torque)
+    : component(name, net), p("p", *this, nature::electrical),
+      n("n", *this, nature::electrical),
+      shaft("shaft", *this, nature::mechanical_rotational), r_(resistance),
       l_(inductance), k_(k_torque) {
-    network::check_nature(elec_p, nature::electrical, this->name());
-    network::check_nature(elec_n, nature::electrical, this->name());
-    network::check_nature(shaft, nature::mechanical_rotational, this->name());
     util::require(resistance > 0.0 && inductance > 0.0 && k_torque > 0.0, this->name(),
                   "motor parameters must be positive");
 }
 
+dc_motor::dc_motor(const std::string& name, network& net, node elec_p, node elec_n,
+                   node shaft_node, double resistance, double inductance,
+                   double k_torque)
+    : dc_motor(name, net, resistance, inductance, k_torque) {
+    p.bind(elec_p);
+    n.bind(elec_n);
+    shaft.bind(shaft_node);
+}
+
 void dc_motor::stamp(network& net) {
     const std::size_t k = net.branch_row(*this);  // armature current
-    const std::size_t rp = network::row_of(ep_);
-    const std::size_t rn = network::row_of(en_);
-    const std::size_t rw = network::row_of(shaft_);
+    const std::size_t rp = network::row_of(p.get());
+    const std::size_t rn = network::row_of(n.get());
+    const std::size_t rw = network::row_of(shaft.get());
     // Electrical KCL.
     net.add_a(rp, k, 1.0);
     net.add_a(rn, k, -1.0);

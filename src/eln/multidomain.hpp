@@ -10,13 +10,17 @@
 //   mech. rot.    ang.vel rad/s   torque N*m     inertia    damper    spring
 //   thermal       temperature K   heat flow W    heat cap.  R_th      (none)
 //
-// Nature checking rejects cross-domain connections except through explicit
-// transducers (dc_motor couples the electrical and rotational disciplines).
+// Every component exposes its pins as bindable eln::terminal ports carrying
+// the expected nature, so cross-domain connections are rejected at bind time
+// except through explicit transducers (dc_motor couples the electrical and
+// rotational disciplines).  The legacy node constructors remain as thin
+// wrappers that bind the terminals immediately.
 #ifndef SCA_ELN_MULTIDOMAIN_HPP
 #define SCA_ELN_MULTIDOMAIN_HPP
 
 #include "eln/network.hpp"
 #include "eln/sources.hpp"
+#include "eln/terminal.hpp"
 #include "tdf/port.hpp"
 
 namespace sca::eln {
@@ -26,44 +30,52 @@ namespace sca::eln {
 /// Point mass: F = m * dv/dt against the inertial reference (ground).
 class mass : public component {
 public:
+    terminal p;
+
+    mass(const std::string& name, network& net, double kilograms);
     mass(const std::string& name, network& net, node n, double kilograms);
     void stamp(network& net) override;
 
 private:
-    node n_;
     double m_;
 };
 
 /// Viscous damper between two velocity nodes: F = d * (v_a - v_b).
 class damper : public component {
 public:
+    terminal a, b;
+
+    damper(const std::string& name, network& net, double n_s_per_m);
     damper(const std::string& name, network& net, node a, node b, double n_s_per_m);
     void stamp(network& net) override;
 
 private:
-    node a_, b_;
     double d_;
 };
 
 /// Ideal spring: F = k * integral(v_a - v_b) dt (owns a force unknown).
 class spring : public component {
 public:
+    terminal a, b;
+
+    spring(const std::string& name, network& net, double n_per_m);
     spring(const std::string& name, network& net, node a, node b, double n_per_m);
     void stamp(network& net) override;
 
 private:
-    node a_, b_;
     double k_;
 };
 
 /// External force applied between two velocity nodes (p -> n).
 class force_source : public component {
 public:
+    terminal p, n;
+
+    force_source(const std::string& name, network& net, waveform w);
     force_source(const std::string& name, network& net, node p, node n, waveform w);
     void stamp(network& net) override;
 
 private:
-    node p_, n_;
     waveform wave_;
 };
 
@@ -71,9 +83,11 @@ private:
 /// exposes it as a TDF output sample stream.
 class position_probe : public component {
 public:
-    position_probe(const std::string& name, network& net, node n);
-
+    terminal p;
     tdf::out<double> outp;
+
+    position_probe(const std::string& name, network& net);
+    position_probe(const std::string& name, network& net, node n);
 
     void stamp(network& net) override;
     void write_tdf_outputs(network& net) override;
@@ -82,7 +96,6 @@ public:
     [[nodiscard]] std::size_t position_row() const noexcept { return row_; }
 
 private:
-    node n_;
     std::size_t row_ = 0;
 };
 
@@ -91,46 +104,54 @@ private:
 /// Rotational inertia: T = J * dw/dt against the reference frame.
 class inertia : public component {
 public:
+    terminal p;
+
+    inertia(const std::string& name, network& net, double kg_m2);
     inertia(const std::string& name, network& net, node n, double kg_m2);
     void stamp(network& net) override;
 
 private:
-    node n_;
     double j_;
 };
 
 /// Rotational damper (friction): T = d * (w_a - w_b).
 class rotational_damper : public component {
 public:
+    terminal a, b;
+
+    rotational_damper(const std::string& name, network& net, double n_m_s_per_rad);
     rotational_damper(const std::string& name, network& net, node a, node b,
                       double n_m_s_per_rad);
     void stamp(network& net) override;
 
 private:
-    node a_, b_;
     double d_;
 };
 
 /// Torsion spring: T = k * integral(w_a - w_b) dt.
 class torsion_spring : public component {
 public:
+    terminal a, b;
+
+    torsion_spring(const std::string& name, network& net, double n_m_per_rad);
     torsion_spring(const std::string& name, network& net, node a, node b,
                    double n_m_per_rad);
     void stamp(network& net) override;
 
 private:
-    node a_, b_;
     double k_;
 };
 
 /// External torque source (p -> n).
 class torque_source : public component {
 public:
+    terminal p, n;
+
+    torque_source(const std::string& name, network& net, waveform w);
     torque_source(const std::string& name, network& net, node p, node n, waveform w);
     void stamp(network& net) override;
 
 private:
-    node p_, n_;
     waveform wave_;
 };
 
@@ -139,34 +160,40 @@ private:
 /// Thermal capacitance: P = C * dT/dt against ambient (thermal ground).
 class thermal_capacitance : public component {
 public:
+    terminal p;
+
+    thermal_capacitance(const std::string& name, network& net, double j_per_k);
     thermal_capacitance(const std::string& name, network& net, node n, double j_per_k);
     void stamp(network& net) override;
 
 private:
-    node n_;
     double c_;
 };
 
 /// Thermal resistance: P = (T_a - T_b) / R_th.
 class thermal_resistance : public component {
 public:
+    terminal a, b;
+
+    thermal_resistance(const std::string& name, network& net, double k_per_w);
     thermal_resistance(const std::string& name, network& net, node a, node b,
                        double k_per_w);
     void stamp(network& net) override;
 
 private:
-    node a_, b_;
     double r_;
 };
 
 /// Heat flow source (dissipation injected into a thermal node).
 class heat_source : public component {
 public:
+    terminal p, n;
+
+    heat_source(const std::string& name, network& net, waveform w);
     heat_source(const std::string& name, network& net, node p, node n, waveform w);
     void stamp(network& net) override;
 
 private:
-    node p_, n_;
     waveform wave_;
 };
 
@@ -176,6 +203,10 @@ private:
 /// rotational shaft node.  v = R i + L di/dt + K w,  T = K i.
 class dc_motor : public component {
 public:
+    terminal p, n, shaft;
+
+    dc_motor(const std::string& name, network& net, double resistance,
+             double inductance, double k_torque);
     dc_motor(const std::string& name, network& net, node elec_p, node elec_n, node shaft,
              double resistance, double inductance, double k_torque);
 
@@ -184,7 +215,6 @@ public:
     /// Armature current unknown (probe via network::current(*this)).
 
 private:
-    node ep_, en_, shaft_;
     double r_, l_, k_;
 };
 

@@ -34,9 +34,9 @@ void add_transconductance(std::vector<solver::jacobian_entry>& jac, std::size_t 
 
 // --------------------------------------------------------------------- diode
 
-diode::diode(const std::string& name, network& net, node anode, node cathode,
-             double saturation_current, double emission_coefficient)
-    : component(name, net), a_(anode), c_(cathode), is_(saturation_current),
+diode::diode(const std::string& name, network& net, double saturation_current,
+             double emission_coefficient)
+    : component(name, net), a("a", *this), c("c", *this), is_(saturation_current),
       n_(emission_coefficient) {
     util::require(saturation_current > 0.0, this->name(),
                   "saturation current must be positive");
@@ -44,9 +44,16 @@ diode::diode(const std::string& name, network& net, node anode, node cathode,
                   "emission coefficient must be positive");
 }
 
+diode::diode(const std::string& name, network& net, node anode, node cathode,
+             double saturation_current, double emission_coefficient)
+    : diode(name, net, saturation_current, emission_coefficient) {
+    a.bind(anode);
+    c.bind(cathode);
+}
+
 void diode::stamp(network& net) {
-    const std::size_t ra = network::row_of(a_);
-    const std::size_t rc = network::row_of(c_);
+    const std::size_t ra = network::row_of(a.get());
+    const std::size_t rc = network::row_of(c.get());
     const double is = is_;
     const double nvt = n_ * k_thermal_voltage;
     // Exponential limiting: above v_crit the exponential is continued
@@ -110,15 +117,22 @@ mos_eval square_law(double vgs, double vds, double k, double vth, double lambda)
 
 // ---------------------------------------------------------------------- nmos
 
+nmos::nmos(const std::string& name, network& net, double k, double vth, double lambda)
+    : component(name, net), d("d", *this), g("g", *this), s("s", *this), k_(k),
+      vth_(vth), lambda_(lambda) {}
+
 nmos::nmos(const std::string& name, network& net, node drain, node gate, node source,
            double k, double vth, double lambda)
-    : component(name, net), d_(drain), g_(gate), s_(source), k_(k), vth_(vth),
-      lambda_(lambda) {}
+    : nmos(name, net, k, vth, lambda) {
+    d.bind(drain);
+    g.bind(gate);
+    s.bind(source);
+}
 
 void nmos::stamp(network& net) {
-    const std::size_t rd = network::row_of(d_);
-    const std::size_t rg = network::row_of(g_);
-    const std::size_t rs = network::row_of(s_);
+    const std::size_t rd = network::row_of(d.get());
+    const std::size_t rg = network::row_of(g.get());
+    const std::size_t rs = network::row_of(s.get());
     const double k = k_, vth = vth_, lambda = lambda_;
     net.equations().add_nonlinear(
         [rd, rg, rs, k, vth, lambda](const std::vector<double>& x,
@@ -153,15 +167,22 @@ void nmos::stamp(network& net) {
 
 // ---------------------------------------------------------------------- pmos
 
+pmos::pmos(const std::string& name, network& net, double k, double vth, double lambda)
+    : component(name, net), d("d", *this), g("g", *this), s("s", *this), k_(k),
+      vth_(vth), lambda_(lambda) {}
+
 pmos::pmos(const std::string& name, network& net, node drain, node gate, node source,
            double k, double vth, double lambda)
-    : component(name, net), d_(drain), g_(gate), s_(source), k_(k), vth_(vth),
-      lambda_(lambda) {}
+    : pmos(name, net, k, vth, lambda) {
+    d.bind(drain);
+    g.bind(gate);
+    s.bind(source);
+}
 
 void pmos::stamp(network& net) {
-    const std::size_t rd = network::row_of(d_);
-    const std::size_t rg = network::row_of(g_);
-    const std::size_t rs = network::row_of(s_);
+    const std::size_t rd = network::row_of(d.get());
+    const std::size_t rg = network::row_of(g.get());
+    const std::size_t rs = network::row_of(s.get());
     const double k = k_, vth = vth_, lambda = lambda_;
     // PMOS = NMOS with all node voltages negated: evaluate with vsg/vsd.
     net.equations().add_nonlinear(
@@ -197,20 +218,31 @@ void pmos::stamp(network& net) {
 
 // ------------------------------------------------------------ nonlinear_vccs
 
-nonlinear_vccs::nonlinear_vccs(const std::string& name, network& net, node cp, node cn,
-                               node p, node n, std::function<double(double)> f,
+nonlinear_vccs::nonlinear_vccs(const std::string& name, network& net,
+                               std::function<double(double)> f,
                                std::function<double(double)> dfdv)
-    : component(name, net), cp_(cp), cn_(cn), p_(p), n_(n), f_(std::move(f)),
-      dfdv_(std::move(dfdv)) {
+    : component(name, net), cp("cp", *this), cn("cn", *this), p("p", *this),
+      n("n", *this), f_(std::move(f)), dfdv_(std::move(dfdv)) {
     util::require(static_cast<bool>(f_) && static_cast<bool>(dfdv_), this->name(),
                   "model functions must not be null");
 }
 
+nonlinear_vccs::nonlinear_vccs(const std::string& name, network& net, node cp_node,
+                               node cn_node, node p_node, node n_node,
+                               std::function<double(double)> f,
+                               std::function<double(double)> dfdv)
+    : nonlinear_vccs(name, net, std::move(f), std::move(dfdv)) {
+    cp.bind(cp_node);
+    cn.bind(cn_node);
+    p.bind(p_node);
+    n.bind(n_node);
+}
+
 void nonlinear_vccs::stamp(network& net) {
-    const std::size_t rp = network::row_of(p_);
-    const std::size_t rn = network::row_of(n_);
-    const std::size_t rcp = network::row_of(cp_);
-    const std::size_t rcn = network::row_of(cn_);
+    const std::size_t rp = network::row_of(p.get());
+    const std::size_t rn = network::row_of(n.get());
+    const std::size_t rcp = network::row_of(cp.get());
+    const std::size_t rcn = network::row_of(cn.get());
     auto f = f_;
     auto dfdv = dfdv_;
     net.equations().add_nonlinear(

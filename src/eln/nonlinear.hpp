@@ -2,25 +2,33 @@
 // their simulation using variable time steps", "formulation of implicit
 // equations").  Adding any of these to a network switches the embedded solver
 // to the variable-step Newton engine automatically.
+//
+// Every device exposes its pins as bindable eln::terminal ports following
+// the primitives' wrapper pattern; the legacy node constructors remain as
+// thin wrappers that bind the terminals immediately.
 #ifndef SCA_ELN_NONLINEAR_HPP
 #define SCA_ELN_NONLINEAR_HPP
 
 #include <functional>
 
 #include "eln/network.hpp"
+#include "eln/terminal.hpp"
 
 namespace sca::eln {
 
 /// Shockley diode with exponential limiting for Newton robustness.
 class diode : public component {
 public:
+    terminal a, c;  // anode, cathode
+
+    diode(const std::string& name, network& net, double saturation_current = 1e-14,
+          double emission_coefficient = 1.0);
     diode(const std::string& name, network& net, node anode, node cathode,
           double saturation_current = 1e-14, double emission_coefficient = 1.0);
 
     void stamp(network& net) override;
 
 private:
-    node a_, c_;
     double is_;
     double n_;
 };
@@ -28,28 +36,34 @@ private:
 /// Square-law NMOS transistor (level-1 style, continuous across regions).
 class nmos : public component {
 public:
+    terminal d, g, s;
+
     /// `k` is the transconductance parameter (A/V^2), `vth` the threshold,
     /// `lambda` the channel-length modulation.
+    nmos(const std::string& name, network& net, double k = 2e-3, double vth = 0.7,
+         double lambda = 0.01);
     nmos(const std::string& name, network& net, node drain, node gate, node source,
          double k = 2e-3, double vth = 0.7, double lambda = 0.01);
 
     void stamp(network& net) override;
 
 private:
-    node d_, g_, s_;
     double k_, vth_, lambda_;
 };
 
 /// Square-law PMOS transistor (parameters given as positive quantities).
 class pmos : public component {
 public:
+    terminal d, g, s;
+
+    pmos(const std::string& name, network& net, double k = 1e-3, double vth = 0.7,
+         double lambda = 0.01);
     pmos(const std::string& name, network& net, node drain, node gate, node source,
          double k = 1e-3, double vth = 0.7, double lambda = 0.01);
 
     void stamp(network& net) override;
 
 private:
-    node d_, g_, s_;
     double k_, vth_, lambda_;
 };
 
@@ -58,13 +72,16 @@ private:
 /// Useful for saturating amplifier characteristics and custom devices.
 class nonlinear_vccs : public component {
 public:
+    terminal cp, cn, p, n;
+
+    nonlinear_vccs(const std::string& name, network& net,
+                   std::function<double(double)> f, std::function<double(double)> dfdv);
     nonlinear_vccs(const std::string& name, network& net, node cp, node cn, node p, node n,
                    std::function<double(double)> f, std::function<double(double)> dfdv);
 
     void stamp(network& net) override;
 
 private:
-    node cp_, cn_, p_, n_;
     std::function<double(double)> f_;
     std::function<double(double)> dfdv_;
 };

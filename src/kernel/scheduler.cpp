@@ -19,6 +19,7 @@ void scheduler::queue_delta_event(event& e) { delta_events_.push_back(&e); }
 
 void scheduler::queue_timed_event(event& e, const time& at) {
     util::require(at >= now_, "scheduler", "timed notification in the past");
+    ++timed_notifications_;
     timed_queue_.emplace(at, timed_entry{&e, e.generation()});
 }
 
@@ -137,6 +138,7 @@ void scheduler::reset() {
     now_ = time::zero();
     run_end_ = time::max();
     delta_count_ = 0;
+    timed_notifications_ = 0;
     initialized_ = false;
     runnable_.clear();
     delta_events_.clear();

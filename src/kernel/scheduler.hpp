@@ -25,6 +25,15 @@ public:
     [[nodiscard]] const time& now() const noexcept { return now_; }
     [[nodiscard]] std::uint64_t delta_count() const noexcept { return delta_count_; }
 
+    /// Cumulative timed notifications queued since construction/reset().
+    /// A cheap proxy for DE-kernel interaction volume: the TDF layer uses it
+    /// in benches/tests to show that batching (static clusters) and period
+    /// stretching (dynamic clusters slowing themselves down) both shrink the
+    /// kernel traffic, not just the module firing count.
+    [[nodiscard]] std::uint64_t timed_notification_count() const noexcept {
+        return timed_notifications_;
+    }
+
     // --- called by events / signals / processes ----------------------------
     void make_runnable(method_process& p);
     void queue_delta_event(event& e);
@@ -77,6 +86,7 @@ private:
     time now_;
     time run_end_ = time::max();
     std::uint64_t delta_count_ = 0;
+    std::uint64_t timed_notifications_ = 0;
     bool initialized_ = false;
 
     std::vector<method_process*> all_processes_;

@@ -108,10 +108,10 @@ void cluster::resolve_timesteps() {
     }
 }
 
-void cluster::build_schedule() {
+compiled_schedule cluster::compile_current() const {
     // Describe the graph abstractly and compile it (PASS construction and
     // run-length encoding live in schedule.cpp).
-    std::map<module*, std::size_t> index;
+    std::map<const module*, std::size_t> index;
     for (std::size_t i = 0; i < modules_.size(); ++i) index[modules_[i]] = i;
 
     std::vector<sdf_signal_desc> descs(signals_.size());
@@ -125,8 +125,10 @@ void cluster::build_schedule() {
     std::vector<std::uint64_t> reps(modules_.size());
     for (std::size_t i = 0; i < modules_.size(); ++i) reps[i] = modules_[i]->repetitions();
 
-    const compiled_schedule compiled = compile_schedule(reps, descs);
+    return compile_schedule(reps, descs);
+}
 
+void cluster::install_program(const compiled_schedule& compiled) {
     program_.clear();
     program_.reserve(compiled.program.size());
     schedule_.clear();
@@ -140,14 +142,28 @@ void cluster::build_schedule() {
             schedule_firing_.push_back(e.first_firing + k);
         }
     }
+}
 
-    // Preallocate the ring buffers and reset port stream positions: writers
-    // start after their delay tokens.
+void cluster::size_buffers(const std::vector<std::size_t>& capacities, bool in_place) {
+    // (Re)allocate the ring buffers and reset port stream positions: writers
+    // start after their delay tokens.  Reschedules resize in place where the
+    // existing capacity suffices; the streams restart either way, so delay
+    // tokens re-read the initial value deterministically.
     for (std::size_t s = 0; s < signals_.size(); ++s) {
-        signals_[s]->allocate(compiled.buffer_capacity[s]);
+        if (in_place) {
+            signals_[s]->ensure_allocated(capacities[s]);
+        } else {
+            signals_[s]->allocate(capacities[s]);
+        }
         signals_[s]->writer()->reset_position(signals_[s]->writer()->delay());
         for (port_base* r : signals_[s]->readers()) r->reset_position(0);
     }
+}
+
+void cluster::build_schedule() {
+    last_compiled_ = compile_current();
+    install_program(last_compiled_);
+    size_buffers(last_compiled_.buffer_capacity, /*in_place=*/false);
 }
 
 void cluster::detect_de_coupling() {
@@ -165,8 +181,145 @@ void cluster::elaborate() {
     resolve_timesteps();
     build_schedule();
     detect_de_coupling();
+    dynamic_modules_.clear();
+    for (module* m : modules_) {
+        if (m->does_attribute_changes()) dynamic_modules_.push_back(m);
+    }
+    dynamic_ = !dynamic_modules_.empty();
+    if (dynamic_) {
+        // Seed the schedule cache with the elaborated configuration, so a
+        // model that wanders away and back reinstates it with a hash lookup.
+        cache_.insert(compute_signature(), snapshot_config());
+    }
     for (module* m : modules_) m->set_owning_cluster(*this);
     for (module* m : modules_) m->initialize();
+}
+
+// ----------------------------------------------------- dynamic rescheduling
+
+attribute_signature cluster::compute_signature() const {
+    attribute_signature sig;
+    for (const module* m : modules_) {
+        sig.words.push_back(static_cast<std::uint64_t>(m->timestep_request().value_fs()));
+        for (const port_base* p : m->ports()) {
+            sig.words.push_back((static_cast<std::uint64_t>(p->rate()) << 32U) |
+                                static_cast<std::uint64_t>(p->delay()));
+        }
+    }
+    return sig;
+}
+
+cluster_config cluster::snapshot_config() const {
+    cluster_config cfg;
+    cfg.period = period_;
+    cfg.compiled = last_compiled_;
+    for (const module* m : modules_) {
+        cfg.repetitions.push_back(m->repetitions());
+        cfg.module_timesteps.push_back(m->timestep());
+        for (const port_base* p : m->ports()) {
+            cfg.port_timesteps.push_back(p->timestep());
+        }
+    }
+    return cfg;
+}
+
+void cluster::install_config(const cluster_config& cfg) {
+    period_ = cfg.period;
+    std::size_t pi = 0;
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        modules_[i]->set_repetitions(cfg.repetitions[i]);
+        modules_[i]->set_resolved_timestep(cfg.module_timesteps[i]);
+        for (port_base* p : modules_[i]->ports()) {
+            p->set_resolved_timestep(cfg.port_timesteps[pi++]);
+        }
+    }
+    last_compiled_ = cfg.compiled;
+    install_program(cfg.compiled);
+    size_buffers(cfg.compiled.buffer_capacity, /*in_place=*/true);
+}
+
+void cluster::run_change_attributes() {
+    bool any = false;
+    for (module* m : dynamic_modules_) {
+        m->set_in_change_attributes(true);
+        m->change_attributes();
+        m->set_in_change_attributes(false);
+        if (m->has_pending_timestep()) any = true;
+        for (port_base* p : m->ports()) {
+            if (p->has_staged_rate()) any = true;
+        }
+    }
+    if (any) apply_attribute_changes();
+}
+
+void cluster::apply_attribute_changes() {
+    // A request that restates the current configuration is a no-op: clear
+    // the staged values without touching the schedule (so a module may
+    // unconditionally re-request its state every period for free).  The
+    // timestep comparison is against the module's *resolved* timestep —
+    // for an anchored module that equals its request, and for an
+    // unanchored module it is the state a restatement restates.
+    bool changed = false;
+    std::string requester;
+    for (module* m : dynamic_modules_) {
+        if (m->has_pending_timestep() && m->pending_timestep() != m->timestep()) {
+            changed = true;
+            requester = m->name();
+        }
+        for (port_base* p : m->ports()) {
+            if (p->has_staged_rate() && p->staged_rate() != p->rate()) {
+                changed = true;
+                requester = m->name();
+            }
+        }
+    }
+    if (!changed) {
+        for (module* m : dynamic_modules_) {
+            m->clear_pending_timestep();
+            for (port_base* p : m->ports()) p->clear_staged_rate();
+        }
+        return;
+    }
+
+    // Gating: every member must tolerate the retiming.  Modules that change
+    // attributes themselves accept by default (see module.hpp).
+    for (module* m : modules_) {
+        util::require(m->accept_attribute_changes(), m->name(),
+                      "rejects the TDF attribute change requested by " + requester +
+                          ": override accept_attribute_changes() to return true "
+                          "(its timestep/port sample periods would move at runtime)");
+    }
+
+    // Apply the staged requests, then swap in the matching schedule: a hash
+    // lookup for configurations visited before, a full recompile otherwise.
+    // Restatements riding along with another module's real change are
+    // dropped, not applied: turning them into fresh anchors would conflict
+    // with the new timing they merely restated.
+    for (module* m : dynamic_modules_) {
+        if (m->has_pending_timestep()) {
+            if (m->pending_timestep() != m->timestep()) {
+                m->set_timestep(m->pending_timestep());
+            }
+            m->clear_pending_timestep();
+        }
+        for (port_base* p : m->ports()) {
+            if (p->has_staged_rate()) p->set_rate(p->staged_rate());
+            p->clear_staged_rate();
+        }
+    }
+    ++reschedules_;
+    const attribute_signature sig = compute_signature();
+    if (const cluster_config* cfg = cache_.find(sig)) {
+        install_config(*cfg);
+        return;
+    }
+    ++recompiles_;
+    compute_repetitions();
+    resolve_timesteps();
+    last_compiled_ = compile_current();
+    install_program(last_compiled_);
+    size_buffers(last_compiled_.buffer_capacity, /*in_place=*/true);
+    cache_.insert(sig, snapshot_config());
 }
 
 void cluster::attach(de::simulation_context& ctx) {
@@ -235,6 +388,17 @@ void cluster::on_wake() {
     if (!batch_check_pending_) {
         // Timed wake at a cycle boundary.
         run_cycles(now, 1);
+        if (dynamic_) {
+            // Dynamic clusters give their members the change_attributes()
+            // window between periods, then re-arm with whatever period the
+            // (possibly rescheduled) configuration resolved to — this is the
+            // DE re-sync: the next timed wake lands on the new grid.  The
+            // cycle just run still spans its old period, so the next cycle
+            // starts at next_cycle_start_ regardless of a period change.
+            run_change_attributes();
+            ctx_->next_trigger(next_cycle_start_ - now);
+            return;
+        }
         // Peek: schedule the batch-check re-activation only when the (possibly
         // still unsettled) queue suggests batching could yield anything —
         // event-dense models otherwise pay a useless delta round per period.

@@ -18,6 +18,7 @@
 
 #include "kernel/context.hpp"
 #include "kernel/time.hpp"
+#include "tdf/dynamic.hpp"
 #include "tdf/schedule.hpp"
 
 namespace sca::tdf {
@@ -80,6 +81,28 @@ public:
     void set_max_batch_periods(std::uint64_t n);
     [[nodiscard]] std::uint64_t max_batch_periods() const noexcept { return max_batch_; }
 
+    // --- dynamic TDF (runtime attribute changes) ----------------------------
+    /// True when any member declares does_attribute_changes(): the cluster
+    /// calls change_attributes() between periods and reschedules when a
+    /// request lands.  Static clusters (the common case) never enter this
+    /// path and keep the compiled fast path bit-identically.
+    [[nodiscard]] bool is_dynamic() const noexcept { return dynamic_; }
+
+    /// Reschedules applied so far (requests that actually changed something).
+    [[nodiscard]] std::uint64_t reschedule_count() const noexcept { return reschedules_; }
+    /// Full schedule compilations triggered by reschedules (cache misses);
+    /// stays constant once every visited configuration is cached.
+    [[nodiscard]] std::uint64_t recompile_count() const noexcept { return recompiles_; }
+    [[nodiscard]] std::uint64_t schedule_cache_hits() const noexcept {
+        return cache_.hits();
+    }
+    [[nodiscard]] std::uint64_t schedule_cache_misses() const noexcept {
+        return cache_.misses();
+    }
+    [[nodiscard]] std::size_t schedule_cache_size() const noexcept {
+        return cache_.size();
+    }
+
 private:
     void compute_repetitions();
     void resolve_timesteps();
@@ -93,18 +116,48 @@ private:
     /// Cycles safe to run ahead of DE time, starting at next_cycle_start_.
     [[nodiscard]] std::uint64_t plan_batch_ahead() const;
 
+    // --- dynamic rescheduling (see tdf/dynamic.hpp) -------------------------
+    /// Compile the current rates/anchors into a firing program (the PASS run
+    /// shared by elaboration and reschedule misses).
+    [[nodiscard]] compiled_schedule compile_current() const;
+    /// Install a compiled program into program_/schedule_.
+    void install_program(const compiled_schedule& compiled);
+    /// Allocate ring buffers and restart stream positions.  `in_place`
+    /// grows buffers only when needed (reschedules); elaboration allocates
+    /// exactly.
+    void size_buffers(const std::vector<std::size_t>& capacities, bool in_place);
+    /// Call change_attributes() on every dynamic member; reschedule if a
+    /// request landed.  Runs between periods (after a cycle's firings).
+    void run_change_attributes();
+    /// Gate, apply staged requests, and swap in the new configuration —
+    /// from the schedule cache when this signature was visited before,
+    /// otherwise via a full recompile that seeds the cache.
+    void apply_attribute_changes();
+    /// Current schedule-determining attributes as a cache key.
+    [[nodiscard]] attribute_signature compute_signature() const;
+    /// Snapshot the installed configuration (for caching after a compile).
+    [[nodiscard]] cluster_config snapshot_config() const;
+    /// Install a cached configuration (timing + program + buffers).
+    void install_config(const cluster_config& cfg);
+
     std::vector<module*> modules_;
     std::vector<signal_base*> signals_;
     std::vector<program_entry> program_;
     std::vector<module*> schedule_;               // expanded firing order
     std::vector<std::uint64_t> schedule_firing_;  // firing index per entry
     std::vector<const de::method_process*> peers_;
+    std::vector<module*> dynamic_modules_;
     mutable std::vector<const de::event*> ignore_scratch_;
+    schedule_cache cache_;
+    compiled_schedule last_compiled_;  // index form of the installed program
     de::time period_;
     de::time next_cycle_start_;
     std::uint64_t cycles_ = 0;
     std::uint64_t max_batch_ = k_default_max_batch_periods;
+    std::uint64_t reschedules_ = 0;
+    std::uint64_t recompiles_ = 0;
     bool de_coupled_ = false;
+    bool dynamic_ = false;
     bool batch_check_pending_ = false;
     de::method_process* proc_ = nullptr;
     de::simulation_context* ctx_ = nullptr;

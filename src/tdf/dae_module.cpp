@@ -86,6 +86,13 @@ void dae_module::processing() {
     value_update_requested_ = false;
     if (discontinuity && linear_) linear_->force_backward_euler_next();
 
+    // Dynamic TDF: a rescheduled cluster hands this module a new timestep.
+    // For the linear solver that is a values-only change of the iteration
+    // matrix (c_a A + B/h): the numeric refactor replays against the cached
+    // symbolic analysis, no symbolic pass.  The nonlinear solver controls
+    // its own internal step and resynchronizes at advance_to(solve_time_).
+    if (linear_ && linear_->timestep() != h) linear_->set_timestep(h);
+
     if (linear_) {
         linear_->step();
         state_ = linear_->x();

@@ -45,6 +45,13 @@ public:
     [[nodiscard]] std::uint64_t factorizations() const noexcept;
     [[nodiscard]] std::uint64_t symbolic_factorizations() const noexcept;
 
+    /// A dae_module tolerates dynamic-TDF retiming natively: a cluster
+    /// timestep change only moves h, which the linear solver absorbs as a
+    /// values-only numeric refactor of the iteration matrix (c_a A + B/h)
+    /// and the nonlinear solver by resynchronizing its internal variable
+    /// step at the new sample points.
+    [[nodiscard]] bool accept_attribute_changes() const override { return true; }
+
     /// Incremental restamping (default on): components with stamp slots
     /// push value updates straight into the equation system, and the solver
     /// answers with a numeric-only refactor. When off, every value update is

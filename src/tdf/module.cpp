@@ -1,11 +1,31 @@
 #include "tdf/module.hpp"
 
+#include <algorithm>
+
 #include "tdf/cluster.hpp"
+#include "util/report.hpp"
 
 namespace sca::tdf {
 
 module::module(const de::module_name& nm) : de::module(nm) {
     registry::of(context()).add_module(*this);
+}
+
+void module::request_timestep(const de::time& t) {
+    util::require(in_change_attributes_, name(),
+                  "request_timestep is only valid inside change_attributes()");
+    util::require(t > de::time::zero(), name(), "requested timestep must be positive");
+    pending_timestep_ = t;
+    has_pending_timestep_ = true;
+}
+
+void module::request_rate(port_base& p, unsigned rate) {
+    util::require(in_change_attributes_, name(),
+                  "request_rate is only valid inside change_attributes()");
+    util::require(std::find(ports_.begin(), ports_.end(), &p) != ports_.end(), name(),
+                  "request_rate on port " + p.name() +
+                      " which does not belong to this module");
+    p.stage_rate(rate);
 }
 
 void module::fire_run(const de::time& t0, std::uint64_t k0, std::uint64_t n) {

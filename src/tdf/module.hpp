@@ -42,6 +42,41 @@ public:
     /// The per-activation behavior.
     virtual void processing() = 0;
 
+    // --- dynamic TDF (runtime attribute changes) ----------------------------
+    /// Declare that this module may change its attributes at runtime via
+    /// change_attributes().  A cluster containing such a module becomes
+    /// dynamic: it calls change_attributes() between periods and reschedules
+    /// incrementally when a request lands.  Clusters without any dynamic
+    /// module keep the compiled static fast path untouched.
+    [[nodiscard]] virtual bool does_attribute_changes() const { return false; }
+
+    /// Declare that this module tolerates attribute changes requested by
+    /// other cluster members (its timestep and port sample periods may then
+    /// move between periods).  A module that changes attributes itself
+    /// accepts them by default; a reschedule request reaching a member with
+    /// accept_attribute_changes() == false is an error naming that member's
+    /// full hierarchical path.
+    [[nodiscard]] virtual bool accept_attribute_changes() const {
+        return does_attribute_changes();
+    }
+
+    /// Called on dynamic modules between cluster periods (after the period's
+    /// firings, before the next period is scheduled).  Override and call
+    /// request_timestep() / request_rate() to retime the cluster; the new
+    /// configuration takes effect at the next period boundary.
+    virtual void change_attributes() {}
+
+    /// Replace this module's timestep anchor (valid only inside
+    /// change_attributes()).  The cluster re-resolves all member timesteps
+    /// against the new anchor before the next period.
+    void request_timestep(const de::time& t);
+    void request_timestep(double v, de::time_unit u) { request_timestep(de::time(v, u)); }
+
+    /// Request a new rate on one of this module's ports (valid only inside
+    /// change_attributes()).  Changes the cluster's repetition vector; the
+    /// recompiled (or cache-hit) firing program applies from the next period.
+    void request_rate(port_base& p, unsigned rate);
+
     /// Called when the simulation finishes (optional).
     virtual void end_of_simulation() {}
 
@@ -103,6 +138,20 @@ public:
     [[nodiscard]] cluster* owning_cluster() const noexcept { return cluster_; }
     void set_owning_cluster(cluster& c) noexcept { cluster_ = &c; }
 
+    /// Scope guard state for change_attributes(): request_timestep() and
+    /// request_rate() are only legal while the cluster runs the callback.
+    void set_in_change_attributes(bool in) noexcept { in_change_attributes_ = in; }
+
+    /// Staged timestep request (consumed by the cluster at the reschedule
+    /// point following change_attributes()).
+    [[nodiscard]] bool has_pending_timestep() const noexcept {
+        return has_pending_timestep_;
+    }
+    [[nodiscard]] const de::time& pending_timestep() const noexcept {
+        return pending_timestep_;
+    }
+    void clear_pending_timestep() noexcept { has_pending_timestep_ = false; }
+
 protected:
     explicit module(const de::module_name& nm);
 
@@ -111,9 +160,12 @@ private:
     de::time timestep_request_;  // zero = unconstrained
     de::time timestep_;
     de::time current_time_;
+    de::time pending_timestep_;  // staged by request_timestep()
     std::uint64_t repetitions_ = 0;
     std::uint64_t activations_ = 0;
     bool de_coupled_ = false;
+    bool in_change_attributes_ = false;
+    bool has_pending_timestep_ = false;
     cluster* cluster_ = nullptr;
 };
 

@@ -80,6 +80,17 @@ public:
     void advance() noexcept { position_ += rate_; }
     void reset_position(std::uint64_t p) noexcept { position_ = p; }
 
+    // --- dynamic TDF (runtime attribute changes) ----------------------------
+    /// Stage a rate request (module::request_rate); the owning cluster
+    /// consumes it at the next reschedule point.  0 = no request staged.
+    void stage_rate(unsigned rate) {
+        util::require(rate >= 1, name(), "requested rate must be >= 1");
+        staged_rate_ = rate;
+    }
+    [[nodiscard]] bool has_staged_rate() const noexcept { return staged_rate_ != 0; }
+    [[nodiscard]] unsigned staged_rate() const noexcept { return staged_rate_; }
+    void clear_staged_rate() noexcept { staged_rate_ = 0; }
+
 protected:
     port_base(std::string name, bool is_input);
 
@@ -93,6 +104,7 @@ protected:
     module* owner_ = nullptr;
     unsigned rate_ = 1;
     unsigned delay_ = 0;
+    unsigned staged_rate_ = 0;  // dynamic-rate request, 0 = none
     bool is_input_;
     bool resolved_ = false;
     de::time timestep_request_;  // zero = unconstrained
@@ -120,6 +132,12 @@ public:
     /// Ring-buffer allocation; called by the cluster after scheduling.
     virtual void allocate(std::size_t capacity) = 0;
 
+    /// Ring-buffer (re)allocation for a reschedule: grows only when the
+    /// current capacity is insufficient, otherwise resets tokens in place
+    /// (stream positions restart, so pre-stream tokens must read the
+    /// initial value again).
+    virtual void ensure_allocated(std::size_t capacity) = 0;
+
     /// Current ring-buffer capacity in tokens (valid after elaboration).
     [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
 
@@ -139,6 +157,17 @@ public:
     void allocate(std::size_t capacity) override {
         util::require(capacity > 0, name(), "zero buffer capacity");
         buffer_.assign(capacity, initial_);
+    }
+
+    void ensure_allocated(std::size_t capacity) override {
+        util::require(capacity > 0, name(), "zero buffer capacity");
+        if (capacity > buffer_.size()) {
+            buffer_.assign(capacity, initial_);
+        } else {
+            // In-place: keep the (possibly larger) allocation, refresh the
+            // pre-stream prefill so restarted delay tokens are deterministic.
+            std::fill(buffer_.begin(), buffer_.end(), initial_);
+        }
     }
 
     [[nodiscard]] std::size_t capacity() const noexcept override { return buffer_.size(); }

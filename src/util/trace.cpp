@@ -8,7 +8,13 @@
 namespace sca::util {
 
 void trace_file::add_channel(std::string name, std::function<double()> probe) {
-    require(!header_written_, "trace_file", "cannot add channels after sampling started");
+    // A channel added after the first sample() could never be retrofitted
+    // into the rows already written — the file would have misaligned
+    // columns — so reject it by name instead.
+    require(!header_written_, "trace_file",
+            "cannot add channel '" + name +
+                "' after sampling started: the header and earlier rows are "
+                "already written without it");
     require(static_cast<bool>(probe), "trace_file", "null probe for channel " + name);
     channels_.push_back({std::move(name), std::move(probe)});
 }

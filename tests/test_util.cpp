@@ -161,6 +161,19 @@ TEST(trace, cannot_add_channel_after_sampling) {
     EXPECT_THROW(tr.add_channel("b", [] { return 0.0; }), util::error);
 }
 
+TEST(trace, late_channel_error_names_the_channel) {
+    util::memory_trace tr;
+    tr.add_channel("a", [] { return 0.0; });
+    tr.sample(0.0);
+    try {
+        tr.add_channel("vout_late", [] { return 0.0; });
+        FAIL() << "expected late add_channel to throw";
+    } catch (const util::error& e) {
+        EXPECT_NE(std::string(e.what()).find("vout_late"), std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(trace, tabular_file_writes_header_and_rows) {
     const std::string path = ::testing::TempDir() + "sca_tab_trace.dat";
     {
