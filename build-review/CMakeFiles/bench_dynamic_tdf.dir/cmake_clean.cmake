@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_tdf.dir/bench/bench_dynamic_tdf.cpp.o"
+  "CMakeFiles/bench_dynamic_tdf.dir/bench/bench_dynamic_tdf.cpp.o.d"
+  "bench_dynamic_tdf"
+  "bench_dynamic_tdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_tdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_adsl.dir/bench/bench_fig1_adsl.cpp.o"
+  "CMakeFiles/bench_fig1_adsl.dir/bench/bench_fig1_adsl.cpp.o.d"
+  "bench_fig1_adsl"
+  "bench_fig1_adsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_adsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

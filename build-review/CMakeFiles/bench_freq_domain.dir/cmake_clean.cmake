@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freq_domain.dir/bench/bench_freq_domain.cpp.o"
+  "CMakeFiles/bench_freq_domain.dir/bench/bench_freq_domain.cpp.o.d"
+  "bench_freq_domain"
+  "bench_freq_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freq_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

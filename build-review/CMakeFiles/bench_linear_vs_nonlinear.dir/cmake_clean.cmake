@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linear_vs_nonlinear.dir/bench/bench_linear_vs_nonlinear.cpp.o"
+  "CMakeFiles/bench_linear_vs_nonlinear.dir/bench/bench_linear_vs_nonlinear.cpp.o.d"
+  "bench_linear_vs_nonlinear"
+  "bench_linear_vs_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear_vs_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

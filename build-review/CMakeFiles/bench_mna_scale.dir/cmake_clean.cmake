@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mna_scale.dir/bench/bench_mna_scale.cpp.o"
+  "CMakeFiles/bench_mna_scale.dir/bench/bench_mna_scale.cpp.o.d"
+  "bench_mna_scale"
+  "bench_mna_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mna_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase2_nonlinear.dir/bench/bench_phase2_nonlinear.cpp.o"
+  "CMakeFiles/bench_phase2_nonlinear.dir/bench/bench_phase2_nonlinear.cpp.o.d"
+  "bench_phase2_nonlinear"
+  "bench_phase2_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase2_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

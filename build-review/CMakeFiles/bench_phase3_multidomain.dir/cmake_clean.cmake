@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phase3_multidomain.dir/bench/bench_phase3_multidomain.cpp.o"
+  "CMakeFiles/bench_phase3_multidomain.dir/bench/bench_phase3_multidomain.cpp.o.d"
+  "bench_phase3_multidomain"
+  "bench_phase3_multidomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phase3_multidomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipelined_adc.dir/bench/bench_pipelined_adc.cpp.o"
+  "CMakeFiles/bench_pipelined_adc.dir/bench/bench_pipelined_adc.cpp.o.d"
+  "bench_pipelined_adc"
+  "bench_pipelined_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipelined_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdf_vs_de.dir/bench/bench_sdf_vs_de.cpp.o"
+  "CMakeFiles/bench_sdf_vs_de.dir/bench/bench_sdf_vs_de.cpp.o.d"
+  "bench_sdf_vs_de"
+  "bench_sdf_vs_de.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdf_vs_de.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

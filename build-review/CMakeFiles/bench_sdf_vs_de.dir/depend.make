@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sdf_vs_de.
+# This may be replaced when dependencies are built.

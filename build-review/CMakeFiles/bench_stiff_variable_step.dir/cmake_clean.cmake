@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stiff_variable_step.dir/bench/bench_stiff_variable_step.cpp.o"
+  "CMakeFiles/bench_stiff_variable_step.dir/bench/bench_stiff_variable_step.cpp.o.d"
+  "bench_stiff_variable_step"
+  "bench_stiff_variable_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stiff_variable_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

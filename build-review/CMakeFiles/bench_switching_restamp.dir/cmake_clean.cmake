@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_switching_restamp.dir/bench/bench_switching_restamp.cpp.o"
+  "CMakeFiles/bench_switching_restamp.dir/bench/bench_switching_restamp.cpp.o.d"
+  "bench_switching_restamp"
+  "bench_switching_restamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switching_restamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

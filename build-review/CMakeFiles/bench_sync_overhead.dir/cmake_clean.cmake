@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_overhead.dir/bench/bench_sync_overhead.cpp.o"
+  "CMakeFiles/bench_sync_overhead.dir/bench/bench_sync_overhead.cpp.o.d"
+  "bench_sync_overhead"
+  "bench_sync_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

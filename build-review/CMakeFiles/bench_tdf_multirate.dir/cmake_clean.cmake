@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tdf_multirate.dir/bench/bench_tdf_multirate.cpp.o"
+  "CMakeFiles/bench_tdf_multirate.dir/bench/bench_tdf_multirate.cpp.o.d"
+  "bench_tdf_multirate"
+  "bench_tdf_multirate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tdf_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_receiver.dir/examples/adaptive_receiver.cpp.o"
+  "CMakeFiles/example_adaptive_receiver.dir/examples/adaptive_receiver.cpp.o.d"
+  "example_adaptive_receiver"
+  "example_adaptive_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

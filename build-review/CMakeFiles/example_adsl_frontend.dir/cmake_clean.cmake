@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adsl_frontend.dir/examples/adsl_frontend.cpp.o"
+  "CMakeFiles/example_adsl_frontend.dir/examples/adsl_frontend.cpp.o.d"
+  "example_adsl_frontend"
+  "example_adsl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adsl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_analysis_suite.dir/examples/analysis_suite.cpp.o"
+  "CMakeFiles/example_analysis_suite.dir/examples/analysis_suite.cpp.o.d"
+  "example_analysis_suite"
+  "example_analysis_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_analysis_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_analysis_suite.
+# This may be replaced when dependencies are built.

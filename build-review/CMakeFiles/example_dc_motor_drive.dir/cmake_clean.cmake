@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dc_motor_drive.dir/examples/dc_motor_drive.cpp.o"
+  "CMakeFiles/example_dc_motor_drive.dir/examples/dc_motor_drive.cpp.o.d"
+  "example_dc_motor_drive"
+  "example_dc_motor_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dc_motor_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_dc_motor_drive.
+# This may be replaced when dependencies are built.

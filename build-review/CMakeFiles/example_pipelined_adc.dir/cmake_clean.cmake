@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipelined_adc.dir/examples/pipelined_adc.cpp.o"
+  "CMakeFiles/example_pipelined_adc.dir/examples/pipelined_adc.cpp.o.d"
+  "example_pipelined_adc"
+  "example_pipelined_adc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipelined_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_power_driver.dir/examples/power_driver.cpp.o"
+  "CMakeFiles/example_power_driver.dir/examples/power_driver.cpp.o.d"
+  "example_power_driver"
+  "example_power_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_power_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_power_driver.
+# This may be replaced when dependencies are built.

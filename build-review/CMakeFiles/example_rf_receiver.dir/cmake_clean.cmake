@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rf_receiver.dir/examples/rf_receiver.cpp.o"
+  "CMakeFiles/example_rf_receiver.dir/examples/rf_receiver.cpp.o.d"
+  "example_rf_receiver"
+  "example_rf_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rf_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_solver_coupling.dir/examples/solver_coupling.cpp.o"
+  "CMakeFiles/example_solver_coupling.dir/examples/solver_coupling.cpp.o.d"
+  "example_solver_coupling"
+  "example_solver_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_solver_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

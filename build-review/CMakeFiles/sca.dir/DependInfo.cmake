@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ac_analysis.cpp" "CMakeFiles/sca.dir/src/core/ac_analysis.cpp.o" "gcc" "CMakeFiles/sca.dir/src/core/ac_analysis.cpp.o.d"
+  "/root/repo/src/core/dc_analysis.cpp" "CMakeFiles/sca.dir/src/core/dc_analysis.cpp.o" "gcc" "CMakeFiles/sca.dir/src/core/dc_analysis.cpp.o.d"
+  "/root/repo/src/core/noise_analysis.cpp" "CMakeFiles/sca.dir/src/core/noise_analysis.cpp.o" "gcc" "CMakeFiles/sca.dir/src/core/noise_analysis.cpp.o.d"
+  "/root/repo/src/core/run_set.cpp" "CMakeFiles/sca.dir/src/core/run_set.cpp.o" "gcc" "CMakeFiles/sca.dir/src/core/run_set.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "CMakeFiles/sca.dir/src/core/scenario.cpp.o" "gcc" "CMakeFiles/sca.dir/src/core/scenario.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "CMakeFiles/sca.dir/src/core/simulation.cpp.o" "gcc" "CMakeFiles/sca.dir/src/core/simulation.cpp.o.d"
+  "/root/repo/src/core/transient.cpp" "CMakeFiles/sca.dir/src/core/transient.cpp.o" "gcc" "CMakeFiles/sca.dir/src/core/transient.cpp.o.d"
+  "/root/repo/src/eln/converter.cpp" "CMakeFiles/sca.dir/src/eln/converter.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/converter.cpp.o.d"
+  "/root/repo/src/eln/line.cpp" "CMakeFiles/sca.dir/src/eln/line.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/line.cpp.o.d"
+  "/root/repo/src/eln/multidomain.cpp" "CMakeFiles/sca.dir/src/eln/multidomain.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/multidomain.cpp.o.d"
+  "/root/repo/src/eln/network.cpp" "CMakeFiles/sca.dir/src/eln/network.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/network.cpp.o.d"
+  "/root/repo/src/eln/node.cpp" "CMakeFiles/sca.dir/src/eln/node.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/node.cpp.o.d"
+  "/root/repo/src/eln/nonlinear.cpp" "CMakeFiles/sca.dir/src/eln/nonlinear.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/nonlinear.cpp.o.d"
+  "/root/repo/src/eln/primitives.cpp" "CMakeFiles/sca.dir/src/eln/primitives.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/primitives.cpp.o.d"
+  "/root/repo/src/eln/sources.cpp" "CMakeFiles/sca.dir/src/eln/sources.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/sources.cpp.o.d"
+  "/root/repo/src/eln/subcircuit.cpp" "CMakeFiles/sca.dir/src/eln/subcircuit.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/subcircuit.cpp.o.d"
+  "/root/repo/src/eln/terminal.cpp" "CMakeFiles/sca.dir/src/eln/terminal.cpp.o" "gcc" "CMakeFiles/sca.dir/src/eln/terminal.cpp.o.d"
+  "/root/repo/src/kernel/clock.cpp" "CMakeFiles/sca.dir/src/kernel/clock.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/clock.cpp.o.d"
+  "/root/repo/src/kernel/context.cpp" "CMakeFiles/sca.dir/src/kernel/context.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/context.cpp.o.d"
+  "/root/repo/src/kernel/event.cpp" "CMakeFiles/sca.dir/src/kernel/event.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/event.cpp.o.d"
+  "/root/repo/src/kernel/module.cpp" "CMakeFiles/sca.dir/src/kernel/module.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/module.cpp.o.d"
+  "/root/repo/src/kernel/object.cpp" "CMakeFiles/sca.dir/src/kernel/object.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/object.cpp.o.d"
+  "/root/repo/src/kernel/process.cpp" "CMakeFiles/sca.dir/src/kernel/process.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/process.cpp.o.d"
+  "/root/repo/src/kernel/scheduler.cpp" "CMakeFiles/sca.dir/src/kernel/scheduler.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/scheduler.cpp.o.d"
+  "/root/repo/src/kernel/signal.cpp" "CMakeFiles/sca.dir/src/kernel/signal.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/signal.cpp.o.d"
+  "/root/repo/src/kernel/time.cpp" "CMakeFiles/sca.dir/src/kernel/time.cpp.o" "gcc" "CMakeFiles/sca.dir/src/kernel/time.cpp.o.d"
+  "/root/repo/src/lib/amplifier.cpp" "CMakeFiles/sca.dir/src/lib/amplifier.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/amplifier.cpp.o.d"
+  "/root/repo/src/lib/converters.cpp" "CMakeFiles/sca.dir/src/lib/converters.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/converters.cpp.o.d"
+  "/root/repo/src/lib/external_ode.cpp" "CMakeFiles/sca.dir/src/lib/external_ode.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/external_ode.cpp.o.d"
+  "/root/repo/src/lib/filters.cpp" "CMakeFiles/sca.dir/src/lib/filters.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/filters.cpp.o.d"
+  "/root/repo/src/lib/mixer.cpp" "CMakeFiles/sca.dir/src/lib/mixer.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/mixer.cpp.o.d"
+  "/root/repo/src/lib/noise_source.cpp" "CMakeFiles/sca.dir/src/lib/noise_source.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/noise_source.cpp.o.d"
+  "/root/repo/src/lib/oscillator.cpp" "CMakeFiles/sca.dir/src/lib/oscillator.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/oscillator.cpp.o.d"
+  "/root/repo/src/lib/pipeline_adc.cpp" "CMakeFiles/sca.dir/src/lib/pipeline_adc.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/pipeline_adc.cpp.o.d"
+  "/root/repo/src/lib/pll.cpp" "CMakeFiles/sca.dir/src/lib/pll.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/pll.cpp.o.d"
+  "/root/repo/src/lib/pwm.cpp" "CMakeFiles/sca.dir/src/lib/pwm.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/pwm.cpp.o.d"
+  "/root/repo/src/lib/sigma_delta.cpp" "CMakeFiles/sca.dir/src/lib/sigma_delta.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lib/sigma_delta.cpp.o.d"
+  "/root/repo/src/lsf/ltf.cpp" "CMakeFiles/sca.dir/src/lsf/ltf.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lsf/ltf.cpp.o.d"
+  "/root/repo/src/lsf/node.cpp" "CMakeFiles/sca.dir/src/lsf/node.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lsf/node.cpp.o.d"
+  "/root/repo/src/lsf/primitives.cpp" "CMakeFiles/sca.dir/src/lsf/primitives.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lsf/primitives.cpp.o.d"
+  "/root/repo/src/lsf/state_space.cpp" "CMakeFiles/sca.dir/src/lsf/state_space.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lsf/state_space.cpp.o.d"
+  "/root/repo/src/lsf/view.cpp" "CMakeFiles/sca.dir/src/lsf/view.cpp.o" "gcc" "CMakeFiles/sca.dir/src/lsf/view.cpp.o.d"
+  "/root/repo/src/numeric/dense.cpp" "CMakeFiles/sca.dir/src/numeric/dense.cpp.o" "gcc" "CMakeFiles/sca.dir/src/numeric/dense.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "CMakeFiles/sca.dir/src/numeric/sparse.cpp.o" "gcc" "CMakeFiles/sca.dir/src/numeric/sparse.cpp.o.d"
+  "/root/repo/src/solver/ac.cpp" "CMakeFiles/sca.dir/src/solver/ac.cpp.o" "gcc" "CMakeFiles/sca.dir/src/solver/ac.cpp.o.d"
+  "/root/repo/src/solver/dc.cpp" "CMakeFiles/sca.dir/src/solver/dc.cpp.o" "gcc" "CMakeFiles/sca.dir/src/solver/dc.cpp.o.d"
+  "/root/repo/src/solver/equation_system.cpp" "CMakeFiles/sca.dir/src/solver/equation_system.cpp.o" "gcc" "CMakeFiles/sca.dir/src/solver/equation_system.cpp.o.d"
+  "/root/repo/src/solver/external.cpp" "CMakeFiles/sca.dir/src/solver/external.cpp.o" "gcc" "CMakeFiles/sca.dir/src/solver/external.cpp.o.d"
+  "/root/repo/src/solver/linear_dae.cpp" "CMakeFiles/sca.dir/src/solver/linear_dae.cpp.o" "gcc" "CMakeFiles/sca.dir/src/solver/linear_dae.cpp.o.d"
+  "/root/repo/src/solver/noise.cpp" "CMakeFiles/sca.dir/src/solver/noise.cpp.o" "gcc" "CMakeFiles/sca.dir/src/solver/noise.cpp.o.d"
+  "/root/repo/src/solver/nonlinear_dae.cpp" "CMakeFiles/sca.dir/src/solver/nonlinear_dae.cpp.o" "gcc" "CMakeFiles/sca.dir/src/solver/nonlinear_dae.cpp.o.d"
+  "/root/repo/src/tdf/cluster.cpp" "CMakeFiles/sca.dir/src/tdf/cluster.cpp.o" "gcc" "CMakeFiles/sca.dir/src/tdf/cluster.cpp.o.d"
+  "/root/repo/src/tdf/converter.cpp" "CMakeFiles/sca.dir/src/tdf/converter.cpp.o" "gcc" "CMakeFiles/sca.dir/src/tdf/converter.cpp.o.d"
+  "/root/repo/src/tdf/dae_module.cpp" "CMakeFiles/sca.dir/src/tdf/dae_module.cpp.o" "gcc" "CMakeFiles/sca.dir/src/tdf/dae_module.cpp.o.d"
+  "/root/repo/src/tdf/dynamic.cpp" "CMakeFiles/sca.dir/src/tdf/dynamic.cpp.o" "gcc" "CMakeFiles/sca.dir/src/tdf/dynamic.cpp.o.d"
+  "/root/repo/src/tdf/module.cpp" "CMakeFiles/sca.dir/src/tdf/module.cpp.o" "gcc" "CMakeFiles/sca.dir/src/tdf/module.cpp.o.d"
+  "/root/repo/src/tdf/port.cpp" "CMakeFiles/sca.dir/src/tdf/port.cpp.o" "gcc" "CMakeFiles/sca.dir/src/tdf/port.cpp.o.d"
+  "/root/repo/src/tdf/schedule.cpp" "CMakeFiles/sca.dir/src/tdf/schedule.cpp.o" "gcc" "CMakeFiles/sca.dir/src/tdf/schedule.cpp.o.d"
+  "/root/repo/src/util/fft.cpp" "CMakeFiles/sca.dir/src/util/fft.cpp.o" "gcc" "CMakeFiles/sca.dir/src/util/fft.cpp.o.d"
+  "/root/repo/src/util/measure.cpp" "CMakeFiles/sca.dir/src/util/measure.cpp.o" "gcc" "CMakeFiles/sca.dir/src/util/measure.cpp.o.d"
+  "/root/repo/src/util/report.cpp" "CMakeFiles/sca.dir/src/util/report.cpp.o" "gcc" "CMakeFiles/sca.dir/src/util/report.cpp.o.d"
+  "/root/repo/src/util/trace.cpp" "CMakeFiles/sca.dir/src/util/trace.cpp.o" "gcc" "CMakeFiles/sca.dir/src/util/trace.cpp.o.d"
+  "/root/repo/src/util/waveform.cpp" "CMakeFiles/sca.dir/src/util/waveform.cpp.o" "gcc" "CMakeFiles/sca.dir/src/util/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ac_noise.dir/tests/test_ac_noise.cpp.o"
+  "CMakeFiles/test_ac_noise.dir/tests/test_ac_noise.cpp.o.d"
+  "test_ac_noise"
+  "test_ac_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ac_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

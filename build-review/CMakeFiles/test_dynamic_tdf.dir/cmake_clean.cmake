@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_tdf.dir/tests/test_dynamic_tdf.cpp.o"
+  "CMakeFiles/test_dynamic_tdf.dir/tests/test_dynamic_tdf.cpp.o.d"
+  "test_dynamic_tdf"
+  "test_dynamic_tdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_tdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

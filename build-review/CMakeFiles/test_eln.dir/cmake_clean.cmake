@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eln.dir/tests/test_eln.cpp.o"
+  "CMakeFiles/test_eln.dir/tests/test_eln.cpp.o.d"
+  "test_eln"
+  "test_eln.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lib.dir/tests/test_lib.cpp.o"
+  "CMakeFiles/test_lib.dir/tests/test_lib.cpp.o.d"
+  "test_lib"
+  "test_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsf.dir/tests/test_lsf.cpp.o"
+  "CMakeFiles/test_lsf.dir/tests/test_lsf.cpp.o.d"
+  "test_lsf"
+  "test_lsf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lsf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multidomain.dir/tests/test_multidomain.cpp.o"
+  "CMakeFiles/test_multidomain.dir/tests/test_multidomain.cpp.o.d"
+  "test_multidomain"
+  "test_multidomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multidomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

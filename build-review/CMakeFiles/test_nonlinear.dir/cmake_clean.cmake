@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonlinear.dir/tests/test_nonlinear.cpp.o"
+  "CMakeFiles/test_nonlinear.dir/tests/test_nonlinear.cpp.o.d"
+  "test_nonlinear"
+  "test_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refinement.dir/tests/test_refinement.cpp.o"
+  "CMakeFiles/test_refinement.dir/tests/test_refinement.cpp.o.d"
+  "test_refinement"
+  "test_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

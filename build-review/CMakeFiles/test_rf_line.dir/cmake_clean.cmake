@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rf_line.dir/tests/test_rf_line.cpp.o"
+  "CMakeFiles/test_rf_line.dir/tests/test_rf_line.cpp.o.d"
+  "test_rf_line"
+  "test_rf_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rf_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

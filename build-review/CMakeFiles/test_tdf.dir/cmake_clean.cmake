@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdf.dir/tests/test_tdf.cpp.o"
+  "CMakeFiles/test_tdf.dir/tests/test_tdf.cpp.o.d"
+  "test_tdf"
+  "test_tdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

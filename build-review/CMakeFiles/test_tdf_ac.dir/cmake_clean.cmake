@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdf_ac.dir/tests/test_tdf_ac.cpp.o"
+  "CMakeFiles/test_tdf_ac.dir/tests/test_tdf_ac.cpp.o.d"
+  "test_tdf_ac"
+  "test_tdf_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdf_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
