@@ -11,6 +11,7 @@
 #include "eln/network.hpp"
 #include "eln/primitives.hpp"
 #include "eln/sources.hpp"
+#include "tdf/block.hpp"
 #include "tdf/module.hpp"
 #include "tdf/port.hpp"
 
@@ -32,6 +33,14 @@ struct sine_src : tdf::module {
         out.write(amp * std::sin(2.0 * 3.141592653589793 * freq *
                                  tdf_time().to_seconds()));
     }
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override {
+        double* y = blk.out_span(out);
+        for (std::uint64_t i = 0; i < blk.count(); ++i) {
+            y[i] = amp * std::sin(2.0 * 3.141592653589793 * freq *
+                                  blk.time_at(i).to_seconds());
+        }
+    }
 };
 
 /// TDF sink that only consumes (keeps the cluster busy end to end).
@@ -41,6 +50,11 @@ struct null_sink : tdf::module {
     explicit null_sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
     void processing() override {
         for (unsigned k = 0; k < in.rate(); ++k) last = in.read(k);
+    }
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override {
+        const double* x = blk.in_span(in);
+        last = x[blk.count() * in.rate() - 1];
     }
 };
 
@@ -52,6 +66,12 @@ struct gain_stage : tdf::module {
     gain_stage(const de::module_name& nm, double gain)
         : tdf::module(nm), in("in"), out("out"), k(gain) {}
     void processing() override { out.write(k * in.read()); }
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override {
+        const double* x = blk.in_span(in);
+        double* y = blk.out_span(out);
+        for (std::uint64_t i = 0; i < blk.count(); ++i) y[i] = k * x[i];
+    }
 };
 
 /// Owning bundle for an RC ladder network: source -> N sections -> load.

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage and enforce a floor on the TDF core.
+
+Runs `gcov --json-format` over every .gcda file found in the build tree,
+merges line hits across translation units, and reports per-file line
+coverage for sources matching --source-prefix.  Exits non-zero when the
+aggregate coverage of the matched files is below --floor, so CI can gate
+on "the block/schedule executor stays tested".
+
+Usage (after building with --coverage and running ctest):
+    scripts/check_coverage.py --build-dir build-cov --floor 85
+"""
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda, build_dir):
+    """Run gcov on one .gcda and yield parsed JSON documents."""
+    # --stdout keeps the tree clean; each line of output is one JSON doc.
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda],
+        cwd=build_dir, capture_output=True, check=False)
+    if proc.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: "
+              f"{proc.stderr.decode(errors='replace').strip()}",
+              file=sys.stderr)
+        return
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(b"\x1f\x8b"):  # some gcov builds emit gzip anyway
+            line = gzip.decompress(line)
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def merge(docs, prefix):
+    """-> {relpath: {line_number: total_hits}} for sources under prefix."""
+    hits = {}
+    for doc in docs:
+        for f in doc.get("files", []):
+            path = f.get("file", "")
+            abspath = os.path.normpath(os.path.join(REPO, path)
+                                       if not os.path.isabs(path) else path)
+            try:
+                rel = os.path.relpath(abspath, REPO)
+            except ValueError:
+                continue
+            if not rel.startswith(prefix):
+                continue
+            per_line = hits.setdefault(rel, {})
+            for ln in f.get("lines", []):
+                no = ln["line_number"]
+                per_line[no] = per_line.get(no, 0) + ln.get("count", 0)
+    return hits
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=os.path.join(REPO, "build-cov"))
+    ap.add_argument("--source-prefix", default="src/tdf/",
+                    help="repo-relative prefix of files to gate on")
+    ap.add_argument("--floor", type=float, default=85.0,
+                    help="minimum aggregate line coverage percent")
+    ap.add_argument("--summary", default=None,
+                    help="also write the report to this file")
+    args = ap.parse_args()
+
+    gcda_files = sorted(find_gcda(args.build_dir))
+    if not gcda_files:
+        print(f"error: no .gcda files under {args.build_dir} — "
+              "build with --coverage and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    docs = []
+    for gcda in gcda_files:
+        docs.extend(gcov_json(gcda, args.build_dir))
+    hits = merge(docs, args.source_prefix)
+    if not hits:
+        print(f"error: no coverage data for sources under "
+              f"{args.source_prefix}", file=sys.stderr)
+        return 2
+
+    lines = []
+    tot_cov = tot_all = 0
+    for rel in sorted(hits):
+        per_line = hits[rel]
+        covered = sum(1 for c in per_line.values() if c > 0)
+        total = len(per_line)
+        tot_cov += covered
+        tot_all += total
+        pct = 100.0 * covered / total if total else 100.0
+        lines.append(f"  {rel:<40} {covered:>5}/{total:<5} {pct:6.1f}%")
+
+    pct = 100.0 * tot_cov / tot_all
+    ok = pct >= args.floor
+    report = "\n".join([
+        f"Line coverage for {args.source_prefix} "
+        f"({len(gcda_files)} .gcda files):",
+        *lines,
+        f"  {'TOTAL':<40} {tot_cov:>5}/{tot_all:<5} {pct:6.1f}%",
+        f"Floor: {args.floor:.1f}% -> {'OK' if ok else 'FAIL'}",
+    ])
+    print(report)
+    if args.summary:
+        with open(args.summary, "w") as f:
+            f.write(report + "\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Regenerate the golden waveform traces in tests/golden/.
+
+Builds the test_golden_waveforms binary (configuring a build directory if
+needed) and runs it with SCA_REGEN_GOLDEN=1, which rewrites every reference
+trace from the current simulator output.  Use after an INTENTIONAL numeric
+change, then review the diff of tests/golden/ like any other code change.
+
+Usage:
+    scripts/regen_golden.py [--build-dir BUILD] [--filter GTEST_FILTER]
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run(cmd, **kw):
+    print("+", " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True, **kw)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=os.path.join(REPO, "build"))
+    ap.add_argument("--filter", default="golden_waveforms.*",
+                    help="gtest filter selecting which traces to regenerate")
+    args = ap.parse_args()
+
+    if not os.path.exists(os.path.join(args.build_dir, "CMakeCache.txt")):
+        run(["cmake", "-B", args.build_dir, "-S", REPO,
+             "-DCMAKE_BUILD_TYPE=Release"])
+    run(["cmake", "--build", args.build_dir, "-j", "--target",
+         "test_golden_waveforms"])
+
+    binary = os.path.join(args.build_dir, "test_golden_waveforms")
+    env = dict(os.environ, SCA_REGEN_GOLDEN="1")
+    run([binary, f"--gtest_filter={args.filter}"], env=env)
+
+    golden = os.path.join(REPO, "tests", "golden")
+    print(f"\nRegenerated traces in {golden}:")
+    for name in sorted(os.listdir(golden)):
+        path = os.path.join(golden, name)
+        with open(path) as f:
+            rows = sum(1 for _ in f) - 1
+        print(f"  {name}: {rows} samples")
+    print("\nReview the diff (git diff tests/golden/) before committing.")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,4 +35,17 @@ void amplifier::processing() {
     out.write(std::clamp(pole_state_, v_min_, v_max_));
 }
 
+void amplifier::processing(tdf::block_view& blk) {
+    const double* x = blk.in_span(in);
+    double* y = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    double state = pole_state_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double target = gain_ * (x[i] + offset_);
+        state += alpha_ * (target - state);
+        y[i] = std::clamp(state, v_min_, v_max_);
+    }
+    pole_state_ = state;
+}
+
 }  // namespace sca::lib

@@ -7,6 +7,7 @@
 
 #include <complex>
 
+#include "tdf/block.hpp"
 #include "tdf/module.hpp"
 
 namespace sca::lib {
@@ -27,6 +28,8 @@ public:
     void set_attributes() override {}
     void initialize() override;
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
     /// Linearized small-signal model: gain with a single pole at the
     /// configured bandwidth (saturation ignored, as usual for AC).

@@ -12,19 +12,42 @@ namespace sca::lib {
 fir::fir(const de::module_name& nm, std::vector<double> taps)
     : tdf::module(nm), in("in"), out("out"), taps_(std::move(taps)) {
     util::require(!taps_.empty(), name(), "FIR needs at least one tap");
-    delay_.assign(taps_.size(), 0.0);
+    hist_.assign(taps_.size() - 1, 0.0);  // zero pre-history
+    hist_.reserve(taps_.size() - 1 + 256);
+}
+
+double fir::tap_sum(std::size_t end) const {
+    // acc += taps[k] * x[n-k], ascending k: the same order on both paths
+    // keeps per-sample and block outputs bit-identical.
+    double acc = 0.0;
+    const double* h = hist_.data() + end;
+    for (std::size_t k = 0; k < taps_.size(); ++k) acc += taps_[k] * h[-static_cast<std::ptrdiff_t>(k)];
+    return acc;
+}
+
+void fir::compact_history() {
+    // Keep the window bounded: slide the last taps-1 samples to the front
+    // once the history grows past a few blocks.
+    const std::size_t keep = taps_.size() - 1;
+    if (hist_.size() > keep + 8192) {
+        hist_.erase(hist_.begin(), hist_.end() - static_cast<std::ptrdiff_t>(keep));
+    }
 }
 
 void fir::processing() {
-    delay_[pos_] = in.read();
-    double acc = 0.0;
-    std::size_t j = pos_;
-    for (double tap : taps_) {
-        acc += tap * delay_[j];
-        j = (j == 0) ? delay_.size() - 1 : j - 1;
-    }
-    pos_ = (pos_ + 1) % delay_.size();
-    out.write(acc);
+    hist_.push_back(in.read());
+    out.write(tap_sum(hist_.size() - 1));
+    compact_history();
+}
+
+void fir::processing(tdf::block_view& blk) {
+    const double* x = blk.in_span(in);
+    double* y = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    const std::size_t h0 = hist_.size();
+    hist_.insert(hist_.end(), x, x + n);
+    for (std::uint64_t i = 0; i < n; ++i) y[i] = tap_sum(h0 + i);
+    compact_history();
 }
 
 std::complex<double> fir::ac_response(double f) const {
@@ -107,6 +130,28 @@ void biquad::processing() {
     out.write(y);
 }
 
+void biquad::processing(tdf::block_view& blk) {
+    const double* xs = blk.in_span(in);
+    double* ys = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    // The recurrence stays sequential; the win is one call (and zero ring
+    // index math) per block instead of per sample.
+    double x1 = x1_, x2 = x2_, y1 = y1_, y2 = y2_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double x = xs[i];
+        const double y = c_.b0 * x + c_.b1 * x1 + c_.b2 * x2 - c_.a1 * y1 - c_.a2 * y2;
+        x2 = x1;
+        x1 = x;
+        y2 = y1;
+        y1 = y;
+        ys[i] = y;
+    }
+    x1_ = x1;
+    x2_ = x2;
+    y1_ = y1;
+    y2_ = y2;
+}
+
 // ----------------------------------------------------------------- decimator
 
 decimator::decimator(const de::module_name& nm, unsigned factor, bool average)
@@ -126,6 +171,22 @@ void decimator::processing() {
     }
 }
 
+void decimator::processing(tdf::block_view& blk) {
+    const double* x = blk.in_span(in);
+    double* y = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    if (average_) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const double* xi = x + i * factor_;
+            double acc = 0.0;
+            for (unsigned k = 0; k < factor_; ++k) acc += xi[k];
+            y[i] = acc / factor_;
+        }
+    } else {
+        for (std::uint64_t i = 0; i < n; ++i) y[i] = x[i * factor_ + factor_ - 1];
+    }
+}
+
 // -------------------------------------------------------------- interpolator
 
 interpolator::interpolator(const de::module_name& nm, unsigned factor)
@@ -142,6 +203,23 @@ void interpolator::processing() {
         out.write(previous_ + u * (x - previous_), k);
     }
     previous_ = x;
+}
+
+void interpolator::processing(tdf::block_view& blk) {
+    const double* xs = blk.in_span(in);
+    double* ys = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    double prev = previous_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double x = xs[i];
+        double* yi = ys + i * factor_;
+        for (unsigned k = 0; k < factor_; ++k) {
+            const double u = static_cast<double>(k + 1) / static_cast<double>(factor_);
+            yi[k] = prev + u * (x - prev);
+        }
+        prev = x;
+    }
+    previous_ = prev;
 }
 
 }  // namespace sca::lib

@@ -7,14 +7,17 @@
 #define SCA_LIB_FILTERS_HPP
 
 #include <complex>
-#include <deque>
 #include <vector>
 
+#include "tdf/block.hpp"
 #include "tdf/module.hpp"
 
 namespace sca::lib {
 
-/// Direct-form FIR filter.
+/// Direct-form FIR filter.  Input history is kept in a sliding window so the
+/// block path runs a contiguous correlation (no per-sample ring index math);
+/// per-sample and block paths share the window and compute tap-identical
+/// sums, so their outputs are bit-identical.
 class fir : public tdf::module {
 public:
     tdf::in<double> in;
@@ -23,6 +26,8 @@ public:
     fir(const de::module_name& nm, std::vector<double> taps);
 
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
     /// z-domain frequency response at the module's resolved sample rate.
     [[nodiscard]] bool has_ac_model() const override { return true; }
@@ -35,9 +40,12 @@ public:
     static std::vector<double> design_lowpass(std::size_t n_taps, double fc_norm);
 
 private:
+    /// Dot product ending at hist_[end] (the newest sample of the firing).
+    [[nodiscard]] double tap_sum(std::size_t end) const;
+    void compact_history();
+
     std::vector<double> taps_;
-    std::vector<double> delay_;
-    std::size_t pos_ = 0;
+    std::vector<double> hist_;  // last >= taps-1 inputs, newest at back
 };
 
 /// z-domain biquad section: y = (b0 x + b1 x1 + b2 x2) - a1 y1 - a2 y2.
@@ -59,6 +67,8 @@ public:
     biquad(const de::module_name& nm, biquad_coefficients c);
 
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
     [[nodiscard]] bool has_ac_model() const override { return true; }
     [[nodiscard]] std::complex<double> ac_response(double f) const override;
@@ -79,6 +89,8 @@ public:
 
     void set_attributes() override;
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
     unsigned factor_;
@@ -96,6 +108,8 @@ public:
 
     void set_attributes() override;
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
     unsigned factor_;

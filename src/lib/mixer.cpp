@@ -11,4 +11,14 @@ void mixer::processing() {
     out.write(gain_ * vrf * vlo + rf_feedthrough_ * vrf + lo_feedthrough_ * vlo);
 }
 
+void mixer::processing(tdf::block_view& blk) {
+    const double* vrf = blk.in_span(rf);
+    const double* vlo = blk.in_span(lo);
+    double* y = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        y[i] = gain_ * vrf[i] * vlo[i] + rf_feedthrough_ * vrf[i] + lo_feedthrough_ * vlo[i];
+    }
+}
+
 }  // namespace sca::lib

@@ -4,6 +4,7 @@
 #ifndef SCA_LIB_MIXER_HPP
 #define SCA_LIB_MIXER_HPP
 
+#include "tdf/block.hpp"
 #include "tdf/module.hpp"
 
 namespace sca::lib {
@@ -23,6 +24,8 @@ public:
     }
 
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
     double gain_;

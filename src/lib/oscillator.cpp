@@ -16,6 +16,18 @@ void sine_source::processing() {
               amplitude_ * std::sin(2.0 * std::numbers::pi * frequency_ * t + phase_));
 }
 
+void sine_source::processing(tdf::block_view& blk) {
+    double* y = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    // blk.time_at(i) is the same integer-femtosecond sum the per-sample path
+    // sees, so to_seconds() (and the sample value) matches bit for bit.
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double t = blk.time_at(i).to_seconds();
+        y[i] = offset_ +
+               amplitude_ * std::sin(2.0 * std::numbers::pi * frequency_ * t + phase_);
+    }
+}
+
 quadrature_oscillator::quadrature_oscillator(const de::module_name& nm, double amplitude,
                                              double frequency)
     : tdf::module(nm), out_i("out_i"), out_q("out_q"), amplitude_(amplitude),
@@ -28,9 +40,27 @@ void quadrature_oscillator::processing() {
     out_q.write(amplitude_ * std::sin(w));
 }
 
+void quadrature_oscillator::processing(tdf::block_view& blk) {
+    double* yi = blk.out_span(out_i);
+    double* yq = blk.out_span(out_q);
+    const std::uint64_t n = blk.count();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double t = blk.time_at(i).to_seconds();
+        const double w = 2.0 * std::numbers::pi * frequency_ * t;
+        yi[i] = amplitude_ * std::cos(w);
+        yq[i] = amplitude_ * std::sin(w);
+    }
+}
+
 waveform_source::waveform_source(const de::module_name& nm, util::waveform w)
     : tdf::module(nm), out("out"), wave_(std::move(w)) {}
 
 void waveform_source::processing() { out.write(wave_.at(tdf_time().to_seconds())); }
+
+void waveform_source::processing(tdf::block_view& blk) {
+    double* y = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    for (std::uint64_t i = 0; i < n; ++i) y[i] = wave_.at(blk.time_at(i).to_seconds());
+}
 
 }  // namespace sca::lib

@@ -3,6 +3,7 @@
 #ifndef SCA_LIB_OSCILLATOR_HPP
 #define SCA_LIB_OSCILLATOR_HPP
 
+#include "tdf/block.hpp"
 #include "tdf/module.hpp"
 #include "util/waveform.hpp"
 
@@ -17,6 +18,8 @@ public:
                 double phase_rad = 0.0, double offset = 0.0);
 
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
     double amplitude_, frequency_, phase_, offset_;
@@ -31,6 +34,8 @@ public:
     quadrature_oscillator(const de::module_name& nm, double amplitude, double frequency);
 
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
     double amplitude_, frequency_;
@@ -44,6 +49,8 @@ public:
     waveform_source(const de::module_name& nm, util::waveform w);
 
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
     util::waveform wave_;

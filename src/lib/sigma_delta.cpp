@@ -30,43 +30,85 @@ void sigma_delta_modulator::processing() {
     out.write(quantizer_in >= 0.0 ? vref_ : -vref_);
 }
 
+void sigma_delta_modulator::processing(tdf::block_view& blk) {
+    const double* xs = blk.in_span(in);
+    double* ys = blk.out_span(out);
+    const std::uint64_t n = blk.count();
+    if (order_ == 1) {
+        double i1 = int1_;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            i1 += xs[i] - (i1 >= 0.0 ? vref_ : -vref_);
+            ys[i] = i1 >= 0.0 ? vref_ : -vref_;
+        }
+        int1_ = i1;
+    } else {
+        double i1 = int1_, i2 = int2_;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const double fb = i2 >= 0.0 ? vref_ : -vref_;
+            i1 += xs[i] - fb;
+            i2 += i1 - fb;
+            ys[i] = i2 >= 0.0 ? vref_ : -vref_;
+        }
+        int1_ = i1;
+        int2_ = i2;
+    }
+}
+
 sinc3_decimator::sinc3_decimator(const de::module_name& nm, unsigned osr)
     : tdf::module(nm), in("in"), out("out"), osr_(osr) {
     util::require(osr >= 2, name(), "oversampling ratio must be >= 2");
     window_.assign(3UL * osr, 0.0);
-}
-
-void sinc3_decimator::set_attributes() { in.set_rate(osr_); }
-
-void sinc3_decimator::processing() {
-    // Shift the 3*OSR window by OSR new samples, then apply the triangular^2
-    // (sinc^3) weighting.
-    const std::size_t n = window_.size();
-    for (std::size_t i = 0; i + osr_ < n; ++i) window_[i] = window_[i + osr_];
-    for (unsigned k = 0; k < osr_; ++k) window_[n - osr_ + k] = in.read(k);
-
-    // sinc^3 kernel = triple convolution of a length-OSR boxcar.
-    double acc = 0.0;
-    double norm = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        // Triangle-of-triangle weight via closed form: w(i) grows, plateaus,
-        // and falls symmetrically; compute by counting boxcar overlaps.
-        const auto m = static_cast<long>(osr_);
+    // sinc^3 kernel = triple convolution of a length-OSR boxcar; the weights
+    // are integer overlap counts, so precomputing them (once, here) keeps the
+    // arithmetic identical to recomputing per firing.
+    weights_.resize(window_.size());
+    norm_ = 0.0;
+    const auto m = static_cast<long>(osr_);
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
         const long x = static_cast<long>(i);
         long w = 0;
         // Number of (a,b) pairs with a+b+c = x, 0 <= a,b,c < m.
         const long lo = std::max(0L, x - 2 * (m - 1));
-        const long hi = std::min(static_cast<long>(m - 1), x);
+        const long hi = std::min(m - 1, x);
         for (long a = lo; a <= hi; ++a) {
             const long rem = x - a;
             const long bmin = std::max(0L, rem - (m - 1));
             const long bmax = std::min(m - 1, rem);
             if (bmax >= bmin) w += bmax - bmin + 1;
         }
-        acc += static_cast<double>(w) * window_[i];
-        norm += static_cast<double>(w);
+        weights_[i] = static_cast<double>(w);
+        norm_ += static_cast<double>(w);
     }
-    out.write(acc / norm);
+}
+
+void sinc3_decimator::set_attributes() { in.set_rate(osr_); }
+
+double sinc3_decimator::window_dot() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < window_.size(); ++i) acc += weights_[i] * window_[i];
+    return acc / norm_;
+}
+
+void sinc3_decimator::processing() {
+    // Shift the 3*OSR window by OSR new samples, then apply the sinc^3
+    // weighting.
+    const std::size_t n = window_.size();
+    for (std::size_t i = 0; i + osr_ < n; ++i) window_[i] = window_[i + osr_];
+    for (unsigned k = 0; k < osr_; ++k) window_[n - osr_ + k] = in.read(k);
+    out.write(window_dot());
+}
+
+void sinc3_decimator::processing(tdf::block_view& blk) {
+    const double* xs = blk.in_span(in);
+    double* ys = blk.out_span(out);
+    const std::uint64_t nfire = blk.count();
+    const std::size_t n = window_.size();
+    for (std::uint64_t f = 0; f < nfire; ++f) {
+        for (std::size_t i = 0; i + osr_ < n; ++i) window_[i] = window_[i + osr_];
+        const double* xf = xs + f * osr_;
+        for (unsigned k = 0; k < osr_; ++k) window_[n - osr_ + k] = xf[k];
+        ys[f] = window_dot();
+    }
 }
 
 sigma_delta_adc::sigma_delta_adc(const de::module_name& nm, unsigned order, double vref,

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "tdf/block.hpp"
 #include "tdf/module.hpp"
 
 namespace sca::lib {
@@ -21,6 +22,8 @@ public:
                           double vref = 1.0);
 
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
     unsigned order_;
@@ -40,11 +43,19 @@ public:
 
     void set_attributes() override;
     void processing() override;
+    [[nodiscard]] bool has_block_processing() const override { return true; }
+    void processing(tdf::block_view& blk) override;
 
 private:
+    /// One output sample from the current window contents.
+    [[nodiscard]] double window_dot() const;
+
     unsigned osr_;
-    // Two cascaded moving-average stages applied per output sample.
+    // Sliding 3*OSR window of modulator samples, newest at the back.
     std::vector<double> window_;
+    // sinc^3 kernel (triple boxcar convolution), precomputed with its norm.
+    std::vector<double> weights_;
+    double norm_ = 0.0;
 };
 
 /// Complete oversampling converter as a hierarchical composite: modulator

@@ -1,0 +1,79 @@
+// Block-based TDF execution: a `block_view` hands a module `count`
+// consecutive firings worth of samples as contiguous per-port spans over the
+// preallocated ring buffers.
+//
+// The static schedule fixes buffer sizes and repetition counts at
+// elaboration (paper §3), which is exactly what makes block execution legal:
+// a module will consume/produce rate x count tokens per block, the executor
+// knows both bounds, and the ring buffers already hold a full period.  The
+// cluster splits a block run at the ring-buffer wrap point (and executes a
+// wrap-straddling firing on the per-sample path), so inside
+// processing(block_view&) every span is plain contiguous memory:
+//
+//   void gain::processing(tdf::block_view& blk) override {
+//       const double* x = blk.in_span(in);     // rate * count samples
+//       double* y = blk.out_span(out);
+//       for (std::uint64_t i = 0; i < blk.count(); ++i) y[i] = k_ * x[i];
+//   }
+//
+// Contract (see docs/api.md "Block processing"):
+//   - in_span/out_span return rate() * count() tokens, oldest first.  Input
+//     spans may point at prefilled (initial-value) slots for pre-stream
+//     tokens of delayed ports; capacity accounting guarantees those slots
+//     still hold the initial value.
+//   - Spans alias the ring buffers: do not hold them across activations.
+//   - A module overriding processing(block_view&) must also keep its
+//     per-sample processing() semantically identical: the executor falls
+//     back to it for wrap-straddling firings and when block execution is
+//     disabled, and the two paths share the module's internal state.
+#ifndef SCA_TDF_BLOCK_HPP
+#define SCA_TDF_BLOCK_HPP
+
+#include <cstdint>
+
+#include "kernel/time.hpp"
+#include "tdf/port.hpp"
+
+namespace sca::tdf {
+
+class block_view {
+public:
+    /// Built by module::fire_block_run; `t0` is the time of the block's
+    /// first firing, `count` the number of consecutive firings it covers.
+    block_view(const de::time& t0, const de::time& timestep, std::uint64_t count) noexcept
+        : t0_(t0), timestep_(timestep), n_(count) {}
+
+    /// Consecutive firings covered by this block (>= 1).
+    [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+    /// Time of firing `k` of the block (k = 0 is tdf_time()).  Exact de::time
+    /// arithmetic, bit-identical to the per-sample activation grid.
+    [[nodiscard]] de::time time_at(std::uint64_t k) const {
+        return t0_ + timestep_ * static_cast<std::int64_t>(k);
+    }
+
+    /// Contiguous read span of `p.rate() * count()` tokens, oldest first
+    /// (sample k of firing i is element i * rate + k).
+    template <typename T>
+    [[nodiscard]] const T* in_span(const in<T>& p) const {
+        const auto* s = static_cast<const signal<T>*>(p.bound_signal());
+        return s->data() + p.ring_offset();
+    }
+
+    /// Contiguous write span of `p.rate() * count()` tokens; every element
+    /// must be written (they are the port's tokens for these firings).
+    template <typename T>
+    [[nodiscard]] T* out_span(const out<T>& p) const {
+        auto* s = static_cast<signal<T>*>(p.bound_signal());
+        return s->data() + p.ring_offset();
+    }
+
+private:
+    de::time t0_;
+    de::time timestep_;
+    std::uint64_t n_;
+};
+
+}  // namespace sca::tdf
+
+#endif  // SCA_TDF_BLOCK_HPP

@@ -108,9 +108,12 @@ void cluster::resolve_timesteps() {
     }
 }
 
-compiled_schedule cluster::compile_current() const {
+compiled_schedule cluster::compile_current(std::uint64_t periods) const {
     // Describe the graph abstractly and compile it (PASS construction and
-    // run-length encoding live in schedule.cpp).
+    // run-length encoding live in schedule.cpp).  `periods` > 1 scales the
+    // repetition vector: the resulting program is a legal schedule for that
+    // many periods fused into one super-cycle (SDF determinacy makes the
+    // token streams identical to per-period execution).
     std::map<const module*, std::size_t> index;
     for (std::size_t i = 0; i < modules_.size(); ++i) index[modules_[i]] = i;
 
@@ -123,9 +126,42 @@ compiled_schedule cluster::compile_current() const {
         }
     }
     std::vector<std::uint64_t> reps(modules_.size());
-    for (std::size_t i = 0; i < modules_.size(); ++i) reps[i] = modules_[i]->repetitions();
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        reps[i] = modules_[i]->repetitions() * periods;
+    }
 
     return compile_schedule(reps, descs);
+}
+
+void cluster::build_fused_programs(std::vector<std::size_t>& caps) {
+    // Power-of-two ladder of fused programs for pure static clusters: the
+    // batch planner hands run_cycles() up to max_batch_ periods at a time,
+    // and greedy decomposition over {.., 16, 8, 4, 2} periods turns almost
+    // all of them into long block calls.  DE-coupled clusters execute one
+    // period per kernel interaction and dynamic clusters must offer the
+    // change_attributes() window between periods, so neither fuses.
+    fused_.clear();
+    if (de_coupled_ || dynamic_ || max_batch_ < 2) return;
+    // Guard: fused buffers hold `periods` periods of tokens per signal; stop
+    // the ladder before memory blows up on very high-rate clusters.
+    constexpr std::size_t k_max_tokens_per_signal = std::size_t{1} << 16;
+    for (std::uint64_t b = 2; b <= max_batch_; b *= 2) {
+        compiled_schedule cs = compile_current(b);
+        if (std::any_of(cs.buffer_capacity.begin(), cs.buffer_capacity.end(),
+                        [&](std::size_t c) { return c > k_max_tokens_per_signal; })) {
+            break;
+        }
+        for (std::size_t s = 0; s < caps.size(); ++s) {
+            caps[s] = std::max(caps[s], cs.buffer_capacity[s]);
+        }
+        std::vector<program_entry> entries;
+        entries.reserve(cs.program.size());
+        for (const firing_entry& e : cs.program) {
+            entries.push_back({modules_[e.module], e.first_firing, e.count});
+        }
+        fused_.push_back({b, std::move(entries)});
+    }
+    std::reverse(fused_.begin(), fused_.end());  // descending periods
 }
 
 void cluster::install_program(const compiled_schedule& compiled) {
@@ -163,7 +199,12 @@ void cluster::size_buffers(const std::vector<std::size_t>& capacities, bool in_p
 void cluster::build_schedule() {
     last_compiled_ = compile_current();
     install_program(last_compiled_);
-    size_buffers(last_compiled_.buffer_capacity, /*in_place=*/false);
+    // Ring buffers are sized for the largest program that can run on them:
+    // the per-period program or any fused multi-period program.  Capacity
+    // only affects layout, not values, so the per-sample path is unchanged.
+    std::vector<std::size_t> caps = last_compiled_.buffer_capacity;
+    build_fused_programs(caps);
+    size_buffers(caps, /*in_place=*/false);
 }
 
 void cluster::detect_de_coupling() {
@@ -179,13 +220,15 @@ void cluster::detect_de_coupling() {
 void cluster::elaborate() {
     compute_repetitions();
     resolve_timesteps();
-    build_schedule();
+    // DE-coupling and dynamic membership gate fused-program compilation, so
+    // both are detected before the schedule is built.
     detect_de_coupling();
     dynamic_modules_.clear();
     for (module* m : modules_) {
         if (m->does_attribute_changes()) dynamic_modules_.push_back(m);
     }
     dynamic_ = !dynamic_modules_.empty();
+    build_schedule();
     if (dynamic_) {
         // Seed the schedule cache with the elaborated configuration, so a
         // model that wanders away and back reinstates it with a hash lookup.
@@ -239,6 +282,11 @@ void cluster::install_config(const cluster_config& cfg) {
 }
 
 void cluster::run_change_attributes() {
+    // Block/reschedule barrier: this window only opens between periods, and
+    // block calls never span a period boundary on dynamic clusters (they
+    // compile no fused programs), so any in-flight block is already flushed
+    // — every staged token is written and every port position advanced —
+    // before a reschedule can land.
     bool any = false;
     for (module* m : dynamic_modules_) {
         m->set_in_change_attributes(true);
@@ -336,12 +384,42 @@ void cluster::set_peer_processes(std::vector<const de::method_process*> peers) {
     peers_ = std::move(peers);
 }
 
-void cluster::run_cycles(const de::time& start, std::uint64_t n) {
-    de::time t = start;
-    for (std::uint64_t c = 0; c < n; ++c) {
-        for (const program_entry& e : program_) {
+void cluster::exec_program(const std::vector<program_entry>& prog, const de::time& t) {
+    if (block_execution_) {
+        for (const program_entry& e : prog) {
+            if (e.mod->has_block_processing()) {
+                e.mod->fire_block_run(t, e.first_firing, e.count);
+            } else {
+                e.mod->fire_run(t, e.first_firing, e.count);
+            }
+        }
+    } else {
+        for (const program_entry& e : prog) {
             e.mod->fire_run(t, e.first_firing, e.count);
         }
+    }
+}
+
+void cluster::run_cycles(const de::time& start, std::uint64_t n) {
+    de::time t = start;
+    std::uint64_t left = n;
+    // Greedy decomposition over the fused-program ladder (descending
+    // periods): a 63-period batch runs as 32+16+8+4+2 fused super-cycles
+    // plus one per-period pass.  Fused programs only exist for pure static
+    // clusters and only pay off on the block path.
+    if (block_execution_) {
+        for (const fused_program& fp : fused_) {
+            while (left >= fp.periods) {
+                exec_program(fp.entries, t);
+                cycles_ += fp.periods;
+                fused_cycles_ += fp.periods;
+                t += period_ * static_cast<std::int64_t>(fp.periods);
+                left -= fp.periods;
+            }
+        }
+    }
+    for (std::uint64_t c = 0; c < left; ++c) {
+        exec_program(program_, t);
         ++cycles_;
         t += period_;
     }
@@ -458,6 +536,11 @@ void registry::set_default_max_batch_periods(std::uint64_t n) {
     for (auto& c : clusters_) c->set_max_batch_periods(n);
 }
 
+void registry::set_default_block_execution(bool on) {
+    default_block_execution_ = on;
+    for (auto& c : clusters_) c->set_block_execution(on);
+}
+
 void registry::elaborate_clusters() {
     if (elaborated_) return;
     elaborated_ = true;
@@ -509,6 +592,7 @@ void registry::elaborate_clusters() {
     for (auto& [root, members] : groups) {
         clusters_.push_back(std::make_unique<cluster>(std::move(members)));
         clusters_.back()->set_max_batch_periods(default_max_batch_);
+        clusters_.back()->set_block_execution(default_block_execution_);
         clusters_.back()->elaborate();
         clusters_.back()->attach(*ctx_);
     }

@@ -38,6 +38,15 @@ public:
         std::uint64_t count;
     };
 
+    /// A firing program compiled for `periods` schedule periods fused into
+    /// one super-cycle: the PASS construction run on repetitions x periods,
+    /// so chains collapse into long run-length entries (= large block calls)
+    /// while delay-broken feedback loops keep their legal alternation.
+    struct fused_program {
+        std::uint64_t periods;
+        std::vector<program_entry> entries;
+    };
+
     /// Default cap on schedule periods executed per DE kernel interaction.
     static constexpr std::uint64_t k_default_max_batch_periods = 64;
 
@@ -81,6 +90,23 @@ public:
     void set_max_batch_periods(std::uint64_t n);
     [[nodiscard]] std::uint64_t max_batch_periods() const noexcept { return max_batch_; }
 
+    // --- block execution (see tdf/block.hpp) --------------------------------
+    /// Enable/disable the block path (default on).  Off restores the exact
+    /// per-sample executor — the A/B baseline; results are bit-identical
+    /// either way.
+    void set_block_execution(bool on) noexcept { block_execution_ = on; }
+    [[nodiscard]] bool block_execution() const noexcept { return block_execution_; }
+
+    /// Multi-period fused firing programs (pure static clusters only; empty
+    /// for DE-coupled and dynamic clusters).  Descending period counts.
+    [[nodiscard]] const std::vector<fused_program>& fused_programs() const noexcept {
+        return fused_;
+    }
+    /// Cycles executed through fused programs (diagnostics/benches).
+    [[nodiscard]] std::uint64_t fused_cycle_count() const noexcept {
+        return fused_cycles_;
+    }
+
     // --- dynamic TDF (runtime attribute changes) ----------------------------
     /// True when any member declares does_attribute_changes(): the cluster
     /// calls change_attributes() between periods and reschedules when a
@@ -118,10 +144,16 @@ private:
 
     // --- dynamic rescheduling (see tdf/dynamic.hpp) -------------------------
     /// Compile the current rates/anchors into a firing program (the PASS run
-    /// shared by elaboration and reschedule misses).
-    [[nodiscard]] compiled_schedule compile_current() const;
+    /// shared by elaboration and reschedule misses).  `periods` > 1 fuses
+    /// that many schedule periods into one super-cycle program.
+    [[nodiscard]] compiled_schedule compile_current(std::uint64_t periods = 1) const;
+    /// Compile the power-of-two ladder of fused programs and fold their
+    /// ring-buffer needs into `caps` (elementwise max).
+    void build_fused_programs(std::vector<std::size_t>& caps);
     /// Install a compiled program into program_/schedule_.
     void install_program(const compiled_schedule& compiled);
+    /// Run one pass of `prog` at cycle start `t` (block or per-sample).
+    void exec_program(const std::vector<program_entry>& prog, const de::time& t);
     /// Allocate ring buffers and restart stream positions.  `in_place`
     /// grows buffers only when needed (reschedules); elaboration allocates
     /// exactly.
@@ -147,6 +179,7 @@ private:
     std::vector<std::uint64_t> schedule_firing_;  // firing index per entry
     std::vector<const de::method_process*> peers_;
     std::vector<module*> dynamic_modules_;
+    std::vector<fused_program> fused_;  // descending periods, pure static only
     mutable std::vector<const de::event*> ignore_scratch_;
     schedule_cache cache_;
     compiled_schedule last_compiled_;  // index form of the installed program
@@ -156,8 +189,10 @@ private:
     std::uint64_t max_batch_ = k_default_max_batch_periods;
     std::uint64_t reschedules_ = 0;
     std::uint64_t recompiles_ = 0;
+    std::uint64_t fused_cycles_ = 0;
     bool de_coupled_ = false;
     bool dynamic_ = false;
+    bool block_execution_ = true;
     bool batch_check_pending_ = false;
     de::method_process* proc_ = nullptr;
     de::simulation_context* ctx_ = nullptr;
@@ -181,6 +216,10 @@ public:
     /// Batch cap applied to every cluster (existing and future).
     void set_default_max_batch_periods(std::uint64_t n);
 
+    /// Block-execution default applied to every cluster (existing and
+    /// future); the per-sample A/B baseline is set_default_block_execution(false).
+    void set_default_block_execution(bool on);
+
     /// Cluster discovery + scheduling; runs as an elaboration hook.  Resolves
     /// every TDF port's forwarding chain first, so discovery traverses
     /// hierarchical (port-to-port) bindings transparently.
@@ -196,6 +235,7 @@ private:
     std::vector<std::unique_ptr<cluster>> clusters_;
     std::vector<std::unique_ptr<signal_base>> adopted_signals_;
     std::uint64_t default_max_batch_ = cluster::k_default_max_batch_periods;
+    bool default_block_execution_ = true;
     bool elaborated_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tdf/block.hpp"
 #include "tdf/cluster.hpp"
 #include "util/report.hpp"
 
@@ -36,6 +37,45 @@ void module::fire_run(const de::time& t0, std::uint64_t k0, std::uint64_t n) {
         ++activations_;
         for (port_base* p : ports_) p->advance();
         t += timestep_;
+    }
+}
+
+void module::processing(block_view& blk) {
+    (void)blk;
+    util::report_fatal(name(),
+                       "processing(block_view&) called on a module that does not "
+                       "override it (has_block_processing() must only return true "
+                       "when the block path is implemented)");
+}
+
+void module::fire_block_run(const de::time& t0, std::uint64_t k0, std::uint64_t n) {
+    std::uint64_t done = 0;
+    while (done < n) {
+        // Maximal run whose tokens stay contiguous on every port.
+        std::uint64_t m = n - done;
+        for (port_base* p : ports_) m = std::min(m, p->contiguous_firings(m));
+        if (m == 0) {
+            // The next firing straddles a ring-buffer wrap point on some
+            // port: per-sample fallback for exactly this firing (write_token
+            // / read_token wrap per token).
+            fire_run(t0, k0 + done, 1);
+            ++done;
+            continue;
+        }
+        current_time_ = t0 + timestep_ * static_cast<std::int64_t>(k0 + done);
+        block_view blk(current_time_, timestep_, m);
+        processing(blk);
+        ++block_calls_;
+        block_firings_ += m;
+        activations_ += m;
+        for (port_base* p : ports_) {
+            if (!p->is_input()) {
+                p->bound_signal()->refresh_last(p->position() +
+                                                static_cast<std::uint64_t>(p->rate()) * m - 1);
+            }
+            p->advance_n(m);
+        }
+        done += m;
     }
 }
 

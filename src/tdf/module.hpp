@@ -28,6 +28,7 @@ namespace sca::tdf {
 
 class cluster;
 class registry;
+class block_view;
 
 class module : public de::module {
 public:
@@ -41,6 +42,19 @@ public:
 
     /// The per-activation behavior.
     virtual void processing() = 0;
+
+    // --- block execution (see tdf/block.hpp) --------------------------------
+    /// Declare that this module implements the span-based block path.  The
+    /// cluster then hands it runs of consecutive firings through
+    /// processing(block_view&) instead of one virtual call per sample.
+    [[nodiscard]] virtual bool has_block_processing() const { return false; }
+
+    /// Process `blk.count()` consecutive firings over contiguous per-port
+    /// spans.  Only called when has_block_processing() returns true; must
+    /// compute exactly what count() calls of processing() would (the
+    /// per-sample path remains the fallback at ring-buffer wrap points and
+    /// when block execution is disabled, and shares this module's state).
+    virtual void processing(block_view& blk);
 
     // --- dynamic TDF (runtime attribute changes) ----------------------------
     /// Declare that this module may change its attributes at runtime via
@@ -128,6 +142,19 @@ public:
     /// cycle beginning at `t0` (the compiled firing program's inner loop).
     void fire_run(const de::time& t0, std::uint64_t k0, std::uint64_t n);
 
+    /// Execute `n` consecutive firings through the block path: maximal
+    /// contiguous sub-runs go to processing(block_view&); a firing whose
+    /// tokens straddle a ring-buffer wrap point falls back to one per-sample
+    /// fire.  Requires has_block_processing().
+    void fire_block_run(const de::time& t0, std::uint64_t k0, std::uint64_t n);
+
+    /// Block calls and samples processed through them (diagnostics/benches;
+    /// wrap-point fallback firings count toward activation_count() only).
+    [[nodiscard]] std::uint64_t block_call_count() const noexcept { return block_calls_; }
+    [[nodiscard]] std::uint64_t block_firing_count() const noexcept {
+        return block_firings_;
+    }
+
     /// Declare that this module exchanges samples with the DE world outside
     /// the TDF converter-port protocol (ELN/LSF converter components call
     /// this).  The owning cluster then synchronizes with the DE kernel every
@@ -163,6 +190,8 @@ private:
     de::time pending_timestep_;  // staged by request_timestep()
     std::uint64_t repetitions_ = 0;
     std::uint64_t activations_ = 0;
+    std::uint64_t block_calls_ = 0;
+    std::uint64_t block_firings_ = 0;
     bool de_coupled_ = false;
     bool in_change_attributes_ = false;
     bool has_pending_timestep_ = false;

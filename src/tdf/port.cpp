@@ -73,6 +73,27 @@ void port_base::resolve() {
     }
 }
 
+std::size_t port_base::ring_offset() const {
+    // Signed/floored modulo: an input's next token index can be negative
+    // while the stream is still inside its delay window; the floored result
+    // maps it onto the prefilled slot read_token() would return the initial
+    // value for (capacity accounting keeps that slot unwritten while any
+    // reader still needs it).
+    const auto cap = static_cast<std::int64_t>(signal_->capacity());
+    std::int64_t s = static_cast<std::int64_t>(position_);
+    if (is_input_) s -= static_cast<std::int64_t>(delay_);
+    std::int64_t off = s % cap;
+    if (off < 0) off += cap;
+    return static_cast<std::size_t>(off);
+}
+
+std::uint64_t port_base::contiguous_firings(std::uint64_t want) const {
+    const std::size_t cap = signal_->capacity();
+    const std::uint64_t room =
+        static_cast<std::uint64_t>(cap - ring_offset()) / rate_;
+    return std::min(want, room);
+}
+
 std::string detail::auto_wire_name(const port_base& from) {
     const de::object* parent = from.parent();
     if (parent != nullptr) return parent->basename() + "_" + from.basename();

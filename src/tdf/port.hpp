@@ -78,7 +78,22 @@ public:
     /// Absolute stream position (tokens handled so far, including delay).
     [[nodiscard]] std::uint64_t position() const noexcept { return position_; }
     void advance() noexcept { position_ += rate_; }
+    /// Advance by `n` firings at once (block execution).
+    void advance_n(std::uint64_t n) noexcept { position_ += rate_ * n; }
     void reset_position(std::uint64_t p) noexcept { position_ = p; }
+
+    // --- block execution (see tdf/block.hpp) --------------------------------
+    /// Ring-buffer offset (in tokens) of this port's next token: the next
+    /// unread token for inputs (with the read-side delay already applied,
+    /// floored modulo, so pre-stream tokens map onto their prefilled slots)
+    /// or the next unwritten token for outputs.
+    [[nodiscard]] std::size_t ring_offset() const;
+
+    /// Largest number of consecutive firings (<= want) whose tokens stay
+    /// contiguous in the ring buffer starting at ring_offset().  Zero means
+    /// the very next firing straddles the wrap point and must run on the
+    /// per-sample path.
+    [[nodiscard]] std::uint64_t contiguous_firings(std::uint64_t want) const;
 
     // --- dynamic TDF (runtime attribute changes) ----------------------------
     /// Stage a rate request (module::request_rate); the owning cluster
@@ -141,6 +156,11 @@ public:
     /// Current ring-buffer capacity in tokens (valid after elaboration).
     [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
 
+    /// Refresh the traced last-written value from the token at absolute
+    /// stream index `index` (block writes bypass write_token, which would
+    /// otherwise keep the probe current).
+    virtual void refresh_last(std::uint64_t index) = 0;
+
 protected:
     explicit signal_base(std::string name) : de::object(std::move(name)) {}
 
@@ -196,6 +216,15 @@ public:
 
     /// Most recently written token (tracing probe).
     [[nodiscard]] const T& last_value() const noexcept { return last_value_; }
+
+    /// Raw ring-buffer storage for block spans (tdf/block.hpp).  Only
+    /// instantiated for span-capable element types (not std::vector<bool>).
+    [[nodiscard]] T* data() noexcept { return buffer_.data(); }
+    [[nodiscard]] const T* data() const noexcept { return buffer_.data(); }
+
+    void refresh_last(std::uint64_t index) override {
+        last_value_ = buffer_[index % buffer_.size()];
+    }
 
 private:
     std::vector<T> buffer_{T{}};
