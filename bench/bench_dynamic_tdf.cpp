@@ -156,7 +156,7 @@ struct rate_cycler : tdf::module {
 
 constexpr double k_run_seconds = 100e-3;
 
-void receiver_run(benchmark::State& state, bool adaptive) {
+void receiver_run(benchmark::State& state, bool adaptive, std::uint64_t max_batch) {
     std::uint64_t fe_firings = 0;
     std::uint64_t reschedules = 0;
     std::uint64_t recompiles = 0;
@@ -171,6 +171,7 @@ void receiver_run(benchmark::State& state, bool adaptive) {
         fe.in.bind(s1);
         fe.out.bind(s2);
         sink.in.bind(s2);
+        tdf::registry::of(sim.context()).set_default_max_batch_periods(max_batch);
         sim.run_seconds(k_run_seconds);
         benchmark::DoNotOptimize(sink.last);
         fe_firings = fe.activation_count();
@@ -191,11 +192,19 @@ void receiver_run(benchmark::State& state, bool adaptive) {
 }
 
 void adaptive_receiver_throughput(benchmark::State& state) {
-    receiver_run(state, /*adaptive=*/true);
+    // A/B on dynamic-cluster period batching (arg = max batched periods):
+    // 1 re-arms the DE kernel every period (the pre-batching behaviour), 64
+    // amortizes the kernel interaction across up to 64 periods while still
+    // opening the change_attributes() window between every pair of periods —
+    // watch the kernel_notifications counter collapse, with reschedules and
+    // waveforms identical.
+    receiver_run(state, /*adaptive=*/true,
+                 static_cast<std::uint64_t>(state.range(0)));
 }
 
 void static_worstcase_throughput(benchmark::State& state) {
-    receiver_run(state, /*adaptive=*/false);
+    receiver_run(state, /*adaptive=*/false,
+                 static_cast<std::uint64_t>(state.range(0)));
 }
 
 void reschedule_cost_cached(benchmark::State& state) {
@@ -279,8 +288,8 @@ void dynamic_parallel_run_set(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(adaptive_receiver_throughput)->Unit(benchmark::kMillisecond);
-BENCHMARK(static_worstcase_throughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(adaptive_receiver_throughput)->Arg(1)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(static_worstcase_throughput)->Arg(1)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(reschedule_cost_cached)->Unit(benchmark::kMillisecond);
 BENCHMARK(reschedule_cost_cold)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(dynamic_parallel_run_set)->Unit(benchmark::kMillisecond);

@@ -7,8 +7,12 @@
 //   rc_sweep    - RC lowpass corner sweep (8 R values x 8 C values)
 //   buck_sweep  - PWM-switched buck converter load/duty sweep (8 x 8),
 //                 exercising the DE<->ELN switching path per run
+// Each sweep runs on both the in-thread pool and the multiprocess (fork)
+// backend — the latter sidesteps any in-process serialization (allocator
+// contention, shared caches) at the cost of fork + result-pipe overhead.
 // Counters report aggregate runs/second; per-run results are bit-identical
-// across worker counts (asserted by tests/test_scenario.cpp).
+// across worker counts AND backends (asserted by tests/test_scenario.cpp
+// and tests/test_run_backend.cpp).
 #include <benchmark/benchmark.h>
 
 #include "core/run_set.hpp"
@@ -97,11 +101,12 @@ core::run_set make_buck_sweep(unsigned workers) {
         .keep_waveforms(false);
 }
 
-void bm_rc_sweep(benchmark::State& state) {
+void run_sweep(benchmark::State& state, core::run_set (*make)(unsigned),
+               core::run_backend backend) {
     const auto workers = static_cast<unsigned>(state.range(0));
     std::size_t runs = 0;
     for (auto _ : state) {
-        const auto table = make_rc_sweep(workers).run_all();
+        const auto table = make(workers).set_backend(backend).run_all();
         if (table.failed_count() != 0) state.SkipWithError("sweep run failed");
         runs += table.size();
         benchmark::DoNotOptimize(table.runs().data());
@@ -110,26 +115,34 @@ void bm_rc_sweep(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
 }
 
+void bm_rc_sweep(benchmark::State& state) {
+    run_sweep(state, make_rc_sweep, core::run_backend::in_thread);
+}
+
+void bm_rc_sweep_mp(benchmark::State& state) {
+    run_sweep(state, make_rc_sweep, core::run_backend::multiprocess);
+}
+
 void bm_buck_sweep(benchmark::State& state) {
-    const auto workers = static_cast<unsigned>(state.range(0));
-    std::size_t runs = 0;
-    for (auto _ : state) {
-        const auto table = make_buck_sweep(workers).run_all();
-        if (table.failed_count() != 0) state.SkipWithError("sweep run failed");
-        runs += table.size();
-        benchmark::DoNotOptimize(table.runs().data());
-    }
-    state.counters["runs_per_s"] =
-        benchmark::Counter(static_cast<double>(runs), benchmark::Counter::kIsRate);
+    run_sweep(state, make_buck_sweep, core::run_backend::in_thread);
+}
+
+void bm_buck_sweep_mp(benchmark::State& state) {
+    run_sweep(state, make_buck_sweep, core::run_backend::multiprocess);
 }
 
 }  // namespace
 
-// Worker counts: sequential baseline, then 4 and 8 worker threads. Real time
-// (not main-thread CPU time) is the honest denominator for a pool.
-BENCHMARK(bm_rc_sweep)->Arg(1)->Arg(4)->Arg(8)->UseRealTime()
+// Worker counts: sequential baseline, then 2/4/8 workers, for the in-process
+// thread pool and the fork-based multiprocess backend. Real time (not
+// main-thread CPU time) is the honest denominator for a pool.
+BENCHMARK(bm_rc_sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(bm_buck_sweep)->Arg(1)->Arg(4)->Arg(8)->UseRealTime()
+BENCHMARK(bm_rc_sweep_mp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_buck_sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_buck_sweep_mp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+#include "core/run_checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "core/run_protocol.hpp"
+#include "util/report.hpp"
+
+namespace sca::core {
+
+namespace {
+
+std::vector<std::uint8_t> encode_fingerprint(const checkpoint_fingerprint& fp) {
+    std::vector<std::uint8_t> buf;
+    auto put_u64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    auto put_u32 = [&](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    put_u32(static_cast<std::uint32_t>(fp.scenario_name.size()));
+    buf.insert(buf.end(), fp.scenario_name.begin(), fp.scenario_name.end());
+    put_u64(fp.base_seed);
+    put_u64(fp.n_runs);
+    buf.push_back(fp.keep_waveforms ? 1 : 0);
+    return buf;
+}
+
+checkpoint_fingerprint decode_fingerprint(const std::vector<std::uint8_t>& buf) {
+    checkpoint_fingerprint fp;
+    std::size_t pos = 0;
+    auto need = [&](std::size_t n) {
+        util::require(buf.size() - pos >= n, "run_checkpoint",
+                      "truncated journal header frame");
+    };
+    auto get_u32 = [&] {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos++]) << (8 * i);
+        return v;
+    };
+    auto get_u64 = [&] {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos++]) << (8 * i);
+        return v;
+    };
+    const std::uint32_t name_len = get_u32();
+    need(name_len);
+    fp.scenario_name.assign(reinterpret_cast<const char*>(buf.data() + pos), name_len);
+    pos += name_len;
+    fp.base_seed = get_u64();
+    fp.n_runs = get_u64();
+    need(1);
+    fp.keep_waveforms = buf[pos++] != 0;
+    return fp;
+}
+
+std::vector<std::uint8_t> read_whole_file(const std::string& path, bool& exists) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        util::require(errno == ENOENT, "run_checkpoint",
+                      "cannot open journal '" + path + "': " + std::strerror(errno));
+        exists = false;
+        return {};
+    }
+    exists = true;
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[65536];
+    for (;;) {
+        const ssize_t r = ::read(fd, chunk, sizeof chunk);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            util::report_fatal("run_checkpoint",
+                               "journal read failed: " + std::string(std::strerror(errno)));
+        }
+        if (r == 0) break;
+        bytes.insert(bytes.end(), chunk, chunk + r);
+    }
+    ::close(fd);
+    return bytes;
+}
+
+/// Walk a journal byte image: header fingerprint + the completed-result
+/// frames, stopping cleanly at a torn tail (partial final append).
+template <typename OnResult>
+checkpoint_fingerprint walk_journal(const std::vector<std::uint8_t>& bytes,
+                                    const std::string& path, OnResult&& on_result) {
+    std::size_t offset = 0;
+    wire::frame f;
+    util::require(wire::unpack_frame(bytes.data(), bytes.size(), offset, f),
+                  "run_checkpoint", "journal '" + path + "' is empty");
+    util::require(f.type == wire::msg_type::header, "run_checkpoint",
+                  "journal '" + path + "' does not start with a header frame");
+    checkpoint_fingerprint fp = decode_fingerprint(f.payload);
+    for (;;) {
+        const std::size_t record_start = offset;
+        try {
+            if (!wire::unpack_frame(bytes.data(), bytes.size(), offset, f)) break;
+        } catch (const util::error&) {
+            // Torn tail: the writer died mid-append.  Everything before this
+            // record was flushed whole (frames are appended atomically from
+            // the journal's point of view), so drop the tail and resume.
+            util::report_warning("run_checkpoint",
+                                 "journal '" + path + "' has a torn record at byte " +
+                                     std::to_string(record_start) + "; ignoring the tail");
+            break;
+        }
+        if (f.type != wire::msg_type::result) continue;
+        on_result(wire::decode_result(f.payload.data(), f.payload.size()));
+    }
+    return fp;
+}
+
+}  // namespace
+
+checkpoint_writer::checkpoint_writer(const std::string& path,
+                                     const checkpoint_fingerprint& fp) {
+    // Append mode: a resume keeps extending the same journal, so across the
+    // whole campaign every completed index appears exactly once.
+    const bool fresh = ::access(path.c_str(), F_OK) != 0;
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    util::require(fd_ >= 0, "run_checkpoint",
+                  "cannot open journal '" + path + "' for append: " +
+                      std::string(std::strerror(errno)));
+    if (fresh) {
+        util::require(wire::write_frame(fd_, wire::msg_type::header, encode_fingerprint(fp)),
+                      "run_checkpoint", "journal header write failed");
+    }
+}
+
+checkpoint_writer::~checkpoint_writer() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void checkpoint_writer::append(const run_result& r) {
+    util::require(wire::write_frame(fd_, wire::msg_type::result, wire::encode_result(r)),
+                  "run_checkpoint", "journal append failed");
+    ::fsync(fd_);
+}
+
+std::map<std::size_t, run_result> load_checkpoint(const std::string& path,
+                                                  const checkpoint_fingerprint& expect) {
+    bool exists = false;
+    const std::vector<std::uint8_t> bytes = read_whole_file(path, exists);
+    if (!exists) return {};
+    std::map<std::size_t, run_result> done;
+    const checkpoint_fingerprint fp =
+        walk_journal(bytes, path, [&](run_result r) { done[r.index] = std::move(r); });
+    util::require(fp == expect, "run_checkpoint",
+                  "journal '" + path + "' was recorded for a different campaign "
+                  "(scenario '" + fp.scenario_name + "', seed " +
+                      std::to_string(fp.base_seed) + ", " + std::to_string(fp.n_runs) +
+                      " runs); refusing to resume from it");
+    return done;
+}
+
+std::vector<std::uint64_t> checkpoint_indices(const std::string& path) {
+    bool exists = false;
+    const std::vector<std::uint8_t> bytes = read_whole_file(path, exists);
+    util::require(exists, "run_checkpoint", "journal '" + path + "' does not exist");
+    std::vector<std::uint64_t> indices;
+    walk_journal(bytes, path, [&](const run_result& r) { indices.push_back(r.index); });
+    return indices;
+}
+
+}  // namespace sca::core

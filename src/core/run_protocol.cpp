@@ -1,0 +1,337 @@
+#include "core/run_protocol.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <variant>
+
+#include "util/report.hpp"
+
+namespace sca::core::wire {
+
+std::uint32_t fnv1a(const std::uint8_t* data, std::size_t n) noexcept {
+    std::uint32_t h = 0x811c9dc5U;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x01000193U;
+    }
+    return h;
+}
+
+namespace {
+
+// ------------------------------------------------------------- byte writer --
+
+struct writer {
+    std::vector<std::uint8_t> buf;
+
+    void put_u8(std::uint8_t v) { buf.push_back(v); }
+    void put_u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void put_u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void put_double(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+    void put_string(const std::string& s) {
+        put_u32(static_cast<std::uint32_t>(s.size()));
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+    void put_doubles(const std::vector<double>& v) {
+        put_u64(v.size());
+        for (double d : v) put_double(d);
+    }
+};
+
+// ------------------------------------------------------------- byte reader --
+
+struct reader {
+    const std::uint8_t* data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    void need(std::size_t n) const {
+        util::require(size - pos >= n, "run_protocol",
+                      "truncated message: need " + std::to_string(n) + " bytes at offset " +
+                          std::to_string(pos) + ", have " + std::to_string(size - pos));
+    }
+    std::uint8_t get_u8() {
+        need(1);
+        return data[pos++];
+    }
+    std::uint32_t get_u32() {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+    std::uint64_t get_u64() {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+    double get_double() { return std::bit_cast<double>(get_u64()); }
+    std::string get_string() {
+        const std::uint32_t n = get_u32();
+        need(n);
+        std::string s(reinterpret_cast<const char*>(data + pos), n);
+        pos += n;
+        return s;
+    }
+    std::vector<double> get_doubles() {
+        const std::uint64_t n = get_u64();
+        // Bound the count against the actual payload size before allocating
+        // (and before n * 8 could wrap for a hostile length prefix).
+        util::require(n <= (size - pos) / 8, "run_protocol",
+                      "truncated message: double array count " + std::to_string(n) +
+                          " exceeds the remaining payload");
+        std::vector<double> v(n);
+        for (std::uint64_t i = 0; i < n; ++i) v[i] = get_double();
+        return v;
+    }
+    void expect_done() const {
+        util::require(pos == size, "run_protocol",
+                      "oversized message: " + std::to_string(size - pos) +
+                          " trailing bytes after a complete payload");
+    }
+};
+
+void put_params(writer& w, const params& p) {
+    const auto& entries = p.entries();
+    w.put_u64(p.run_index());
+    w.put_u64(p.seed());
+    w.put_u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [name, v] : entries) {
+        w.put_string(name);
+        if (std::holds_alternative<double>(v)) {
+            w.put_u8(0);
+            w.put_double(std::get<double>(v));
+        } else {
+            w.put_u8(1);
+            w.put_string(std::get<std::string>(v));
+        }
+    }
+}
+
+params get_params(reader& r) {
+    params p;
+    const std::uint64_t run_index = r.get_u64();
+    const std::uint64_t seed = r.get_u64();
+    p.set_run_identity(run_index, seed);
+    const std::uint32_t n = r.get_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name = r.get_string();
+        const std::uint8_t kind = r.get_u8();
+        util::require(kind <= 1, "run_protocol", "unknown params value kind");
+        if (kind == 0) {
+            p.set(name, r.get_double());
+        } else {
+            p.set(name, r.get_string());
+        }
+    }
+    return p;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- job messages --
+
+std::vector<std::uint8_t> encode_job(std::uint64_t index) {
+    writer w;
+    w.put_u64(index);
+    return std::move(w.buf);
+}
+
+std::uint64_t decode_job(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    const std::uint64_t index = r.get_u64();
+    r.expect_done();
+    return index;
+}
+
+// -------------------------------------------------------- result messages --
+
+std::vector<std::uint8_t> encode_result(const run_result& res) {
+    writer w;
+    w.put_u64(res.index);
+    w.put_u64(res.seed);
+    w.put_u8(res.ok ? 1 : 0);
+    w.put_string(res.error);
+    put_params(w, res.parameters);
+    w.put_u32(static_cast<std::uint32_t>(res.measurements.size()));
+    for (const auto& [name, v] : res.measurements) {
+        w.put_string(name);
+        w.put_double(v);
+    }
+    w.put_doubles(res.times);
+    w.put_u32(static_cast<std::uint32_t>(res.probe_names.size()));
+    for (const auto& name : res.probe_names) w.put_string(name);
+    w.put_u32(static_cast<std::uint32_t>(res.waveforms.size()));
+    for (const auto& wf : res.waveforms) w.put_doubles(wf);
+    return std::move(w.buf);
+}
+
+run_result decode_result(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    run_result res;
+    res.index = r.get_u64();
+    res.seed = r.get_u64();
+    res.ok = r.get_u8() != 0;
+    res.error = r.get_string();
+    res.parameters = get_params(r);
+    const std::uint32_t n_meas = r.get_u32();
+    for (std::uint32_t i = 0; i < n_meas; ++i) {
+        std::string name = r.get_string();
+        res.measurements[name] = r.get_double();
+    }
+    res.times = r.get_doubles();
+    const std::uint32_t n_probes = r.get_u32();
+    res.probe_names.reserve(n_probes);
+    for (std::uint32_t i = 0; i < n_probes; ++i) res.probe_names.push_back(r.get_string());
+    const std::uint32_t n_waves = r.get_u32();
+    res.waveforms.reserve(n_waves);
+    for (std::uint32_t i = 0; i < n_waves; ++i) res.waveforms.push_back(r.get_doubles());
+    r.expect_done();
+    return res;
+}
+
+std::vector<std::uint8_t> encode_params(const params& p) {
+    writer w;
+    put_params(w, p);
+    return std::move(w.buf);
+}
+
+params decode_params(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    params p = get_params(r);
+    r.expect_done();
+    return p;
+}
+
+// ----------------------------------------------------------------- frames --
+
+std::vector<std::uint8_t> pack_frame(msg_type type,
+                                     const std::vector<std::uint8_t>& payload) {
+    util::require(payload.size() <= k_max_payload, "run_protocol",
+                  "frame payload exceeds the " + std::to_string(k_max_payload) +
+                      "-byte protocol limit");
+    writer w;
+    w.buf.reserve(payload.size() + 13);
+    w.put_u32(k_magic);
+    w.put_u32(static_cast<std::uint32_t>(payload.size()));
+    w.put_u8(static_cast<std::uint8_t>(type));
+    w.buf.insert(w.buf.end(), payload.begin(), payload.end());
+    w.put_u32(fnv1a(payload.data(), payload.size()));
+    return std::move(w.buf);
+}
+
+bool unpack_frame(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                  frame& out) {
+    if (offset == size) return false;
+    reader r{data, size, offset};
+    const std::uint32_t magic = r.get_u32();
+    util::require(magic == k_magic, "run_protocol", "bad frame magic");
+    const std::uint32_t len = r.get_u32();
+    util::require(len <= k_max_payload, "run_protocol",
+                  "frame payload length " + std::to_string(len) +
+                      " exceeds the protocol limit");
+    const auto type = static_cast<msg_type>(r.get_u8());
+    util::require(type == msg_type::job || type == msg_type::result ||
+                      type == msg_type::shutdown || type == msg_type::header,
+                  "run_protocol", "unknown frame type");
+    r.need(len);
+    out.type = type;
+    out.payload.assign(r.data + r.pos, r.data + r.pos + len);
+    r.pos += len;
+    const std::uint32_t sum = r.get_u32();
+    util::require(sum == fnv1a(out.payload.data(), out.payload.size()), "run_protocol",
+                  "frame checksum mismatch");
+    offset = r.pos;
+    return true;
+}
+
+namespace {
+
+/// send() with MSG_NOSIGNAL where the fd is a socket, plain write() where it
+/// is not (journal files): writing to a dead peer must return EPIPE instead
+/// of raising SIGPIPE.
+ssize_t write_some(int fd, const std::uint8_t* data, std::size_t n) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0 && errno == ENOTSOCK) w = ::write(fd, data, n);
+    return w;
+}
+
+}  // namespace
+
+bool write_frame(int fd, msg_type type, const std::vector<std::uint8_t>& payload) {
+    const std::vector<std::uint8_t> bytes = pack_frame(type, payload);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t w = write_some(fd, bytes.data() + off, bytes.size() - off);
+        if (w < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EPIPE || errno == ECONNRESET) return false;
+            util::report_fatal("run_protocol",
+                               std::string("frame write failed: ") + std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+namespace {
+
+/// Read exactly `n` bytes from a blocking fd.  Returns 0 on immediate EOF,
+/// n on success; throws on EOF mid-read or I/O error.
+std::size_t read_exact(int fd, std::uint8_t* data, std::size_t n, bool eof_ok) {
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t r = ::read(fd, data + off, n - off);
+        if (r < 0) {
+            if (errno == EINTR) continue;
+            util::report_fatal("run_protocol",
+                               std::string("frame read failed: ") + std::strerror(errno));
+        }
+        if (r == 0) {
+            if (off == 0 && eof_ok) return 0;
+            util::report_fatal("run_protocol", "truncated frame: EOF mid-message");
+        }
+        off += static_cast<std::size_t>(r);
+    }
+    return n;
+}
+
+}  // namespace
+
+bool read_frame(int fd, frame& out) {
+    std::uint8_t header[9];
+    if (read_exact(fd, header, sizeof header, /*eof_ok=*/true) == 0) return false;
+    std::uint32_t magic = 0, len = 0;
+    for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[4 + i]) << (8 * i);
+    util::require(magic == k_magic, "run_protocol", "bad frame magic on stream");
+    util::require(len <= k_max_payload, "run_protocol",
+                  "frame payload length " + std::to_string(len) +
+                      " exceeds the protocol limit");
+    const auto type = static_cast<msg_type>(header[8]);
+    util::require(type == msg_type::job || type == msg_type::result ||
+                      type == msg_type::shutdown || type == msg_type::header,
+                  "run_protocol", "unknown frame type on stream");
+    out.type = type;
+    out.payload.resize(len);
+    if (len > 0) read_exact(fd, out.payload.data(), len, /*eof_ok=*/false);
+    std::uint8_t sum_bytes[4];
+    read_exact(fd, sum_bytes, sizeof sum_bytes, /*eof_ok=*/false);
+    std::uint32_t sum = 0;
+    for (int i = 0; i < 4; ++i) sum |= static_cast<std::uint32_t>(sum_bytes[i]) << (8 * i);
+    util::require(sum == fnv1a(out.payload.data(), out.payload.size()), "run_protocol",
+                  "frame checksum mismatch on stream");
+    return true;
+}
+
+}  // namespace sca::core::wire

@@ -1,0 +1,87 @@
+// Wire protocol for out-of-process run_set execution: length-prefixed binary
+// frames carrying jobs (parent -> worker) and run results (worker -> parent),
+// shared verbatim by the fork-based multiprocess backend, the remote-TCP
+// worker backend, and the checkpoint journal.
+//
+// Framing (all integers little-endian regardless of host byte order):
+//
+//   u32 magic 'SCA1' | u32 payload_len | u8 type | payload | u32 fnv1a(payload)
+//
+// Doubles travel as their raw IEEE-754 bit pattern (bit_cast to u64), so a
+// result decoded on the parent side is byte-exact — NaN payloads, signed
+// zeros, infinities and denormals all survive the pipe, which is what keeps
+// the multiprocess result table bit-identical to the in-thread one.
+//
+// Robustness contract (tests/test_run_protocol.cpp): truncated frames,
+// payloads above k_max_payload, magic/type/checksum mismatches and short
+// payloads all throw sca::util::error instead of yielding garbage.
+#ifndef SCA_CORE_RUN_PROTOCOL_HPP
+#define SCA_CORE_RUN_PROTOCOL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/run_set.hpp"
+
+namespace sca::core::wire {
+
+/// Frame header magic ('SCA1' little-endian).
+inline constexpr std::uint32_t k_magic = 0x31414353U;
+
+/// Upper bound on a frame payload (rejects corrupt/hostile length prefixes
+/// before any allocation happens).
+inline constexpr std::uint32_t k_max_payload = 256U * 1024U * 1024U;
+
+enum class msg_type : std::uint8_t {
+    job = 1,       ///< parent -> worker: u64 run index
+    result = 2,    ///< worker -> parent: encoded run_result
+    shutdown = 3,  ///< parent -> worker: finish and exit (empty payload)
+    header = 4,    ///< checkpoint journal only: campaign fingerprint
+};
+
+/// One decoded frame.
+struct frame {
+    msg_type type = msg_type::shutdown;
+    std::vector<std::uint8_t> payload;
+};
+
+/// FNV-1a over the payload — cheap torn-write/corruption detection for the
+/// checkpoint journal and a sanity check on sockets.
+[[nodiscard]] std::uint32_t fnv1a(const std::uint8_t* data, std::size_t n) noexcept;
+
+// -------------------------------------------------------- encode / decode --
+
+[[nodiscard]] std::vector<std::uint8_t> encode_job(std::uint64_t index);
+[[nodiscard]] std::uint64_t decode_job(const std::uint8_t* data, std::size_t n);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_result(const run_result& r);
+[[nodiscard]] run_result decode_result(const std::uint8_t* data, std::size_t n);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_params(const params& p);
+[[nodiscard]] params decode_params(const std::uint8_t* data, std::size_t n);
+
+/// Serialize a full frame (header + payload + checksum) into a byte buffer —
+/// what write_frame() puts on the wire and the journal appends to disk.
+[[nodiscard]] std::vector<std::uint8_t> pack_frame(msg_type type,
+                                                   const std::vector<std::uint8_t>& payload);
+
+/// Parse one frame from `data`; advances `offset` past it.  Returns false on
+/// a clean end (no bytes left), throws on truncation/corruption.
+bool unpack_frame(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                  frame& out);
+
+// ------------------------------------------------------------- fd framing --
+
+/// Write a frame to a socket/pipe fd (retries short writes, suppresses
+/// SIGPIPE).  Returns false when the peer is gone (EPIPE/ECONNRESET), throws
+/// on other I/O errors.
+bool write_frame(int fd, msg_type type, const std::vector<std::uint8_t>& payload);
+
+/// Read one frame from a blocking fd.  Returns false on clean EOF before any
+/// header byte; throws on mid-frame EOF, bad magic, oversized payload, or
+/// checksum mismatch.
+bool read_frame(int fd, frame& out);
+
+}  // namespace sca::core::wire
+
+#endif  // SCA_CORE_RUN_PROTOCOL_HPP

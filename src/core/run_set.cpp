@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <random>
 #include <set>
 #include <thread>
 #include <variant>
+
+#include "core/run_backend.hpp"
+#include "core/run_checkpoint.hpp"
 
 namespace sca::core {
 
@@ -174,6 +179,43 @@ void write_csv_field(std::ostream& os, const std::string& s) {
 }
 }  // namespace
 
+namespace detail {
+
+void write_csv_header(std::ostream& os, const std::set<std::string>& param_names,
+                      const std::set<std::string>& meas_names) {
+    os << "run,seed";
+    for (const auto& name : param_names) os << ',' << name;
+    for (const auto& name : meas_names) os << ',' << name;
+    os << ",ok,error\n";
+}
+
+void write_csv_row(std::ostream& os, const run_result& r,
+                   const std::set<std::string>& param_names,
+                   const std::set<std::string>& meas_names) {
+    os << r.index << ',' << r.seed;
+    for (const auto& name : param_names) {
+        os << ',';
+        const auto& entries = r.parameters.entries();
+        auto it = entries.find(name);
+        if (it == entries.end()) continue;
+        if (std::holds_alternative<double>(it->second)) {
+            os << std::get<double>(it->second);
+        } else {
+            write_csv_field(os, std::get<std::string>(it->second));
+        }
+    }
+    for (const auto& name : meas_names) {
+        os << ',';
+        auto it = r.measurements.find(name);
+        if (it != r.measurements.end()) os << it->second;
+    }
+    os << ',' << (r.ok ? 1 : 0) << ',';
+    write_csv_field(os, r.error);
+    os << '\n';
+}
+
+}  // namespace detail
+
 void result_table::write_csv(std::ostream& os) const {
     // Union of parameter and measurement names across runs, sorted.
     std::set<std::string> param_names, meas_names;
@@ -181,31 +223,9 @@ void result_table::write_csv(std::ostream& os) const {
         for (const auto& [name, v] : r.parameters.entries()) param_names.insert(name);
         for (const auto& [name, v] : r.measurements) meas_names.insert(name);
     }
-    os << "run,seed";
-    for (const auto& name : param_names) os << ',' << name;
-    for (const auto& name : meas_names) os << ',' << name;
-    os << ",ok,error\n";
+    detail::write_csv_header(os, param_names, meas_names);
     for (const run_result& r : runs_) {
-        os << r.index << ',' << r.seed;
-        for (const auto& name : param_names) {
-            os << ',';
-            const auto& entries = r.parameters.entries();
-            auto it = entries.find(name);
-            if (it == entries.end()) continue;
-            if (std::holds_alternative<double>(it->second)) {
-                os << std::get<double>(it->second);
-            } else {
-                write_csv_field(os, std::get<std::string>(it->second));
-            }
-        }
-        for (const auto& name : meas_names) {
-            os << ',';
-            auto it = r.measurements.find(name);
-            if (it != r.measurements.end()) os << it->second;
-        }
-        os << ',' << (r.ok ? 1 : 0) << ',';
-        write_csv_field(os, r.error);
-        os << '\n';
+        detail::write_csv_row(os, r, param_names, meas_names);
     }
 }
 
@@ -244,6 +264,31 @@ run_set& run_set::set_base_seed(std::uint64_t seed) {
 
 run_set& run_set::keep_waveforms(bool on) {
     keep_waveforms_ = on;
+    return *this;
+}
+
+run_set& run_set::set_backend(run_backend b) {
+    backend_ = b;
+    return *this;
+}
+
+run_set& run_set::set_endpoints(std::vector<std::string> endpoints) {
+    endpoints_ = std::move(endpoints);
+    return *this;
+}
+
+run_set& run_set::on_result(std::function<void(const run_result&)> cb) {
+    on_result_ = std::move(cb);
+    return *this;
+}
+
+run_set& run_set::stream_csv(std::ostream& os) {
+    stream_csv_ = &os;
+    return *this;
+}
+
+run_set& run_set::set_checkpoint(std::string path) {
+    checkpoint_path_ = std::move(path);
     return *this;
 }
 
@@ -303,28 +348,59 @@ result_table run_set::run_all() const {
     if (workers == 0) {
         workers = std::max(1U, std::thread::hardware_concurrency());
     }
-    workers = static_cast<unsigned>(
-        std::min<std::size_t>(workers, n));
+    workers = static_cast<unsigned>(std::min<std::size_t>(workers, n));
 
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i) results[i] = run_one(i);
-        return result_table(std::move(results));
-    }
-
-    // Dynamic work stealing over the run indices; every run builds its own
-    // context on whichever thread claims it, and writes only its own slot.
-    std::atomic<std::size_t> next{0};
-    auto work = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n) return;
-            results[i] = run_one(i);
+    // Checkpoint resume: install journaled results, compute only the rest.
+    std::vector<bool> done(n, false);
+    std::optional<checkpoint_writer> journal;
+    if (!checkpoint_path_.empty()) {
+        const checkpoint_fingerprint fp{scenario_.name(), base_seed_,
+                                        static_cast<std::uint64_t>(n), keep_waveforms_};
+        for (auto& [index, r] : load_checkpoint(checkpoint_path_, fp)) {
+            if (index >= n) continue;
+            done[index] = true;
+            results[index] = std::move(r);
         }
+        journal.emplace(checkpoint_path_, fp);
+    }
+    std::vector<std::size_t> pending;
+    pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!done[i]) pending.push_back(i);
+    }
+    if (pending.empty()) return result_table(std::move(results));
+
+    // Streamed delivery: journal append (completed runs only), CSV row, user
+    // callback — invoked in arrival order, serialized by the dispatcher.
+    std::set<std::string> csv_params, csv_meas;
+    bool csv_header_written = false;
+    auto deliver = [&](const run_result& r, bool completed) {
+        if (journal && completed) journal->append(r);
+        if (stream_csv_ != nullptr) {
+            if (!csv_header_written) {
+                // Column set fixed by the first arriving row (arrival order
+                // is backend-dependent; each row carries its run index).
+                for (const auto& [name, v] : r.parameters.entries()) csv_params.insert(name);
+                for (const auto& [name, v] : r.measurements) csv_meas.insert(name);
+                detail::write_csv_header(*stream_csv_, csv_params, csv_meas);
+                csv_header_written = true;
+            }
+            detail::write_csv_row(*stream_csv_, r, csv_params, csv_meas);
+        }
+        if (on_result_) on_result_(r);
     };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (std::thread& t : pool) t.join();
+
+    switch (backend_) {
+        case run_backend::in_thread:
+            detail::execute_in_thread(*this, pending, results, workers, deliver);
+            break;
+        case run_backend::multiprocess:
+            detail::execute_multiprocess(*this, pending, results, workers, deliver);
+            break;
+        case run_backend::remote_tcp:
+            detail::execute_remote_tcp(*this, pending, results, endpoints_, deliver);
+            break;
+    }
     return result_table(std::move(results));
 }
 

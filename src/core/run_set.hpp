@@ -18,14 +18,24 @@
 #define SCA_CORE_RUN_SET_HPP
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
 
 namespace sca::core {
+
+/// Execution backend for run_set::run_all() — see run_backend.hpp for the
+/// dispatch/failure model and docs/api.md for the selection guide.
+enum class run_backend : std::uint8_t {
+    in_thread,     ///< worker threads inside this process (the default)
+    multiprocess,  ///< fork()ed worker subprocesses over socketpairs
+    remote_tcp,    ///< remote workers over TCP (set_endpoints), same protocol
+};
 
 // --------------------------------------------------------------- sampling --
 
@@ -136,13 +146,40 @@ public:
     /// Append one explicit parameter point (combines with grid/sampler).
     run_set& add_point(params p);
 
-    /// Worker threads for run_all(); 0 (default) means one per hardware
-    /// thread. 1 executes inline on the calling thread.
+    /// Workers for run_all() — threads (in_thread) or subprocesses
+    /// (multiprocess); 0 (default) means one per hardware thread. 1 on the
+    /// in_thread backend executes inline on the calling thread.
     run_set& set_workers(unsigned n);
     run_set& set_base_seed(std::uint64_t seed);
+    [[nodiscard]] std::uint64_t base_seed() const noexcept { return base_seed_; }
     /// Keep per-run waveforms in the result table (default true). Turn off
     /// for large sweeps where only measurements matter.
     run_set& keep_waveforms(bool on);
+
+    // --- backend selection / streaming / checkpointing ----------------------
+    /// Select the execution backend (default in_thread).  Results are
+    /// bit-identical across backends and worker counts by construction.
+    run_set& set_backend(run_backend b);
+    [[nodiscard]] run_backend backend() const noexcept { return backend_; }
+    /// Remote worker endpoints ("ip:port", numeric IPv4) for remote_tcp.
+    run_set& set_endpoints(std::vector<std::string> endpoints);
+
+    /// Invoke `cb` once per result as it arrives (arrival order, dispatcher
+    /// thread) — streamed rows instead of waiting for the full table.  Lost
+    /// runs (worker death) are delivered too, with ok=false.
+    run_set& on_result(std::function<void(const run_result&)> cb);
+    /// Stream results as CSV rows into `os` as they arrive.  The header is
+    /// fixed by the first arriving result's parameter/measurement names;
+    /// arrival order is nondeterministic under parallel backends (each row
+    /// carries its run index).  The canonical, order-deterministic CSV
+    /// remains result_table::write_csv.
+    run_set& stream_csv(std::ostream& os);
+
+    /// Journal completed runs to `path` (created on first use, appended on
+    /// resume).  A later run_all() with the same campaign (scenario, base
+    /// seed, run count, keep_waveforms) loads finished runs from the journal
+    /// and computes only the rest — see run_checkpoint.hpp.
+    run_set& set_checkpoint(std::string path);
 
     /// Number of runs this set will execute.
     [[nodiscard]] std::size_t size() const;
@@ -165,7 +202,23 @@ private:
     unsigned workers_ = 0;
     std::uint64_t base_seed_ = 0x5ca5eedULL;
     bool keep_waveforms_ = true;
+    run_backend backend_ = run_backend::in_thread;
+    std::vector<std::string> endpoints_;
+    std::function<void(const run_result&)> on_result_;
+    std::ostream* stream_csv_ = nullptr;
+    std::string checkpoint_path_;
 };
+
+namespace detail {
+/// Shared CSV row formatting (result_table::write_csv and the streamed
+/// sink): identical doubles format identically, which is what makes CSV
+/// compare a valid bit-identity check across backends.
+void write_csv_header(std::ostream& os, const std::set<std::string>& param_names,
+                      const std::set<std::string>& meas_names);
+void write_csv_row(std::ostream& os, const run_result& r,
+                   const std::set<std::string>& param_names,
+                   const std::set<std::string>& meas_names);
+}  // namespace detail
 
 }  // namespace sca::core
 

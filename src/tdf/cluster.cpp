@@ -474,6 +474,15 @@ void cluster::on_wake() {
             // cycle just run still spans its old period, so the next cycle
             // starts at next_cycle_start_ regardless of a period change.
             run_change_attributes();
+            // Pure dynamic clusters batch too (via the settled re-check
+            // below): periods execute back-to-back with the change window
+            // interleaved, so only the kernel re-arms are elided — the
+            // per-period sequence the modules observe is unchanged.
+            if (!de_coupled_ && max_batch_ > 1 && plan_batch_ahead() > 0) {
+                batch_check_pending_ = true;
+                ctx_->next_trigger(de::time::zero());
+                return;
+            }
             ctx_->next_trigger(next_cycle_start_ - now);
             return;
         }
@@ -508,6 +517,22 @@ void cluster::on_wake() {
         return;
     }
     batch_check_pending_ = false;
+    if (dynamic_) {
+        // Interleaved batch: the same per-period sequence as the timed path
+        // (one cycle, then the change_attributes() window), minus the DE
+        // re-arm between periods.  A reschedule invalidates the plan — the
+        // remaining periods were bounded assuming the old timestep — so the
+        // batch breaks and the next timed wake re-syncs on the new grid.
+        std::uint64_t ahead = plan_batch_ahead();
+        const std::uint64_t planned_at = reschedules_;
+        while (ahead-- > 0) {
+            run_cycles(next_cycle_start_, 1);
+            run_change_attributes();
+            if (reschedules_ != planned_at) break;
+        }
+        ctx_->next_trigger(next_cycle_start_ - now);
+        return;
+    }
     const std::uint64_t ahead = plan_batch_ahead();
     if (ahead > 0) run_cycles(next_cycle_start_, ahead);
     ctx_->next_trigger(next_cycle_start_ - now);

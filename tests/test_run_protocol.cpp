@@ -1,0 +1,219 @@
+// Wire protocol for out-of-process run_set execution: byte-exact round trips
+// for jobs, params and results (including NaN/Inf/signed-zero/denormal
+// doubles — the transport must preserve bit patterns, not values), and the
+// robustness contract: truncated frames, oversized payloads, bad magic and
+// checksum mismatches throw instead of yielding garbage.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/run_protocol.hpp"
+#include "core/run_set.hpp"
+#include "util/report.hpp"
+
+namespace core = sca::core;
+namespace wire = sca::core::wire;
+
+namespace {
+
+std::uint64_t bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+/// The doubles that break value-based transports: quiet/signaling-style NaN
+/// payloads, both infinities, both zeros, denormals, and extremes.
+std::vector<double> nasty_doubles() {
+    return {
+        std::numeric_limits<double>::quiet_NaN(),
+        std::bit_cast<double>(std::uint64_t{0x7ff0dead'beef0001ULL}),  // NaN payload
+        std::bit_cast<double>(std::uint64_t{0xfff00000'00000001ULL}),  // -NaN
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        0.0,
+        -0.0,
+        std::numeric_limits<double>::denorm_min(),
+        -std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::lowest(),
+        1.0 / 3.0,
+    };
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- round trips --
+
+TEST(run_protocol, job_round_trip) {
+    const auto payload = wire::encode_job(0xdeadbeef12345678ULL);
+    EXPECT_EQ(wire::decode_job(payload.data(), payload.size()), 0xdeadbeef12345678ULL);
+}
+
+TEST(run_protocol, params_round_trip_preserves_identity_and_types) {
+    core::params p{{"r", 2.2e3}, {"mode", "fast"}};
+    p.set_run_identity(42, 0x5ca5eedULL);
+    const auto payload = wire::encode_params(p);
+    const core::params q = wire::decode_params(payload.data(), payload.size());
+    EXPECT_EQ(q.run_index(), 42U);
+    EXPECT_EQ(q.seed(), 0x5ca5eedULL);
+    EXPECT_DOUBLE_EQ(q.number("r"), 2.2e3);
+    EXPECT_EQ(q.text("mode"), "fast");
+    EXPECT_EQ(q.entries().size(), 2U);
+}
+
+TEST(run_protocol, result_round_trip_is_bit_exact_for_nasty_doubles) {
+    core::run_result r;
+    r.index = 7;
+    r.seed = 1234;
+    r.ok = true;
+    r.parameters.set("x", -0.0);
+    r.parameters.set_run_identity(7, 1234);
+    r.times = nasty_doubles();
+    r.probe_names = {"v(nan)", "i"};
+    r.waveforms = {nasty_doubles(), {1.5, 2.5}};
+    r.measurements["nan_meas"] = std::numeric_limits<double>::quiet_NaN();
+    r.measurements["inf_meas"] = -std::numeric_limits<double>::infinity();
+
+    const auto payload = wire::encode_result(r);
+    const core::run_result d = wire::decode_result(payload.data(), payload.size());
+
+    EXPECT_EQ(d.index, 7U);
+    EXPECT_EQ(d.seed, 1234U);
+    EXPECT_TRUE(d.ok);
+    EXPECT_TRUE(d.error.empty());
+    EXPECT_EQ(bits(d.parameters.number("x")), bits(-0.0));  // sign of zero survives
+    ASSERT_EQ(d.times.size(), r.times.size());
+    for (std::size_t i = 0; i < r.times.size(); ++i) {
+        EXPECT_EQ(bits(d.times[i]), bits(r.times[i])) << "times[" << i << "]";
+    }
+    ASSERT_EQ(d.waveforms.size(), 2U);
+    ASSERT_EQ(d.waveforms[0].size(), r.waveforms[0].size());
+    for (std::size_t i = 0; i < r.waveforms[0].size(); ++i) {
+        EXPECT_EQ(bits(d.waveforms[0][i]), bits(r.waveforms[0][i])) << "wave[" << i << "]";
+    }
+    EXPECT_EQ(d.probe_names, r.probe_names);
+    EXPECT_EQ(bits(d.measurements.at("nan_meas")), bits(r.measurements.at("nan_meas")));
+    EXPECT_EQ(bits(d.measurements.at("inf_meas")), bits(r.measurements.at("inf_meas")));
+}
+
+TEST(run_protocol, error_result_round_trip) {
+    core::run_result r;
+    r.index = 3;
+    r.seed = 99;
+    r.ok = false;
+    r.error = "solver diverged: matrix is singular\nsecond line, \"quoted\"";
+    const auto payload = wire::encode_result(r);
+    const core::run_result d = wire::decode_result(payload.data(), payload.size());
+    EXPECT_FALSE(d.ok);
+    EXPECT_EQ(d.error, r.error);
+    EXPECT_TRUE(d.waveforms.empty());
+}
+
+TEST(run_protocol, frame_pack_unpack_round_trip) {
+    const auto payload = wire::encode_job(17);
+    const auto bytes = wire::pack_frame(wire::msg_type::job, payload);
+    std::size_t offset = 0;
+    wire::frame f;
+    ASSERT_TRUE(wire::unpack_frame(bytes.data(), bytes.size(), offset, f));
+    EXPECT_EQ(f.type, wire::msg_type::job);
+    EXPECT_EQ(f.payload, payload);
+    EXPECT_EQ(offset, bytes.size());
+    // Clean end: no more frames, no throw.
+    EXPECT_FALSE(wire::unpack_frame(bytes.data(), bytes.size(), offset, f));
+}
+
+TEST(run_protocol, multiple_frames_in_one_buffer) {
+    auto bytes = wire::pack_frame(wire::msg_type::job, wire::encode_job(1));
+    const auto second = wire::pack_frame(wire::msg_type::shutdown, {});
+    bytes.insert(bytes.end(), second.begin(), second.end());
+    std::size_t offset = 0;
+    wire::frame f;
+    ASSERT_TRUE(wire::unpack_frame(bytes.data(), bytes.size(), offset, f));
+    EXPECT_EQ(f.type, wire::msg_type::job);
+    ASSERT_TRUE(wire::unpack_frame(bytes.data(), bytes.size(), offset, f));
+    EXPECT_EQ(f.type, wire::msg_type::shutdown);
+    EXPECT_TRUE(f.payload.empty());
+    EXPECT_FALSE(wire::unpack_frame(bytes.data(), bytes.size(), offset, f));
+}
+
+// -------------------------------------------------------------- rejection --
+
+TEST(run_protocol, truncated_frame_throws_at_every_cut) {
+    const auto bytes = wire::pack_frame(wire::msg_type::job, wire::encode_job(5));
+    // Any strict prefix must throw (mid-frame truncation), never return
+    // false (which means "clean end of stream") and never parse.
+    for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+        std::size_t offset = 0;
+        wire::frame f;
+        EXPECT_THROW((void)wire::unpack_frame(bytes.data(), cut, offset, f),
+                     sca::util::error)
+            << "prefix of " << cut << " bytes";
+    }
+}
+
+TEST(run_protocol, bad_magic_is_rejected) {
+    auto bytes = wire::pack_frame(wire::msg_type::job, wire::encode_job(5));
+    bytes[0] ^= 0xff;
+    std::size_t offset = 0;
+    wire::frame f;
+    EXPECT_THROW((void)wire::unpack_frame(bytes.data(), bytes.size(), offset, f),
+                 sca::util::error);
+}
+
+TEST(run_protocol, corrupted_payload_fails_the_checksum) {
+    auto bytes = wire::pack_frame(wire::msg_type::job, wire::encode_job(5));
+    bytes[9] ^= 0x01;  // flip one payload bit; length/type stay plausible
+    std::size_t offset = 0;
+    wire::frame f;
+    EXPECT_THROW((void)wire::unpack_frame(bytes.data(), bytes.size(), offset, f),
+                 sca::util::error);
+}
+
+TEST(run_protocol, oversized_length_prefix_is_rejected_before_allocation) {
+    auto bytes = wire::pack_frame(wire::msg_type::job, wire::encode_job(5));
+    // Rewrite the length field (bytes 4..7, little-endian) to > k_max_payload.
+    const std::uint32_t huge = wire::k_max_payload + 1;
+    for (int i = 0; i < 4; ++i) bytes[4 + i] = static_cast<std::uint8_t>(huge >> (8 * i));
+    std::size_t offset = 0;
+    wire::frame f;
+    EXPECT_THROW((void)wire::unpack_frame(bytes.data(), bytes.size(), offset, f),
+                 sca::util::error);
+}
+
+TEST(run_protocol, unknown_frame_type_is_rejected) {
+    auto bytes = wire::pack_frame(wire::msg_type::job, wire::encode_job(5));
+    bytes[8] = 0x77;  // type byte
+    std::size_t offset = 0;
+    wire::frame f;
+    EXPECT_THROW((void)wire::unpack_frame(bytes.data(), bytes.size(), offset, f),
+                 sca::util::error);
+}
+
+TEST(run_protocol, short_payload_decoders_throw) {
+    const auto payload = wire::encode_job(5);
+    EXPECT_THROW((void)wire::decode_job(payload.data(), payload.size() - 1),
+                 sca::util::error);
+    core::run_result r;
+    r.index = 1;
+    r.ok = true;
+    const auto res = wire::encode_result(r);
+    for (const std::size_t cut : {res.size() / 2, res.size() - 1}) {
+        EXPECT_THROW((void)wire::decode_result(res.data(), cut), sca::util::error);
+    }
+}
+
+TEST(run_protocol, trailing_garbage_after_payload_is_rejected) {
+    auto payload = wire::encode_job(5);
+    payload.push_back(0x00);
+    EXPECT_THROW((void)wire::decode_job(payload.data(), payload.size()),
+                 sca::util::error);
+}
+
+TEST(run_protocol, fnv1a_is_stable) {
+    // Reference vectors (FNV-1a 32-bit): guards the journal format across
+    // refactors — a silent hash change would orphan existing checkpoints.
+    const std::uint8_t abc[] = {'a', 'b', 'c'};
+    EXPECT_EQ(wire::fnv1a(abc, 3), 0x1a47e90bU);
+    EXPECT_EQ(wire::fnv1a(nullptr, 0), 0x811c9dc5U);
+}
