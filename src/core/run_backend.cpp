@@ -352,7 +352,7 @@ int listen_tcp(std::uint16_t& port) {
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-        ::listen(fd, 8) != 0) {
+        ::listen(fd, 128) != 0) {
         const int err = errno;
         ::close(fd);
         util::report_fatal("run_backend",

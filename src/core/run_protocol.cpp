@@ -213,6 +213,228 @@ params decode_params(const std::uint8_t* data, std::size_t n) {
     return p;
 }
 
+// ------------------------------------------------------- session messages --
+
+std::vector<std::uint8_t> encode_hello(std::uint8_t version) {
+    writer w;
+    w.put_u8(version);
+    return std::move(w.buf);
+}
+
+std::uint8_t decode_hello(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    const std::uint8_t version = r.get_u8();
+    // Versions start at 1; a future version still decodes (the reply tells
+    // the peer what this side actually speaks — negotiation, not rejection).
+    util::require(version >= 1, "run_protocol", "invalid session protocol version 0");
+    r.expect_done();
+    return version;
+}
+
+std::vector<std::uint8_t> encode_catalog(const std::vector<catalog_entry>& entries) {
+    writer w;
+    w.put_u32(static_cast<std::uint32_t>(entries.size()));
+    for (const catalog_entry& e : entries) {
+        w.put_string(e.name);
+        put_params(w, e.defaults);
+    }
+    return std::move(w.buf);
+}
+
+std::vector<catalog_entry> decode_catalog(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    const std::uint32_t count = r.get_u32();
+    std::vector<catalog_entry> entries;
+    entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        catalog_entry e;
+        e.name = r.get_string();
+        e.defaults = get_params(r);
+        entries.push_back(std::move(e));
+    }
+    r.expect_done();
+    return entries;
+}
+
+std::vector<std::uint8_t> encode_open(const open_request& req) {
+    writer w;
+    w.put_string(req.scenario);
+    put_params(w, req.overrides);
+    w.put_u64(req.slice_us);
+    return std::move(w.buf);
+}
+
+open_request decode_open(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    open_request req;
+    req.scenario = r.get_string();
+    req.overrides = get_params(r);
+    req.slice_us = r.get_u64();
+    r.expect_done();
+    return req;
+}
+
+std::vector<std::uint8_t> encode_opened(const session_info& info) {
+    writer w;
+    w.put_u64(info.session_id);
+    w.put_double(info.stop_time_s);
+    w.put_double(info.sample_period_s);
+    w.put_u32(static_cast<std::uint32_t>(info.probes.size()));
+    for (const std::string& p : info.probes) w.put_string(p);
+    return std::move(w.buf);
+}
+
+session_info decode_opened(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    session_info info;
+    info.session_id = r.get_u64();
+    info.stop_time_s = r.get_double();
+    info.sample_period_s = r.get_double();
+    const std::uint32_t count = r.get_u32();
+    info.probes.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) info.probes.push_back(r.get_string());
+    r.expect_done();
+    return info;
+}
+
+std::vector<std::uint8_t> encode_poke(const param_poke& poke) {
+    writer w;
+    w.put_string(poke.name);
+    w.put_double(poke.value);
+    return std::move(w.buf);
+}
+
+param_poke decode_poke(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    param_poke poke;
+    poke.name = r.get_string();
+    poke.value = r.get_double();
+    r.expect_done();
+    return poke;
+}
+
+std::vector<std::uint8_t> encode_subscribe(const subscribe_request& req) {
+    writer w;
+    w.put_string(req.probe);
+    w.put_u8(req.on ? 1 : 0);
+    return std::move(w.buf);
+}
+
+subscribe_request decode_subscribe(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    subscribe_request req;
+    req.probe = r.get_string();
+    req.on = r.get_u8() != 0;
+    r.expect_done();
+    return req;
+}
+
+std::vector<std::uint8_t> encode_samples(const sample_batch& batch) {
+    writer w;
+    w.put_string(batch.probe);
+    w.put_u64(batch.first_index);
+    w.put_u64(batch.dropped);
+    w.put_doubles(batch.times);
+    w.put_doubles(batch.values);
+    return std::move(w.buf);
+}
+
+sample_batch decode_samples(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    sample_batch batch;
+    batch.probe = r.get_string();
+    batch.first_index = r.get_u64();
+    batch.dropped = r.get_u64();
+    batch.times = r.get_doubles();
+    batch.values = r.get_doubles();
+    util::require(batch.times.size() == batch.values.size(), "run_protocol",
+                  "sample batch times/values length mismatch");
+    r.expect_done();
+    return batch;
+}
+
+std::vector<std::uint8_t> encode_pace(const pace_info& info) {
+    writer w;
+    w.put_double(info.real_time_factor);
+    w.put_double(info.drift_s);
+    w.put_double(info.max_drift_s);
+    return std::move(w.buf);
+}
+
+pace_info decode_pace(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    pace_info info;
+    info.real_time_factor = r.get_double();
+    info.drift_s = r.get_double();
+    info.max_drift_s = r.get_double();
+    r.expect_done();
+    return info;
+}
+
+std::vector<std::uint8_t> encode_run_state(bool running) {
+    writer w;
+    w.put_u8(running ? 1 : 0);
+    return std::move(w.buf);
+}
+
+bool decode_run_state(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    const std::uint8_t v = r.get_u8();
+    util::require(v <= 1, "run_protocol", "unknown run_state value");
+    r.expect_done();
+    return v != 0;
+}
+
+std::vector<std::uint8_t> encode_close(const close_info& info) {
+    writer w;
+    w.put_u8(static_cast<std::uint8_t>(info.reason));
+    w.put_double(info.sim_time_s);
+    w.put_u64(info.samples_streamed);
+    w.put_u64(info.samples_dropped);
+    w.put_double(info.pace_drift_s);
+    w.put_double(info.pace_max_drift_s);
+    w.put_u32(static_cast<std::uint32_t>(info.measurements.size()));
+    for (const auto& [name, v] : info.measurements) {
+        w.put_string(name);
+        w.put_double(v);
+    }
+    return std::move(w.buf);
+}
+
+close_info decode_close(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    close_info info;
+    const std::uint8_t reason = r.get_u8();
+    util::require(reason <= static_cast<std::uint8_t>(close_reason::failed),
+                  "run_protocol", "unknown close reason");
+    info.reason = static_cast<close_reason>(reason);
+    info.sim_time_s = r.get_double();
+    info.samples_streamed = r.get_u64();
+    info.samples_dropped = r.get_u64();
+    info.pace_drift_s = r.get_double();
+    info.pace_max_drift_s = r.get_double();
+    const std::uint32_t count = r.get_u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name = r.get_string();
+        info.measurements[name] = r.get_double();
+    }
+    r.expect_done();
+    return info;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+    writer w;
+    w.put_string(message);
+    return std::move(w.buf);
+}
+
+std::string decode_error(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    std::string message = r.get_string();
+    r.expect_done();
+    return message;
+}
+
 // ----------------------------------------------------------------- frames --
 
 std::vector<std::uint8_t> pack_frame(msg_type type,
@@ -230,6 +452,16 @@ std::vector<std::uint8_t> pack_frame(msg_type type,
     return std::move(w.buf);
 }
 
+namespace {
+
+/// Shared frame-type validation: types 1..k_max_msg_type are assigned (the
+/// run_set originals plus the session protocol), everything else is rejected.
+bool known_type(std::uint8_t t) noexcept {
+    return t >= static_cast<std::uint8_t>(msg_type::job) && t <= k_max_msg_type;
+}
+
+}  // namespace
+
 bool unpack_frame(const std::uint8_t* data, std::size_t size, std::size_t& offset,
                   frame& out) {
     if (offset == size) return false;
@@ -240,10 +472,9 @@ bool unpack_frame(const std::uint8_t* data, std::size_t size, std::size_t& offse
     util::require(len <= k_max_payload, "run_protocol",
                   "frame payload length " + std::to_string(len) +
                       " exceeds the protocol limit");
-    const auto type = static_cast<msg_type>(r.get_u8());
-    util::require(type == msg_type::job || type == msg_type::result ||
-                      type == msg_type::shutdown || type == msg_type::header,
-                  "run_protocol", "unknown frame type");
+    const std::uint8_t type_byte = r.get_u8();
+    util::require(known_type(type_byte), "run_protocol", "unknown frame type");
+    const auto type = static_cast<msg_type>(type_byte);
     r.need(len);
     out.type = type;
     out.payload.assign(r.data + r.pos, r.data + r.pos + len);
@@ -253,6 +484,18 @@ bool unpack_frame(const std::uint8_t* data, std::size_t size, std::size_t& offse
                   "frame checksum mismatch");
     offset = r.pos;
     return true;
+}
+
+std::size_t frame_size_hint(const std::uint8_t* data, std::size_t size) {
+    if (size < 9) return 0;  // header incomplete: read more
+    std::uint32_t magic = 0, len = 0;
+    for (int i = 0; i < 4; ++i) magic |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(data[4 + i]) << (8 * i);
+    util::require(magic == k_magic, "run_protocol", "bad frame magic");
+    util::require(len <= k_max_payload, "run_protocol",
+                  "frame payload length " + std::to_string(len) +
+                      " exceeds the protocol limit");
+    return 13 + static_cast<std::size_t>(len);  // header + payload + checksum
 }
 
 namespace {
@@ -318,10 +561,8 @@ bool read_frame(int fd, frame& out) {
     util::require(len <= k_max_payload, "run_protocol",
                   "frame payload length " + std::to_string(len) +
                       " exceeds the protocol limit");
+    util::require(known_type(header[8]), "run_protocol", "unknown frame type on stream");
     const auto type = static_cast<msg_type>(header[8]);
-    util::require(type == msg_type::job || type == msg_type::result ||
-                      type == msg_type::shutdown || type == msg_type::header,
-                  "run_protocol", "unknown frame type on stream");
     out.type = type;
     out.payload.resize(len);
     if (len > 0) read_exact(fd, out.payload.data(), len, /*eof_ok=*/false);

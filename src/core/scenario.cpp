@@ -67,6 +67,26 @@ void testbench::measure(std::string name, std::function<double()> fn) {
     measurement_defs_.emplace_back(std::move(name), std::move(fn));
 }
 
+void testbench::on_param(std::string name, std::function<void(double)> apply) {
+    util::require(static_cast<bool>(apply), "testbench", "param hook must be callable");
+    param_hooks_[std::move(name)] = std::move(apply);
+}
+
+void testbench::poke(const std::string& name, double value) {
+    auto it = param_hooks_.find(name);
+    util::require(it != param_hooks_.end(), "testbench",
+                  "no param hook registered for '" + name + "'");
+    activate();
+    it->second(value);
+}
+
+std::vector<std::string> testbench::param_names() const {
+    std::vector<std::string> names;
+    names.reserve(param_hooks_.size());
+    for (const auto& [name, fn] : param_hooks_) names.push_back(name);
+    return names;
+}
+
 double testbench::note(const std::string& name) const {
     auto it = notes_.find(name);
     util::require(it != notes_.end(), "testbench", "unknown note '" + name + "'");
@@ -197,7 +217,7 @@ scenario scenario::find(const std::string& name) {
     return scenario(it->second);
 }
 
-std::vector<std::string> scenario::defined_names() {
+std::vector<std::string> scenario::names() {
     std::lock_guard<std::mutex> lock(registry_mutex());
     std::vector<std::string> names;
     names.reserve(registry().size());

@@ -169,6 +169,24 @@ public:
     /// final values, counters...).
     void measure(std::string name, std::function<double()> fn);
 
+    // --- live parameter hooks ----------------------------------------------
+    /// Register a handler applied when `poke(name, value)` is called while
+    /// the simulation is stopped between run() slices — the contract the
+    /// streaming server uses for mid-session parameter changes (the handler
+    /// typically rewrites a module member; dynamic-TDF modules then react
+    /// through their own change_attributes path).  Register during build.
+    void on_param(std::string name, std::function<void(double)> apply);
+
+    /// Apply a registered param hook; throws when no hook is registered
+    /// under `name`.  Must not be called while run() is executing.
+    void poke(const std::string& name, double value);
+
+    [[nodiscard]] bool has_param_hook(const std::string& name) const {
+        return param_hooks_.count(name) != 0;
+    }
+    /// Sorted names of the registered param hooks.
+    [[nodiscard]] std::vector<std::string> param_names() const;
+
     /// Record a named constant during build (e.g. the MNA row index of an
     /// output node) so analyses driven from outside the build lambda can
     /// refer to it: `ac.sweep(size_t(tb.note("out")), sw)`.
@@ -231,6 +249,7 @@ private:
     std::vector<std::pair<std::string, std::function<double()>>> measurement_defs_;
     std::map<std::string, double> measured_;
     std::map<std::string, double> notes_;
+    std::map<std::string, std::function<void(double)>> param_hooks_;
 };
 
 // --------------------------------------------------------------- scenario --
@@ -251,7 +270,12 @@ public:
 
     /// Look up a previously defined scenario; throws when unknown.
     [[nodiscard]] static scenario find(const std::string& name);
-    [[nodiscard]] static std::vector<std::string> defined_names();
+
+    /// Sorted names of every registered scenario — the service catalog the
+    /// streaming server (src/server/) enumerates for clients.
+    [[nodiscard]] static std::vector<std::string> names();
+    /// Older alias for names().
+    [[nodiscard]] static std::vector<std::string> defined_names() { return names(); }
 
     [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
     [[nodiscard]] const std::string& name() const;

@@ -1,6 +1,7 @@
 #include "kernel/scheduler.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "kernel/event.hpp"
 #include "kernel/process.hpp"
@@ -110,6 +111,36 @@ void scheduler::evaluate_update_loop() {
     }
 }
 
+void scheduler::set_pacing(double real_time_factor) noexcept {
+    pacing_ = real_time_factor > 0.0 ? real_time_factor : 0.0;
+    // Re-anchor at the next paced advance: wall time spent while pacing was
+    // off (pause, reconfiguration) must not count as accumulated lag.
+    pace_anchor_valid_ = false;
+    pacing_drift_ = 0.0;
+    pacing_max_drift_ = 0.0;
+}
+
+void scheduler::pace_to(const time& t) {
+    if (pacing_ <= 0.0 || t == time::max()) return;
+    const auto wall_now = std::chrono::steady_clock::now();
+    if (!pace_anchor_valid_) {
+        pace_anchor_valid_ = true;
+        pace_anchor_sim_ = now_;
+        pace_anchor_wall_ = wall_now;
+    }
+    const double wall_offset_s = (t - pace_anchor_sim_).to_seconds() / pacing_;
+    const auto target =
+        pace_anchor_wall_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(wall_offset_s));
+    if (wall_now < target) {
+        std::this_thread::sleep_until(target);
+        pacing_drift_ = 0.0;
+    } else {
+        pacing_drift_ = std::chrono::duration<double>(wall_now - target).count();
+        pacing_max_drift_ = std::max(pacing_max_drift_, pacing_drift_);
+    }
+}
+
 time scheduler::run(const time& end) {
     run_end_ = end;
     if (!initialized_) {
@@ -119,6 +150,7 @@ time scheduler::run(const time& end) {
     while (!timed_queue_.empty()) {
         const time next = timed_queue_.begin()->first;
         if (next > end) break;
+        pace_to(next);
         now_ = next;
         // Pop and trigger every valid notification at this time point.
         while (!timed_queue_.empty() && timed_queue_.begin()->first == now_) {
@@ -130,7 +162,12 @@ time scheduler::run(const time& end) {
         }
         evaluate_update_loop();
     }
-    if (now_ < end) now_ = end;
+    if (now_ < end) {
+        // Quiet tail: no events up to `end`, but a paced session still owes
+        // the wall clock the remaining interval.
+        pace_to(end);
+        now_ = end;
+    }
     return now_;
 }
 
@@ -140,6 +177,10 @@ void scheduler::reset() {
     delta_count_ = 0;
     timed_notifications_ = 0;
     initialized_ = false;
+    pacing_ = 0.0;
+    pacing_drift_ = 0.0;
+    pacing_max_drift_ = 0.0;
+    pace_anchor_valid_ = false;
     runnable_.clear();
     delta_events_.clear();
     update_queue_.clear();

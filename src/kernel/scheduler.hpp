@@ -4,6 +4,7 @@
 #ifndef SCA_KERNEL_SCHEDULER_HPP
 #define SCA_KERNEL_SCHEDULER_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -76,18 +77,47 @@ public:
     /// batched cluster execution from running past the requested stop time.
     [[nodiscard]] const time& run_end() const noexcept { return run_end_; }
 
+    // --- wall-clock pacing ---------------------------------------------------
+    /// Opt-in soft-real-time mode (hardware-in-the-loop sessions): before
+    /// advancing simulated time, sleep until wall time has caught up, with
+    /// `real_time_factor` simulated seconds passing per wall second (1.0 =
+    /// real time, 10.0 = 10x faster than real time).  <= 0 disables pacing
+    /// (the default).  Calling set_pacing re-anchors the sim-time/wall-time
+    /// correspondence at the current instant, so a paused-and-resumed
+    /// session does not sprint to catch up over the paused interval.
+    void set_pacing(double real_time_factor) noexcept;
+    [[nodiscard]] double pacing_factor() const noexcept { return pacing_; }
+
+    /// Wall-clock lag observed at the most recent paced advance, in seconds
+    /// (0 while the kernel keeps up — i.e. it slept — positive when the
+    /// model is too slow to hold the requested factor).
+    [[nodiscard]] double pacing_drift() const noexcept { return pacing_drift_; }
+    /// Largest lag observed since pacing was (re-)enabled.
+    [[nodiscard]] double pacing_max_drift() const noexcept { return pacing_max_drift_; }
+
     void reset();
 
 private:
     void initialization_phase();
     /// One evaluate/update/delta sequence; returns true if any process ran.
     void evaluate_update_loop();
+    /// Sleep until wall time reaches sim time `t` under the pacing factor;
+    /// records drift when the kernel is already late.  No-op when pacing is
+    /// off or `t` is the time::max() "never" marker.
+    void pace_to(const time& t);
 
     time now_;
     time run_end_ = time::max();
     std::uint64_t delta_count_ = 0;
     std::uint64_t timed_notifications_ = 0;
     bool initialized_ = false;
+
+    double pacing_ = 0.0;
+    double pacing_drift_ = 0.0;
+    double pacing_max_drift_ = 0.0;
+    bool pace_anchor_valid_ = false;
+    time pace_anchor_sim_;
+    std::chrono::steady_clock::time_point pace_anchor_wall_;
 
     std::vector<method_process*> all_processes_;
     std::vector<method_process*> runnable_;

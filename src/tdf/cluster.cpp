@@ -426,7 +426,7 @@ void cluster::run_cycles(const de::time& start, std::uint64_t n) {
     next_cycle_start_ = t;
 }
 
-std::uint64_t cluster::plan_batch_ahead() const {
+std::uint64_t cluster::plan_batch_ahead(bool for_peek) const {
     // Batching contract: run cycles ahead of DE time only when no DE process
     // could observe the difference.  DE-coupled clusters never qualify.  For
     // pure clusters the bound is the next pending timed event — except the
@@ -442,7 +442,12 @@ std::uint64_t cluster::plan_batch_ahead() const {
 
     const de::scheduler& sch = static_cast<const de::simulation_context&>(*ctx_).sched();
     const de::time end = sch.run_end();
-    if (end != de::time::max()) {
+    // The run_end clamp is a batch-size bound only.  The peek must ignore it
+    // (see the header comment): whether the re-arm goes through the settled
+    // delta has to be a function of the model state alone, not of the
+    // caller's slice length, or sliced and continuous runs diverge in
+    // same-instant event order right after a run() boundary.
+    if (!for_peek && end != de::time::max()) {
         if (s > end) return 0;
         n = std::min(n, static_cast<std::uint64_t>((end - s).value_fs() / p) + 1);
     }
@@ -478,7 +483,7 @@ void cluster::on_wake() {
             // below): periods execute back-to-back with the change window
             // interleaved, so only the kernel re-arms are elided — the
             // per-period sequence the modules observe is unchanged.
-            if (!de_coupled_ && max_batch_ > 1 && plan_batch_ahead() > 0) {
+            if (!de_coupled_ && max_batch_ > 1 && plan_batch_ahead(true) > 0) {
                 batch_check_pending_ = true;
                 ctx_->next_trigger(de::time::zero());
                 return;
@@ -491,7 +496,7 @@ void cluster::on_wake() {
         // event-dense models otherwise pay a useless delta round per period.
         // The peek may overestimate; the settled re-check below is what
         // guarantees correctness.
-        if (!de_coupled_ && max_batch_ > 1 && plan_batch_ahead() > 0) {
+        if (!de_coupled_ && max_batch_ > 1 && plan_batch_ahead(true) > 0) {
             batch_check_pending_ = true;
             ctx_->next_trigger(de::time::zero());
             return;

@@ -140,7 +140,13 @@ private:
     /// Fire `n` cluster cycles, the first starting at virtual time `start`.
     void run_cycles(const de::time& start, std::uint64_t n);
     /// Cycles safe to run ahead of DE time, starting at next_cycle_start_.
-    [[nodiscard]] std::uint64_t plan_batch_ahead() const;
+    /// `for_peek` skips the run_end clamp: the peek decides only whether to
+    /// defer the re-arm to a settled delta, and that decision must not
+    /// depend on where the current run() call happens to stop — otherwise a
+    /// sliced run re-arms through a different path than a continuous one,
+    /// flips same-instant event order after the boundary, and breaks
+    /// bit-identity between sliced and full runs.
+    [[nodiscard]] std::uint64_t plan_batch_ahead(bool for_peek = false) const;
 
     // --- dynamic rescheduling (see tdf/dynamic.hpp) -------------------------
     /// Compile the current rates/anchors into a firing program (the PASS run

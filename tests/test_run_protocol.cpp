@@ -210,6 +210,223 @@ TEST(run_protocol, trailing_garbage_after_payload_is_rejected) {
                  sca::util::error);
 }
 
+// -------------------------------------------------- session protocol (v1) --
+
+TEST(session_protocol, hello_round_trip_and_version_guard) {
+    const auto payload = wire::encode_hello(wire::k_session_version);
+    EXPECT_EQ(wire::decode_hello(payload.data(), payload.size()),
+              wire::k_session_version);
+    // A hello from the future still decodes — the reply carries this side's
+    // version, so negotiation happens above the codec — but 0 is invalid.
+    const auto future = wire::encode_hello(wire::k_session_version + 1);
+    EXPECT_EQ(wire::decode_hello(future.data(), future.size()),
+              wire::k_session_version + 1);
+    const std::uint8_t zero[] = {0};
+    EXPECT_THROW((void)wire::decode_hello(zero, 1), sca::util::error);
+}
+
+TEST(session_protocol, catalog_round_trip) {
+    std::vector<wire::catalog_entry> entries(2);
+    entries[0].name = "adaptive_receiver";
+    entries[0].defaults = core::params{{"threshold", 0.25}, {"mode", "fast"}};
+    entries[1].name = "rc_filter";
+    const auto payload = wire::encode_catalog(entries);
+    const auto d = wire::decode_catalog(payload.data(), payload.size());
+    ASSERT_EQ(d.size(), 2U);
+    EXPECT_EQ(d[0].name, "adaptive_receiver");
+    EXPECT_DOUBLE_EQ(d[0].defaults.number("threshold"), 0.25);
+    EXPECT_EQ(d[0].defaults.text("mode"), "fast");
+    EXPECT_EQ(d[1].name, "rc_filter");
+    EXPECT_TRUE(d[1].defaults.entries().empty());
+}
+
+TEST(session_protocol, open_round_trip) {
+    wire::open_request req;
+    req.scenario = "adaptive_receiver";
+    req.overrides = core::params{{"threshold", 0.5}};
+    req.slice_us = 250;
+    const auto payload = wire::encode_open(req);
+    const wire::open_request d = wire::decode_open(payload.data(), payload.size());
+    EXPECT_EQ(d.scenario, req.scenario);
+    EXPECT_DOUBLE_EQ(d.overrides.number("threshold"), 0.5);
+    EXPECT_EQ(d.slice_us, 250U);
+}
+
+TEST(session_protocol, opened_round_trip) {
+    wire::session_info info;
+    info.session_id = 0xfeedface01ULL;
+    info.stop_time_s = 0.2;
+    info.sample_period_s = 64e-6;
+    info.probes = {"decimated", "level"};
+    const auto payload = wire::encode_opened(info);
+    const wire::session_info d = wire::decode_opened(payload.data(), payload.size());
+    EXPECT_EQ(d.session_id, info.session_id);
+    EXPECT_DOUBLE_EQ(d.stop_time_s, 0.2);
+    EXPECT_DOUBLE_EQ(d.sample_period_s, 64e-6);
+    EXPECT_EQ(d.probes, info.probes);
+}
+
+TEST(session_protocol, poke_and_subscribe_round_trips) {
+    const auto poke = wire::encode_poke({"threshold", -0.0});
+    const wire::param_poke p = wire::decode_poke(poke.data(), poke.size());
+    EXPECT_EQ(p.name, "threshold");
+    EXPECT_EQ(bits(p.value), bits(-0.0));
+
+    for (const bool on : {true, false}) {
+        wire::subscribe_request req;
+        req.probe = "decimated";
+        req.on = on;
+        const auto payload = wire::encode_subscribe(req);
+        const wire::subscribe_request d =
+            wire::decode_subscribe(payload.data(), payload.size());
+        EXPECT_EQ(d.probe, "decimated");
+        EXPECT_EQ(d.on, on);
+    }
+}
+
+TEST(session_protocol, sample_batch_round_trip_is_bit_exact) {
+    wire::sample_batch batch;
+    batch.probe = "v(out)";
+    batch.first_index = 512;
+    batch.dropped = 64;
+    batch.times = nasty_doubles();
+    batch.values = nasty_doubles();
+    const auto payload = wire::encode_samples(batch);
+    const wire::sample_batch d = wire::decode_samples(payload.data(), payload.size());
+    EXPECT_EQ(d.probe, batch.probe);
+    EXPECT_EQ(d.first_index, 512U);
+    EXPECT_EQ(d.dropped, 64U);
+    ASSERT_EQ(d.times.size(), batch.times.size());
+    ASSERT_EQ(d.values.size(), batch.values.size());
+    for (std::size_t i = 0; i < batch.times.size(); ++i) {
+        EXPECT_EQ(bits(d.times[i]), bits(batch.times[i])) << "times[" << i << "]";
+        EXPECT_EQ(bits(d.values[i]), bits(batch.values[i])) << "values[" << i << "]";
+    }
+}
+
+TEST(session_protocol, sample_batch_with_mismatched_lengths_is_rejected) {
+    wire::sample_batch batch;
+    batch.probe = "p";
+    batch.times = {1.0, 2.0, 3.0};
+    batch.values = {1.0, 2.0};  // one short: decoder must refuse
+    const auto payload = wire::encode_samples(batch);
+    EXPECT_THROW((void)wire::decode_samples(payload.data(), payload.size()),
+                 sca::util::error);
+}
+
+TEST(session_protocol, pace_and_run_state_round_trips) {
+    wire::pace_info info;
+    info.real_time_factor = 10.0;
+    info.drift_s = 1.5e-3;
+    info.max_drift_s = 2.5e-3;
+    const auto payload = wire::encode_pace(info);
+    const wire::pace_info d = wire::decode_pace(payload.data(), payload.size());
+    EXPECT_DOUBLE_EQ(d.real_time_factor, 10.0);
+    EXPECT_DOUBLE_EQ(d.drift_s, 1.5e-3);
+    EXPECT_DOUBLE_EQ(d.max_drift_s, 2.5e-3);
+
+    for (const bool running : {true, false}) {
+        const auto rs = wire::encode_run_state(running);
+        EXPECT_EQ(wire::decode_run_state(rs.data(), rs.size()), running);
+    }
+    const std::uint8_t bogus[] = {2};
+    EXPECT_THROW((void)wire::decode_run_state(bogus, 1), sca::util::error);
+}
+
+TEST(session_protocol, close_round_trip) {
+    wire::close_info info;
+    info.reason = wire::close_reason::finished;
+    info.sim_time_s = 0.1;
+    info.samples_streamed = 12345;
+    info.samples_dropped = 67;
+    info.pace_drift_s = 3e-4;
+    info.pace_max_drift_s = 9e-4;
+    info.measurements["rms"] = 0.7071;
+    info.measurements["nan"] = std::numeric_limits<double>::quiet_NaN();
+    const auto payload = wire::encode_close(info);
+    const wire::close_info d = wire::decode_close(payload.data(), payload.size());
+    EXPECT_EQ(d.reason, wire::close_reason::finished);
+    EXPECT_DOUBLE_EQ(d.sim_time_s, 0.1);
+    EXPECT_EQ(d.samples_streamed, 12345U);
+    EXPECT_EQ(d.samples_dropped, 67U);
+    EXPECT_DOUBLE_EQ(d.pace_drift_s, 3e-4);
+    EXPECT_DOUBLE_EQ(d.pace_max_drift_s, 9e-4);
+    EXPECT_DOUBLE_EQ(d.measurements.at("rms"), 0.7071);
+    EXPECT_TRUE(std::isnan(d.measurements.at("nan")));
+}
+
+TEST(session_protocol, error_round_trip) {
+    const std::string msg = "no probe named 'x'\nwith a second line";
+    const auto payload = wire::encode_error(msg);
+    EXPECT_EQ(wire::decode_error(payload.data(), payload.size()), msg);
+}
+
+TEST(session_protocol, session_frames_truncate_and_corrupt_like_v0_frames) {
+    // The robustness contract extends unchanged to every new frame type:
+    // any strict prefix throws, any payload bit flip fails the checksum.
+    wire::sample_batch batch;
+    batch.probe = "p";
+    batch.times = {1.0, 2.0};
+    batch.values = {3.0, 4.0};
+    const auto bytes = wire::pack_frame(wire::msg_type::samples,
+                                        wire::encode_samples(batch));
+    for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+        std::size_t offset = 0;
+        wire::frame f;
+        EXPECT_THROW((void)wire::unpack_frame(bytes.data(), cut, offset, f),
+                     sca::util::error)
+            << "prefix of " << cut << " bytes";
+    }
+    auto corrupt = bytes;
+    corrupt[10] ^= 0x40;
+    std::size_t offset = 0;
+    wire::frame f;
+    EXPECT_THROW((void)wire::unpack_frame(corrupt.data(), corrupt.size(), offset, f),
+                 sca::util::error);
+}
+
+TEST(session_protocol, v0_frame_layout_is_frozen) {
+    // Byte-for-byte guard on the pre-session framing: header magic 'SCA1',
+    // little-endian length, type byte, payload, FNV-1a trailer.  The session
+    // protocol extension must not disturb frames old workers exchange.
+    const auto bytes = wire::pack_frame(wire::msg_type::job, wire::encode_job(5));
+    const std::vector<std::uint8_t> expected = {
+        'S', 'C', 'A', '1',          // magic
+        8,   0,   0,   0,            // payload length = 8
+        1,                           // msg_type::job
+        5,   0,   0,   0, 0, 0, 0, 0,  // u64 run index, little-endian
+        0xc0, 0x95, 0xfa, 0xc8,      // fnv1a over the payload
+    };
+    ASSERT_EQ(bytes.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(bytes[i], expected[i]) << "byte " << i;
+    }
+}
+
+TEST(session_protocol, frame_size_hint_distinguishes_wait_from_garbage) {
+    const auto bytes = wire::pack_frame(wire::msg_type::hello,
+                                        wire::encode_hello(wire::k_session_version));
+    // Incomplete header: "read more", no exception.
+    for (std::size_t n = 0; n < 9; ++n) {
+        EXPECT_EQ(wire::frame_size_hint(bytes.data(), n), 0U) << n << " bytes";
+    }
+    // Complete header: the exact frame size, even before the body arrives.
+    for (std::size_t n = 9; n <= bytes.size(); ++n) {
+        EXPECT_EQ(wire::frame_size_hint(bytes.data(), n), bytes.size());
+    }
+    auto bad_magic = bytes;
+    bad_magic[1] ^= 0xff;
+    EXPECT_THROW((void)wire::frame_size_hint(bad_magic.data(), bad_magic.size()),
+                 sca::util::error);
+    auto huge = bytes;
+    const std::uint32_t too_big = wire::k_max_payload + 1;
+    for (int i = 0; i < 4; ++i) {
+        huge[4 + i] = static_cast<std::uint8_t>(too_big >> (8 * i));
+    }
+    EXPECT_THROW((void)wire::frame_size_hint(huge.data(), huge.size()),
+                 sca::util::error);
+}
+
 TEST(run_protocol, fnv1a_is_stable) {
     // Reference vectors (FNV-1a 32-bit): guards the journal format across
     // refactors — a silent hash change would orphan existing checkpoints.

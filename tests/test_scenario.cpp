@@ -155,6 +155,33 @@ TEST(scenario, testbench_owns_objects_and_tears_down) {
     SUCCEED();
 }
 
+TEST(scenario, names_enumerates_the_registry_sorted) {
+    define_rc_scenario("rc_enum_b");
+    define_rc_scenario("rc_enum_a");
+    const std::vector<std::string> names = core::scenario::names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    // Enumeration is the streaming server's service catalog: every defined
+    // scenario must appear, and each name must resolve back through find().
+    for (const std::string& expect : {std::string("rc_enum_a"), std::string("rc_enum_b")}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expect), names.end());
+        EXPECT_EQ(core::scenario::find(expect).name(), expect);
+    }
+}
+
+TEST(scenario, param_hooks_poke_between_runs) {
+    double gain = 1.0;
+    core::testbench tb("hooks");
+    tb.on_param("gain", [&gain](double v) { gain = v; });
+    EXPECT_TRUE(tb.has_param_hook("gain"));
+    EXPECT_FALSE(tb.has_param_hook("offset"));
+    EXPECT_EQ(tb.param_names(), std::vector<std::string>{"gain"});
+    tb.poke("gain", 2.5);
+    EXPECT_DOUBLE_EQ(gain, 2.5);
+    // Unknown names throw — a live client poking a typo gets an error frame,
+    // not a silent no-op.
+    EXPECT_THROW(tb.poke("offset", 0.0), sca::util::error);
+}
+
 // ----------------------------------------------- analyses on one testbench --
 
 TEST(scenario, all_four_analyses_on_one_testbench) {

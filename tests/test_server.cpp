@@ -1,0 +1,505 @@
+// Streaming simulation server, end to end over real sockets: catalog and
+// version negotiation, eight concurrent sessions on mixed scenarios whose
+// streamed waveforms are bit-identical to offline runs, mid-run parameter
+// pokes, pause/resume, backpressure (a slow consumer loses counted sample
+// batches, the kernel never blocks), wall-clock pacing drift bounds, and
+// error paths that leave the session alive.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "server/server.hpp"
+#include "tdf/connect.hpp"
+#include "tdf/module.hpp"
+#include "tdf/port.hpp"
+#include "util/report.hpp"
+
+namespace core = sca::core;
+namespace de = sca::de;
+namespace eln = sca::eln;
+namespace tdf = sca::tdf;
+namespace server = sca::server;
+namespace wire = sca::core::wire;
+using namespace sca::de::literals;
+
+namespace {
+
+std::uint64_t bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+constexpr double k_pi = 3.141592653589793;
+
+/// DC level with a small superimposed tone; `level` is pokeable at run time,
+/// so the streamed waveform shows exactly when a mid-run poke landed.
+struct level_source : tdf::module {
+    tdf::out<double> out;
+    double level;
+    double tone;
+
+    level_source(const de::module_name& nm, double lvl, double amp)
+        : tdf::module(nm), out("out"), level(lvl), tone(amp) {}
+    void set_attributes() override { set_timestep(10.0, de::time_unit::us); }
+    void processing() override {
+        const double t = tdf_time().to_seconds();
+        out.write(level + tone * std::sin(2.0 * k_pi * 5e3 * t));
+    }
+};
+
+struct null_sink : tdf::module {
+    tdf::in<double> in;
+    explicit null_sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override { (void)in.read(); }
+};
+
+/// TDF scenario: pokeable DC level + tone, probe "out".
+/// 20 ms at a 10 us sample period -> ~2000 samples.
+core::scenario define_gain_scenario(const std::string& name) {
+    return core::scenario::define(
+        name, core::params{{"level", 1.0}, {"tone", 0.25}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& src = tb.make<level_source>("src", p.number("level"),
+                                              p.number("tone"));
+            auto& sink = tb.make<null_sink>("sink");
+            auto& sig = connect(src.out, sink.in);
+            tb.probe("out", sig);
+            tb.set_sample_period(10_us);
+            tb.set_stop_time(20_ms);
+            tb.measure("final", [&src] { return src.level; });
+            tb.on_param("level", [&src](double v) { src.level = v; });
+        });
+}
+
+/// ELN scenario: the suite's reference RC lowpass, probe "vout".
+core::scenario define_rc_scenario(const std::string& name) {
+    return core::scenario::define(
+        name, core::params{{"r", 1e3}, {"c", 100e-9}, {"f", 1e3}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& net = tb.make<eln::network>("net");
+            net.set_timestep(2.0, de::time_unit::us);
+            auto gnd = net.ground();
+            auto vin = net.create_node("vin");
+            auto vout = net.create_node("vout");
+            tb.make<eln::vsource>("vs", net, vin, gnd,
+                                  eln::waveform::sine(1.0, p.get("f", 1e3)));
+            tb.make<eln::resistor>("r", net, vin, vout, p.get("r", 1e3));
+            tb.make<eln::capacitor>("c", net, vout, gnd, p.get("c", 100e-9));
+            tb.probe("vout", [&net, vout] { return net.voltage(vout); });
+            tb.set_sample_period(10_us);
+            tb.set_stop_time(2_ms);
+        });
+}
+
+/// Flood scenario for the backpressure test: 300k samples of trivial work,
+/// far more framed bytes than the socket and server buffers can hold.
+core::scenario define_flood_scenario(const std::string& name) {
+    return core::scenario::define(
+        name, core::params{}, [](core::testbench& tb, const core::params&) {
+            auto& src = tb.make<level_source>("src", 0.5, 0.25);
+            auto& sink = tb.make<null_sink>("sink");
+            auto& sig = connect(src.out, sink.in);
+            tb.probe("out", sig);
+            tb.set_sample_period(10_us);
+            tb.set_stop_time(3000_ms);
+        });
+}
+
+/// 100 ms sim for the pacing test (1000 firings: trivially faster than the
+/// 10 ms wall-clock floor a 10x pacing factor imposes).
+core::scenario define_paced_scenario(const std::string& name) {
+    return core::scenario::define(
+        name, core::params{}, [](core::testbench& tb, const core::params&) {
+            auto& src = tb.make<level_source>("src", 1.0, 0.5);
+            auto& sink = tb.make<null_sink>("sink");
+            auto& sig = connect(src.out, sink.in);
+            tb.probe("out", sig);
+            tb.set_sample_period(100_us);
+            tb.set_stop_time(100_ms);
+        });
+}
+
+/// Register every scenario exactly once per test binary.
+void define_scenarios() {
+    static const bool once = [] {
+        define_gain_scenario("srv_gain");
+        define_rc_scenario("srv_rc");
+        define_flood_scenario("srv_flood");
+        define_paced_scenario("srv_paced");
+        return true;
+    }();
+    (void)once;
+}
+
+/// Offline reference run of a scenario: the ground truth the streamed
+/// waveform must reproduce bit-for-bit.
+struct reference {
+    std::vector<double> times;
+    std::vector<double> values;
+};
+
+reference offline(const std::string& scenario, const std::string& probe,
+                  const core::params& overrides = {}) {
+    auto tb = core::scenario::find(scenario).build(overrides);
+    tb->run();
+    return {tb->times(), tb->waveform(probe)};
+}
+
+void expect_bit_identical(const server::client::waveform& got, const reference& want) {
+    ASSERT_EQ(got.times.size(), want.times.size());
+    ASSERT_EQ(got.values.size(), want.values.size());
+    for (std::size_t i = 0; i < want.times.size(); ++i) {
+        ASSERT_EQ(bits(got.times[i]), bits(want.times[i])) << "times[" << i << "]";
+        ASSERT_EQ(bits(got.values[i]), bits(want.values[i])) << "values[" << i << "]";
+    }
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- handshake + catalog --
+
+TEST(sim_server, hello_and_catalog_over_tcp) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    EXPECT_EQ(cl.hello(), wire::k_session_version);
+
+    const auto entries = cl.catalog();
+    ASSERT_GE(entries.size(), 4U);
+    // The catalog is scenario::names(): sorted, with each entry's defaults.
+    bool saw_gain = false;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+        EXPECT_LT(entries[i - 1].name, entries[i].name);
+    }
+    for (const auto& e : entries) {
+        if (e.name == "srv_gain") {
+            saw_gain = true;
+            EXPECT_DOUBLE_EQ(e.defaults.number("level"), 1.0);
+            EXPECT_DOUBLE_EQ(e.defaults.number("tone"), 0.25);
+        }
+    }
+    EXPECT_TRUE(saw_gain);
+    srv.stop();
+}
+
+TEST(sim_server, open_unknown_scenario_reports_an_error) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    EXPECT_THROW((void)cl.open("does_not_exist"), sca::util::error);
+    srv.stop();
+}
+
+// ------------------------------------------------- concurrent sessions, bit-exact --
+
+TEST(sim_server, eight_concurrent_sessions_bit_identical_to_offline) {
+    define_scenarios();
+    const reference ref_gain = offline("srv_gain", "out");
+    const reference ref_gain_low = offline("srv_gain", "out", {{"level", 0.25}});
+    const reference ref_rc = offline("srv_rc", "vout");
+
+    server::sim_server::options opt;
+    opt.unix_path = "sim_server_test.sock";
+    server::sim_server srv(opt);
+    srv.start();
+
+    struct job {
+        std::string scenario;
+        std::string probe;
+        core::params overrides;
+        const reference* ref;
+        bool via_unix;
+    };
+    const std::vector<job> jobs = {
+        {"srv_gain", "out", {}, &ref_gain, false},
+        {"srv_rc", "vout", {}, &ref_rc, false},
+        {"srv_gain", "out", {{"level", 0.25}}, &ref_gain_low, true},
+        {"srv_rc", "vout", {}, &ref_rc, true},
+        {"srv_gain", "out", {}, &ref_gain, false},
+        {"srv_gain", "out", {{"level", 0.25}}, &ref_gain_low, false},
+        {"srv_rc", "vout", {}, &ref_rc, true},
+        {"srv_gain", "out", {}, &ref_gain, true},
+    };
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(jobs.size());
+    for (const job& j : jobs) {
+        clients.emplace_back([&srv, &j, &failures] {
+            try {
+                auto cl = j.via_unix
+                              ? server::client::connect_unix("sim_server_test.sock")
+                              : server::client::connect_tcp("127.0.0.1", srv.port());
+                EXPECT_EQ(cl.hello(), wire::k_session_version);
+                // Sessions open paused: the subscribe is guaranteed applied
+                // before the first kernel slice because it precedes resume()
+                // on the wire, so the stream covers t=0 onward.
+                cl.open_async(j.scenario, j.overrides, 500);
+                cl.subscribe(j.probe);
+                const wire::session_info info = cl.await_opened();
+                cl.resume();
+                EXPECT_GT(info.session_id, 0U);
+                ASSERT_EQ(info.probes.size(), 1U);
+                EXPECT_EQ(info.probes[0], j.probe);
+                const wire::close_info close = cl.drain();
+                EXPECT_EQ(close.reason, wire::close_reason::finished);
+                EXPECT_EQ(close.samples_dropped, 0U);
+                EXPECT_TRUE(cl.errors().empty());
+                const auto& w = cl.wave(j.probe);
+                EXPECT_EQ(w.dropped, 0U);
+                EXPECT_EQ(w.gaps, 0U);
+                expect_bit_identical(w, *j.ref);
+            } catch (const std::exception& e) {
+                ADD_FAILURE() << e.what();
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(srv.sessions_opened(), jobs.size());
+    srv.stop();
+}
+
+// ------------------------------------------------------------------ live control --
+
+TEST(sim_server, poke_lands_mid_run_and_changes_the_stream) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    cl.hello();
+    // Pure DC so the poke is the only thing that can move the waveform, and
+    // real-time pacing (20 ms of sim = 20 ms of wall clock) so the poke
+    // deterministically lands mid-run, not after a too-fast finish.
+    cl.open_async("srv_gain", {{"tone", 0.0}}, 500);
+    cl.subscribe("out");
+    cl.pace(1.0);
+    const wire::session_info info = cl.await_opened();
+    cl.resume();
+
+    // Wait for the stream to actually start, then drop the level to zero.
+    for (;;) {
+        const wire::frame f = cl.read_frame();
+        cl.absorb(f);
+        if (f.type == wire::msg_type::samples) break;
+        ASSERT_NE(f.type, wire::msg_type::close) << "run finished before the poke";
+    }
+    cl.poke("level", 0.0);
+    const wire::close_info close = cl.drain();
+
+    EXPECT_EQ(close.reason, wire::close_reason::finished);
+    EXPECT_DOUBLE_EQ(close.measurements.at("final"), 0.0);
+    const auto& w = cl.wave("out");
+    const auto expected = static_cast<std::size_t>(
+        std::llround(info.stop_time_s / info.sample_period_s) + 1);
+    ASSERT_EQ(w.values.size(), expected);
+    EXPECT_DOUBLE_EQ(w.values.front(), 1.0);  // before the poke
+    EXPECT_DOUBLE_EQ(w.values.back(), 0.0);   // after the poke
+    EXPECT_TRUE(cl.errors().empty());
+    srv.stop();
+}
+
+TEST(sim_server, pause_and_resume_complete_the_run) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    cl.hello();
+    // Sessions open paused; paced at 1x the 100 ms sim takes 100 ms of wall
+    // clock once started, so each window below is ample to detect a runaway.
+    cl.open_async("srv_paced", {}, 1000);
+    cl.subscribe("out");
+    cl.pace(1.0);
+    (void)cl.await_opened();
+
+    // Parked means parked: never resumed, the worker must not finish.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_EQ(srv.finished_sessions(), 0U) << "unstarted session ran anyway";
+
+    // Start, let the stream begin, then pause mid-run and check it sticks.
+    cl.resume();
+    for (;;) {
+        const wire::frame f = cl.read_frame();
+        cl.absorb(f);
+        if (f.type == wire::msg_type::samples) break;
+        ASSERT_NE(f.type, wire::msg_type::close) << "run finished before the pause";
+    }
+    cl.pause();
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_EQ(srv.finished_sessions(), 0U) << "paused session kept running";
+
+    cl.resume();
+    const wire::close_info close = cl.drain();
+    EXPECT_EQ(close.reason, wire::close_reason::finished);
+    expect_bit_identical(cl.wave("out"), offline("srv_paced", "out"));
+    srv.stop();
+}
+
+TEST(sim_server, errors_leave_the_session_alive) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    cl.hello();
+    cl.open_async("srv_rc", {}, 500);
+    cl.subscribe("no_such_probe");  // error frame
+    cl.poke("no_such_param", 1.0);  // error frame
+    cl.subscribe("vout");           // still works
+    (void)cl.await_opened();
+    cl.resume();
+    const wire::close_info close = cl.drain();
+    EXPECT_EQ(close.reason, wire::close_reason::finished);
+    EXPECT_EQ(cl.errors().size(), 2U);
+    expect_bit_identical(cl.wave("vout"), offline("srv_rc", "vout"));
+    srv.stop();
+}
+
+TEST(sim_server, client_close_ends_the_session_early) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    cl.hello();
+    cl.open_async("srv_flood", {}, 1000);  // 3 s of sim time
+    cl.subscribe("out");
+    cl.request_close();
+    (void)cl.await_opened();
+    const wire::close_info close = cl.drain();
+    EXPECT_EQ(close.reason, wire::close_reason::client_request);
+    EXPECT_LT(close.sim_time_s, 3.0);
+    srv.stop();
+}
+
+// ------------------------------------------------------------------ backpressure --
+
+TEST(sim_server, slow_consumer_drops_batches_but_the_kernel_finishes) {
+    define_scenarios();
+    server::sim_server::options opt;
+    opt.tcp = false;
+    // AF_UNIX: bounded socket buffers, so the flood reliably overruns the
+    // outbound path.  A two-frame queue forces drops the moment the I/O
+    // thread stops pulling.
+    opt.unix_path = "sim_server_slow.sock";
+    opt.queue_capacity = 2;
+    server::sim_server srv(opt);
+    srv.start();
+
+    auto cl = server::client::connect_unix("sim_server_slow.sock");
+    cl.hello();
+    cl.open_async("srv_flood", {}, 5000);
+    cl.subscribe("out");
+    const wire::session_info info = cl.await_opened();
+    cl.resume();
+
+    // Do not read: the kernel must run the full 300k-sample flood to
+    // completion against a stalled consumer.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (srv.finished_sessions() == 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "kernel blocked on a slow consumer";
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    const wire::close_info close = cl.drain();
+    EXPECT_EQ(close.reason, wire::close_reason::finished);
+    EXPECT_GT(close.samples_dropped, 0U) << "flood too small to overrun the buffers";
+    const auto& w = cl.wave("out");
+    const auto expected = static_cast<std::uint64_t>(
+        std::llround(info.stop_time_s / info.sample_period_s) + 1);
+    // Nothing is lost silently: every sample is either delivered or counted.
+    EXPECT_EQ(close.samples_streamed + close.samples_dropped, expected);
+    EXPECT_EQ(w.times.size(), close.samples_streamed);
+    EXPECT_EQ(w.dropped, close.samples_dropped);
+    EXPECT_GE(w.gaps, 1U);
+    srv.stop();
+}
+
+// ----------------------------------------------------------------------- pacing --
+
+TEST(sim_server, pacing_holds_wall_clock_with_bounded_drift) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    cl.hello();
+    cl.open_async("srv_paced", {}, 1000);
+    cl.pace(10.0);  // 100 ms of sim time in ~10 ms of wall time
+    cl.subscribe("out");
+    (void)cl.await_opened();
+    cl.resume();
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const wire::close_info close = cl.drain();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    EXPECT_EQ(close.reason, wire::close_reason::finished);
+    // The pace frame reply confirmed the factor.
+    EXPECT_DOUBLE_EQ(cl.last_pace().real_time_factor, 10.0);
+    // Pacing must actually slow the run down to ~10 ms; the model itself
+    // finishes in well under a millisecond unpaced.
+    EXPECT_GE(elapsed, 8e-3);
+    // ...and the kernel must keep up: drift is the wall-clock lag the
+    // scheduler could not sleep away.  Allow generous CI scheduling noise,
+    // and more under TSan, whose ~15x instrumentation slowdown makes the
+    // kernel genuinely miss the 10x schedule — drift reporting working as
+    // designed, but the honest bound is much looser.
+#if defined(__SANITIZE_THREAD__)
+    EXPECT_LT(close.pace_max_drift_s, 500e-3);
+#else
+    EXPECT_LT(close.pace_max_drift_s, 50e-3);
+#endif
+    expect_bit_identical(cl.wave("out"), offline("srv_paced", "out"));
+    srv.stop();
+}
+
+// ------------------------------------------------------------------- robustness --
+
+TEST(sim_server, garbage_bytes_get_an_error_frame_then_disconnect) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    const std::vector<std::uint8_t> garbage = {'n', 'o', 't', ' ', 's', 'c', 'a', '1',
+                                               0x00, 0x01, 0x02, 0x03, 0x04};
+    ASSERT_EQ(::send(cl.fd(), garbage.data(), garbage.size(), 0),
+              static_cast<ssize_t>(garbage.size()));
+    const wire::frame f = cl.read_frame();
+    EXPECT_EQ(f.type, wire::msg_type::error);
+    // Server hangs up after flushing the error: the next read sees EOF.
+    EXPECT_THROW((void)cl.read_frame(), sca::util::error);
+    srv.stop();
+}
+
+TEST(sim_server, abrupt_client_disconnect_reaps_the_session) {
+    define_scenarios();
+    server::sim_server srv;
+    srv.start();
+    {
+        auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+        cl.hello();
+        cl.open("srv_flood", {}, 1000);
+        cl.subscribe("out");
+    }  // client destroyed: socket closed mid-run
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (srv.active_sessions() != 0) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "dead connection's session was never reaped";
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(srv.sessions_opened(), 1U);
+    srv.stop();
+}
