@@ -1,0 +1,114 @@
+// WARM START: the checkpoint/restore subsystem's A/B case.  A sweep over a
+// nonlinear circuit pays its start-up price in every run: Newton has to find
+// the DC operating point from zero and the first simulated interval is
+// burned on start-up transients.  With a warm-start snapshot the settle
+// interval is simulated once, saved (core/snapshot), and every subsequent
+// run resumes from the converged state instead of re-converging.
+//
+// Benchmarks (both end at the same simulated timestamp, so the measured
+// window is identical):
+//   * cold_start:   build fresh -> run(settle + window)
+//   * warm_restore: decode_snapshot(saved-at-settle) -> run(window)
+// The Arg is the settle interval in ms: the longer a model needs to settle,
+// the larger the warm-start win, while the restore price stays flat (decode
+// + rebuild + overlay).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/snapshot.hpp"
+#include "eln/network.hpp"
+#include "eln/nonlinear.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+
+namespace core = sca::core;
+namespace de = sca::de;
+namespace eln = sca::eln;
+using namespace sca::de::literals;
+
+namespace {
+
+constexpr de::time k_window = de::time::from_fs(2'000'000'000'000);  // 2 ms
+
+/// Full-wave-ish rectifier feeding a big RC reservoir: the output capacitor
+/// charges over many source cycles, so the DC operating point is genuinely
+/// expensive to reach — the workload warm start exists for.
+void define_rectifier() {
+    core::scenario::define(
+        "warm_start_rectifier", core::params{{"c", 4.7e-6}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& net = tb.make<eln::network>("net");
+            net.set_timestep(5.0, de::time_unit::us);
+            auto gnd = net.ground();
+            auto vin = net.create_node("vin");
+            auto vout = net.create_node("vout");
+            tb.make<eln::vsource>("vs", net, vin, gnd,
+                                  eln::waveform::sine(5.0, 1e3));
+            tb.make<eln::diode>("d", net, vin, vout);
+            tb.make<eln::resistor>("rl", net, vout, gnd, 10e3);
+            tb.make<eln::capacitor>("cl", net, vout, gnd, p.get("c", 4.7e-6));
+            tb.probe("vout", [&net, vout] { return net.voltage(vout); });
+            tb.measure("vout_final", [&net, vout] { return net.voltage(vout); });
+            tb.set_sample_period(50_us);
+            tb.set_stop_time(k_window);
+        });
+}
+
+de::time settle_of(const benchmark::State& state) {
+    return de::time(static_cast<double>(state.range(0)), de::time_unit::ms);
+}
+
+/// Every run re-converges: build from scratch, simulate settle + window.
+void cold_start(benchmark::State& state) {
+    define_rectifier();
+    auto sc = core::scenario::find("warm_start_rectifier");
+    const de::time settle = settle_of(state);
+    for (auto _ : state) {
+        auto tb = sc.build();
+        tb->run(settle);
+        tb->run(k_window);
+        benchmark::DoNotOptimize(tb->measurement("vout_final"));
+    }
+}
+
+/// The settle interval is simulated once outside the timed loop; every run
+/// restores the snapshot and simulates only the measured window.
+void warm_restore(benchmark::State& state) {
+    define_rectifier();
+    auto sc = core::scenario::find("warm_start_rectifier");
+    auto settled = sc.build();
+    settled->run(settle_of(state));
+    const std::vector<std::uint8_t> snap = core::encode_snapshot(*settled);
+    settled.reset();
+    state.counters["snapshot_bytes"] = static_cast<double>(snap.size());
+    for (auto _ : state) {
+        auto tb = core::decode_snapshot(snap);
+        tb->run(k_window);
+        benchmark::DoNotOptimize(tb->measurement("vout_final"));
+    }
+}
+
+/// The restore price alone (decode + rebuild + overlay, no simulation) —
+/// what a run pays before its first warm timestep.
+void restore_only(benchmark::State& state) {
+    define_rectifier();
+    auto sc = core::scenario::find("warm_start_rectifier");
+    auto settled = sc.build();
+    settled->run(settle_of(state));
+    const std::vector<std::uint8_t> snap = core::encode_snapshot(*settled);
+    settled.reset();
+    for (auto _ : state) {
+        auto tb = core::decode_snapshot(snap);
+        benchmark::DoNotOptimize(tb.get());
+    }
+}
+
+}  // namespace
+
+BENCHMARK(cold_start)->Arg(2)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(warm_restore)->Arg(2)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+BENCHMARK(restore_only)->Arg(2)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -87,11 +87,14 @@ std::vector<std::uint8_t> read_whole_file(const std::string& path, bool& exists)
     return bytes;
 }
 
-/// Walk a journal byte image: header fingerprint + the completed-result
-/// frames, stopping cleanly at a torn tail (partial final append).
-template <typename OnResult>
+/// Walk a journal byte image: header fingerprint + every following frame
+/// (results, warm-start snapshots...), stopping cleanly at a torn tail
+/// (partial final append).  Frame types a reader does not understand are
+/// simply skipped by its callback — an old loader reads a journal with a
+/// snapshot frame without noticing it.
+template <typename OnFrame>
 checkpoint_fingerprint walk_journal(const std::vector<std::uint8_t>& bytes,
-                                    const std::string& path, OnResult&& on_result) {
+                                    const std::string& path, OnFrame&& on_frame) {
     std::size_t offset = 0;
     wire::frame f;
     util::require(wire::unpack_frame(bytes.data(), bytes.size(), offset, f),
@@ -112,8 +115,7 @@ checkpoint_fingerprint walk_journal(const std::vector<std::uint8_t>& bytes,
                                      std::to_string(record_start) + "; ignoring the tail");
             break;
         }
-        if (f.type != wire::msg_type::result) continue;
-        on_result(wire::decode_result(f.payload.data(), f.payload.size()));
+        on_frame(f);
     }
     return fp;
 }
@@ -145,14 +147,24 @@ void checkpoint_writer::append(const run_result& r) {
     ::fsync(fd_);
 }
 
+void checkpoint_writer::append_snapshot(const std::vector<std::uint8_t>& snapshot_payload) {
+    util::require(
+        wire::write_frame(fd_, wire::msg_type::snapshot_state, snapshot_payload),
+        "run_checkpoint", "journal snapshot append failed");
+    ::fsync(fd_);
+}
+
 std::map<std::size_t, run_result> load_checkpoint(const std::string& path,
                                                   const checkpoint_fingerprint& expect) {
     bool exists = false;
     const std::vector<std::uint8_t> bytes = read_whole_file(path, exists);
     if (!exists) return {};
     std::map<std::size_t, run_result> done;
-    const checkpoint_fingerprint fp =
-        walk_journal(bytes, path, [&](run_result r) { done[r.index] = std::move(r); });
+    const checkpoint_fingerprint fp = walk_journal(bytes, path, [&](const wire::frame& f) {
+        if (f.type != wire::msg_type::result) return;
+        run_result r = wire::decode_result(f.payload.data(), f.payload.size());
+        done[r.index] = std::move(r);
+    });
     util::require(fp == expect, "run_checkpoint",
                   "journal '" + path + "' was recorded for a different campaign "
                   "(scenario '" + fp.scenario_name + "', seed " +
@@ -161,12 +173,32 @@ std::map<std::size_t, run_result> load_checkpoint(const std::string& path,
     return done;
 }
 
+std::vector<std::uint8_t> load_checkpoint_snapshot(const std::string& path,
+                                                   const checkpoint_fingerprint& expect) {
+    bool exists = false;
+    const std::vector<std::uint8_t> bytes = read_whole_file(path, exists);
+    if (!exists) return {};
+    std::vector<std::uint8_t> snapshot;
+    const checkpoint_fingerprint fp = walk_journal(bytes, path, [&](const wire::frame& f) {
+        if (f.type == wire::msg_type::snapshot_state) snapshot = f.payload;
+    });
+    util::require(fp == expect, "run_checkpoint",
+                  "journal '" + path + "' was recorded for a different campaign "
+                  "(scenario '" + fp.scenario_name + "', seed " +
+                      std::to_string(fp.base_seed) + ", " + std::to_string(fp.n_runs) +
+                      " runs); refusing to use its warm-start snapshot");
+    return snapshot;
+}
+
 std::vector<std::uint64_t> checkpoint_indices(const std::string& path) {
     bool exists = false;
     const std::vector<std::uint8_t> bytes = read_whole_file(path, exists);
     util::require(exists, "run_checkpoint", "journal '" + path + "' does not exist");
     std::vector<std::uint64_t> indices;
-    walk_journal(bytes, path, [&](const run_result& r) { indices.push_back(r.index); });
+    walk_journal(bytes, path, [&](const wire::frame& f) {
+        if (f.type != wire::msg_type::result) return;
+        indices.push_back(wire::decode_result(f.payload.data(), f.payload.size()).index);
+    });
     return indices;
 }
 

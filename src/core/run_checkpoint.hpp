@@ -50,6 +50,12 @@ public:
     /// survives the parent dying right after.
     void append(const run_result& r);
 
+    /// Append a full-state warm-start snapshot payload (core/snapshot
+    /// format, unframed) under the campaign fingerprint.  Journal readers
+    /// that predate snapshots skip the frame; load_checkpoint_snapshot()
+    /// recovers it.
+    void append_snapshot(const std::vector<std::uint8_t>& snapshot_payload);
+
 private:
     int fd_ = -1;
 };
@@ -59,6 +65,13 @@ private:
 /// last record wins when an index somehow appears twice (it cannot through
 /// this API, but the loader is tolerant).
 [[nodiscard]] std::map<std::size_t, run_result> load_checkpoint(
+    const std::string& path, const checkpoint_fingerprint& expect);
+
+/// The last warm-start snapshot payload recorded in a journal, or an empty
+/// vector when the journal is absent or carries none.  A fingerprint
+/// mismatch throws.  Feed the payload to core::decode_snapshot() to stand a
+/// testbench at the recorded state.
+[[nodiscard]] std::vector<std::uint8_t> load_checkpoint_snapshot(
     const std::string& path, const checkpoint_fingerprint& expect);
 
 /// Run indices recorded in a journal, in file order — test/diagnostic hook

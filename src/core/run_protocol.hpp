@@ -65,10 +65,13 @@ enum class msg_type : std::uint8_t {
     run_state = 13, ///< client -> server: u8 0 = pause, 1 = resume
     close = 14,     ///< request (empty) / reply (final session statistics)
     error = 15,     ///< server -> client: diagnostic message
+
+    // --- full-state snapshots (core/snapshot) ------------------------------
+    snapshot_state = 16,  ///< snapshot file / journal: full simulation state
 };
 
 /// Largest assigned frame type (frame validation bound).
-inline constexpr std::uint8_t k_max_msg_type = 15;
+inline constexpr std::uint8_t k_max_msg_type = 16;
 
 /// One decoded frame.
 struct frame {

@@ -13,6 +13,7 @@
 
 #include "core/run_backend.hpp"
 #include "core/run_checkpoint.hpp"
+#include "core/snapshot.hpp"
 
 namespace sca::core {
 
@@ -287,6 +288,13 @@ run_set& run_set::stream_csv(std::ostream& os) {
     return *this;
 }
 
+run_set& run_set::set_warm_start(const de::time& settle) {
+    util::require(settle > de::time::zero(), "run_set",
+                  "warm-start settle time must be positive");
+    warm_start_settle_ = settle;
+    return *this;
+}
+
 run_set& run_set::set_checkpoint(std::string path) {
     checkpoint_path_ = std::move(path);
     return *this;
@@ -362,6 +370,15 @@ result_table run_set::run_all() const {
             results[index] = std::move(r);
         }
         journal.emplace(checkpoint_path_, fp);
+        // Warm start: record one settled bench at the scenario defaults, so
+        // later campaigns (or resumed sessions) can overlay its state
+        // instead of re-converging the operating point.  Once per journal.
+        if (warm_start_settle_ > de::time::zero() &&
+            load_checkpoint_snapshot(checkpoint_path_, fp).empty()) {
+            auto warm = scenario_.build();
+            warm->run(warm_start_settle_);
+            journal->append_snapshot(encode_snapshot(*warm));
+        }
     }
     std::vector<std::size_t> pending;
     pending.reserve(n);

@@ -181,6 +181,16 @@ public:
     /// and computes only the rest — see run_checkpoint.hpp.
     run_set& set_checkpoint(std::string path);
 
+    /// With checkpointing enabled, also record a warm-start snapshot in the
+    /// journal: one bench built at the scenario defaults is run for `settle`
+    /// (long enough to converge the DC operating point and settle start-up
+    /// transients) and its full state is saved under the campaign
+    /// fingerprint.  Recorded once per journal; recover the payload with
+    /// load_checkpoint_snapshot() and resume via core::decode_snapshot()
+    /// instead of re-converging from scratch.  No effect without
+    /// set_checkpoint.
+    run_set& set_warm_start(const de::time& settle);
+
     /// Number of runs this set will execute.
     [[nodiscard]] std::size_t size() const;
 
@@ -207,6 +217,7 @@ private:
     std::function<void(const run_result&)> on_result_;
     std::ostream* stream_csv_ = nullptr;
     std::string checkpoint_path_;
+    de::time warm_start_settle_ = de::time::zero();
 };
 
 namespace detail {

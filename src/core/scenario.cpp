@@ -118,6 +118,17 @@ void testbench::run(const de::time& duration) {
     for (const auto& [name, fn] : measurement_defs_) measured_[name] = fn();
 }
 
+void testbench::attach_trace_for_resume() {
+    activate();
+    has_run_ = true;
+    if (!trace_attached_ && trace_.channel_count() > 0) {
+        util::require(sample_period_ > de::time::zero(), "testbench",
+                      "set_sample_period before running with probes");
+        sim_.trace(trace_, sample_period_);
+        trace_attached_ = true;
+    }
+}
+
 std::vector<double> testbench::waveform(const std::string& probe_name) const {
     for (std::size_t c = 0; c < trace_.channel_count(); ++c) {
         if (trace_.channel_name(c) == probe_name) return trace_.column(c);

@@ -227,6 +227,19 @@ public:
     /// probe) — the quick way for examples to keep emitting waveforms.
     void save_trace(const std::string& path) const;
 
+    // --- checkpoint/restore (core/snapshot) ----------------------------------
+    /// Write a full-state snapshot of this testbench to `path` (one SCA1
+    /// frame of type wire::msg_type::snapshot_state).  The simulation must
+    /// be at a settled point — i.e. run() has returned.  Resume with
+    /// scenario::resume(path).
+    void snapshot(const std::string& path);
+
+    /// Resume plumbing: replicate exactly what the first run() does before
+    /// advancing time — mark the bench as run and attach the probe recorder
+    /// process — so process registration order matches the saved context.
+    /// Called by core/snapshot's restore path; not useful on its own.
+    void attach_trace_for_resume();
+
     // --- analysis handle ---------------------------------------------------
     /// The continuous-time view (ELN network / LSF system) the frequency- and
     /// static-domain analyses operate on.  With no argument the testbench
@@ -284,6 +297,14 @@ public:
     /// Instantiate a testbench with `overrides` layered on the defaults.
     /// The new testbench's context becomes current on the calling thread.
     [[nodiscard]] std::unique_ptr<testbench> build(const params& overrides = {}) const;
+
+    /// Rebuild a testbench from a snapshot file written by
+    /// testbench::snapshot() and overlay the saved state: the returned bench
+    /// stands at the saved simulation time, and run(delta) continues
+    /// bit-identically with the uninterrupted run.  The snapshot's scenario
+    /// must be registered (same name, structurally identical build).
+    /// Implemented in core/snapshot.cpp.
+    [[nodiscard]] static std::unique_ptr<testbench> resume(const std::string& path);
 
 private:
     explicit scenario(std::shared_ptr<const impl> i) : impl_(std::move(i)) {}

@@ -12,6 +12,7 @@
 #include "eln/terminal.hpp"
 #include "kernel/signal.hpp"
 #include "tdf/port.hpp"
+#include "util/bytes.hpp"
 
 namespace sca::eln {
 
@@ -157,6 +158,15 @@ public:
     stamp_change sample_inputs() override;
 
     [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+    // --- checkpoint/restore -------------------------------------------------
+    // Switch position only, written directly so no value update is flagged
+    // (the restored equation values already carry this position; see
+    // eln::rswitch).  The next sample_inputs() then compares the DE control
+    // against the true saved state, exactly as the uninterrupted run would.
+    [[nodiscard]] bool has_snapshot_state() const noexcept override { return true; }
+    void save_state(util::byte_writer& w) const override { w.boolean(closed_); }
+    void restore_state(util::byte_reader& r) override { closed_ = r.boolean(); }
 
 private:
     double r_on_, r_off_;

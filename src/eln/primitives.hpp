@@ -19,6 +19,7 @@
 
 #include "eln/network.hpp"
 #include "eln/terminal.hpp"
+#include "util/bytes.hpp"
 
 namespace sca::eln {
 
@@ -176,6 +177,15 @@ public:
 
     void set_state(bool closed);
     [[nodiscard]] bool closed() const noexcept { return closed_; }
+
+    // --- checkpoint/restore -------------------------------------------------
+    // Only the switch position: writing the member directly (no set_state)
+    // avoids flagging a value update — the restored equation values already
+    // reflect this position, and a spurious discontinuity would force a
+    // backward-Euler step the uninterrupted run never took.
+    [[nodiscard]] bool has_snapshot_state() const noexcept override { return true; }
+    void save_state(util::byte_writer& w) const override { w.boolean(closed_); }
+    void restore_state(util::byte_reader& r) override { closed_ = r.boolean(); }
 
 private:
     double r_on_, r_off_;

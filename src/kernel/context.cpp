@@ -40,6 +40,12 @@ void simulation_context::unregister_object(object& obj) {
     objects_.erase(std::remove(objects_.begin(), objects_.end(), &obj), objects_.end());
 }
 
+void simulation_context::register_event(event& e) { events_.push_back(&e); }
+
+void simulation_context::unregister_event(event& e) {
+    events_.erase(std::remove(events_.begin(), events_.end(), &e), events_.end());
+}
+
 object* simulation_context::construction_parent() const noexcept {
     return construction_stack_.empty() ? nullptr : construction_stack_.back();
 }

@@ -67,6 +67,15 @@ public:
     /// traversal order of the elaboration walk.
     [[nodiscard]] std::vector<object*> hierarchy() const;
 
+    // --- event bookkeeping ---------------------------------------------------
+    /// Every live event, in registration order.  Build-time events register
+    /// deterministically (model construction is replayed by the scenario
+    /// factory), which is what lets core/snapshot identify an event across
+    /// processes by (name, occurrence index) instead of storing ids.
+    [[nodiscard]] const std::vector<event*>& events() const noexcept { return events_; }
+    void register_event(event& e);
+    void unregister_event(event& e);
+
     // --- process bookkeeping -------------------------------------------------
     method_process& register_method(std::string name, std::function<void()> body);
     void next_trigger(event& e);
@@ -107,6 +116,7 @@ public:
 private:
     scheduler scheduler_;
     std::vector<object*> objects_;
+    std::vector<event*> events_;
     std::vector<object*> construction_stack_;
     std::vector<std::unique_ptr<method_process>> processes_;
     std::vector<std::function<void()>> elaboration_hooks_;

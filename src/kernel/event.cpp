@@ -4,11 +4,13 @@
 
 #include "kernel/context.hpp"
 #include "kernel/process.hpp"
+#include "util/report.hpp"
 
 namespace sca::de {
 
 event::event(std::string name) : name_(std::move(name)) {
     context_ = &simulation_context::current();
+    context_->register_event(*this);
 }
 
 event::~event() {
@@ -17,6 +19,7 @@ event::~event() {
     // in whatever order the owners were declared.
     for (method_process* p : static_subscribers_) p->event_destroyed(*this);
     for (method_process* p : dynamic_subscribers_) p->event_destroyed(*this);
+    context_->unregister_event(*this);
 }
 
 void event::notify() {
@@ -76,6 +79,14 @@ void event::remove_dynamic_subscriber(method_process& p) {
     dynamic_subscribers_.erase(
         std::remove(dynamic_subscribers_.begin(), dynamic_subscribers_.end(), &p),
         dynamic_subscribers_.end());
+}
+
+void event::restore_timed(const time& at) {
+    util::require(pending_kind_ == kind::none, "snapshot",
+                  "restore_timed on an event with a pending notification");
+    pending_kind_ = kind::timed;
+    pending_time_ = at;
+    context_->sched().queue_timed_event(*this, at);
 }
 
 void event::trigger() {

@@ -27,6 +27,14 @@ object::object(std::string basename, object& parent) : basename_(std::move(basen
     context_->register_object(*this);
 }
 
+void object::save_state(util::byte_writer& w) const { (void)w; }
+
+void object::restore_state(util::byte_reader& r) {
+    (void)r;
+    util::report_fatal("snapshot",
+                       "object '" + full_name_ + "' does not implement state restore");
+}
+
 object::~object() {
     if (parent_ != nullptr) {
         auto& siblings = parent_->children_;

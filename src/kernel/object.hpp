@@ -9,6 +9,11 @@
 #include <string>
 #include <vector>
 
+namespace sca::util {
+class byte_writer;
+class byte_reader;
+}  // namespace sca::util
+
 namespace sca::de {
 
 class simulation_context;
@@ -33,6 +38,20 @@ public:
 
     /// Kind string for diagnostics ("module", "signal", ...).
     [[nodiscard]] virtual const char* kind() const noexcept { return "object"; }
+
+    // --- checkpoint/restore (core/snapshot) ----------------------------------
+    /// True when this object carries runtime state that a full-state
+    /// snapshot must capture.  Objects returning true implement
+    /// save_state/restore_state as an exact round trip: restore_state runs
+    /// on a freshly rebuilt object (same scenario, same parameters) and
+    /// overlays only the mutable state.
+    [[nodiscard]] virtual bool has_snapshot_state() const noexcept { return false; }
+    /// Serialize runtime state (never structure — the restoring process
+    /// rebuilds the model through the scenario factory first).
+    virtual void save_state(util::byte_writer& w) const;
+    /// Overlay saved runtime state; the default errors, so an object whose
+    /// has_snapshot_state() returns true must override both hooks.
+    virtual void restore_state(util::byte_reader& r);
 
 protected:
     /// Registers with the current simulation context and attaches to the

@@ -50,7 +50,7 @@ void method_process::next_trigger(event& e) {
 
 void method_process::next_trigger(const time& delay) {
     clear_dynamic_subscriptions();
-    if (!timeout_event_) timeout_event_ = std::make_unique<event>(name_ + ".timeout");
+    ensure_timeout_event();
     timeout_event_->notify(delay);
     timeout_event_->add_dynamic_subscriber(*this);
     dynamic_events_.push_back(timeout_event_.get());
@@ -60,7 +60,7 @@ void method_process::next_trigger(const time& delay) {
 
 void method_process::next_trigger(const time& delay, event& e) {
     clear_dynamic_subscriptions();
-    if (!timeout_event_) timeout_event_ = std::make_unique<event>(name_ + ".timeout");
+    ensure_timeout_event();
     timeout_event_->notify(delay);
     timeout_event_->add_dynamic_subscriber(*this);
     dynamic_events_.push_back(timeout_event_.get());
@@ -68,6 +68,11 @@ void method_process::next_trigger(const time& delay, event& e) {
     dynamic_events_.push_back(&e);
     dynamic_waiting_ = true;
     trigger_requested_ = true;
+}
+
+event& method_process::ensure_timeout_event() {
+    if (!timeout_event_) timeout_event_ = std::make_unique<event>(name_ + ".timeout");
+    return *timeout_event_;
 }
 
 void method_process::event_destroyed(event& e) {

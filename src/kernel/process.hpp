@@ -68,6 +68,25 @@ public:
     /// Number of completed activations (diagnostics, benches).
     [[nodiscard]] std::uint64_t activation_count() const noexcept { return activations_; }
 
+    // --- checkpoint/restore (core/snapshot) --------------------------------
+    /// Force-create the timed-trigger event without arming it.  Restore
+    /// path: the snapshot records that the saving process had created it;
+    /// pending notifications and subscriptions are replayed onto it
+    /// afterwards.
+    event& ensure_timeout_event();
+
+    /// Ordered events this process is dynamically waiting on.
+    [[nodiscard]] const std::vector<event*>& dynamic_events() const noexcept {
+        return dynamic_events_;
+    }
+
+    /// Restore-only mutators replaying a captured dynamic wait.  The event
+    /// side re-adds the actual subscriptions (its subscriber order is what
+    /// trigger() replays); this side only mirrors the bookkeeping.
+    void restore_dynamic_wait(bool waiting) noexcept { dynamic_waiting_ = waiting; }
+    void restore_dynamic_event(event& e) { dynamic_events_.push_back(&e); }
+    void restore_activation_count(std::uint64_t n) noexcept { activations_ = n; }
+
 private:
     void clear_dynamic_subscriptions();
 

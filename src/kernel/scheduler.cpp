@@ -171,6 +171,32 @@ time scheduler::run(const time& end) {
     return now_;
 }
 
+std::vector<std::pair<time, event*>> scheduler::pending_timed_events() const {
+    std::vector<std::pair<time, event*>> out;
+    out.reserve(timed_queue_.size());
+    for (const auto& [at, entry] : timed_queue_) {
+        if (entry.generation != entry.ev->generation() || !entry.ev->pending()) continue;
+        out.emplace_back(at, entry.ev);
+    }
+    return out;
+}
+
+void scheduler::begin_restore(const time& now) {
+    util::require(!initialized_, "snapshot",
+                  "state restore requires a context that has never run");
+    util::require(runnable_.empty() && delta_events_.empty() && update_queue_.empty() &&
+                      timed_queue_.empty(),
+                  "snapshot", "state restore into a scheduler with pending activity");
+    now_ = now;
+    initialized_ = true;
+}
+
+void scheduler::finish_restore(std::uint64_t delta_count,
+                               std::uint64_t timed_notifications) {
+    delta_count_ = delta_count;
+    timed_notifications_ = timed_notifications;
+}
+
 void scheduler::reset() {
     now_ = time::zero();
     run_end_ = time::max();

@@ -95,6 +95,44 @@ public:
     /// Largest lag observed since pacing was (re-)enabled.
     [[nodiscard]] double pacing_max_drift() const noexcept { return pacing_max_drift_; }
 
+    // --- checkpoint/restore (core/snapshot) ----------------------------------
+    /// Registered processes in registration order — the stable identity a
+    /// snapshot uses for processes and their timeout events (model
+    /// construction and elaboration register processes deterministically).
+    [[nodiscard]] const std::vector<method_process*>& processes() const noexcept {
+        return all_processes_;
+    }
+
+    /// Live timed-queue entries in firing order (stale generations and
+    /// cancelled notifications skipped).  Same-time entries keep their
+    /// insertion order — the property restore must reproduce so that
+    /// same-instant notifications fire in the original registration order.
+    [[nodiscard]] std::vector<std::pair<time, event*>> pending_timed_events() const;
+
+    /// True once the initialization phase has run (i.e. run() was called at
+    /// least once).  A snapshot must capture an initialized scheduler:
+    /// restore marks the rebuilt one initialized, so saving a never-run
+    /// context would silently skip initialization after resume.
+    [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+
+    /// True when the current instant is fully evaluated: no runnable
+    /// process, no queued signal update, no pending delta notification.
+    /// run() always returns at a settled point; the snapshot writer asserts
+    /// it rather than trying to serialize mid-instant evaluation state.
+    [[nodiscard]] bool settled() const noexcept {
+        return runnable_.empty() && delta_events_.empty() && update_queue_.empty();
+    }
+
+    /// Snapshot restore, step one: adopt the saved simulation clock on a
+    /// context that has never run.  Marks the scheduler initialized so the
+    /// next run() skips the initialization phase — the restored wait states
+    /// stand in for it.
+    void begin_restore(const time& now);
+
+    /// Snapshot restore, final step: overlay the counters captured at save
+    /// time (replaying timed notifications in between bumped them).
+    void finish_restore(std::uint64_t delta_count, std::uint64_t timed_notifications);
+
     void reset();
 
 private:

@@ -8,11 +8,13 @@
 #define SCA_KERNEL_SIGNAL_HPP
 
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "kernel/context.hpp"
 #include "kernel/event.hpp"
 #include "kernel/object.hpp"
+#include "util/bytes.hpp"
 #include "util/report.hpp"
 
 namespace sca::de {
@@ -80,6 +82,41 @@ public:
     [[nodiscard]] event& negedge_event() {
         if (!negedge_) negedge_ = std::make_unique<event>(name() + ".negedge");
         return *negedge_;
+    }
+
+    // --- checkpoint/restore ----------------------------------------------------
+    // At a settled point the pending write has been applied (current_ ==
+    // next_, no update queued), so the value plus the on-demand edge-event
+    // existence is the whole state.  Edge events are force-created before
+    // the event overlay so a pending notification on one can be replayed.
+    [[nodiscard]] bool has_snapshot_state() const noexcept override {
+        return std::is_same_v<T, bool> || std::is_arithmetic_v<T>;
+    }
+    void save_state(util::byte_writer& w) const override {
+        if constexpr (std::is_same_v<T, bool>) {
+            w.boolean(current_);
+        } else if constexpr (std::is_floating_point_v<T>) {
+            w.f64(static_cast<double>(current_));
+        } else if constexpr (std::is_integral_v<T>) {
+            w.i64(static_cast<std::int64_t>(current_));
+        } else {
+            util::report_fatal("snapshot", "signal '" + name() + "': unsupported type");
+        }
+        w.boolean(posedge_ != nullptr);
+        w.boolean(negedge_ != nullptr);
+    }
+    void restore_state(util::byte_reader& r) override {
+        if constexpr (std::is_same_v<T, bool>) {
+            initialize(r.boolean());
+        } else if constexpr (std::is_floating_point_v<T>) {
+            initialize(static_cast<T>(r.f64()));
+        } else if constexpr (std::is_integral_v<T>) {
+            initialize(static_cast<T>(r.i64()));
+        } else {
+            util::report_fatal("snapshot", "signal '" + name() + "': unsupported type");
+        }
+        if (r.boolean()) (void)posedge_event();
+        if (r.boolean()) (void)negedge_event();
     }
 
 private:

@@ -11,6 +11,7 @@
 
 #include "tdf/block.hpp"
 #include "tdf/module.hpp"
+#include "util/bytes.hpp"
 
 namespace sca::lib {
 
@@ -38,6 +39,11 @@ public:
     /// Windowed-sinc lowpass design: cutoff as a fraction of the sample rate
     /// (0 < fc < 0.5), Hamming window.
     static std::vector<double> design_lowpass(std::size_t n_taps, double fc_norm);
+
+    // --- checkpoint/restore: the input history window -----------------------
+    [[nodiscard]] bool has_snapshot_state() const noexcept override { return true; }
+    void save_state(util::byte_writer& w) const override { w.f64_vec(hist_); }
+    void restore_state(util::byte_reader& r) override { hist_ = r.f64_vec(); }
 
 private:
     /// Dot product ending at hist_[end] (the newest sample of the firing).
@@ -72,6 +78,21 @@ public:
 
     [[nodiscard]] bool has_ac_model() const override { return true; }
     [[nodiscard]] std::complex<double> ac_response(double f) const override;
+
+    // --- checkpoint/restore: the two delay pairs ----------------------------
+    [[nodiscard]] bool has_snapshot_state() const noexcept override { return true; }
+    void save_state(util::byte_writer& w) const override {
+        w.f64(x1_);
+        w.f64(x2_);
+        w.f64(y1_);
+        w.f64(y2_);
+    }
+    void restore_state(util::byte_reader& r) override {
+        x1_ = r.f64();
+        x2_ = r.f64();
+        y1_ = r.f64();
+        y2_ = r.f64();
+    }
 
 private:
     biquad_coefficients c_;
@@ -110,6 +131,11 @@ public:
     void processing() override;
     [[nodiscard]] bool has_block_processing() const override { return true; }
     void processing(tdf::block_view& blk) override;
+
+    // --- checkpoint/restore: the previous input the ramp starts from --------
+    [[nodiscard]] bool has_snapshot_state() const noexcept override { return true; }
+    void save_state(util::byte_writer& w) const override { w.f64(previous_); }
+    void restore_state(util::byte_reader& r) override { previous_ = r.f64(); }
 
 private:
     unsigned factor_;

@@ -443,6 +443,101 @@ public:
         return u_col_.size() + l_col_.size();
     }
 
+    /// Serialize the cached symbolic analysis (pivot permutation + CSR
+    /// factor patterns) as a flat word vector for checkpointing.  Pattern
+    /// versions are process-local tokens and deliberately not included — a
+    /// restoring process re-tags the analysis against its own rebuilt matrix
+    /// via adopt_symbolic().
+    [[nodiscard]] std::vector<std::uint64_t> export_symbolic() const {
+        util::require(symbolic_valid_, "sparse_lu",
+                      "export_symbolic before any factorization");
+        std::vector<std::uint64_t> w;
+        w.reserve(3 + 3 * n_ + u_col_.size() + l_col_.size());
+        w.push_back(n_);
+        w.push_back(u_col_.size());
+        w.push_back(l_col_.size());
+        for (std::size_t p : perm_) w.push_back(p);
+        for (std::size_t i = 1; i <= n_; ++i) w.push_back(u_ptr_[i]);
+        for (std::size_t i = 1; i <= n_; ++i) w.push_back(l_ptr_[i]);
+        for (std::size_t c : u_col_) w.push_back(c);
+        for (std::size_t c : l_col_) w.push_back(c);
+        return w;
+    }
+
+    /// Install a symbolic analysis previously produced by export_symbolic(),
+    /// re-tagged against matrix `a` (the restored process's rebuild of the
+    /// matrix the analysis came from).  Validates internal consistency and
+    /// that every structural entry of `a` falls inside the adopted fill
+    /// pattern, so a later refactor(a) replays the frozen pivot order
+    /// bit-identically to the exporting process.  Leaves the numeric factor
+    /// invalid — call refactor(a) to populate values.  Returns false (state
+    /// unchanged) on any inconsistency.
+    bool adopt_symbolic(const std::vector<std::uint64_t>& w, const sparse_matrix<T>& a) {
+        if (w.size() < 3) return false;
+        const auto n = static_cast<std::size_t>(w[0]);
+        const auto unz = static_cast<std::size_t>(w[1]);
+        const auto lnz = static_cast<std::size_t>(w[2]);
+        if (n != a.size()) return false;
+        if (w.size() != 3 + 3 * n + unz + lnz) return false;
+        std::size_t at = 3;
+        std::vector<std::size_t> perm(n), u_ptr(n + 1, 0), l_ptr(n + 1, 0);
+        std::vector<std::size_t> u_col(unz), l_col(lnz);
+        std::vector<bool> seen(n, false);
+        for (std::size_t i = 0; i < n; ++i) {
+            perm[i] = static_cast<std::size_t>(w[at++]);
+            if (perm[i] >= n || seen[perm[i]]) return false;
+            seen[perm[i]] = true;
+        }
+        for (std::size_t i = 1; i <= n; ++i) {
+            u_ptr[i] = static_cast<std::size_t>(w[at++]);
+            if (u_ptr[i] < u_ptr[i - 1] || u_ptr[i] > unz) return false;
+        }
+        for (std::size_t i = 1; i <= n; ++i) {
+            l_ptr[i] = static_cast<std::size_t>(w[at++]);
+            if (l_ptr[i] < l_ptr[i - 1] || l_ptr[i] > lnz) return false;
+        }
+        if (u_ptr[n] != unz || l_ptr[n] != lnz) return false;
+        for (std::size_t k = 0; k < unz; ++k) u_col[k] = static_cast<std::size_t>(w[at++]);
+        for (std::size_t k = 0; k < lnz; ++k) l_col[k] = static_cast<std::size_t>(w[at++]);
+        for (std::size_t i = 0; i < n; ++i) {
+            // U row i: ascending columns >= i, diagonal first; L row i:
+            // ascending columns < i (elimination order == column order).
+            if (u_ptr[i] == u_ptr[i + 1] || u_col[u_ptr[i]] != i) return false;
+            for (std::size_t k = u_ptr[i] + 1; k < u_ptr[i + 1]; ++k) {
+                if (u_col[k] >= n || u_col[k] <= u_col[k - 1]) return false;
+            }
+            for (std::size_t k = l_ptr[i]; k < l_ptr[i + 1]; ++k) {
+                if (l_col[k] >= i) return false;
+                if (k > l_ptr[i] && l_col[k] <= l_col[k - 1]) return false;
+            }
+            // Every structural entry of the permuted a-row must land in this
+            // row's L∪U pattern, or refactor()'s scatter would leak values.
+            for (std::size_t c : a.row_indices(perm[i])) {
+                const bool in_u =
+                    std::binary_search(u_col.begin() + static_cast<std::ptrdiff_t>(u_ptr[i]),
+                                       u_col.begin() + static_cast<std::ptrdiff_t>(u_ptr[i + 1]), c);
+                const bool in_l =
+                    std::binary_search(l_col.begin() + static_cast<std::ptrdiff_t>(l_ptr[i]),
+                                       l_col.begin() + static_cast<std::ptrdiff_t>(l_ptr[i + 1]), c);
+                if (!in_u && !in_l) return false;
+            }
+        }
+        n_ = n;
+        perm_ = std::move(perm);
+        u_ptr_ = std::move(u_ptr);
+        l_ptr_ = std::move(l_ptr);
+        u_col_ = std::move(u_col);
+        l_col_ = std::move(l_col);
+        u_val_.assign(unz, T{});
+        l_val_.assign(lnz, T{});
+        inv_diag_.assign(n_, T{});
+        pattern_version_ = a.pattern_version();
+        symbolic_valid_ = true;
+        factored_ = false;
+        ++symbolic_count_;
+        return true;
+    }
+
 private:
     /// Refactor bails to a full factorization when a frozen pivot drops
     /// below this fraction of its U row's magnitude — catastrophic growth

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/bytes.hpp"
 #include "util/report.hpp"
 
 namespace sca::solver {
@@ -202,6 +203,83 @@ void equation_system::add_noise_source(
         util::require(row < size(), "equation_system", "noise source row out of range");
     }
     noise_sources_.push_back({std::move(injections), std::move(psd), std::move(name)});
+}
+
+// --------------------------------------------------------------- snapshot --
+
+namespace {
+
+void save_matrix(util::byte_writer& w, const num::sparse_matrix_d& m) {
+    w.u64(m.size());
+    for (std::size_t r = 0; r < m.size(); ++r) {
+        const auto& idx = m.row_indices(r);
+        const auto& val = m.row_values(r);
+        w.u64(idx.size());
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+            w.u64(idx[k]);
+            w.f64(val[k]);
+        }
+    }
+}
+
+/// Overlay saved values onto `m`, requiring the saved sparsity pattern to
+/// match the freshly rebuilt one exactly — a mismatch means the restored
+/// process rebuilt a structurally different system.
+void restore_matrix(util::byte_reader& r, num::sparse_matrix_d& m, const char* which) {
+    const auto n = static_cast<std::size_t>(r.u64());
+    util::require(n == m.size(), "snapshot",
+                  std::string("matrix ") + which + ": rebuilt size differs from snapshot");
+    for (std::size_t row = 0; row < n; ++row) {
+        const auto& idx = m.row_indices(row);
+        const auto count = static_cast<std::size_t>(r.u64());
+        util::require(count == idx.size(), "snapshot",
+                      std::string("matrix ") + which +
+                          ": rebuilt sparsity pattern differs from snapshot");
+        for (std::size_t k = 0; k < count; ++k) {
+            const auto col = static_cast<std::size_t>(r.u64());
+            const double v = r.f64();
+            util::require(col == idx[k], "snapshot",
+                          std::string("matrix ") + which +
+                              ": rebuilt sparsity pattern differs from snapshot");
+            m.set_entry(row, col, v);
+        }
+    }
+}
+
+}  // namespace
+
+void equation_system::save_state(util::byte_writer& w) const {
+    w.u64(names_.size());
+    save_matrix(w, a_);
+    save_matrix(w, b_);
+    w.f64_vec(slot_values_);
+    w.f64_vec(rhs_constant_);
+    w.u64(inputs_.size());
+    for (const auto& in : inputs_) w.f64(in.value);
+    w.u64(generation_);
+    w.u64(values_generation_);
+}
+
+void equation_system::restore_state(util::byte_reader& r) {
+    const auto n = static_cast<std::size_t>(r.u64());
+    util::require(n == names_.size(), "snapshot",
+                  "equation system: rebuilt unknown count differs from snapshot");
+    restore_matrix(r, a_, "A");
+    restore_matrix(r, b_, "B");
+    std::vector<double> slots = r.f64_vec();
+    util::require(slots.size() == slot_values_.size(), "snapshot",
+                  "equation system: rebuilt stamp-slot count differs from snapshot");
+    slot_values_ = std::move(slots);
+    std::vector<double> rhs_c = r.f64_vec();
+    util::require(rhs_c.size() == rhs_constant_.size(), "snapshot",
+                  "equation system: rebuilt rhs size differs from snapshot");
+    rhs_constant_ = std::move(rhs_c);
+    const auto n_inputs = static_cast<std::size_t>(r.u64());
+    util::require(n_inputs == inputs_.size(), "snapshot",
+                  "equation system: rebuilt input-slot count differs from snapshot");
+    for (auto& in : inputs_) in.value = r.f64();
+    generation_ = r.u64();
+    values_generation_ = r.u64();
 }
 
 }  // namespace sca::solver

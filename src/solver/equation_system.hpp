@@ -34,6 +34,11 @@
 
 #include "numeric/sparse.hpp"
 
+namespace sca::util {
+class byte_writer;
+class byte_reader;
+}  // namespace sca::util
+
 namespace sca::solver {
 
 /// Dense triplet used by nonlinear elements to report Jacobian entries.
@@ -160,6 +165,19 @@ public:
     [[nodiscard]] std::uint64_t values_generation() const noexcept {
         return values_generation_;
     }
+
+    // --- checkpoint/restore ----------------------------------------------------
+    /// Serialize the mutable numeric state: A/B patterns + values, slot
+    /// values, rhs constants, input slot values, generation counters.  The
+    /// structural description (unknowns, ledgers, sources) is assumed to be
+    /// reproducible by re-running the owning view's build, so restore_state
+    /// expects to run on a freshly built system and only overlays values.
+    void save_state(util::byte_writer& w) const;
+    /// Overlay saved numeric state onto this (freshly rebuilt) system.
+    /// Refuses — sca::util::error with context "snapshot" — when the rebuilt
+    /// structure (unknown count, sparsity patterns, slot/input counts) does
+    /// not match the saved one.
+    void restore_state(util::byte_reader& r);
 
 private:
     struct input_slot {

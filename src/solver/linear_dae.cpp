@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/bytes.hpp"
 #include "util/report.hpp"
 
 namespace sca::solver {
@@ -103,6 +104,85 @@ void linear_dae_solver::advance_to(double t_end) {
     // Steps are counted, not accumulated in floating point, to avoid drift.
     const auto n = static_cast<long long>(std::llround((t_end - t_) / h_));
     for (long long i = 0; i < n; ++i) step();
+}
+
+// --------------------------------------------------------------- snapshot --
+
+void linear_dae_solver::save_state(util::byte_writer& w) const {
+    w.u8(static_cast<std::uint8_t>(method_));
+    w.f64(h_);
+    w.f64(t_);
+    w.f64_vec(x_);
+    w.f64_vec(q_prev_);
+    w.boolean(be_next_);
+    w.boolean(use_dense_);
+    w.boolean(factored_);
+    w.u8(static_cast<std::uint8_t>(factored_method_));
+    w.u64(stamp_generation_);
+    w.u64(values_generation_);
+    w.u64(factors_);
+    w.u64(symbolic_factors_);
+    w.u64(solves_);
+    const bool has_symbolic = !use_dense_ && lu_.symbolic_valid();
+    w.boolean(has_symbolic);
+    if (has_symbolic) w.u64_vec(lu_.export_symbolic());
+}
+
+void linear_dae_solver::restore_state(util::byte_reader& r) {
+    method_ = static_cast<integration_method>(r.u8());
+    h_ = r.f64();
+    t_ = r.f64();
+    x_ = r.f64_vec();
+    util::require(x_.size() == sys_->size(), "snapshot",
+                  "linear solver: state dimension differs from rebuilt system");
+    q_prev_ = r.f64_vec();
+    util::require(q_prev_.size() == sys_->size(), "snapshot",
+                  "linear solver: rhs history dimension differs from rebuilt system");
+    be_next_ = r.boolean();
+    use_dense_ = r.boolean();
+    const bool was_factored = r.boolean();
+    factored_method_ = static_cast<integration_method>(r.u8());
+    const std::uint64_t stamp_gen = r.u64();
+    const std::uint64_t values_gen = r.u64();
+    const std::uint64_t factors = r.u64();
+    const std::uint64_t symbolic_factors = r.u64();
+    const std::uint64_t solves = r.u64();
+    const bool has_symbolic = r.boolean();
+    std::vector<std::uint64_t> symbolic;
+    if (has_symbolic) symbolic = r.u64_vec();
+
+    factored_ = false;
+    iter_mat_valid_ = false;
+    if (was_factored) {
+        // Rebuild the iteration matrix the saving process held: its values
+        // follow from the (already restored) A/B values and the factored
+        // method/timestep, so the refactor below replays the exporting
+        // process's last numeric factorization bit for bit.
+        const double ca =
+            factored_method_ == integration_method::backward_euler ? 1.0 : 0.5;
+        iter_mat_ = num::sparse_matrix_d(sys_->size());
+        iter_mat_.add_scaled(sys_->a(), ca);
+        iter_mat_.add_scaled(sys_->b(), 1.0 / h_);
+        iter_mat_valid_ = true;
+        if (use_dense_) {
+            dense_lu_.factor(iter_mat_.to_dense());
+        } else {
+            util::require(has_symbolic, "snapshot",
+                          "linear solver: snapshot lacks the LU symbolic analysis");
+            util::require(lu_.adopt_symbolic(symbolic, iter_mat_), "snapshot",
+                          "linear solver: LU symbolic analysis does not fit the "
+                          "rebuilt iteration matrix");
+            util::require(lu_.refactor(iter_mat_), "snapshot",
+                          "linear solver: numeric refactorization under the "
+                          "restored pivot order failed");
+        }
+        factored_ = true;
+    }
+    stamp_generation_ = stamp_gen;
+    values_generation_ = values_gen;
+    factors_ = factors;
+    symbolic_factors_ = symbolic_factors;
+    solves_ = solves;
 }
 
 }  // namespace sca::solver

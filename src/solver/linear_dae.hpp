@@ -68,6 +68,17 @@ public:
         invalidate();
     }
 
+    // --- checkpoint/restore ----------------------------------------------------
+    /// Serialize integration state (t, x, q_prev, method/timestep flags),
+    /// the cached LU symbolic analysis, and the generation/counter book-
+    /// keeping.  The equation system is saved separately by its owner.
+    void save_state(util::byte_writer& w) const;
+    /// Restore onto a freshly constructed solver whose equation system has
+    /// already been overlaid: rebuilds the iteration matrix from the
+    /// restored A/B values, adopts the frozen pivot order, and refactors —
+    /// bit-identical to the factorization the saving process held.
+    void restore_state(util::byte_reader& r);
+
 private:
     void ensure_factored(integration_method m);
 

@@ -5,6 +5,7 @@
 
 #include "numeric/sparse.hpp"
 #include "solver/dc.hpp"
+#include "util/bytes.hpp"
 #include "util/report.hpp"
 
 namespace sca::solver {
@@ -172,6 +173,94 @@ void nonlinear_dae_solver::advance_to(double t_end) {
         x_ = x_candidate_;
         t_ += h;
         ++accepted_;
+    }
+}
+
+// --------------------------------------------------------------- snapshot --
+
+namespace {
+
+void save_pattern(util::byte_writer& w, const num::sparse_matrix_d& m) {
+    w.u64(m.size());
+    for (std::size_t r = 0; r < m.size(); ++r) {
+        const auto& idx = m.row_indices(r);
+        w.u64(idx.size());
+        for (std::size_t c : idx) w.u64(c);
+    }
+}
+
+/// Rebuild a matrix with the saved sparsity pattern as explicit zeros — the
+/// grown pattern history the Newton LU's frozen pivot order depends on.
+num::sparse_matrix_d restore_pattern(util::byte_reader& r) {
+    const auto n = static_cast<std::size_t>(r.u64());
+    num::sparse_matrix_d m(n);
+    for (std::size_t row = 0; row < n; ++row) {
+        const auto count = static_cast<std::size_t>(r.u64());
+        for (std::size_t k = 0; k < count; ++k) {
+            m.add(row, static_cast<std::size_t>(r.u64()), 0.0);
+        }
+    }
+    return m;
+}
+
+}  // namespace
+
+void nonlinear_dae_solver::save_state(util::byte_writer& w) const {
+    w.f64(t_);
+    w.f64(h_);
+    w.f64(h_prev_);
+    w.boolean(have_prev_);
+    w.f64_vec(x_);
+    w.f64_vec(x_prev_);
+    w.u64(accepted_);
+    w.u64(rejected_);
+    w.u64(newton_iters_);
+    w.u64(factorizations_);
+    w.u64(symbolic_factorizations_);
+    w.boolean(mats_valid_);
+    w.u64(stamp_generation_);
+    if (mats_valid_) {
+        save_pattern(w, iter_mat_);
+        save_pattern(w, newton_mat_);
+    }
+    const bool has_symbolic = newton_lu_.symbolic_valid();
+    w.boolean(has_symbolic);
+    if (has_symbolic) w.u64_vec(newton_lu_.export_symbolic());
+}
+
+void nonlinear_dae_solver::restore_state(util::byte_reader& r) {
+    t_ = r.f64();
+    h_ = r.f64();
+    h_prev_ = r.f64();
+    have_prev_ = r.boolean();
+    x_ = r.f64_vec();
+    util::require(x_.size() == sys_->size(), "snapshot",
+                  "nonlinear solver: state dimension differs from rebuilt system");
+    x_prev_ = r.f64_vec();
+    accepted_ = r.u64();
+    rejected_ = r.u64();
+    newton_iters_ = r.u64();
+    factorizations_ = r.u64();
+    symbolic_factorizations_ = r.u64();
+    mats_valid_ = r.boolean();
+    stamp_generation_ = r.u64();
+    if (mats_valid_) {
+        iter_mat_ = restore_pattern(r);
+        newton_mat_ = restore_pattern(r);
+        util::require(iter_mat_.size() == sys_->size() &&
+                          newton_mat_.size() == sys_->size(),
+                      "snapshot",
+                      "nonlinear solver: matrix size differs from rebuilt system");
+    }
+    const bool has_symbolic = r.boolean();
+    if (has_symbolic) {
+        util::require(mats_valid_, "snapshot",
+                      "nonlinear solver: symbolic analysis without matrices");
+        util::require(newton_lu_.adopt_symbolic(r.u64_vec(), newton_mat_), "snapshot",
+                      "nonlinear solver: Newton LU symbolic analysis does not fit "
+                      "the rebuilt Jacobian pattern");
+        // Values stay unpopulated: the next Newton iteration rewrites the
+        // Jacobian from scratch and refactors under the adopted pivot order.
     }
 }
 

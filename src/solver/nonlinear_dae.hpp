@@ -68,6 +68,18 @@ public:
     }
     [[nodiscard]] double current_h() const noexcept { return h_; }
 
+    // --- checkpoint/restore ----------------------------------------------------
+    /// Serialize integration state (t, h, x, predictor history), the grown
+    /// iteration/Jacobian sparsity patterns, the cached Newton LU symbolic
+    /// analysis, and statistics.  Matrix *values* are not saved: every
+    /// Newton iteration rewrites them from scratch, so only pattern
+    /// continuity (and with it the frozen pivot order) matters for
+    /// bit-identical resumption.
+    void save_state(util::byte_writer& w) const;
+    /// Restore onto a freshly constructed solver (same options, equation
+    /// system already overlaid).
+    void restore_state(util::byte_reader& r);
+
 private:
     /// One backward-Euler step of size h from (t_, x_). Returns the Newton
     /// convergence flag; the candidate solution lands in x_candidate_.

@@ -9,6 +9,7 @@
 #include "kernel/signal.hpp"
 #include "tdf/module.hpp"
 #include "tdf/port.hpp"
+#include "util/bytes.hpp"
 #include "util/report.hpp"
 
 namespace sca::tdf {
@@ -541,6 +542,130 @@ void cluster::on_wake() {
     const std::uint64_t ahead = plan_batch_ahead();
     if (ahead > 0) run_cycles(next_cycle_start_, ahead);
     ctx_->next_trigger(next_cycle_start_ - now);
+}
+
+// ------------------------------------------------------------------ snapshot
+
+void cluster::save_state(util::byte_writer& w) const {
+    w.u64(static_cast<std::uint64_t>(modules_.size()));
+    for (const module* m : modules_) {
+        w.i64(m->timestep_request().value_fs());
+        w.i64(m->timestep().value_fs());
+        w.u64(m->repetitions());
+        w.i64(m->tdf_time().value_fs());
+        w.u64(m->activation_count());
+        w.u64(m->block_call_count());
+        w.u64(m->block_firing_count());
+        w.u64(static_cast<std::uint64_t>(m->ports().size()));
+        for (const port_base* p : m->ports()) {
+            w.u32(p->rate());
+            w.u32(p->delay());
+            w.i64(p->timestep_request().value_fs());
+            w.i64(p->timestep().value_fs());
+            w.u64(p->position());
+        }
+    }
+    // The installed attribute signature: restore recomputes it from the
+    // overlaid attributes and refuses on mismatch (revalidation, not trust).
+    w.u64_vec(compute_signature().words);
+    w.u64(static_cast<std::uint64_t>(signals_.size()));
+    for (const signal_base* s : signals_) s->save_tokens(w);
+    w.i64(period_.value_fs());
+    w.i64(next_cycle_start_.value_fs());
+    w.u64(cycles_);
+    w.u64(fused_cycles_);
+    w.u64(reschedules_);
+    w.u64(recompiles_);
+    w.boolean(de_coupled_);
+    w.boolean(dynamic_);
+}
+
+void cluster::restore_state(util::byte_reader& r) {
+    util::require(r.u64() == modules_.size(), "snapshot",
+                  "cluster: rebuilt module count differs from snapshot");
+    // The signature the *rebuilt* model elaborated with; if the saved run had
+    // rescheduled away from it, the matching program must be reinstalled.
+    const attribute_signature elaborated_sig = compute_signature();
+
+    struct module_state {
+        de::time current_time;
+        std::uint64_t activations, block_calls, block_firings;
+        std::vector<std::uint64_t> positions;
+    };
+    std::vector<module_state> saved(modules_.size());
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        module* m = modules_[i];
+        const auto ts_request = de::time::from_fs(r.i64());
+        const auto ts_resolved = de::time::from_fs(r.i64());
+        const std::uint64_t reps = r.u64();
+        saved[i].current_time = de::time::from_fs(r.i64());
+        saved[i].activations = r.u64();
+        saved[i].block_calls = r.u64();
+        saved[i].block_firings = r.u64();
+        util::require(r.u64() == m->ports().size(), "snapshot",
+                      "cluster: rebuilt port count of '" + m->name() +
+                          "' differs from snapshot");
+        // Overlay the schedule-determining attributes first: the reinstall
+        // below compiles (or cache-installs) against them.
+        m->set_timestep(ts_request);
+        m->set_resolved_timestep(ts_resolved);
+        m->set_repetitions(reps);
+        for (port_base* p : m->ports()) {
+            p->set_rate(r.u32());
+            p->set_delay(r.u32());
+            p->set_timestep(de::time::from_fs(r.i64()));
+            p->set_resolved_timestep(de::time::from_fs(r.i64()));
+            saved[i].positions.push_back(r.u64());
+        }
+    }
+
+    attribute_signature saved_sig;
+    saved_sig.words = r.u64_vec();
+    util::require(compute_signature() == saved_sig, "snapshot",
+                  "cluster: rebuilt attribute signature differs from snapshot");
+    if (!(saved_sig == elaborated_sig)) {
+        // The saved run had rescheduled: reinstall the matching program — a
+        // schedule-cache hit when this configuration was visited before
+        // (elaboration seeds the cache), otherwise a full recompile that
+        // seeds it now.  Counters are overlaid afterwards either way.
+        if (const cluster_config* cfg = cache_.find(saved_sig)) {
+            install_config(*cfg);
+        } else {
+            compute_repetitions();
+            resolve_timesteps();
+            last_compiled_ = compile_current();
+            install_program(last_compiled_);
+            size_buffers(last_compiled_.buffer_capacity, /*in_place=*/true);
+            cache_.insert(saved_sig, snapshot_config());
+        }
+        // install_config/resolve_timesteps recompute what the overlay already
+        // set; re-overlay repetitions and timesteps so bookkeeping that is
+        // not signature-determined (an unanchored module's resolved step) is
+        // exactly the saved one.  Port positions are overlaid below.
+    }
+
+    // Positions and tokens go last: schedule installation resets both.
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+        module* m = modules_[i];
+        m->restore_runtime_state(saved[i].current_time, saved[i].activations,
+                                 saved[i].block_calls, saved[i].block_firings);
+        std::size_t pi = 0;
+        for (port_base* p : m->ports()) p->reset_position(saved[i].positions[pi++]);
+    }
+    util::require(r.u64() == signals_.size(), "snapshot",
+                  "cluster: rebuilt signal count differs from snapshot");
+    for (signal_base* s : signals_) s->restore_tokens(r);
+    period_ = de::time::from_fs(r.i64());
+    next_cycle_start_ = de::time::from_fs(r.i64());
+    cycles_ = r.u64();
+    fused_cycles_ = r.u64();
+    reschedules_ = r.u64();
+    recompiles_ = r.u64();
+    util::require(r.boolean() == de_coupled_, "snapshot",
+                  "cluster: DE coupling differs from snapshot");
+    util::require(r.boolean() == dynamic_, "snapshot",
+                  "cluster: dynamic membership differs from snapshot");
+    batch_check_pending_ = false;  // settled points never carry a pending check
 }
 
 // ------------------------------------------------------------------ registry

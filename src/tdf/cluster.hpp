@@ -21,6 +21,11 @@
 #include "tdf/dynamic.hpp"
 #include "tdf/schedule.hpp"
 
+namespace sca::util {
+class byte_writer;
+class byte_reader;
+}  // namespace sca::util
+
 namespace sca::tdf {
 
 class module;
@@ -128,6 +133,20 @@ public:
     [[nodiscard]] std::size_t schedule_cache_size() const noexcept {
         return cache_.size();
     }
+
+    // --- checkpoint/restore (core/snapshot) ----------------------------------
+    /// Serialize the cluster's runtime state at a settled point: the
+    /// schedule-determining attributes of every member (with the installed
+    /// attribute signature, so restore revalidates instead of trusting),
+    /// per-port stream positions, every signal's ring-buffer tokens, and the
+    /// cycle/reschedule bookkeeping.
+    void save_state(util::byte_writer& w) const;
+    /// Restore onto a freshly elaborated cluster: overlay the saved
+    /// attributes, reinstall the matching schedule (cache hit or recompile —
+    /// only when the saved signature differs from the elaborated one), then
+    /// overlay stream positions and ring-buffer tokens.  Token overlay runs
+    /// last because schedule installation resets positions and buffers.
+    void restore_state(util::byte_reader& r);
 
 private:
     void compute_repetitions();

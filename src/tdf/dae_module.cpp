@@ -1,5 +1,6 @@
 #include "tdf/dae_module.hpp"
 
+#include "util/bytes.hpp"
 #include "util/report.hpp"
 
 namespace sca::tdf {
@@ -101,6 +102,70 @@ void dae_module::processing() {
         state_ = nonlinear_->x();
     }
     write_outputs();
+}
+
+// --------------------------------------------------------------- snapshot --
+
+void dae_module::save_state(util::byte_writer& w) const {
+    w.boolean(built_);
+    w.boolean(first_activation_);
+    w.boolean(restamp_requested_);
+    w.boolean(value_update_requested_);
+    w.boolean(incremental_updates_);
+    w.u8(static_cast<std::uint8_t>(method_));
+    w.f64(solve_time_);
+    w.f64_vec(state_);
+    // Nonlinear options after the timestep fixup the first activation applied.
+    w.f64(nl_options_.h_init);
+    w.f64(nl_options_.h_min);
+    w.f64(nl_options_.h_max);
+    w.f64(nl_options_.lte_abstol);
+    w.f64(nl_options_.lte_reltol);
+    w.boolean(nl_options_.adaptive);
+    w.i64(nl_options_.newton.max_iterations);
+    w.f64(nl_options_.newton.abstol);
+    w.f64(nl_options_.newton.reltol);
+    if (built_) sys_.save_state(w);
+    w.u8(linear_ ? 1 : (nonlinear_ ? 2 : 0));
+    if (linear_) linear_->save_state(w);
+    if (nonlinear_) nonlinear_->save_state(w);
+}
+
+void dae_module::restore_state(util::byte_reader& r) {
+    const bool was_built = r.boolean();
+    first_activation_ = r.boolean();
+    restamp_requested_ = r.boolean();
+    value_update_requested_ = r.boolean();
+    incremental_updates_ = r.boolean();
+    method_ = static_cast<solver::integration_method>(r.u8());
+    solve_time_ = r.f64();
+    state_ = r.f64_vec();
+    nl_options_.h_init = r.f64();
+    nl_options_.h_min = r.f64();
+    nl_options_.h_max = r.f64();
+    nl_options_.lte_abstol = r.f64();
+    nl_options_.lte_reltol = r.f64();
+    nl_options_.adaptive = r.boolean();
+    nl_options_.newton.max_iterations = static_cast<int>(r.i64());
+    nl_options_.newton.abstol = r.f64();
+    nl_options_.newton.reltol = r.f64();
+    if (was_built) {
+        // Fresh assembly from the rebuilt components, then value overlay:
+        // component hooks restoring their own state (a switch position) run
+        // after this in the hierarchy walk, which is harmless — the overlay
+        // already carries the values their state produced.
+        build_now();
+        sys_.restore_state(r);
+    }
+    const std::uint8_t solver_kind = r.u8();
+    if (solver_kind == 1) {
+        // Placeholder timestep: the solver's own restore reads the real one.
+        linear_ = std::make_unique<solver::linear_dae_solver>(sys_, method_, 1.0);
+        linear_->restore_state(r);
+    } else if (solver_kind == 2) {
+        nonlinear_ = std::make_unique<solver::nonlinear_dae_solver>(sys_, nl_options_);
+        nonlinear_->restore_state(r);
+    }
 }
 
 }  // namespace sca::tdf

@@ -64,6 +64,17 @@ public:
 
     void processing() final;
 
+    // --- checkpoint/restore (core/snapshot) ---------------------------------
+    /// Serialize assembly flags, the continuous state, the (possibly
+    /// fixed-up) nonlinear options, the equation system's values, and the
+    /// active solver.  Restore re-runs build_equations() on the rebuilt
+    /// components, overlays the equation values (refusing on a sparsity-
+    /// pattern mismatch), then recreates and restores the solver so its
+    /// frozen pivot order replays bit-identically.
+    [[nodiscard]] bool has_snapshot_state() const noexcept override { return true; }
+    void save_state(util::byte_writer& w) const override;
+    void restore_state(util::byte_reader& r) override;
+
 protected:
     explicit dae_module(const de::module_name& nm) : module(nm) {}
 

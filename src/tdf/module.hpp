@@ -169,6 +169,19 @@ public:
     /// request_rate() are only legal while the cluster runs the callback.
     void set_in_change_attributes(bool in) noexcept { in_change_attributes_ = in; }
 
+    // --- checkpoint/restore (core/snapshot) ---------------------------------
+    /// Overlay the runtime bookkeeping a snapshot captured for this module
+    /// (activation clock and diagnostic counters).  Called by the owning
+    /// cluster's restore, after the schedule is reinstalled.
+    void restore_runtime_state(const de::time& current_time, std::uint64_t activations,
+                               std::uint64_t block_calls,
+                               std::uint64_t block_firings) noexcept {
+        current_time_ = current_time;
+        activations_ = activations;
+        block_calls_ = block_calls;
+        block_firings_ = block_firings;
+    }
+
     /// Staged timestep request (consumed by the cluster at the reschedule
     /// point following change_attributes()).
     [[nodiscard]] bool has_pending_timestep() const noexcept {

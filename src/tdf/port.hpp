@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "kernel/object.hpp"
 #include "kernel/time.hpp"
+#include "util/bytes.hpp"
 #include "util/report.hpp"
 
 namespace sca::tdf {
@@ -161,6 +163,18 @@ public:
     /// otherwise keep the probe current).
     virtual void refresh_last(std::uint64_t index) = 0;
 
+    // --- checkpoint/restore (core/snapshot) ---------------------------------
+    /// Serialize the ring-buffer contents (type tag, capacity, every token,
+    /// initial and last-written value).  Called by the owning cluster so
+    /// tokens are captured alongside the stream positions they pair with.
+    virtual void save_tokens(util::byte_writer& w) const = 0;
+    /// Reallocate to the *saved* capacity and overlay the tokens.  Ring
+    /// indexing is modulo the buffer size, so restoring the exact capacity —
+    /// not merely a sufficient one — is what keeps resumed token placement
+    /// bit-identical.  Runs after the cluster reinstalls its schedule (which
+    /// resets buffers), never before.
+    virtual void restore_tokens(util::byte_reader& r) = 0;
+
 protected:
     explicit signal_base(std::string name) : de::object(std::move(name)) {}
 
@@ -226,7 +240,61 @@ public:
         last_value_ = buffer_[index % buffer_.size()];
     }
 
+    void save_tokens(util::byte_writer& w) const override {
+        w.u8(token_type_tag());
+        w.u64(static_cast<std::uint64_t>(buffer_.size()));
+        for (std::size_t i = 0; i < buffer_.size(); ++i) write_value(w, buffer_[i]);
+        write_value(w, initial_);
+        write_value(w, last_value_);
+    }
+
+    void restore_tokens(util::byte_reader& r) override {
+        util::require(r.u8() == token_type_tag(), "snapshot",
+                      "signal '" + name() + "': token type differs from snapshot");
+        const auto cap = static_cast<std::size_t>(r.u64());
+        util::require(cap > 0, "snapshot",
+                      "signal '" + name() + "': zero capacity in snapshot");
+        buffer_.assign(cap, initial_);
+        for (std::size_t i = 0; i < cap; ++i) buffer_[i] = read_value(r);
+        initial_ = read_value(r);
+        last_value_ = read_value(r);
+    }
+
 private:
+    [[nodiscard]] static constexpr std::uint8_t token_type_tag() {
+        if constexpr (std::is_same_v<T, bool>) {
+            return 1;
+        } else if constexpr (std::is_floating_point_v<T>) {
+            return 2;
+        } else if constexpr (std::is_integral_v<T>) {
+            return 3;
+        } else {
+            return 0;  // unsupported: save/restore refuse below
+        }
+    }
+    static void write_value(util::byte_writer& w, const T& v) {
+        if constexpr (std::is_same_v<T, bool>) {
+            w.boolean(v);
+        } else if constexpr (std::is_floating_point_v<T>) {
+            w.f64(static_cast<double>(v));
+        } else if constexpr (std::is_integral_v<T>) {
+            w.i64(static_cast<std::int64_t>(v));
+        } else {
+            util::report_fatal("snapshot", "unsupported TDF token type");
+        }
+    }
+    [[nodiscard]] static T read_value(util::byte_reader& r) {
+        if constexpr (std::is_same_v<T, bool>) {
+            return r.boolean();
+        } else if constexpr (std::is_floating_point_v<T>) {
+            return static_cast<T>(r.f64());
+        } else if constexpr (std::is_integral_v<T>) {
+            return static_cast<T>(r.i64());
+        } else {
+            util::report_fatal("snapshot", "unsupported TDF token type");
+        }
+    }
+
     std::vector<T> buffer_{T{}};
     T initial_{};
     T last_value_{};
