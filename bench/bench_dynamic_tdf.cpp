@@ -16,6 +16,8 @@
 //     independent contexts reschedule concurrently).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 
 #include "bench_util.hpp"
@@ -294,4 +296,4 @@ BENCHMARK(reschedule_cost_cached)->Unit(benchmark::kMillisecond);
 BENCHMARK(reschedule_cost_cold)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 BENCHMARK(dynamic_parallel_run_set)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_dynamic_tdf)

@@ -13,6 +13,8 @@
 // at its own level of abstraction.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <chrono>
 
 #include "bench_util.hpp"
@@ -183,4 +185,4 @@ void fig1_adsl_full_system(benchmark::State& state) {
 
 BENCHMARK(fig1_adsl_full_system)->Unit(benchmark::kMillisecond)->Iterations(3);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_fig1_adsl)

@@ -9,6 +9,8 @@
 // frequency, demonstrating the equivalence the paper asserts.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 #include <complex>
 
@@ -129,4 +131,4 @@ void transient_fft(benchmark::State& state) {
 BENCHMARK(ac_sweep)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
 BENCHMARK(transient_fft)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_freq_domain)

@@ -9,6 +9,8 @@
 // Newton.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bench_util.hpp"
 #include "eln/nonlinear.hpp"
 
@@ -69,4 +71,4 @@ void newton_ladder(benchmark::State& state) {
 BENCHMARK(linear_ladder)->Arg(8)->Arg(32)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK(newton_ladder)->Arg(8)->Arg(32)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_linear_vs_nonlinear)

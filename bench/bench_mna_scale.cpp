@@ -8,6 +8,8 @@
 // in N; the dense path goes superlinear quickly.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bench_util.hpp"
 #include "numeric/dense.hpp"
 #include "numeric/sparse.hpp"
@@ -120,4 +122,4 @@ BENCHMARK(dense_setup)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond
 BENCHMARK(dense_steps)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMicrosecond);
 BENCHMARK(network_transient)->Arg(10)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_mna_scale)

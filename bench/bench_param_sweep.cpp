@@ -15,6 +15,8 @@
 // and tests/test_run_backend.cpp).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "core/run_set.hpp"
 #include "core/scenario.hpp"
 #include "eln/converter.hpp"
@@ -145,4 +147,4 @@ BENCHMARK(bm_buck_sweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
 BENCHMARK(bm_buck_sweep_mp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_param_sweep)

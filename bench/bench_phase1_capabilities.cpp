@@ -8,6 +8,8 @@
 // noise analyses, and reports the cross-view equivalence error.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 
 #include "bench_util.hpp"
@@ -180,4 +182,4 @@ BENCHMARK(netlist_view_transient)->Unit(benchmark::kMillisecond);
 BENCHMARK(ac_and_noise_analyses)->Unit(benchmark::kMillisecond);
 BENCHMARK(view_equivalence)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_phase1_capabilities)

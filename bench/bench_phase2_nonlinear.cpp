@@ -7,6 +7,8 @@
 // Counters expose the Newton/variable-step machinery at work.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 
 #include "bench_util.hpp"
@@ -150,4 +152,4 @@ BENCHMARK(saturating_amplifier_chain)->Arg(2)->Arg(8)->Unit(benchmark::kMillisec
 BENCHMARK(rf_downconversion_chain)->Unit(benchmark::kMillisecond);
 BENCHMARK(nonlinear_vs_linear_step_cost)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_phase2_nonlinear)

@@ -7,6 +7,8 @@
 // with DE-controlled switching.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bench_util.hpp"
 #include "eln/converter.hpp"
 #include "eln/multidomain.hpp"
@@ -145,4 +147,4 @@ BENCHMARK(dc_drive_three_domains)->Unit(benchmark::kMillisecond);
 BENCHMARK(pwm_buck_stage)->Unit(benchmark::kMillisecond);
 BENCHMARK(generic_sync_de_to_mechanical)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_phase3_multidomain)

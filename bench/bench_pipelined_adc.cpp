@@ -4,6 +4,8 @@
 // reference at a fraction of the cost.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bench_util.hpp"
 #include "lib/pipeline_adc.hpp"
 #include "util/measure.hpp"
@@ -113,4 +115,4 @@ BENCHMARK(adc_enob_offset_with_correction)->Unit(benchmark::kMillisecond);
 BENCHMARK(adc_enob_offset_without_correction)->Unit(benchmark::kMillisecond);
 BENCHMARK(adc_conversion_throughput)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_pipelined_adc)

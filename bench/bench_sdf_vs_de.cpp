@@ -8,6 +8,8 @@
 // paper's claimed efficiency gain.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bench_util.hpp"
 #include "kernel/module.hpp"
 #include "kernel/signal.hpp"
@@ -110,4 +112,4 @@ void de_pipeline(benchmark::State& state) {
 BENCHMARK(tdf_pipeline)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 BENCHMARK(de_pipeline)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_sdf_vs_de)

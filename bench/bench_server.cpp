@@ -16,6 +16,8 @@
 // apples across session counts.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -158,4 +160,4 @@ BENCHMARK(stream_throughput)
     ->UseRealTime();
 BENCHMARK(pacing_drift)->Unit(benchmark::kMillisecond)->UseRealTime();
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_server)

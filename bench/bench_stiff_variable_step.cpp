@@ -15,6 +15,8 @@
 // exponentials.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 
 #include "solver/equation_system.hpp"
@@ -118,4 +120,4 @@ BENCHMARK(fixed_fine)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
 BENCHMARK(fixed_coarse)->Arg(1000)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
 BENCHMARK(variable_step)->Arg(1000)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_stiff_variable_step)

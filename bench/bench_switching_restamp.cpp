@@ -14,6 +14,8 @@
 // Counters report events/sec, numeric factor passes, and symbolic analyses.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bench_util.hpp"
 #include "eln/converter.hpp"
 #include "lib/pwm.hpp"
@@ -117,4 +119,4 @@ BENCHMARK(switched_rc_full_restamp)->Unit(benchmark::kMillisecond);
 BENCHMARK(buck_incremental)->Unit(benchmark::kMillisecond);
 BENCHMARK(buck_full_restamp)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_switching_restamp)

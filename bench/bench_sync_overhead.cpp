@@ -10,6 +10,8 @@
 //                every period (full round trip each sample)
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bench_util.hpp"
 #include "eln/converter.hpp"
 
@@ -117,4 +119,4 @@ BENCHMARK(tdf_to_de)->Unit(benchmark::kMillisecond);
 BENCHMARK(de_control_roundtrip)->Unit(benchmark::kMillisecond);
 BENCHMARK(oversampled_cluster)->Arg(1)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_sync_overhead)

@@ -8,12 +8,19 @@
 // same token volume.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 
 #include "bench_util.hpp"
+#include "kernel/context.hpp"
 #include "lib/filters.hpp"
 #include "tdf/cluster.hpp"
 #include "tdf/schedule.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_export.hpp"
 
 namespace de = sca::de;
 namespace tdf = sca::tdf;
@@ -146,6 +153,49 @@ void multirate_throughput(benchmark::State& state) {
         4.0 * 100e-3 / k_step.to_seconds(), benchmark::Counter::kIsIterationInvariantRate);
 }
 
+/// Multirate TDF chain plus an RC-ladder ELN network in one context — the
+/// scenario behind the CI trace artifact: elaboration, cluster-firing and
+/// solver spans are all present.  Set SCA_TRACE_JSON=<path> to capture a
+/// Perfetto-loadable trace and/or SCA_METRICS_JSON=<path> for the metrics
+/// dump (written every iteration, outside the timed region; last one wins).
+void traced_multidomain(benchmark::State& state) {
+    const char* trace_path = std::getenv("SCA_TRACE_JSON");
+    const char* metrics_path = std::getenv("SCA_METRICS_JSON");
+    for (auto _ : state) {
+        sca::core::simulation sim;
+        if (trace_path != nullptr) sim.context().tracer().enable();
+        rot_src src("src", 1.0, 10e3, k_step);
+        lib::interpolator up("up", 4);
+        gain_stage g("g", 1.0);
+        lib::decimator down("down", 4);
+        null_sink sink("sink");
+        tdf::signal<double> s1("s1"), s2("s2"), s3("s3"), s4("s4");
+        src.out.bind(s1);
+        up.in.bind(s1);
+        up.out.bind(s2);
+        g.in.bind(s2);
+        g.out.bind(s3);
+        down.in.bind(s3);
+        down.out.bind(s4);
+        sink.in.bind(s4);
+        rc_ladder ladder(8, k_step);
+        sim.run_seconds(10e-3);
+        benchmark::DoNotOptimize(sink.last);
+        if (trace_path != nullptr || metrics_path != nullptr) {
+            state.PauseTiming();
+            if (trace_path != nullptr) {
+                std::ofstream os(trace_path);
+                sim.context().tracer().write_chrome_json(os);
+            }
+            if (metrics_path != nullptr) {
+                std::ofstream os(metrics_path);
+                sca::util::write_metrics_json(os, sim.context().collect_metrics());
+            }
+            state.ResumeTiming();
+        }
+    }
+}
+
 void repetition_vector_cost(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
     std::vector<tdf::rate_edge> edges;
@@ -172,6 +222,7 @@ BENCHMARK(multirate_throughput)
     ->Arg(1)
     ->ArgNames({"block"})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(traced_multidomain)->Unit(benchmark::kMillisecond);
 BENCHMARK(repetition_vector_cost)->Arg(100)->Arg(1000)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_tdf_multirate)

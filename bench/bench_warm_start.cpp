@@ -14,6 +14,8 @@
 // + rebuild + overlay).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -111,4 +113,4 @@ BENCHMARK(cold_start)->Arg(2)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 BENCHMARK(warm_restore)->Arg(2)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 BENCHMARK(restore_only)->Arg(2)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+SCA_BENCH_MAIN(bench_warm_start)

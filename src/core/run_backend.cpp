@@ -14,6 +14,8 @@
 #include <csignal>
 #include <cstring>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -42,19 +44,20 @@ void execute_in_thread(const run_set& rs, const std::vector<std::size_t>& pendin
     // slot.  Delivery is serialized so sinks see whole rows.
     std::atomic<std::size_t> next{0};
     std::mutex deliver_mutex;
-    auto work = [&] {
+    auto work = [&](int slot) {
         for (;;) {
             const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
             if (k >= pending.size()) return;
             const std::size_t i = pending[k];
             results[i] = rs.run_one(i);
+            results[i].worker = slot;
             const std::lock_guard<std::mutex> lock(deliver_mutex);
             deliver(results[i], /*completed=*/true);
         }
     };
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work, static_cast<int>(w));
     for (std::thread& t : pool) t.join();
 }
 
@@ -69,6 +72,7 @@ struct worker_conn {
     int fd = -1;
     pid_t pid = -1;                // -1: remote worker, nothing to reap
     std::int64_t in_flight = -1;   // run index on the wire, -1 when idle
+    int id = -1;                   // stable worker id stamped into run_result::worker
 };
 
 /// Describe how a reaped child died, for the lost-run error message.
@@ -109,6 +113,10 @@ void dispatch(const run_set& rs, const std::vector<std::size_t>& pending,
               const result_sink& deliver, const respawn_fn& respawn) {
     std::deque<std::size_t> queue(pending.begin(), pending.end());
     std::size_t outstanding = pending.size();  // runs not yet slotted
+    // Worker-side telemetry arrives as its own frame immediately before the
+    // result frame (the v0 result payload is frozen); stash it by run index
+    // and attach when the result lands.
+    std::map<std::uint64_t, util::metrics_snapshot> metrics_stash;
 
     auto assign = [&](worker_conn& w) -> bool {
         // Give `w` the next job; false when the worker is dead (peer gone).
@@ -188,6 +196,12 @@ void dispatch(const run_set& rs, const std::vector<std::size_t>& pending,
                 wire::frame f;
                 if (!wire::read_frame(workers[i].fd, f)) {
                     dead = true;  // clean EOF: worker gone between frames
+                } else if (f.type == wire::msg_type::metrics) {
+                    wire::run_metrics m =
+                        wire::decode_metrics(f.payload.data(), f.payload.size());
+                    metrics_stash[m.index] = std::move(m.entries);
+                    // The matching result frame follows on this fd; keep
+                    // polling (level-triggered, so it fires again).
                 } else {
                     util::require(f.type == wire::msg_type::result, "run_backend",
                                   "unexpected frame type from worker");
@@ -201,6 +215,11 @@ void dispatch(const run_set& rs, const std::vector<std::size_t>& pending,
                                   "run_backend",
                                   "worker reported a result for a run it was not given");
                     results[index] = std::move(r);
+                    results[index].worker = workers[i].id;
+                    if (auto it = metrics_stash.find(index); it != metrics_stash.end()) {
+                        results[index].run_metrics = std::move(it->second);
+                        metrics_stash.erase(it);
+                    }
                     workers[i].in_flight = -1;
                     deliver(results[index], /*completed=*/true);
                     --outstanding;
@@ -255,7 +274,7 @@ worker_conn fork_worker(const run_set& rs, const std::vector<worker_conn>& exist
         ::_exit(0);
     }
     ::close(sv[1]);
-    return worker_conn{sv[0], pid, -1};
+    return worker_conn{sv[0], pid, -1, -1};
 }
 
 }  // namespace
@@ -267,9 +286,19 @@ void execute_multiprocess(const run_set& rs, const std::vector<std::size_t>& pen
         std::max<std::size_t>(1, std::min<std::size_t>(workers, pending.size())));
     std::vector<worker_conn> conns;
     conns.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) conns.push_back(fork_worker(rs, conns));
+    for (unsigned w = 0; w < workers; ++w) {
+        conns.push_back(fork_worker(rs, conns));
+        conns.back().id = static_cast<int>(w);
+    }
+    // Respawned workers get fresh ids so per-worker telemetry never merges
+    // a replacement's runs into its predecessor's.
+    auto next_id = std::make_shared<int>(static_cast<int>(workers));
     dispatch(rs, pending, results, std::move(conns), deliver,
-             [&rs](const std::vector<worker_conn>& live) { return fork_worker(rs, live); });
+             [&rs, next_id](const std::vector<worker_conn>& live) {
+                 worker_conn w = fork_worker(rs, live);
+                 w.id = (*next_id)++;
+                 return w;
+             });
 }
 
 // -------------------------------------------------------------- remote TCP --
@@ -315,7 +344,8 @@ void execute_remote_tcp(const run_set& rs, const std::vector<std::size_t>& pendi
     std::vector<worker_conn> conns;
     conns.reserve(endpoints.size());
     for (const std::string& ep : endpoints) {
-        conns.push_back(worker_conn{connect_endpoint(ep), -1, -1});
+        conns.push_back(worker_conn{connect_endpoint(ep), -1, -1,
+                                    static_cast<int>(conns.size())});
     }
     // No respawn: a dead endpoint is retired; its in-flight run is recorded
     // as lost and recomputable via the checkpoint journal.
@@ -335,6 +365,16 @@ void run_worker_loop(const run_set& rs, int fd) {
                       "unexpected frame type on worker");
         const std::uint64_t index = wire::decode_job(f.payload.data(), f.payload.size());
         const run_result res = rs.run_one(static_cast<std::size_t>(index));
+        // Telemetry first, result second: the result frame is what retires
+        // the in-flight run on the parent, so its metrics are already
+        // stashed when it lands (and a parent that ignores metrics frames
+        // stays compatible — the v0 result payload is unchanged).
+        wire::run_metrics m;
+        m.index = index;
+        m.entries = res.run_metrics;
+        if (!wire::write_frame(fd, wire::msg_type::metrics, wire::encode_metrics(m))) {
+            return;  // parent gone mid-result
+        }
         if (!wire::write_frame(fd, wire::msg_type::result, wire::encode_result(res))) {
             return;  // parent gone mid-result
         }

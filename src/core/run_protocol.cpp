@@ -393,6 +393,8 @@ std::vector<std::uint8_t> encode_close(const close_info& info) {
     w.put_u64(info.samples_dropped);
     w.put_double(info.pace_drift_s);
     w.put_double(info.pace_max_drift_s);
+    w.put_u64(info.max_queue_depth);
+    w.put_u64(info.slices);
     w.put_u32(static_cast<std::uint32_t>(info.measurements.size()));
     for (const auto& [name, v] : info.measurements) {
         w.put_string(name);
@@ -413,6 +415,8 @@ close_info decode_close(const std::uint8_t* data, std::size_t n) {
     info.samples_dropped = r.get_u64();
     info.pace_drift_s = r.get_double();
     info.pace_max_drift_s = r.get_double();
+    info.max_queue_depth = r.get_u64();
+    info.slices = r.get_u64();
     const std::uint32_t count = r.get_u32();
     for (std::uint32_t i = 0; i < count; ++i) {
         std::string name = r.get_string();
@@ -433,6 +437,73 @@ std::string decode_error(const std::uint8_t* data, std::size_t n) {
     std::string message = r.get_string();
     r.expect_done();
     return message;
+}
+
+std::vector<std::uint8_t> encode_stats(const stats_info& info) {
+    writer w;
+    w.put_double(info.sim_time_s);
+    w.put_u64(info.slices);
+    w.put_u64(info.samples_streamed);
+    w.put_u64(info.samples_dropped);
+    w.put_u64(info.queue_depth);
+    w.put_u64(info.max_queue_depth);
+    w.put_double(info.pace_drift_s);
+    w.put_double(info.pace_max_drift_s);
+    return std::move(w.buf);
+}
+
+stats_info decode_stats(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    stats_info info;
+    info.sim_time_s = r.get_double();
+    info.slices = r.get_u64();
+    info.samples_streamed = r.get_u64();
+    info.samples_dropped = r.get_u64();
+    info.queue_depth = r.get_u64();
+    info.max_queue_depth = r.get_u64();
+    info.pace_drift_s = r.get_double();
+    info.pace_max_drift_s = r.get_double();
+    r.expect_done();
+    return info;
+}
+
+std::vector<std::uint8_t> encode_metrics(const run_metrics& m) {
+    writer w;
+    w.put_u64(m.index);
+    w.put_u32(static_cast<std::uint32_t>(m.entries.size()));
+    for (const util::metric_value& mv : m.entries) {
+        w.put_string(mv.name);
+        w.put_u8(static_cast<std::uint8_t>(mv.kind));
+        w.put_u64(mv.count);
+        w.put_double(mv.value);
+        w.put_double(mv.min);
+        w.put_double(mv.max);
+    }
+    return std::move(w.buf);
+}
+
+run_metrics decode_metrics(const std::uint8_t* data, std::size_t n) {
+    reader r{data, n};
+    run_metrics m;
+    m.index = r.get_u64();
+    const std::uint32_t count = r.get_u32();
+    m.entries.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        util::metric_value mv;
+        mv.name = r.get_string();
+        const std::uint8_t kind = r.get_u8();
+        util::require(kind <= static_cast<std::uint8_t>(
+                                  util::metric_value::metric_kind::histogram),
+                      "run_protocol", "unknown metric kind");
+        mv.kind = static_cast<util::metric_value::metric_kind>(kind);
+        mv.count = r.get_u64();
+        mv.value = r.get_double();
+        mv.min = r.get_double();
+        mv.max = r.get_double();
+        m.entries.push_back(std::move(mv));
+    }
+    r.expect_done();
+    return m;
 }
 
 // ----------------------------------------------------------------- frames --

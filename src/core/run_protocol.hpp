@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/run_set.hpp"
+#include "util/telemetry.hpp"
 
 namespace sca::core::wire {
 
@@ -45,7 +46,9 @@ inline constexpr std::uint32_t k_max_payload = 256U * 1024U * 1024U;
 /// Version of the session dialect (frame types >= hello).  Negotiated once
 /// per connection: the client's hello carries the version it speaks, the
 /// server answers with the version it accepted or an error frame.
-inline constexpr std::uint8_t k_session_version = 1;
+/// v2 adds the stats frame (periodic/on-request in-band session telemetry)
+/// and extends the close reply with max_queue_depth and the slice count.
+inline constexpr std::uint8_t k_session_version = 2;
 
 enum class msg_type : std::uint8_t {
     job = 1,       ///< parent -> worker: u64 run index
@@ -68,10 +71,14 @@ enum class msg_type : std::uint8_t {
 
     // --- full-state snapshots (core/snapshot) ------------------------------
     snapshot_state = 16,  ///< snapshot file / journal: full simulation state
+
+    // --- telemetry (session v2 / run_set metrics) --------------------------
+    stats = 17,    ///< session: request (empty) / reply or periodic push
+    metrics = 18,  ///< worker -> parent: per-run metrics (precedes result)
 };
 
 /// Largest assigned frame type (frame validation bound).
-inline constexpr std::uint8_t k_max_msg_type = 16;
+inline constexpr std::uint8_t k_max_msg_type = 18;
 
 /// One decoded frame.
 struct frame {
@@ -158,7 +165,10 @@ enum class close_reason : std::uint8_t {
     failed = 2,          ///< session error (message went out as an error frame)
 };
 
-/// Final session statistics, sent as the close reply.
+/// Final session statistics, sent as the close reply.  This is the
+/// authoritative end-of-session telemetry: streamed/dropped totals, the
+/// deepest the stream queue ever got, pacing drift extremes, and the number
+/// of kernel slices the session executed.
 struct close_info {
     close_reason reason = close_reason::client_request;
     double sim_time_s = 0.0;
@@ -166,7 +176,32 @@ struct close_info {
     std::uint64_t samples_dropped = 0;
     double pace_drift_s = 0.0;
     double pace_max_drift_s = 0.0;
+    std::uint64_t max_queue_depth = 0;  ///< session v2
+    std::uint64_t slices = 0;           ///< session v2
     std::map<std::string, double> measurements;
+};
+
+/// In-band session telemetry: pushed every options.stats_every_slices kernel
+/// slices while streaming, and on demand as the reply to an (empty) stats
+/// request.  Counts are cumulative for the session.
+struct stats_info {
+    double sim_time_s = 0.0;
+    std::uint64_t slices = 0;
+    std::uint64_t samples_streamed = 0;
+    std::uint64_t samples_dropped = 0;
+    std::uint64_t queue_depth = 0;      ///< batches queued right now
+    std::uint64_t max_queue_depth = 0;  ///< deepest the queue has been
+    double pace_drift_s = 0.0;
+    double pace_max_drift_s = 0.0;
+};
+
+/// Per-run telemetry attached to a run_result: the deterministic
+/// counter/gauge subset of the worker context's registry (sorted by name),
+/// sent as its own frame immediately before the result frame so journals and
+/// old parents that ignore it stay compatible.
+struct run_metrics {
+    std::uint64_t index = 0;  ///< run index the metrics belong to
+    util::metrics_snapshot entries;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_hello(std::uint8_t version);
@@ -203,6 +238,12 @@ struct close_info {
 
 [[nodiscard]] std::vector<std::uint8_t> encode_error(const std::string& message);
 [[nodiscard]] std::string decode_error(const std::uint8_t* data, std::size_t n);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_stats(const stats_info& info);
+[[nodiscard]] stats_info decode_stats(const std::uint8_t* data, std::size_t n);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_metrics(const run_metrics& m);
+[[nodiscard]] run_metrics decode_metrics(const std::uint8_t* data, std::size_t n);
 
 /// Serialize a full frame (header + payload + checksum) into a byte buffer —
 /// what write_frame() puts on the wire and the journal appends to disk.

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <locale>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <random>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <variant>
 
@@ -129,6 +131,16 @@ const std::vector<double>& run_result::waveform(const std::string& name) const {
     util::report_fatal("run_result", "unknown probe '" + name + "'");
 }
 
+double run_result::metric(const std::string& name) const {
+    for (const util::metric_value& mv : run_metrics) {
+        if (mv.name != name) continue;
+        return mv.kind == util::metric_value::metric_kind::gauge
+                   ? mv.value
+                   : static_cast<double>(mv.count);
+    }
+    return 0.0;
+}
+
 // ----------------------------------------------------------- result_table --
 
 std::size_t result_table::failed_count() const {
@@ -228,6 +240,45 @@ void result_table::write_csv(std::ostream& os) const {
     for (const run_result& r : runs_) {
         detail::write_csv_row(os, r, param_names, meas_names);
     }
+}
+
+void result_table::write_metrics_csv(std::ostream& os) const {
+    // Union of metric names across runs, sorted — so the column set (and
+    // with it the whole string) depends only on the campaign content.
+    std::set<std::string> names;
+    for (const run_result& r : runs_) {
+        for (const util::metric_value& mv : r.run_metrics) names.insert(mv.name);
+    }
+    os << "run";
+    for (const auto& name : names) os << ',' << name;
+    os << '\n';
+    std::ostringstream num;
+    num.imbue(std::locale::classic());
+    num.precision(17);
+    for (const run_result& r : runs_) {
+        os << r.index;
+        for (const auto& name : names) {
+            os << ',';
+            for (const util::metric_value& mv : r.run_metrics) {
+                if (mv.name != name) continue;
+                if (mv.kind == util::metric_value::metric_kind::gauge) {
+                    num.str("");
+                    num << mv.value;
+                    os << num.str();
+                } else {
+                    os << mv.count;
+                }
+                break;
+            }
+        }
+        os << '\n';
+    }
+}
+
+double result_table::metrics_total(const std::string& name) const {
+    double total = 0.0;
+    for (const run_result& r : runs_) total += r.metric(name);
+    return total;
 }
 
 // ---------------------------------------------------------------- run_set --
@@ -339,6 +390,7 @@ run_result run_set::run_one(std::size_t index) const {
                 res.waveforms.push_back(tb->waveform(name));
             }
         }
+        res.run_metrics = tb->context().collect_wire_metrics();
         res.ok = true;
     } catch (const std::exception& e) {
         res.ok = false;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "util/telemetry.hpp"
 
 namespace sca::core {
 
@@ -101,9 +102,21 @@ struct run_result {
     std::vector<std::vector<double>> waveforms;  // one per probe name
     bool ok = false;
     std::string error;
+    /// Per-run telemetry: the deterministic counter/gauge subset of the
+    /// run's context registry (sorted by name), identical across backends
+    /// and worker counts.  Travels as its own wire frame (not part of the
+    /// frozen v0 result payload); empty for journal-resumed runs and runs
+    /// lost to worker death.
+    util::metrics_snapshot run_metrics;
+    /// Worker that executed the run (telemetry only — never affects result
+    /// content): slot index for in_thread/multiprocess, endpoint index for
+    /// remote_tcp, -1 for inline execution and journal-resumed runs.
+    int worker = -1;
 
     [[nodiscard]] double measurement(const std::string& name) const;
     [[nodiscard]] const std::vector<double>& waveform(const std::string& name) const;
+    /// Value of a named run metric (0 when absent).
+    [[nodiscard]] double metric(const std::string& name) const;
 };
 
 /// All runs of a run_set, ordered by run index.
@@ -128,6 +141,15 @@ public:
 
     /// CSV: run index, seed, every parameter, every measurement, error.
     void write_csv(std::ostream& os) const;
+
+    /// Telemetry CSV: one row per run (index order), one column per metric
+    /// name seen in any run.  Deterministic in content for a deterministic
+    /// campaign — comparing this string across backends/worker counts is the
+    /// bit-for-bit aggregation check.
+    void write_metrics_csv(std::ostream& os) const;
+
+    /// Sum of a named counter/gauge metric across all runs that carry it.
+    [[nodiscard]] double metrics_total(const std::string& name) const;
 
 private:
     std::vector<run_result> runs_;

@@ -17,6 +17,8 @@
 #include "tdf/cluster.hpp"
 #include "util/bytes.hpp"
 #include "util/report.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_export.hpp"
 
 namespace sca::core {
 
@@ -170,6 +172,8 @@ std::vector<std::uint8_t> encode_snapshot(testbench& tb) {
     tb.activate();
     de::simulation_context& ctx = tb.context();
     de::scheduler& sched = ctx.sched();
+    SCA_SCOPED_TIMER(&ctx.metrics().get_histogram("time.snapshot.save_s"));
+    SCA_TRACE_SPAN_T(&ctx.tracer(), "snapshot.save", "snapshot", sched.now().to_seconds());
 
     // A snapshot is only meaningful at a settled point: run() has returned,
     // every same-instant notification is delivered, and the only pending
@@ -290,6 +294,8 @@ std::unique_ptr<testbench> decode_snapshot(const std::uint8_t* data, std::size_t
 
     de::simulation_context& ctx = tb->context();
     de::scheduler& sched = ctx.sched();
+    SCA_SCOPED_TIMER(&ctx.metrics().get_histogram("time.snapshot.restore_s"));
+    SCA_TRACE_SPAN(&ctx.tracer(), "snapshot.restore", "snapshot");
 
     // --- kernel clock & counters -------------------------------------------
     const de::time now = de::time::from_fs(r.i64());

@@ -16,8 +16,24 @@ thread_local simulation_context* g_current = nullptr;
 }
 
 simulation_context::simulation_context() {
+    scheduler_.bind_telemetry(metrics_, &tracer_);
+    metrics_collectors_.push_back([this] { scheduler_.publish_telemetry(); });
     previous_current_ = g_current;
     g_current = this;
+}
+
+void simulation_context::add_metrics_collector(std::function<void()> collector) {
+    metrics_collectors_.push_back(std::move(collector));
+}
+
+util::metrics_snapshot simulation_context::collect_metrics() {
+    for (const auto& c : metrics_collectors_) c();
+    return metrics_.snapshot();
+}
+
+util::metrics_snapshot simulation_context::collect_wire_metrics() {
+    for (const auto& c : metrics_collectors_) c();
+    return metrics_.wire_snapshot();
 }
 
 simulation_context::~simulation_context() {
@@ -112,22 +128,36 @@ void simulation_context::elaborate() {
     if (elaborated_) return;
     util::require(construction_stack_.empty(), "simulation_context",
                   "elaborate called during module construction");
+    SCA_TRACE_SPAN(&tracer_, "elaborate", "kernel");
     // 1. Hierarchy walk: a parent-before-child traversal of the object tree.
     //    Composites appear before the children they own, so structural
     //    callbacks can rely on enclosing modules being processed first.
-    const std::vector<object*> walk = hierarchy();
+    std::vector<object*> walk;
+    {
+        SCA_TRACE_SPAN(&tracer_, "elaborate.hierarchy", "kernel");
+        walk = hierarchy();
+    }
     // 2. Binding resolution: follow DE port-to-port forwarding chains to the
     //    terminal signals (chains may be followed in any order).
-    for (object* o : walk) {
-        if (auto* p = dynamic_cast<port_base*>(o)) p->resolve();
+    {
+        SCA_TRACE_SPAN(&tracer_, "elaborate.resolve_ports", "kernel");
+        for (object* o : walk) {
+            if (auto* p = dynamic_cast<port_base*>(o)) p->resolve();
+        }
     }
     // 3. Structural callbacks, outermost modules first.
-    for (object* o : walk) {
-        if (auto* m = dynamic_cast<module*>(o)) m->end_of_elaboration();
+    {
+        SCA_TRACE_SPAN(&tracer_, "elaborate.end_of_elaboration", "kernel");
+        for (object* o : walk) {
+            if (auto* m = dynamic_cast<module*>(o)) m->end_of_elaboration();
+        }
     }
     // 4. Domain hooks: TDF binding resolution + cluster discovery and
     //    scheduling, which in turn triggers DAE setup in the views.
-    for (const auto& hook : elaboration_hooks_) hook();
+    {
+        SCA_TRACE_SPAN(&tracer_, "elaborate.domain_hooks", "kernel");
+        for (const auto& hook : elaboration_hooks_) hook();
+    }
     elaborated_ = true;
 }
 

@@ -17,6 +17,8 @@
 
 #include "kernel/scheduler.hpp"
 #include "kernel/time.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_export.hpp"
 
 namespace sca::de {
 
@@ -46,6 +48,28 @@ public:
     [[nodiscard]] scheduler& sched() noexcept { return scheduler_; }
     [[nodiscard]] const scheduler& sched() const noexcept { return scheduler_; }
     [[nodiscard]] const time& now() const noexcept { return scheduler_.now(); }
+
+    // --- telemetry -----------------------------------------------------------
+    /// This context's metrics registry.  Kernel counters live here from
+    /// construction; MoC layers register their own metrics and collectors.
+    [[nodiscard]] util::metrics_registry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const util::metrics_registry& metrics() const noexcept { return metrics_; }
+
+    /// This context's span tracer (off until tracer().enable()).
+    [[nodiscard]] util::event_tracer& tracer() noexcept { return tracer_; }
+
+    /// Register a collector run by collect_metrics(): layers whose hot
+    /// counters live in their own objects (TDF modules, clusters, solvers)
+    /// publish them into the registry here, with set-semantics so repeated
+    /// collection is idempotent.
+    void add_metrics_collector(std::function<void()> collector);
+
+    /// Run every collector, then return the full registry snapshot
+    /// (sorted by name).
+    [[nodiscard]] util::metrics_snapshot collect_metrics();
+    /// Run every collector, then return the deterministic counter/gauge
+    /// subset that travels over the SCA1 wire (sorted by name).
+    [[nodiscard]] util::metrics_snapshot collect_wire_metrics();
 
     // --- construction-time services ----------------------------------------
     void register_object(object& obj);
@@ -114,6 +138,12 @@ public:
     }
 
 private:
+    // Telemetry precedes the scheduler: the scheduler's counters reside in
+    // the registry (bound in the constructor), so the registry must outlive
+    // it through destruction.
+    util::metrics_registry metrics_;
+    util::event_tracer tracer_;
+    std::vector<std::function<void()>> metrics_collectors_;
     scheduler scheduler_;
     std::vector<object*> objects_;
     std::vector<event*> events_;

@@ -7,8 +7,49 @@
 #include "kernel/process.hpp"
 #include "kernel/signal.hpp"
 #include "util/report.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_export.hpp"
 
 namespace sca::de {
+
+void scheduler::bind_telemetry(util::metrics_registry& registry,
+                               util::event_tracer* tracer) {
+    timed_notifications_m_ = &registry.get_counter("kernel.timed_notifications");
+    delta_count_m_ = &registry.get_counter("kernel.delta_cycles");
+    pacing_drift_m_ = &registry.get_gauge("kernel.pacing.drift_s");
+    pacing_max_drift_m_ = &registry.get_gauge("kernel.pacing.max_drift_s");
+    tracer_ = tracer;
+    publish_telemetry();
+}
+
+void scheduler::publish_telemetry() noexcept {
+    if (delta_count_m_ == nullptr) return;
+    delta_count_m_->set(delta_count_);
+    timed_notifications_m_->set(timed_notifications_);
+    pacing_drift_m_->set(pacing_drift_);
+    pacing_max_drift_m_->set(pacing_max_drift_);
+}
+
+std::uint64_t scheduler::delta_count() const noexcept { return delta_count_; }
+
+std::uint64_t scheduler::timed_notification_count() const noexcept {
+    return timed_notifications_;
+}
+
+double scheduler::pacing_drift() const noexcept { return pacing_drift_; }
+
+double scheduler::pacing_max_drift() const noexcept { return pacing_max_drift_; }
+
+void scheduler::count_timed_notification() noexcept { ++timed_notifications_; }
+
+void scheduler::count_delta_cycle() noexcept { ++delta_count_; }
+
+void scheduler::record_drift(double drift, bool is_new_max) noexcept {
+    pacing_drift_ = drift;
+    if (is_new_max) {
+        pacing_max_drift_ = drift;
+    }
+}
 
 void scheduler::make_runnable(method_process& p) {
     if (p.queued()) return;
@@ -20,7 +61,7 @@ void scheduler::queue_delta_event(event& e) { delta_events_.push_back(&e); }
 
 void scheduler::queue_timed_event(event& e, const time& at) {
     util::require(at >= now_, "scheduler", "timed notification in the past");
-    ++timed_notifications_;
+    count_timed_notification();
     timed_queue_.emplace(at, timed_entry{&e, e.generation()});
 }
 
@@ -107,7 +148,7 @@ void scheduler::evaluate_update_loop() {
                 any = true;
             }
         }
-        if (any || !runnable_.empty()) ++delta_count_;
+        if (any || !runnable_.empty()) count_delta_cycle();
     }
 }
 
@@ -116,8 +157,8 @@ void scheduler::set_pacing(double real_time_factor) noexcept {
     // Re-anchor at the next paced advance: wall time spent while pacing was
     // off (pause, reconfiguration) must not count as accumulated lag.
     pace_anchor_valid_ = false;
-    pacing_drift_ = 0.0;
     pacing_max_drift_ = 0.0;
+    record_drift(0.0, true);
 }
 
 void scheduler::pace_to(const time& t) {
@@ -134,14 +175,15 @@ void scheduler::pace_to(const time& t) {
                                 std::chrono::duration<double>(wall_offset_s));
     if (wall_now < target) {
         std::this_thread::sleep_until(target);
-        pacing_drift_ = 0.0;
+        record_drift(0.0, false);
     } else {
-        pacing_drift_ = std::chrono::duration<double>(wall_now - target).count();
-        pacing_max_drift_ = std::max(pacing_max_drift_, pacing_drift_);
+        const double drift = std::chrono::duration<double>(wall_now - target).count();
+        record_drift(drift, drift > pacing_max_drift_);
     }
 }
 
 time scheduler::run(const time& end) {
+    SCA_TRACE_SPAN_T(tracer_, "kernel.run", "kernel", now_.to_seconds());
     run_end_ = end;
     if (!initialized_) {
         initialization_phase();
@@ -168,6 +210,7 @@ time scheduler::run(const time& end) {
         pace_to(end);
         now_ = end;
     }
+    publish_telemetry();
     return now_;
 }
 
@@ -195,6 +238,7 @@ void scheduler::finish_restore(std::uint64_t delta_count,
                                std::uint64_t timed_notifications) {
     delta_count_ = delta_count;
     timed_notifications_ = timed_notifications;
+    publish_telemetry();
 }
 
 void scheduler::reset() {
@@ -204,13 +248,14 @@ void scheduler::reset() {
     timed_notifications_ = 0;
     initialized_ = false;
     pacing_ = 0.0;
-    pacing_drift_ = 0.0;
     pacing_max_drift_ = 0.0;
+    record_drift(0.0, true);
     pace_anchor_valid_ = false;
     runnable_.clear();
     delta_events_.clear();
     update_queue_.clear();
     timed_queue_.clear();
+    publish_telemetry();
 }
 
 }  // namespace sca::de

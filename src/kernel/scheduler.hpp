@@ -11,6 +11,13 @@
 
 #include "kernel/time.hpp"
 
+namespace sca::util {
+class counter;
+class gauge;
+class metrics_registry;
+class event_tracer;
+}  // namespace sca::util
+
 namespace sca::de {
 
 class event;
@@ -23,17 +30,31 @@ public:
     scheduler(const scheduler&) = delete;
     scheduler& operator=(const scheduler&) = delete;
 
+    /// Mirror the kernel counters onto a metrics registry
+    /// ("kernel.timed_notifications", "kernel.delta_cycles",
+    /// "kernel.pacing.drift_s"/"max_drift_s") and attach the kernel tracer.
+    /// Called once by simulation_context's constructor; current local values
+    /// seed the registry so binding is value-preserving.  The hot-path
+    /// increments stay plain member writes (an atomic RMW per delta cycle
+    /// costs several percent on the per-sample TDF path); the registry view
+    /// is refreshed by publish_telemetry() at every sync point.
+    void bind_telemetry(util::metrics_registry& registry, util::event_tracer* tracer);
+
+    /// Copy the local counter/gauge values into the bound registry handles.
+    /// No-op when unbound.  run()/reset()/finish_restore() call this, and
+    /// simulation_context registers it as a metrics collector, so the
+    /// registry is current whenever anyone snapshots it.
+    void publish_telemetry() noexcept;
+
     [[nodiscard]] const time& now() const noexcept { return now_; }
-    [[nodiscard]] std::uint64_t delta_count() const noexcept { return delta_count_; }
+    [[nodiscard]] std::uint64_t delta_count() const noexcept;
 
     /// Cumulative timed notifications queued since construction/reset().
     /// A cheap proxy for DE-kernel interaction volume: the TDF layer uses it
     /// in benches/tests to show that batching (static clusters) and period
     /// stretching (dynamic clusters slowing themselves down) both shrink the
     /// kernel traffic, not just the module firing count.
-    [[nodiscard]] std::uint64_t timed_notification_count() const noexcept {
-        return timed_notifications_;
-    }
+    [[nodiscard]] std::uint64_t timed_notification_count() const noexcept;
 
     // --- called by events / signals / processes ----------------------------
     void make_runnable(method_process& p);
@@ -91,9 +112,9 @@ public:
     /// Wall-clock lag observed at the most recent paced advance, in seconds
     /// (0 while the kernel keeps up — i.e. it slept — positive when the
     /// model is too slow to hold the requested factor).
-    [[nodiscard]] double pacing_drift() const noexcept { return pacing_drift_; }
+    [[nodiscard]] double pacing_drift() const noexcept;
     /// Largest lag observed since pacing was (re-)enabled.
-    [[nodiscard]] double pacing_max_drift() const noexcept { return pacing_max_drift_; }
+    [[nodiscard]] double pacing_max_drift() const noexcept;
 
     // --- checkpoint/restore (core/snapshot) ----------------------------------
     /// Registered processes in registration order — the stable identity a
@@ -143,11 +164,21 @@ private:
     /// records drift when the kernel is already late.  No-op when pacing is
     /// off or `t` is the time::max() "never" marker.
     void pace_to(const time& t);
+    void count_timed_notification() noexcept;
+    void count_delta_cycle() noexcept;
+    void record_drift(double drift, bool is_new_max) noexcept;
 
     time now_;
     time run_end_ = time::max();
+    // The members are the source of truth (cheap hot-path increments); the
+    // registry handles below are a mirror refreshed by publish_telemetry().
     std::uint64_t delta_count_ = 0;
     std::uint64_t timed_notifications_ = 0;
+    util::counter* delta_count_m_ = nullptr;
+    util::counter* timed_notifications_m_ = nullptr;
+    util::gauge* pacing_drift_m_ = nullptr;
+    util::gauge* pacing_max_drift_m_ = nullptr;
+    util::event_tracer* tracer_ = nullptr;
     bool initialized_ = false;
 
     double pacing_ = 0.0;

@@ -187,6 +187,7 @@ void sim_server::handle_frame(connection& c, const wire::frame& f) {
                             : opt_.default_slice;
             cfg.queue_capacity = opt_.queue_capacity;
             cfg.max_batch_samples = opt_.max_batch_samples;
+            cfg.stats_every_slices = opt_.stats_every_slices;
             cfg.wake = [this] { wake(); };
             c.sess = std::make_unique<session>(std::move(cfg), req);
             c.sess->start();
@@ -198,6 +199,7 @@ void sim_server::handle_frame(connection& c, const wire::frame& f) {
         case wire::msg_type::subscribe:
         case wire::msg_type::pace:
         case wire::msg_type::run_state:
+        case wire::msg_type::stats:
         case wire::msg_type::close:
             if (c.sess) {
                 c.sess->enqueue(f);
@@ -534,6 +536,8 @@ void client::resume() { send(wire::msg_type::run_state, wire::encode_run_state(t
 
 void client::request_close() { send(wire::msg_type::close, {}); }
 
+void client::stats() { send(wire::msg_type::stats, {}); }
+
 void client::absorb(const wire::frame& f) {
     switch (f.type) {
         case wire::msg_type::samples: {
@@ -554,6 +558,10 @@ void client::absorb(const wire::frame& f) {
         }
         case wire::msg_type::pace:
             last_pace_ = wire::decode_pace(f.payload.data(), f.payload.size());
+            break;
+        case wire::msg_type::stats:
+            last_stats_ = wire::decode_stats(f.payload.data(), f.payload.size());
+            ++stats_frames_;
             break;
         case wire::msg_type::error:
             errors_.push_back(wire::decode_error(f.payload.data(), f.payload.size()));

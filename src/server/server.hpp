@@ -48,6 +48,9 @@ public:
         de::time default_slice = de::time(1.0, de::time_unit::ms);
         std::size_t queue_capacity = 1024;    ///< outbound frames per session
         std::size_t max_batch_samples = 512;  ///< samples per streamed frame
+        /// Push a stats frame every N kernel slices (0 disables the periodic
+        /// push; clients can still request one with client::stats()).
+        std::uint64_t stats_every_slices = 64;
     };
 
     sim_server() : sim_server(options{}) {}
@@ -157,6 +160,10 @@ public:
     void pace(double real_time_factor);
     void pause();
     void resume();
+    /// Request an immediate stats frame (the session also pushes one every
+    /// options::stats_every_slices slices); the reply arrives in-stream and
+    /// is absorbed into last_stats().
+    void stats();
     /// Ask the server to end the session (the close reply arrives in-stream;
     /// use drain() to collect it).
     void request_close();
@@ -190,6 +197,12 @@ public:
     [[nodiscard]] const core::wire::pace_info& last_pace() const noexcept {
         return last_pace_;
     }
+    /// Most recent stats frame seen (periodic push or stats() reply).
+    [[nodiscard]] const core::wire::stats_info& last_stats() const noexcept {
+        return last_stats_;
+    }
+    /// Stats frames absorbed so far (0 = last_stats() not yet meaningful).
+    [[nodiscard]] std::uint64_t stats_frames() const noexcept { return stats_frames_; }
 
     void close();
     [[nodiscard]] int fd() const noexcept { return fd_; }
@@ -203,6 +216,8 @@ private:
     std::map<std::string, waveform> waves_;
     std::vector<std::string> errors_;
     core::wire::pace_info last_pace_{};
+    core::wire::stats_info last_stats_{};
+    std::uint64_t stats_frames_ = 0;
 };
 
 }  // namespace sca::server

@@ -8,6 +8,7 @@
 #include "core/scenario.hpp"
 #include "kernel/context.hpp"
 #include "util/report.hpp"
+#include "util/trace_export.hpp"
 
 namespace sca::server {
 
@@ -69,6 +70,8 @@ void session::send_close(wire::close_reason reason, core::testbench* tb) {
     info.reason = reason;
     info.samples_streamed = streamed_.load(std::memory_order_relaxed);
     info.samples_dropped = dropped_.load(std::memory_order_relaxed);
+    info.max_queue_depth = out_.max_depth();
+    info.slices = slices_.load(std::memory_order_relaxed);
     if (tb != nullptr) {
         auto& sim = tb->sim();
         info.sim_time_s = sim.now().to_seconds();
@@ -78,6 +81,21 @@ void session::send_close(wire::close_reason reason, core::testbench* tb) {
         info.measurements = tb->measurements();
     }
     out_.push_control({wire::msg_type::close, wire::encode_close(info)});
+    wake();
+}
+
+void session::send_stats(core::testbench& tb) {
+    wire::stats_info info;
+    info.sim_time_s = tb.sim().now().to_seconds();
+    info.slices = slices_.load(std::memory_order_relaxed);
+    info.samples_streamed = streamed_.load(std::memory_order_relaxed);
+    info.samples_dropped = dropped_.load(std::memory_order_relaxed);
+    info.queue_depth = out_.size();
+    info.max_queue_depth = out_.max_depth();
+    const auto& sched = tb.context().sched();
+    info.pace_drift_s = sched.pacing_drift();
+    info.pace_max_drift_s = sched.pacing_max_drift();
+    out_.push_control({wire::msg_type::stats, wire::encode_stats(info)});
     wake();
 }
 
@@ -171,6 +189,11 @@ void session::handle_command(const wire::frame& f, core::testbench& tb) {
             paused_ = !running;
             break;
         }
+        case wire::msg_type::stats:
+            // On-demand telemetry snapshot; the reply reuses the same frame
+            // type, so a client can tell push from reply only by having asked.
+            send_stats(tb);
+            break;
         case wire::msg_type::close:
             close_requested_ = true;
             break;
@@ -242,8 +265,17 @@ void session::worker_body() {
                 stream_new_rows(*tb);
                 break;  // reason stays `finished`
             }
-            tb->run(std::min(cfg_.slice, stop - now));
-            stream_new_rows(*tb);
+            {
+                SCA_TRACE_SPAN_T(&tb->context().tracer(), "server.slice", "server",
+                                 now.to_seconds());
+                tb->run(std::min(cfg_.slice, stop - now));
+                stream_new_rows(*tb);
+            }
+            const std::uint64_t done =
+                slices_.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (cfg_.stats_every_slices > 0 && done % cfg_.stats_every_slices == 0) {
+                send_stats(*tb);
+            }
         }
         send_close(reason, tb.get());
     } catch (const std::exception& e) {

@@ -41,6 +41,7 @@ public:
         de::time slice;  ///< kernel advance per control poll (bounded latency)
         std::size_t queue_capacity = 1024;    ///< outbound frames before dropping
         std::size_t max_batch_samples = 512;  ///< samples per streamed frame
+        std::uint64_t stats_every_slices = 64;  ///< periodic stats push (0 = off)
         std::function<void()> wake;           ///< notify the I/O thread: frames queued
     };
 
@@ -76,6 +77,10 @@ public:
     [[nodiscard]] std::uint64_t samples_dropped() const noexcept {
         return dropped_.load(std::memory_order_relaxed);
     }
+    /// Kernel slices executed so far (one per bounded run() advance).
+    [[nodiscard]] std::uint64_t slices() const noexcept {
+        return slices_.load(std::memory_order_relaxed);
+    }
 
 private:
     struct subscription {
@@ -89,6 +94,7 @@ private:
     void stream_new_rows(core::testbench& tb);
     void send_close(core::wire::close_reason reason, core::testbench* tb);
     void send_error(const std::string& message);
+    void send_stats(core::testbench& tb);
     void wake();
 
     config cfg_;
@@ -114,6 +120,7 @@ private:
     std::atomic<bool> finished_{false};
     std::atomic<std::uint64_t> streamed_{0};
     std::atomic<std::uint64_t> dropped_{0};
+    std::atomic<std::uint64_t> slices_{0};
 };
 
 }  // namespace sca::server

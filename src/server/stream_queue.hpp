@@ -39,6 +39,7 @@ public:
     void push_control(outbound_frame f) {
         const std::lock_guard<std::mutex> lock(mutex_);
         q_.push_back(std::move(f));
+        if (q_.size() > max_depth_) max_depth_ = q_.size();
     }
 
     /// Enqueue a sample batch unless the queue is full; false = dropped.
@@ -49,6 +50,7 @@ public:
             return false;
         }
         q_.push_back(std::move(f));
+        if (q_.size() > max_depth_) max_depth_ = q_.size();
         return true;
     }
 
@@ -71,11 +73,19 @@ public:
         return dropped_batches_;
     }
 
+    /// High-water mark of queued frames over the queue's lifetime — the
+    /// backpressure headroom figure the close frame reports.
+    [[nodiscard]] std::uint64_t max_depth() const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return max_depth_;
+    }
+
 private:
     mutable std::mutex mutex_;
     std::deque<outbound_frame> q_;
     std::size_t capacity_;
     std::uint64_t dropped_batches_ = 0;
+    std::uint64_t max_depth_ = 0;
 };
 
 }  // namespace sca::server

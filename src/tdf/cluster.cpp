@@ -7,10 +7,12 @@
 
 #include "kernel/process.hpp"
 #include "kernel/signal.hpp"
+#include "tdf/dae_module.hpp"
 #include "tdf/module.hpp"
 #include "tdf/port.hpp"
 #include "util/bytes.hpp"
 #include "util/report.hpp"
+#include "util/trace_export.hpp"
 
 namespace sca::tdf {
 
@@ -356,6 +358,8 @@ void cluster::apply_attribute_changes() {
             p->clear_staged_rate();
         }
     }
+    SCA_TRACE_SPAN(ctx_ != nullptr ? &ctx_->tracer() : nullptr, "tdf.cluster.reschedule",
+                   "tdf");
     ++reschedules_;
     const attribute_signature sig = compute_signature();
     if (const cluster_config* cfg = cache_.find(sig)) {
@@ -402,6 +406,8 @@ void cluster::exec_program(const std::vector<program_entry>& prog, const de::tim
 }
 
 void cluster::run_cycles(const de::time& start, std::uint64_t n) {
+    SCA_TRACE_SPAN_T(ctx_ != nullptr ? &ctx_->tracer() : nullptr, "tdf.cluster.cycles",
+                     "tdf", start.to_seconds());
     de::time t = start;
     std::uint64_t left = n;
     // Greedy decomposition over the fused-program ladder (descending
@@ -672,6 +678,47 @@ void cluster::restore_state(util::byte_reader& r) {
 
 registry::registry(de::simulation_context& ctx) : ctx_(&ctx) {
     ctx.add_elaboration_hook([this] { elaborate_clusters(); });
+    // The hot per-object counters (module activations, cluster cycles,
+    // schedule-cache hits) stay where the firing loops write them; this
+    // collector publishes their totals into the context registry on demand
+    // with set-semantics, so repeated collection never double-counts.
+    ctx.add_metrics_collector([this] { publish_metrics(); });
+}
+
+void registry::publish_metrics() {
+    util::metrics_registry& reg = ctx_->metrics();
+    std::uint64_t cycles = 0, fused = 0, resched = 0, recompiles = 0, hits = 0, misses = 0;
+    for (const auto& c : clusters_) {
+        cycles += c->cycle_count();
+        fused += c->fused_cycle_count();
+        resched += c->reschedule_count();
+        recompiles += c->recompile_count();
+        hits += c->schedule_cache_hits();
+        misses += c->schedule_cache_misses();
+    }
+    std::uint64_t activations = 0, block_calls = 0, block_firings = 0;
+    std::uint64_t numeric = 0, symbolic = 0;
+    for (module* m : modules_) {
+        activations += m->activation_count();
+        block_calls += m->block_call_count();
+        block_firings += m->block_firing_count();
+        if (const auto* d = dynamic_cast<const dae_module*>(m)) {
+            numeric += d->factorizations();
+            symbolic += d->symbolic_factorizations();
+        }
+    }
+    reg.get_counter("tdf.clusters").set(clusters_.size());
+    reg.get_counter("tdf.cluster.cycles").set(cycles);
+    reg.get_counter("tdf.cluster.fused_cycles").set(fused);
+    reg.get_counter("tdf.cluster.reschedules").set(resched);
+    reg.get_counter("tdf.cluster.recompiles").set(recompiles);
+    reg.get_counter("tdf.schedule_cache.hits").set(hits);
+    reg.get_counter("tdf.schedule_cache.misses").set(misses);
+    reg.get_counter("tdf.module.activations").set(activations);
+    reg.get_counter("tdf.module.block_calls").set(block_calls);
+    reg.get_counter("tdf.module.block_firings").set(block_firings);
+    reg.get_counter("solver.numeric_factorizations").set(numeric);
+    reg.get_counter("solver.symbolic_factorizations").set(symbolic);
 }
 
 registry::~registry() = default;
@@ -699,6 +746,7 @@ void registry::set_default_block_execution(bool on) {
 void registry::elaborate_clusters() {
     if (elaborated_) return;
     elaborated_ = true;
+    SCA_TRACE_SPAN(&ctx_->tracer(), "tdf.elaborate_clusters", "tdf");
 
     // Binding resolution: follow every port's forwarding chain to its
     // terminal signal and attach dataflow endpoints there.  This covers

@@ -255,6 +255,10 @@ public:
     signal_base& adopt_signal(std::unique_ptr<signal_base> s);
 
 private:
+    /// Metrics collector body (registered with the context): publish the
+    /// cluster/module/solver counter totals into the context's registry.
+    void publish_metrics();
+
     de::simulation_context* ctx_;
     std::vector<module*> modules_;
     std::vector<std::unique_ptr<cluster>> clusters_;

@@ -2,6 +2,7 @@
 
 #include "util/bytes.hpp"
 #include "util/report.hpp"
+#include "util/trace_export.hpp"
 
 namespace sca::tdf {
 
@@ -44,6 +45,7 @@ std::uint64_t dae_module::symbolic_factorizations() const noexcept {
 }
 
 void dae_module::rebuild() {
+    SCA_TRACE_SPAN_T(&context().tracer(), "dae.symbolic_rebuild", "solver", solve_time_);
     sys_.clear_stamps();
     build_equations();
     sys_.finalize_stamps();
@@ -59,6 +61,7 @@ void dae_module::processing() {
     read_inputs();
 
     if (first_activation_) {
+        SCA_TRACE_SPAN_T(&context().tracer(), "dae.init", "solver", solve_time_);
         first_activation_ = false;
         // Components that sampled their controls in read_inputs() above have
         // already pushed slot values into the system; a pattern-level change
@@ -94,12 +97,15 @@ void dae_module::processing() {
     // its own internal step and resynchronizes at advance_to(solve_time_).
     if (linear_ && linear_->timestep() != h) linear_->set_timestep(h);
 
-    if (linear_) {
-        linear_->step();
-        state_ = linear_->x();
-    } else {
-        nonlinear_->advance_to(solve_time_);
-        state_ = nonlinear_->x();
+    {
+        SCA_TRACE_SPAN_T(&context().tracer(), "dae.step", "solver", solve_time_);
+        if (linear_) {
+            linear_->step();
+            state_ = linear_->x();
+        } else {
+            nonlinear_->advance_to(solve_time_);
+            state_ = nonlinear_->x();
+        }
     }
     write_outputs();
 }

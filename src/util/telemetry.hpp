@@ -1,0 +1,207 @@
+// Unified metrics registry: named counters, gauges, and histogram timers
+// collected per simulation_context and exportable as JSON/CSV or over the
+// SCA1 wire protocol (core/run_protocol).
+//
+// Design contract:
+//  - The fast path is lock-free: a metric handle is a stable reference into
+//    the registry, and every mutation is one relaxed atomic op.  Handles are
+//    resolved by name once (mutex-protected) and then cached by the
+//    instrumented layer — never look a metric up per event.
+//  - Cheap enough to leave on: counters/gauges stay compiled in at every
+//    build setting.  Only the scoped-timer and trace-span *macros* compile
+//    out (SCA_TELEMETRY_ENABLED=0, CMake option SCA_ENABLE_TELEMETRY=OFF),
+//    because wall-clock reads in hot loops are the one cost that can matter.
+//  - Snapshots are deterministic in content: entries sort by name, and the
+//    wire snapshot carries only counters and gauges — values derived from
+//    simulation state, reproducible across backends and worker counts.
+//    Histograms accumulate wall-clock time and stay host-local.
+//
+// Naming convention (docs/observability.md): dot-separated lowercase paths,
+// "<layer>.<thing>[.<aspect>]" — e.g. "kernel.timed_notifications",
+// "tdf.schedule_cache.hits", "solver.numeric_factorizations",
+// "time.snapshot.save_s" (histogram timers end in a unit suffix).
+#ifndef SCA_UTIL_TELEMETRY_HPP
+#define SCA_UTIL_TELEMETRY_HPP
+
+// Compile-time gate for the timing macros below.  The registry itself is
+// always available; only wall-clock instrumentation sites vanish.
+#ifndef SCA_TELEMETRY_ENABLED
+#define SCA_TELEMETRY_ENABLED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sca::util {
+
+/// Monotonic event count.  add() is the hot-path op: one relaxed fetch_add.
+class counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+    /// Overwrite (reset, snapshot restore, collector set-semantics).
+    void set(std::uint64_t n) noexcept { v_.store(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, drift seconds, ...).
+class gauge {
+public:
+    void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> v_{0.0};
+};
+
+/// Value accumulator: count / sum / min / max, lock-free (min/max via CAS).
+/// Timer histograms record seconds; record() accepts any double series.
+class histogram {
+public:
+    void record(double v) noexcept;
+    void reset() noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double min() const noexcept;  ///< 0 when empty
+    [[nodiscard]] double max() const noexcept;  ///< 0 when empty
+    [[nodiscard]] double mean() const noexcept {
+        const std::uint64_t n = count();
+        return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+    }
+
+private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};
+    std::atomic<double> max_{0.0};
+};
+
+/// One exported metric sample — the flat form snapshots, exports, and the
+/// wire protocol share.
+struct metric_value {
+    enum class metric_kind : std::uint8_t { counter = 0, gauge = 1, histogram = 2 };
+
+    std::string name;
+    metric_kind kind = metric_kind::counter;
+    std::uint64_t count = 0;  ///< counter value / histogram sample count
+    double value = 0.0;       ///< gauge value / histogram sum
+    double min = 0.0;         ///< histogram only
+    double max = 0.0;         ///< histogram only
+
+    bool operator==(const metric_value&) const = default;
+};
+
+using metrics_snapshot = std::vector<metric_value>;
+
+/// Per-simulation_context registry of named metrics.  Handle resolution is
+/// mutex-protected and allocation-backed (deque: stable addresses); the
+/// returned references stay valid for the registry's lifetime, so layers
+/// resolve once at construction/elaboration and mutate lock-free after.
+class metrics_registry {
+public:
+    metrics_registry() = default;
+    metrics_registry(const metrics_registry&) = delete;
+    metrics_registry& operator=(const metrics_registry&) = delete;
+
+    /// Find-or-create by name.  A name identifies exactly one kind; asking
+    /// for the same name with a different kind throws.
+    counter& get_counter(const std::string& name);
+    gauge& get_gauge(const std::string& name);
+    histogram& get_histogram(const std::string& name);
+
+    /// Zero every registered metric (names and handles survive — reset
+    /// changes values, never invalidates cached references).
+    void reset();
+
+    /// Every metric, sorted by name (deterministic content).
+    [[nodiscard]] metrics_snapshot snapshot() const;
+    /// Counters and gauges only, sorted by name — the deterministic subset
+    /// that travels over the wire and is compared bit-for-bit across
+    /// backends and worker counts.  Histograms (wall-clock timers) excluded.
+    [[nodiscard]] metrics_snapshot wire_snapshot() const;
+
+    /// Flat JSON object: {"metrics":[{name,kind,...}, ...]}.
+    void write_json(std::ostream& os) const;
+    /// Flat CSV: name,kind,count,value,min,max (header row included).
+    void write_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    enum class kind : std::uint8_t { counter, gauge, histogram };
+    struct entry {
+        std::string name;
+        kind k;
+        std::size_t slot;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<entry> entries_;                       // registration order
+    std::unordered_map<std::string, std::size_t> by_name_;  // -> entries_ index
+    std::deque<counter> counters_;
+    std::deque<gauge> gauges_;
+    std::deque<histogram> histograms_;
+};
+
+/// Serialize a snapshot as the same JSON array write_json emits (shared by
+/// run_set metric dumps and bench artifacts).
+void write_metrics_json(std::ostream& os, const metrics_snapshot& snap);
+
+// ------------------------------------------------------------ scoped timer --
+
+/// RAII wall-clock timer recording seconds into a histogram.  Null histogram
+/// = disabled (records nothing); the macro form compiles out entirely.
+class scoped_timer {
+public:
+    explicit scoped_timer(histogram* h) noexcept
+        : h_(h), t0_(h ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point{}) {}
+    ~scoped_timer() {
+        if (h_ == nullptr) return;
+        const auto dt = std::chrono::steady_clock::now() - t0_;
+        h_->record(std::chrono::duration<double>(dt).count());
+    }
+    scoped_timer(const scoped_timer&) = delete;
+    scoped_timer& operator=(const scoped_timer&) = delete;
+
+private:
+    histogram* h_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace sca::util
+
+// Compile-out-able scoped timer for hot loops: `SCA_SCOPED_TIMER(&hist)`
+// records the enclosing scope's wall time into `hist` (a histogram*; may be
+// null at runtime for a cheap dynamic disable).  With telemetry compiled out
+// the macro leaves no code behind.
+#if SCA_TELEMETRY_ENABLED
+#define SCA_TELEMETRY_CAT2(a, b) a##b
+#define SCA_TELEMETRY_CAT(a, b) SCA_TELEMETRY_CAT2(a, b)
+#define SCA_SCOPED_TIMER(hist_ptr) \
+    const ::sca::util::scoped_timer SCA_TELEMETRY_CAT(sca_timer_, __LINE__)(hist_ptr)
+#else
+#define SCA_SCOPED_TIMER(hist_ptr) \
+    do {                           \
+    } while (false)
+#endif
+
+#endif  // SCA_UTIL_TELEMETRY_HPP

@@ -1,0 +1,142 @@
+// Structured kernel event tracer with Chrome trace_event JSON export.
+//
+// The tracer records *spans* — named, categorized intervals of kernel
+// activity (elaboration phases, cluster firings, DAE factor/solve, snapshot
+// save/restore, server session slices) — into a bounded in-memory buffer,
+// then exports them in the Chrome trace_event "complete event" form
+// (ph:"X") that Perfetto and chrome://tracing load directly:
+//
+//   {"traceEvents":[{"name":"cluster.fire","cat":"tdf","ph":"X",
+//                    "ts":12.3,"dur":4.5,"pid":1,"tid":0,
+//                    "args":{"t_sim":1e-6}}, ...]}
+//
+// Recording is OFF by default: every span site checks one relaxed atomic
+// flag before touching the clock, so a disabled tracer costs a predicted
+// branch.  Sites go through the SCA_TRACE_SPAN macro, which additionally
+// compiles out under SCA_TELEMETRY_ENABLED=0.
+//
+// The buffer is bounded (default 1M events); once full, further events are
+// counted as dropped rather than grown — tracing a long run degrades to a
+// truncated trace, never to unbounded memory.
+#ifndef SCA_UTIL_TRACE_EXPORT_HPP
+#define SCA_UTIL_TRACE_EXPORT_HPP
+
+#include "util/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sca::util {
+
+/// One completed span.  Timestamps are nanoseconds on the steady clock,
+/// rebased to the tracer's enable() time at export.
+struct trace_event {
+    std::string name;          ///< e.g. "cluster.fire", "dae.numeric_factor"
+    std::string cat;           ///< layer: "kernel", "tdf", "solver", "core", "server"
+    std::int64_t start_ns = 0;
+    std::int64_t dur_ns = 0;
+    std::uint32_t lane = 0;    ///< exported as tid — one lane per recording thread
+    double sim_time = -1.0;    ///< simulated seconds at span start; <0 = not set
+};
+
+class event_tracer {
+public:
+    explicit event_tracer(std::size_t capacity = 1u << 20) : capacity_(capacity) {}
+    event_tracer(const event_tracer&) = delete;
+    event_tracer& operator=(const event_tracer&) = delete;
+
+    /// Start recording.  Clears any previous events and re-anchors t=0.
+    void enable();
+    /// Stop recording; buffered events stay available for export.
+    void disable();
+    [[nodiscard]] bool enabled() const noexcept {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /// Record a completed span (called by scoped_span; usable directly for
+    /// spans whose begin/end don't nest lexically).
+    void record(const char* name, const char* cat, std::int64_t start_ns,
+                std::int64_t dur_ns, double sim_time = -1.0);
+
+    /// Monotonic now, in the tracer's timebase.
+    [[nodiscard]] static std::int64_t now_ns() noexcept {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    [[nodiscard]] std::size_t event_count() const;
+    [[nodiscard]] std::uint64_t dropped() const noexcept {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+    void clear();
+
+    /// Copy of the buffer (test/export introspection).
+    [[nodiscard]] std::vector<trace_event> events() const;
+
+    /// Chrome trace_event JSON ("traceEvents" array of ph:"X" complete
+    /// events, ts/dur in fractional microseconds), loadable in Perfetto.
+    void write_chrome_json(std::ostream& os) const;
+
+private:
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> dropped_{0};
+    std::size_t capacity_;
+    std::int64_t epoch_ns_ = 0;  ///< enable() time; export rebases to it
+    mutable std::mutex mutex_;
+    std::vector<trace_event> events_;
+};
+
+/// RAII span: samples the clock at construction, records at destruction.
+/// Null or disabled tracer = no clock reads beyond one relaxed load.
+class scoped_span {
+public:
+    scoped_span(event_tracer* tracer, const char* name, const char* cat,
+                double sim_time = -1.0) noexcept
+        : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+          name_(name),
+          cat_(cat),
+          sim_time_(sim_time),
+          start_ns_(tracer_ != nullptr ? event_tracer::now_ns() : 0) {}
+    ~scoped_span() {
+        if (tracer_ == nullptr) return;
+        tracer_->record(name_, cat_, start_ns_, event_tracer::now_ns() - start_ns_,
+                        sim_time_);
+    }
+    scoped_span(const scoped_span&) = delete;
+    scoped_span& operator=(const scoped_span&) = delete;
+
+private:
+    event_tracer* tracer_;
+    const char* name_;
+    const char* cat_;
+    double sim_time_;
+    std::int64_t start_ns_;
+};
+
+}  // namespace sca::util
+
+// Span macro for instrumentation sites: `SCA_TRACE_SPAN(tracer_ptr, "name",
+// "cat")` traces the enclosing scope.  Compiles out with telemetry disabled;
+// otherwise costs one relaxed load when the tracer is off.
+#if SCA_TELEMETRY_ENABLED
+#define SCA_TRACE_SPAN(tracer_ptr, name, cat) \
+    const ::sca::util::scoped_span SCA_TELEMETRY_CAT(sca_span_, __LINE__)(tracer_ptr, name, cat)
+#define SCA_TRACE_SPAN_T(tracer_ptr, name, cat, t_sim)                                  \
+    const ::sca::util::scoped_span SCA_TELEMETRY_CAT(sca_span_, __LINE__)(tracer_ptr, name, \
+                                                                          cat, t_sim)
+#else
+#define SCA_TRACE_SPAN(tracer_ptr, name, cat) \
+    do {                                      \
+    } while (false)
+#define SCA_TRACE_SPAN_T(tracer_ptr, name, cat, t_sim) \
+    do {                                               \
+    } while (false)
+#endif
+
+#endif  // SCA_UTIL_TRACE_EXPORT_HPP

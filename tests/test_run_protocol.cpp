@@ -341,6 +341,8 @@ TEST(session_protocol, close_round_trip) {
     info.samples_dropped = 67;
     info.pace_drift_s = 3e-4;
     info.pace_max_drift_s = 9e-4;
+    info.max_queue_depth = 31;
+    info.slices = 4000;
     info.measurements["rms"] = 0.7071;
     info.measurements["nan"] = std::numeric_limits<double>::quiet_NaN();
     const auto payload = wire::encode_close(info);
@@ -351,8 +353,62 @@ TEST(session_protocol, close_round_trip) {
     EXPECT_EQ(d.samples_dropped, 67U);
     EXPECT_DOUBLE_EQ(d.pace_drift_s, 3e-4);
     EXPECT_DOUBLE_EQ(d.pace_max_drift_s, 9e-4);
+    EXPECT_EQ(d.max_queue_depth, 31U);
+    EXPECT_EQ(d.slices, 4000U);
     EXPECT_DOUBLE_EQ(d.measurements.at("rms"), 0.7071);
     EXPECT_TRUE(std::isnan(d.measurements.at("nan")));
+}
+
+TEST(session_protocol, stats_round_trip) {
+    wire::stats_info info;
+    info.sim_time_s = 2.5e-3;
+    info.slices = 640;
+    info.samples_streamed = 98765;
+    info.samples_dropped = 12;
+    info.queue_depth = 7;
+    info.max_queue_depth = 42;
+    info.pace_drift_s = -1e-5;
+    info.pace_max_drift_s = 4e-4;
+    const auto payload = wire::encode_stats(info);
+    const wire::stats_info d = wire::decode_stats(payload.data(), payload.size());
+    EXPECT_DOUBLE_EQ(d.sim_time_s, 2.5e-3);
+    EXPECT_EQ(d.slices, 640U);
+    EXPECT_EQ(d.samples_streamed, 98765U);
+    EXPECT_EQ(d.samples_dropped, 12U);
+    EXPECT_EQ(d.queue_depth, 7U);
+    EXPECT_EQ(d.max_queue_depth, 42U);
+    EXPECT_DOUBLE_EQ(d.pace_drift_s, -1e-5);
+    EXPECT_DOUBLE_EQ(d.pace_max_drift_s, 4e-4);
+}
+
+TEST(run_protocol, metrics_round_trip_is_bit_exact_for_nasty_doubles) {
+    // Gauges carry arbitrary doubles: the metrics frame must move them
+    // bit-exactly, like results do.
+    namespace util = sca::util;
+    wire::run_metrics m;
+    m.index = 17;
+    util::metric_value c;
+    c.name = "kernel.delta_cycles";
+    c.kind = util::metric_value::metric_kind::counter;
+    c.count = 123456789;
+    m.entries.push_back(c);
+    for (const double v : nasty_doubles()) {
+        util::metric_value g;
+        g.name = "gauge_" + std::to_string(m.entries.size());
+        g.kind = util::metric_value::metric_kind::gauge;
+        g.value = v;
+        m.entries.push_back(g);
+    }
+    const auto payload = wire::encode_metrics(m);
+    const wire::run_metrics d = wire::decode_metrics(payload.data(), payload.size());
+    EXPECT_EQ(d.index, 17U);
+    ASSERT_EQ(d.entries.size(), m.entries.size());
+    for (std::size_t i = 0; i < m.entries.size(); ++i) {
+        EXPECT_EQ(d.entries[i].name, m.entries[i].name);
+        EXPECT_EQ(d.entries[i].kind, m.entries[i].kind);
+        EXPECT_EQ(d.entries[i].count, m.entries[i].count);
+        EXPECT_EQ(bits(d.entries[i].value), bits(m.entries[i].value)) << i;
+    }
 }
 
 TEST(session_protocol, error_round_trip) {

@@ -427,6 +427,71 @@ TEST(sim_server, slow_consumer_drops_batches_but_the_kernel_finishes) {
     srv.stop();
 }
 
+// -------------------------------------------------------------------- telemetry --
+
+TEST(sim_server, close_telemetry_is_authoritative_against_client_counts) {
+    define_scenarios();
+    server::sim_server::options opt;
+    opt.stats_every_slices = 4;
+    server::sim_server srv(opt);
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    cl.hello();
+    cl.open_async("srv_gain", {}, 500);  // 20 ms / 500 us slices = 40 slices
+    cl.subscribe("out");
+    (void)cl.await_opened();
+    cl.resume();
+    const wire::close_info close = cl.drain();
+    EXPECT_EQ(close.reason, wire::close_reason::finished);
+
+    // End-of-session telemetry must agree with what the client observed: a
+    // fast consumer loses nothing, so streamed == received and dropped == 0.
+    const auto& w = cl.wave("out");
+    EXPECT_EQ(close.samples_streamed, w.times.size());
+    EXPECT_EQ(close.samples_dropped, 0U);
+    EXPECT_EQ(w.dropped, close.samples_dropped);
+    EXPECT_EQ(close.slices, 40U);
+    EXPECT_GE(close.max_queue_depth, 1U);
+
+    // Periodic stats: one push every 4 slices, all delivered before close.
+    EXPECT_EQ(cl.stats_frames(), 10U);
+    EXPECT_EQ(cl.last_stats().slices, 40U);
+    EXPECT_EQ(cl.last_stats().samples_streamed + cl.last_stats().samples_dropped,
+              close.samples_streamed + close.samples_dropped);
+    // The close frame itself is queued after the last stats snapshot, so the
+    // final high-water mark may exceed the one the stats frame observed.
+    EXPECT_LE(cl.last_stats().max_queue_depth, close.max_queue_depth);
+    srv.stop();
+}
+
+TEST(sim_server, stats_request_reports_live_session_state) {
+    define_scenarios();
+    server::sim_server srv;  // default period (64) never fires in 20 slices
+    srv.start();
+    auto cl = server::client::connect_tcp("127.0.0.1", srv.port());
+    cl.hello();
+    cl.open_async("srv_gain", {}, 1000);
+    cl.subscribe("out");
+    (void)cl.await_opened();
+
+    // Sessions open paused: an on-demand stats snapshot shows t=0, 0 slices.
+    cl.stats();
+    const wire::frame f = cl.read_frame();
+    ASSERT_EQ(f.type, wire::msg_type::stats);
+    cl.absorb(f);
+    EXPECT_EQ(cl.stats_frames(), 1U);
+    EXPECT_EQ(cl.last_stats().slices, 0U);
+    EXPECT_DOUBLE_EQ(cl.last_stats().sim_time_s, 0.0);
+    EXPECT_EQ(cl.last_stats().samples_streamed, 0U);
+
+    cl.resume();
+    const wire::close_info close = cl.drain();
+    EXPECT_EQ(close.reason, wire::close_reason::finished);
+    EXPECT_EQ(close.slices, 20U);
+    EXPECT_EQ(close.samples_streamed, cl.wave("out").times.size());
+    srv.stop();
+}
+
 // ----------------------------------------------------------------------- pacing --
 
 TEST(sim_server, pacing_holds_wall_clock_with_bounded_drift) {

@@ -1,0 +1,538 @@
+// Unified instrumentation layer: metrics-registry semantics (find-or-create
+// handles, kind mismatch, reset), Chrome-trace export well-formedness and
+// span coverage for a multirate TDF + ELN run, counter reset/carryover pins
+// across repeated run() / scheduler reset / snapshot restore, bit-identical
+// worker-metrics aggregation across backends and worker counts, and
+// concurrent recording (the TSan job runs this binary).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/run_set.hpp"
+#include "core/scenario.hpp"
+#include "core/simulation.hpp"
+#include "core/snapshot.hpp"
+#include "eln/network.hpp"
+#include "eln/primitives.hpp"
+#include "eln/sources.hpp"
+#include "kernel/context.hpp"
+#include "kernel/scheduler.hpp"
+#include "tdf/module.hpp"
+#include "tdf/port.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_export.hpp"
+
+namespace core = sca::core;
+namespace de = sca::de;
+namespace eln = sca::eln;
+namespace tdf = sca::tdf;
+namespace util = sca::util;
+using namespace sca::de::literals;
+
+namespace {
+
+constexpr double k_pi = 3.141592653589793;
+
+struct sine_src : tdf::module {
+    tdf::out<double> out;
+    explicit sine_src(const de::module_name& nm) : tdf::module(nm), out("out") {}
+    void set_attributes() override { set_timestep(10.0, de::time_unit::us); }
+    void processing() override {
+        out.write(std::sin(2.0 * k_pi * 1e3 * tdf_time().to_seconds()));
+    }
+};
+
+/// 1:2 upsampler — makes the cluster genuinely multirate.
+struct doubler : tdf::module {
+    tdf::in<double> in;
+    tdf::out<double> out;
+    explicit doubler(const de::module_name& nm) : tdf::module(nm), in("in"), out("out") {}
+    void set_attributes() override { out.set_rate(2); }
+    void processing() override {
+        const double v = in.read();
+        out.write(v, 0);
+        out.write(v, 1);
+    }
+};
+
+struct sink : tdf::module {
+    tdf::in<double> in;
+    double last = 0.0;
+    explicit sink(const de::module_name& nm) : tdf::module(nm), in("in") {}
+    void processing() override {
+        for (unsigned k = 0; k < in.rate(); ++k) last = in.read(k);
+    }
+};
+
+/// Multirate TDF chain + RC lowpass ELN network in one context: every span
+/// family (elaboration, cluster firing, DAE solve) shows up in the trace.
+struct multidomain_rig {
+    sine_src src{"src"};
+    doubler up{"up"};
+    sink snk{"snk"};
+    tdf::signal<double> s1{"s1"}, s2{"s2"};
+    eln::network net{de::module_name("net")};
+    std::vector<std::unique_ptr<eln::component>> parts;
+
+    multidomain_rig() {
+        src.out.bind(s1);
+        up.in.bind(s1);
+        up.out.bind(s2);
+        snk.in.bind(s2);
+        net.set_timestep(10.0, de::time_unit::us);
+        auto gnd = net.ground();
+        auto vin = net.create_node("vin");
+        auto vout = net.create_node("vout");
+        parts.push_back(std::make_unique<eln::vsource>("vs", net, vin, gnd,
+                                                       eln::waveform::sine(1.0, 1e3)));
+        parts.push_back(std::make_unique<eln::resistor>("r", net, vin, vout, 1e3));
+        parts.push_back(std::make_unique<eln::capacitor>("c", net, vout, gnd, 100e-9));
+    }
+};
+
+/// RC lowpass scenario for run_set metrics aggregation (mirrors the
+/// backend-suite reference testbench).
+core::scenario define_rc(const std::string& name) {
+    return core::scenario::define(
+        name, core::params{{"r", 1e3}, {"c", 100e-9}},
+        [](core::testbench& tb, const core::params& p) {
+            auto& net = tb.make<eln::network>("net");
+            net.set_timestep(5.0, de::time_unit::us);
+            auto gnd = net.ground();
+            auto vin = net.create_node("vin");
+            auto vout = net.create_node("vout");
+            tb.make<eln::vsource>("vs", net, vin, gnd, eln::waveform::sine(1.0, 1e3));
+            tb.make<eln::resistor>("r", net, vin, vout, p.get("r", 1e3));
+            tb.make<eln::capacitor>("c", net, vout, gnd, p.get("c", 100e-9));
+            tb.probe("vout", [&net, vout] { return net.voltage(vout); });
+            tb.measure("vout_final", [&net, vout] { return net.voltage(vout); });
+            tb.set_stop_time(de::time::from_seconds(0.5e-3));
+            tb.set_sample_period(20_us);
+        });
+}
+
+std::string metrics_csv_of(const core::result_table& t) {
+    std::ostringstream os;
+    t.write_metrics_csv(os);
+    return os.str();
+}
+
+// Minimal JSON well-formedness checker (objects/arrays/strings/numbers/
+// true/false/null) — enough to guarantee a viewer can parse the export.
+struct json_checker {
+    const char* p;
+    const char* end;
+    bool ok = true;
+
+    explicit json_checker(const std::string& s) : p(s.data()), end(s.data() + s.size()) {}
+
+    void ws() {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+    }
+    bool eat(char c) {
+        ws();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+    void fail() { ok = false; }
+    void string() {
+        if (!eat('"')) return fail();
+        while (p < end && *p != '"') {
+            if (*p == '\\') {
+                ++p;
+                if (p >= end) return fail();
+            }
+            ++p;
+        }
+        if (p >= end) return fail();
+        ++p;  // closing quote
+    }
+    void number() {
+        if (p < end && (*p == '-' || *p == '+')) ++p;
+        const char* start = p;
+        while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) != 0 ||
+                           *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                           *p == '+')) {
+            ++p;
+        }
+        if (p == start) fail();
+    }
+    bool literal(const char* lit) {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (static_cast<std::size_t>(end - p) >= n &&
+            std::char_traits<char>::compare(p, lit, n) == 0) {
+            p += n;
+            return true;
+        }
+        return false;
+    }
+    void value() {
+        if (!ok) return;
+        ws();
+        if (p >= end) return fail();
+        if (*p == '{') {
+            ++p;
+            if (eat('}')) return;
+            do {
+                string();
+                if (!ok || !eat(':')) return fail();
+                value();
+                if (!ok) return;
+            } while (eat(','));
+            if (!eat('}')) fail();
+        } else if (*p == '[') {
+            ++p;
+            if (eat(']')) return;
+            do {
+                value();
+                if (!ok) return;
+            } while (eat(','));
+            if (!eat(']')) fail();
+        } else if (*p == '"') {
+            string();
+        } else if (literal("true") || literal("false") || literal("null")) {
+        } else {
+            number();
+        }
+    }
+    bool parse() {
+        value();
+        ws();
+        return ok && p == end;
+    }
+};
+
+bool json_well_formed(const std::string& s) { return json_checker(s).parse(); }
+
+}  // namespace
+
+// ----------------------------------------------------------------- registry --
+
+TEST(metrics_registry, counter_gauge_histogram_semantics) {
+    util::metrics_registry reg;
+    util::counter& c = reg.get_counter("a.count");
+    c.add(3);
+    c.add(2);
+    EXPECT_EQ(c.value(), 5U);
+    EXPECT_EQ(&reg.get_counter("a.count"), &c) << "find-or-create must return the same slot";
+
+    util::gauge& g = reg.get_gauge("a.gauge");
+    g.set(-2.5);
+    EXPECT_DOUBLE_EQ(g.value(), -2.5);
+
+    util::histogram& h = reg.get_histogram("a.hist");
+    EXPECT_EQ(h.count(), 0U);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty histogram reads as zeros
+    h.record(2.0);
+    h.record(6.0);
+    h.record(4.0);
+    EXPECT_EQ(h.count(), 3U);
+    EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 6.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(reg.size(), 3U);
+}
+
+TEST(metrics_registry, kind_mismatch_throws) {
+    util::metrics_registry reg;
+    (void)reg.get_counter("x");
+    EXPECT_THROW((void)reg.get_gauge("x"), std::logic_error);
+    EXPECT_THROW((void)reg.get_histogram("x"), std::logic_error);
+    (void)reg.get_gauge("y");
+    EXPECT_THROW((void)reg.get_counter("y"), std::logic_error);
+}
+
+TEST(metrics_registry, reset_zeroes_values_but_keeps_handles) {
+    util::metrics_registry reg;
+    util::counter& c = reg.get_counter("c");
+    util::histogram& h = reg.get_histogram("h");
+    c.add(7);
+    h.record(1.0);
+    reg.reset();
+    EXPECT_EQ(c.value(), 0U);
+    EXPECT_EQ(h.count(), 0U);
+    EXPECT_EQ(reg.size(), 2U) << "reset clears values, not registrations";
+    c.add(1);  // handle still live after reset
+    EXPECT_EQ(c.value(), 1U);
+}
+
+TEST(metrics_registry, snapshot_is_sorted_and_wire_subset_drops_histograms) {
+    util::metrics_registry reg;
+    reg.get_counter("z.last").add(1);
+    reg.get_gauge("m.middle").set(0.5);
+    reg.get_histogram("a.first").record(1.0);
+    const util::metrics_snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3U);
+    EXPECT_EQ(snap[0].name, "a.first");
+    EXPECT_EQ(snap[1].name, "m.middle");
+    EXPECT_EQ(snap[2].name, "z.last");
+
+    const util::metrics_snapshot wire = reg.wire_snapshot();
+    ASSERT_EQ(wire.size(), 2U) << "histograms are host-local wall-clock data";
+    EXPECT_EQ(wire[0].name, "m.middle");
+    EXPECT_EQ(wire[1].name, "z.last");
+}
+
+TEST(metrics_registry, scoped_timer_records_one_sample) {
+    util::metrics_registry reg;
+    util::histogram& h = reg.get_histogram("t");
+    {
+        util::scoped_timer timer(&h);
+    }
+    EXPECT_EQ(h.count(), 1U);
+    EXPECT_GE(h.sum(), 0.0);
+    {
+        util::scoped_timer disabled(nullptr);  // null histogram = no-op
+    }
+    EXPECT_EQ(h.count(), 1U);
+}
+
+TEST(metrics_registry, json_and_csv_exports_are_well_formed) {
+    util::metrics_registry reg;
+    reg.get_counter("k.count").add(42);
+    reg.get_gauge("k.gauge").set(1.0 / 3.0);
+    reg.get_histogram("k\"quoted\".hist").record(2.5);
+    std::ostringstream js;
+    reg.write_json(js);
+    EXPECT_TRUE(json_well_formed(js.str())) << js.str();
+    EXPECT_NE(js.str().find("\"k.count\""), std::string::npos);
+
+    std::ostringstream csv;
+    reg.write_csv(csv);
+    const std::string s = csv.str();
+    EXPECT_EQ(s.rfind("name,kind,count,value,min,max\n", 0), 0U);
+    EXPECT_NE(s.find("k.count,counter,42"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- tracer --
+
+TEST(event_tracer, off_by_default_and_bounded_with_drop_counting) {
+    util::event_tracer tr(4);  // tiny capacity to hit the bound
+    {
+        util::scoped_span span(&tr, "ignored", "test");
+    }
+    EXPECT_EQ(tr.event_count(), 0U) << "disabled tracer must not record";
+
+    tr.enable();
+    for (int i = 0; i < 10; ++i) {
+        util::scoped_span span(&tr, "s", "test");
+    }
+    tr.disable();
+    EXPECT_EQ(tr.event_count(), 4U);
+    EXPECT_EQ(tr.dropped(), 6U);
+
+    tr.enable();  // re-enable clears the buffer and the drop count
+    EXPECT_EQ(tr.event_count(), 0U);
+    EXPECT_EQ(tr.dropped(), 0U);
+}
+
+TEST(event_tracer, chrome_json_from_multidomain_run_has_kernel_spans) {
+    sca::core::simulation sim;
+    sim.context().tracer().enable();
+    multidomain_rig rig;
+    sim.run_seconds(2e-3);
+    sim.context().tracer().disable();
+
+    std::ostringstream os;
+    sim.context().tracer().write_chrome_json(os);
+    const std::string trace = os.str();
+
+    EXPECT_TRUE(json_well_formed(trace));
+    // The Perfetto acceptance surface: elaboration, cluster-firing and
+    // solver spans all present, with complete-event framing.
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"elaborate\""), std::string::npos);
+    EXPECT_NE(trace.find("\"tdf.elaborate_clusters\""), std::string::npos);
+    EXPECT_NE(trace.find("\"tdf.cluster.cycles\""), std::string::npos);
+    EXPECT_NE(trace.find("\"dae.step\""), std::string::npos);
+    EXPECT_NE(trace.find("\"kernel.run\""), std::string::npos);
+    EXPECT_NE(trace.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(event_tracer, concurrent_recording_is_race_free) {
+    // Four threads hammer one tracer + one registry: the TSan job proves the
+    // relaxed fast paths are data-race-free; counts must still add up.
+    util::event_tracer tr;
+    util::metrics_registry reg;
+    util::counter& c = reg.get_counter("threads.count");
+    util::histogram& h = reg.get_histogram("threads.hist");
+    tr.enable();
+    constexpr int k_threads = 4;
+    constexpr int k_iters = 5000;
+    std::vector<std::thread> pool;
+    pool.reserve(k_threads);
+    for (int t = 0; t < k_threads; ++t) {
+        pool.emplace_back([&, t] {
+            for (int i = 0; i < k_iters; ++i) {
+                util::scoped_span span(&tr, "work", "test");
+                c.add(1);
+                h.record(static_cast<double>(t));
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+    tr.disable();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(k_threads) * k_iters);
+    EXPECT_EQ(h.count(), static_cast<std::uint64_t>(k_threads) * k_iters);
+    EXPECT_EQ(tr.event_count() + tr.dropped(),
+              static_cast<std::uint64_t>(k_threads) * k_iters);
+    std::ostringstream os;
+    tr.write_chrome_json(os);
+    EXPECT_TRUE(json_well_formed(os.str()));
+}
+
+// ---------------------------------------------------- context integration --
+
+TEST(context_metrics, kernel_counters_live_in_the_registry) {
+    sca::core::simulation sim;
+    multidomain_rig rig;
+    sim.run_seconds(1e-3);
+    const util::metrics_snapshot snap = sim.context().collect_metrics();
+    auto value_of = [&](const std::string& name) -> std::uint64_t {
+        for (const util::metric_value& mv : snap) {
+            if (mv.name == name) return mv.count;
+        }
+        return 0;
+    };
+    EXPECT_GT(value_of("kernel.delta_cycles"), 0U);
+    EXPECT_GT(value_of("kernel.timed_notifications"), 0U);
+    EXPECT_GT(value_of("tdf.cluster.cycles"), 0U);
+    EXPECT_GT(value_of("tdf.module.activations"), 0U);
+    EXPECT_GT(value_of("solver.numeric_factorizations"), 0U);
+    // Accessors read through the registry: both views must agree.
+    EXPECT_EQ(value_of("kernel.delta_cycles"), sim.context().sched().delta_count());
+}
+
+TEST(context_metrics, contexts_are_isolated) {
+    {
+        sca::core::simulation a;
+        multidomain_rig rig;
+        a.run_seconds(1e-3);
+        EXPECT_GT(a.context().sched().delta_count(), 0U);
+    }
+    sca::core::simulation b;
+    EXPECT_EQ(b.context().sched().delta_count(), 0U)
+        << "a fresh context must not inherit another context's counters";
+}
+
+// ------------------------------------------------------- reset / carryover --
+
+TEST(context_metrics, collectors_are_idempotent) {
+    sca::core::simulation sim;
+    multidomain_rig rig;
+    sim.run_seconds(1e-3);
+    const util::metrics_snapshot first = sim.context().collect_metrics();
+    const util::metrics_snapshot second = sim.context().collect_metrics();
+    EXPECT_EQ(first, second)
+        << "collecting twice without running must not change any value";
+}
+
+TEST(context_metrics, counters_are_monotonic_across_repeated_run) {
+    sca::core::simulation sim;
+    multidomain_rig rig;
+    sim.run_seconds(1e-3);
+    const std::uint64_t dc1 = sim.context().sched().delta_count();
+    const util::metrics_snapshot snap1 = sim.context().collect_metrics();
+    sim.run_seconds(1e-3);
+    const std::uint64_t dc2 = sim.context().sched().delta_count();
+    const util::metrics_snapshot snap2 = sim.context().collect_metrics();
+    EXPECT_GT(dc2, dc1);
+    ASSERT_EQ(snap1.size(), snap2.size())
+        << "a second run must not mint new metric names";
+    for (std::size_t i = 0; i < snap1.size(); ++i) {
+        if (snap1[i].kind != util::metric_value::metric_kind::counter) continue;
+        EXPECT_GE(snap2[i].count, snap1[i].count) << snap1[i].name;
+    }
+}
+
+TEST(context_metrics, scheduler_reset_clears_registry_counters) {
+    sca::core::simulation sim;
+    multidomain_rig rig;
+    sim.run_seconds(1e-3);
+    ASSERT_GT(sim.context().sched().delta_count(), 0U);
+    sim.context().sched().reset();
+    EXPECT_EQ(sim.context().sched().delta_count(), 0U);
+    EXPECT_EQ(sim.context().sched().timed_notification_count(), 0U);
+    for (const util::metric_value& mv : sim.context().metrics().snapshot()) {
+        if (mv.name == "kernel.delta_cycles" || mv.name == "kernel.timed_notifications") {
+            EXPECT_EQ(mv.count, 0U) << mv.name << " held a stale value after reset";
+        }
+    }
+}
+
+TEST(context_metrics, snapshot_restore_overlays_saved_counters) {
+    static const core::scenario sc = define_rc("telemetry_snap_rc");
+    auto tb = sc.build({});
+    tb->run(de::time::from_seconds(0.25e-3));
+    const std::uint64_t saved_dc = tb->context().sched().delta_count();
+    const std::uint64_t saved_tn = tb->context().sched().timed_notification_count();
+    ASSERT_GT(saved_dc, 0U);
+    const std::vector<std::uint8_t> bytes = core::encode_snapshot(*tb);
+    EXPECT_EQ(tb->context().metrics().get_histogram("time.snapshot.save_s").count(), 1U);
+
+    auto restored = core::decode_snapshot(bytes.data(), bytes.size());
+    EXPECT_EQ(restored->context().sched().delta_count(), saved_dc);
+    EXPECT_EQ(restored->context().sched().timed_notification_count(), saved_tn);
+    EXPECT_EQ(
+        restored->context().metrics().get_histogram("time.snapshot.restore_s").count(),
+        1U);
+}
+
+// ----------------------------------------------------- run_set aggregation --
+
+TEST(run_set_metrics, run_one_carries_the_deterministic_wire_subset) {
+    static const core::scenario sc = define_rc("telemetry_rs_one");
+    const core::run_set rs =
+        core::run_set(sc).with_grid(core::param_grid().add("r", {1e3, 2e3}));
+    const core::run_result r = rs.run_one(0);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.metric("kernel.delta_cycles"), 0.0);
+    EXPECT_GT(r.metric("tdf.cluster.cycles"), 0.0);
+    EXPECT_GT(r.metric("solver.numeric_factorizations"), 0.0);
+    EXPECT_EQ(r.metric("no.such.metric"), 0.0);
+    for (const util::metric_value& mv : r.run_metrics) {
+        EXPECT_NE(mv.kind, util::metric_value::metric_kind::histogram)
+            << mv.name << ": histograms are wall-clock and must stay off the wire";
+    }
+    // Same index, fresh context: bit-identical metrics (no carryover).
+    const core::run_result again = rs.run_one(0);
+    EXPECT_EQ(r.run_metrics, again.run_metrics);
+}
+
+TEST(run_set_metrics, aggregation_is_bit_identical_across_backends_and_workers) {
+    static const core::scenario sc = define_rc("telemetry_rs_agg");
+    auto make = [&] {
+        return core::run_set(sc)
+            .with_grid(core::param_grid()
+                           .add_logspace("r", 100.0, 10e3, 3)
+                           .add("c", {47e-9, 100e-9, 220e-9}))
+            .set_base_seed(0xfeedULL);
+    };
+    const core::result_table golden_table = make().set_workers(1).run_all();
+    const std::string golden = metrics_csv_of(golden_table);
+    ASSERT_NE(golden.find("kernel.delta_cycles"), std::string::npos);
+    EXPECT_GT(golden_table.metrics_total("kernel.delta_cycles"), 0.0);
+
+    EXPECT_EQ(metrics_csv_of(make().set_workers(4).run_all()), golden)
+        << "in_thread workers=4";
+    for (const unsigned workers : {1U, 2U, 4U, 8U}) {
+        const core::result_table table = make()
+                                             .set_backend(core::run_backend::multiprocess)
+                                             .set_workers(workers)
+                                             .run_all();
+        EXPECT_EQ(table.failed_count(), 0U) << "workers=" << workers;
+        EXPECT_EQ(metrics_csv_of(table), golden) << "workers=" << workers;
+        for (const core::run_result& r : table.runs()) {
+            EXPECT_GE(r.worker, 0) << "multiprocess runs must report their worker";
+        }
+    }
+}
